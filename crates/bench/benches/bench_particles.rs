@@ -1,0 +1,38 @@
+//! Ablation benchmark: whole-trace engine cost as a function of the
+//! particles-per-object budget (accuracy/cost frontier, cf. the
+//! `ablation-particles` experiment for the accuracy side).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rfid_bench::runner::{run_engine_variant, EngineVariant, InferenceSensor};
+use rfid_model::sensor::ConeSensor;
+use rfid_model::ModelParams;
+use rfid_sim::scenario;
+
+fn bench_particles(c: &mut Criterion) {
+    let sc = scenario::small_trace(12, 4, 77);
+    let batches = sc.trace.epoch_batches();
+    let mut g = c.benchmark_group("particles_per_object");
+    g.sample_size(10);
+    for &k in &[100usize, 1000] {
+        g.bench_function(format!("{k}"), |b| {
+            b.iter(|| {
+                run_engine_variant(
+                    &batches,
+                    &sc.layout,
+                    &sc.trace.shelf_tags,
+                    EngineVariant::Factored,
+                    InferenceSensor::TrueCone(ConeSensor::paper_default()),
+                    ModelParams::default_warehouse(),
+                    k,
+                    60,
+                )
+                .events
+                .len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_particles);
+criterion_main!(benches);

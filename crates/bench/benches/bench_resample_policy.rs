@@ -1,0 +1,42 @@
+//! Ablation benchmark: resampling policy — maintained factored weights
+//! (ESS-triggered) vs resample-every-step (the Ng et al. scheme the
+//! paper contrasts against in §IV-B).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rfid_core::engine::run_engine;
+use rfid_core::{FilterConfig, InferenceEngine};
+use rfid_model::sensor::ConeSensor;
+use rfid_model::{JointModel, ModelParams};
+use rfid_sim::scenario;
+
+fn bench_resample_policy(c: &mut Criterion) {
+    let sc = scenario::small_trace(12, 4, 88);
+    let batches = sc.trace.epoch_batches();
+    let mut g = c.benchmark_group("resample_policy");
+    g.sample_size(10);
+    for (name, frac) in [("ess_0.5", 0.5f64), ("always", 1.0)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cfg = FilterConfig::factored_default();
+                cfg.particles_per_object = 400;
+                cfg.resample_ess_frac = frac;
+                let model = JointModel::with_sensor(
+                    ConeSensor::paper_default(),
+                    ModelParams::default_warehouse(),
+                );
+                let mut engine = InferenceEngine::new(
+                    model,
+                    sc.layout.clone(),
+                    sc.trace.shelf_tags.clone(),
+                    cfg,
+                )
+                .unwrap();
+                run_engine(&mut engine, &batches).len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_resample_policy);
+criterion_main!(benches);

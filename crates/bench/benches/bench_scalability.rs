@@ -1,0 +1,43 @@
+//! The Fig. 5(j) engine-variant comparison as a Criterion benchmark:
+//! whole-trace processing cost for each variant at a fixed object
+//! count. (The full sweep up to 20,000 objects lives in the
+//! `experiments` binary; Criterion would take hours on it.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rfid_bench::runner::{run_engine_variant, EngineVariant, InferenceSensor};
+use rfid_model::sensor::ConeSensor;
+use rfid_model::ModelParams;
+use rfid_sim::scenario;
+
+fn bench_scalability(c: &mut Criterion) {
+    let sc = scenario::scalability_trace(100, 99);
+    let batches = sc.trace.epoch_batches();
+    let mut g = c.benchmark_group("engine_variants_100_objects");
+    g.sample_size(10);
+    for (name, variant) in [
+        ("factored", EngineVariant::Factored),
+        ("indexed", EngineVariant::FactoredIndexed),
+        ("full", EngineVariant::Full),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                run_engine_variant(
+                    &batches,
+                    &sc.layout,
+                    &sc.trace.shelf_tags,
+                    variant,
+                    InferenceSensor::TrueCone(ConeSensor::paper_default()),
+                    ModelParams::default_warehouse(),
+                    200,
+                    60,
+                )
+                .events
+                .len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

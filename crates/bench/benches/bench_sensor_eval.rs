@@ -1,0 +1,50 @@
+//! Microbenchmark: sensor-model likelihood evaluation — the innermost
+//! loop of particle weighting (called once per particle per epoch).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rfid_geom::{Point3, Pose};
+use rfid_model::sensor::{ConeSensor, LogisticSensorModel, ReadRateModel, SphericalSensor};
+use rfid_model::SensorParams;
+
+fn bench_sensor_eval(c: &mut Criterion) {
+    let logistic = LogisticSensorModel::new(SensorParams::default_cone_like());
+    let cone = ConeSensor::paper_default();
+    let sphere = SphericalSensor::for_timeout_ms(500);
+    let pose = Pose::new(Point3::new(0.0, 5.0, 0.0), 0.3);
+    let tags: Vec<Point3> = (0..64)
+        .map(|i| Point3::new(2.0, 3.0 + i as f64 * 0.1, 0.0))
+        .collect();
+
+    let mut g = c.benchmark_group("sensor_eval");
+    g.bench_function("logistic_log_likelihood_64", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for t in &tags {
+                acc += logistic.log_likelihood(black_box(&pose), black_box(t), true);
+            }
+            acc
+        })
+    });
+    g.bench_function("cone_p_read_64", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for t in &tags {
+                acc += cone.p_read(black_box(&pose), black_box(t));
+            }
+            acc
+        })
+    });
+    g.bench_function("spherical_p_read_64", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for t in &tags {
+                acc += sphere.p_read(black_box(&pose), black_box(t));
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sensor_eval);
+criterion_main!(benches);

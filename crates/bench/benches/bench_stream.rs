@@ -1,0 +1,67 @@
+//! Microbenchmark: stream synchronization and the two CQL queries —
+//! the non-inference part of the pipeline must sustain reader rates
+//! (>1500 readings/s) trivially.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rfid_geom::{Point3, Pose};
+use rfid_stream::queries::{FireCodeQuery, LocationChangeQuery};
+use rfid_stream::sync::synchronize_traces;
+use rfid_stream::{Epoch, LocationEvent, ReaderLocationReport, RfidReading, TagId};
+
+fn bench_stream(c: &mut Criterion) {
+    // 10k readings, 1k reports
+    let readings: Vec<RfidReading> = (0..10_000)
+        .map(|i| RfidReading {
+            time: i as f64 * 0.1,
+            tag: TagId(i % 64),
+        })
+        .collect();
+    let reports: Vec<ReaderLocationReport> = (0..1_000)
+        .map(|i| ReaderLocationReport {
+            time: i as f64,
+            pose: Pose::new(Point3::new(0.0, i as f64 * 0.1, 0.0), 0.0),
+        })
+        .collect();
+    let events: Vec<LocationEvent> = (0..10_000)
+        .map(|i| {
+            LocationEvent::new(
+                Epoch(i / 64),
+                TagId(i % 64),
+                Point3::new((i % 7) as f64, (i % 11) as f64, 0.0),
+            )
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("stream");
+    g.bench_function("synchronize_10k_readings", |b| {
+        b.iter(|| synchronize_traces(black_box(&readings), black_box(&reports), 1.0).len())
+    });
+    g.bench_function("location_change_query_10k", |b| {
+        b.iter(|| {
+            let mut q = LocationChangeQuery::new(0.1);
+            let mut n = 0;
+            for e in &events {
+                if q.push(black_box(e)).is_some() {
+                    n += 1;
+                }
+            }
+            n
+        })
+    });
+    g.bench_function("fire_code_query_10k", |b| {
+        b.iter(|| {
+            let mut q = FireCodeQuery::new(5.0, |_| 50.0, 200.0);
+            let mut n = 0;
+            for e in &events {
+                let t = e.epoch.0 as f64;
+                q.push(t, e);
+                n += q.evaluate(t).len();
+            }
+            n
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_stream);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Experiment harness regenerating every table and figure of §V.
+//!
+//! * [`metrics`] — inference-error scoring of event streams against
+//!   ground truth (the paper's "Inference Error in XY Plane (ft)").
+//! * [`runner`] — drives each system (our engine in its four variants,
+//!   SMURF, uniform) over a scenario and collects events, wall-clock
+//!   cost, and engine statistics.
+//! * [`report`] — plain-text tables written to stdout and to
+//!   `results/<experiment>.txt`.
+//!
+//! The `experiments` binary exposes one subcommand per figure/table;
+//! see `cargo run -p rfid-bench --release --bin experiments -- help`.
+
+pub mod metrics;
+pub mod report;
+pub mod runner;
+
+pub use metrics::ErrorStats;
+pub use runner::{run_baseline_smurf, run_baseline_uniform, run_engine_variant, EngineVariant};

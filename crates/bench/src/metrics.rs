@@ -1,0 +1,126 @@
+//! Inference-error metrics.
+
+use rfid_sim::GroundTruth;
+use rfid_stream::LocationEvent;
+
+/// Error summary of an event stream against ground truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorStats {
+    /// Mean |x_est - x_true|.
+    pub mean_x: f64,
+    /// Mean |y_est - y_true|.
+    pub mean_y: f64,
+    /// Mean Euclidean error in the XY plane — the paper's headline
+    /// metric.
+    pub mean_xy: f64,
+    /// Worst single-event XY error.
+    pub max_xy: f64,
+    /// Events scored.
+    pub n: usize,
+    /// Events that could not be scored (no ground truth for the tag).
+    pub unscored: usize,
+}
+
+impl ErrorStats {
+    /// Scores events against ground truth at each event's epoch.
+    pub fn score(events: &[LocationEvent], truth: &GroundTruth) -> Self {
+        let mut sx = 0.0;
+        let mut sy = 0.0;
+        let mut sxy = 0.0;
+        let mut max_xy = 0.0f64;
+        let mut n = 0usize;
+        let mut unscored = 0usize;
+        for e in events {
+            match truth.object_at(e.tag, e.epoch) {
+                Some(t) => {
+                    let dx = (e.location.x - t.x).abs();
+                    let dy = (e.location.y - t.y).abs();
+                    let dxy = e.location.dist_xy(&t);
+                    sx += dx;
+                    sy += dy;
+                    sxy += dxy;
+                    max_xy = max_xy.max(dxy);
+                    n += 1;
+                }
+                None => unscored += 1,
+            }
+        }
+        if n == 0 {
+            return Self {
+                mean_x: f64::NAN,
+                mean_y: f64::NAN,
+                mean_xy: f64::NAN,
+                max_xy: f64::NAN,
+                n: 0,
+                unscored,
+            };
+        }
+        Self {
+            mean_x: sx / n as f64,
+            mean_y: sy / n as f64,
+            mean_xy: sxy / n as f64,
+            max_xy,
+            n,
+            unscored,
+        }
+    }
+
+    /// Relative error reduction of `self` vs a `baseline` (the paper's
+    /// "49% error reduction over SMURF"), in percent.
+    pub fn reduction_vs(&self, baseline: &ErrorStats) -> f64 {
+        100.0 * (1.0 - self.mean_xy / baseline.mean_xy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_geom::Point3;
+    use rfid_stream::{Epoch, TagId};
+
+    fn truth_with(tag: u64, loc: Point3) -> GroundTruth {
+        let mut g = GroundTruth::new();
+        g.set_object(TagId(tag), Epoch(0), loc);
+        g
+    }
+
+    #[test]
+    fn scores_simple_offsets() {
+        let g = truth_with(1, Point3::new(0.0, 0.0, 0.0));
+        let events = vec![LocationEvent::new(
+            Epoch(5),
+            TagId(1),
+            Point3::new(3.0, 4.0, 0.0),
+        )];
+        let s = ErrorStats::score(&events, &g);
+        assert_eq!(s.n, 1);
+        assert!((s.mean_x - 3.0).abs() < 1e-12);
+        assert!((s.mean_y - 4.0).abs() < 1e-12);
+        assert!((s.mean_xy - 5.0).abs() < 1e-12);
+        assert!((s.max_xy - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_tags_counted_unscored() {
+        let g = truth_with(1, Point3::origin());
+        let events = vec![LocationEvent::new(Epoch(0), TagId(9), Point3::origin())];
+        let s = ErrorStats::score(&events, &g);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.unscored, 1);
+        assert!(s.mean_xy.is_nan());
+    }
+
+    #[test]
+    fn reduction_math() {
+        let ours = ErrorStats {
+            mean_x: 0.0,
+            mean_y: 0.0,
+            mean_xy: 0.5,
+            max_xy: 0.5,
+            n: 1,
+            unscored: 0,
+        };
+        let smurf = ErrorStats { mean_xy: 1.0, ..ours };
+        assert!((ours.reduction_vs(&smurf) - 50.0).abs() < 1e-12);
+    }
+}

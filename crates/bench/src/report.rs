@@ -1,0 +1,171 @@
+//! Plain-text experiment reports, mirrored to `results/<name>.txt`.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// A simple aligned-column table builder.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<w$}  ", c, w = widths[i]);
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.header, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * cols;
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &widths, &mut out);
+        }
+        out
+    }
+}
+
+/// A report: a titled text document printed to stdout and mirrored to
+/// `results/<name>.txt`.
+pub struct Report {
+    name: String,
+    body: String,
+}
+
+impl Report {
+    /// Starts a report.
+    pub fn new(name: &str, title: &str) -> Self {
+        let mut body = String::new();
+        let _ = writeln!(body, "== {title} ==");
+        Self {
+            name: name.to_string(),
+            body,
+        }
+    }
+
+    /// Adds a free-form line.
+    pub fn line(&mut self, s: &str) {
+        self.body.push_str(s);
+        self.body.push('\n');
+    }
+
+    /// Adds a rendered table.
+    pub fn table(&mut self, t: &Table) {
+        self.body.push_str(&t.render());
+    }
+
+    /// Prints to stdout and writes `results/<name>.txt`. Returns the
+    /// path written (best effort — printing always happens).
+    pub fn finish(self) -> Option<PathBuf> {
+        println!("{}", self.body);
+        let dir = PathBuf::from("results");
+        if fs::create_dir_all(&dir).is_err() {
+            return None;
+        }
+        let path = dir.join(format!("{}.txt", self.name));
+        match fs::File::create(&path) {
+            Ok(mut f) => {
+                let _ = f.write_all(self.body.as_bytes());
+                Some(path)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// The body accumulated so far (tests).
+    pub fn body(&self) -> &str {
+        &self.body
+    }
+}
+
+/// Formats a float with 2 decimals, or "-" for NaN.
+pub fn f2(x: f64) -> String {
+    if x.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+/// Formats a float with 3 decimals, or "-" for NaN.
+pub fn f3(x: f64) -> String {
+    if x.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new(vec!["a", "long-header", "c"]);
+        t.row(vec!["1", "2", "3"]);
+        t.row(vec!["wide-cell", "x", "y"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // all rows the same width
+        assert_eq!(lines[0].trim_end().len() > 0, true);
+        assert!(lines[2].starts_with("1"));
+        assert!(lines[3].starts_with("wide-cell"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_arity_checked() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f2(1.236), "1.24");
+        assert_eq!(f2(f64::NAN), "-");
+        assert_eq!(f3(0.12345), "0.123");
+    }
+
+    #[test]
+    fn report_accumulates() {
+        let mut r = Report::new("test", "Title");
+        r.line("hello");
+        assert!(r.body().contains("== Title =="));
+        assert!(r.body().contains("hello"));
+    }
+}

@@ -1,0 +1,309 @@
+//! Drivers: run each system over a scenario and collect events, cost,
+//! and statistics.
+
+use crate::metrics::ErrorStats;
+use rfid_baselines::{Smurf, SmurfConfig, UniformBaseline};
+use rfid_core::engine::run_engine;
+use rfid_core::{
+    BasicParticleFilter, EngineStats, FilterConfig, InferenceEngine,
+    ReaderMode,
+};
+use rfid_geom::Aabb;
+use rfid_model::object::LocationPrior;
+use rfid_model::sensor::{ConeSensor, ReadRateModel};
+use rfid_model::{JointModel, ModelParams};
+use rfid_sim::scenario::Scenario;
+use rfid_stream::{Epoch, EpochBatch, LocationEvent};
+use std::time::{Duration, Instant};
+
+/// Which inference configuration to run (the four curves of
+/// Fig. 5(i)/(j)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EngineVariant {
+    /// Basic unfactorized joint filter with this many joint particles.
+    Unfactored { particles: usize },
+    /// Factored filter (§IV-B).
+    Factored,
+    /// Factored + spatial index (§IV-C).
+    FactoredIndexed,
+    /// Factored + index + belief compression (§IV-D).
+    Full,
+}
+
+impl EngineVariant {
+    /// Display label matching the paper's legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EngineVariant::Unfactored { .. } => "Unfactorized",
+            EngineVariant::Factored => "Factorized",
+            EngineVariant::FactoredIndexed => "Factorized+Index",
+            EngineVariant::Full => "Factorized+Index+Compression",
+        }
+    }
+}
+
+/// Which sensor model inference runs with.
+#[derive(Debug, Clone, Copy)]
+pub enum InferenceSensor {
+    /// The simulator's ground-truth cone ("True Sensor Model").
+    TrueCone(ConeSensor),
+    /// A logistic model (learned or default).
+    Logistic(rfid_model::SensorParams),
+}
+
+/// Everything a run produces.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    pub events: Vec<LocationEvent>,
+    pub elapsed: Duration,
+    pub readings: usize,
+    pub stats: Option<EngineStats>,
+    pub memory_bytes: usize,
+}
+
+impl RunOutput {
+    /// Milliseconds of processing per raw reading — the Fig. 5(j)
+    /// metric.
+    pub fn ms_per_reading(&self) -> f64 {
+        if self.readings == 0 {
+            return f64::NAN;
+        }
+        self.elapsed.as_secs_f64() * 1e3 / self.readings as f64
+    }
+
+    /// Readings processed per second.
+    pub fn readings_per_sec(&self) -> f64 {
+        self.readings as f64 / self.elapsed.as_secs_f64().max(1e-12)
+    }
+
+    /// Scores the events against a scenario's ground truth.
+    pub fn score(&self, sc: &Scenario) -> ErrorStats {
+        ErrorStats::score(&self.events, &sc.trace.truth)
+    }
+}
+
+fn last_epoch(batches: &[EpochBatch]) -> Epoch {
+    batches.last().map(|b| b.epoch).unwrap_or(Epoch(0))
+}
+
+/// Runs an engine variant with a given sensor choice over prepared
+/// batches. `params` supplies the motion/sensing/object components.
+pub fn run_engine_variant<P: LocationPrior + Clone>(
+    batches: &[EpochBatch],
+    prior: &P,
+    shelf_tags: &[(rfid_stream::TagId, rfid_geom::Point3)],
+    variant: EngineVariant,
+    sensor: InferenceSensor,
+    params: ModelParams,
+    particles_per_object: usize,
+    report_delay: u64,
+) -> RunOutput {
+    let mut cfg = match variant {
+        EngineVariant::Unfactored { .. } | EngineVariant::Factored => {
+            FilterConfig::factored_default()
+        }
+        EngineVariant::FactoredIndexed => FilterConfig::indexed_default(),
+        EngineVariant::Full => FilterConfig::full_default(),
+    };
+    cfg.particles_per_object = particles_per_object;
+    cfg.report_delay_epochs = report_delay;
+    let readings: usize = batches.iter().map(|b| b.readings.len()).sum();
+
+    match (variant, sensor) {
+        (EngineVariant::Unfactored { particles }, InferenceSensor::TrueCone(c)) => {
+            let model = JointModel::with_sensor(c, params);
+            run_unfactored(model, prior.clone(), shelf_tags.to_vec(), cfg, particles, batches, readings)
+        }
+        (EngineVariant::Unfactored { particles }, InferenceSensor::Logistic(sp)) => {
+            let mut p = params;
+            p.sensor = sp;
+            let model = JointModel::new(p);
+            run_unfactored(model, prior.clone(), shelf_tags.to_vec(), cfg, particles, batches, readings)
+        }
+        (_, InferenceSensor::TrueCone(c)) => {
+            let model = JointModel::with_sensor(c, params);
+            run_factored(model, prior.clone(), shelf_tags.to_vec(), cfg, batches, readings)
+        }
+        (_, InferenceSensor::Logistic(sp)) => {
+            let mut p = params;
+            p.sensor = sp;
+            let model = JointModel::new(p);
+            run_factored(model, prior.clone(), shelf_tags.to_vec(), cfg, batches, readings)
+        }
+    }
+}
+
+fn run_factored<P: LocationPrior + Clone, S: ReadRateModel>(
+    model: JointModel<S>,
+    prior: P,
+    shelf_tags: Vec<(rfid_stream::TagId, rfid_geom::Point3)>,
+    cfg: FilterConfig,
+    batches: &[EpochBatch],
+    readings: usize,
+) -> RunOutput {
+    let mut engine = InferenceEngine::new(model, prior, shelf_tags, cfg).expect("valid config");
+    let start = Instant::now();
+    let events = run_engine(&mut engine, batches);
+    let elapsed = start.elapsed();
+    RunOutput {
+        events,
+        elapsed,
+        readings,
+        memory_bytes: engine.memory_bytes(),
+        stats: Some(*engine.stats()),
+    }
+}
+
+fn run_unfactored<P: LocationPrior + Clone, S: ReadRateModel>(
+    model: JointModel<S>,
+    prior: P,
+    shelf_tags: Vec<(rfid_stream::TagId, rfid_geom::Point3)>,
+    cfg: FilterConfig,
+    particles: usize,
+    batches: &[EpochBatch],
+    readings: usize,
+) -> RunOutput {
+    let mut filter =
+        BasicParticleFilter::new(model, prior, shelf_tags, cfg, particles).expect("valid config");
+    let start = Instant::now();
+    let mut events = Vec::new();
+    for b in batches {
+        events.extend(filter.process_batch(b));
+    }
+    events.extend(filter.finalize(last_epoch(batches)));
+    let elapsed = start.elapsed();
+    RunOutput {
+        events,
+        elapsed,
+        readings,
+        memory_bytes: particles * filter.num_objects() * std::mem::size_of::<rfid_geom::Point3>(),
+        stats: None,
+    }
+}
+
+/// Runs the engine in "motion model Off" mode (reports trusted as
+/// truth) — the Fig. 5(g) comparison curve.
+pub fn run_motion_off<P: LocationPrior + Clone>(
+    batches: &[EpochBatch],
+    prior: &P,
+    shelf_tags: &[(rfid_stream::TagId, rfid_geom::Point3)],
+    sensor: InferenceSensor,
+    params: ModelParams,
+    particles_per_object: usize,
+    report_delay: u64,
+) -> RunOutput {
+    let mut cfg = FilterConfig::factored_default();
+    cfg.reader_mode = ReaderMode::TrustReports;
+    cfg.reader_particles = 1;
+    cfg.particles_per_object = particles_per_object;
+    cfg.report_delay_epochs = report_delay;
+    let readings: usize = batches.iter().map(|b| b.readings.len()).sum();
+    match sensor {
+        InferenceSensor::TrueCone(c) => {
+            let model = JointModel::with_sensor(c, params);
+            run_factored(model, prior.clone(), shelf_tags.to_vec(), cfg, batches, readings)
+        }
+        InferenceSensor::Logistic(sp) => {
+            let mut p = params;
+            p.sensor = sp;
+            let model = JointModel::new(p);
+            run_factored(model, prior.clone(), shelf_tags.to_vec(), cfg, batches, readings)
+        }
+    }
+}
+
+/// Runs the SMURF baseline.
+pub fn run_baseline_smurf(
+    batches: &[EpochBatch],
+    shelves: Vec<Aabb>,
+    read_range: f64,
+    ignored: &[(rfid_stream::TagId, rfid_geom::Point3)],
+) -> RunOutput {
+    let readings: usize = batches.iter().map(|b| b.readings.len()).sum();
+    let mut smurf = Smurf::new(
+        SmurfConfig::new(read_range, shelves),
+        ignored.iter().map(|(t, _)| *t),
+    );
+    let start = Instant::now();
+    let mut events = Vec::new();
+    for b in batches {
+        events.extend(smurf.process_batch(b));
+    }
+    events.extend(smurf.finalize(last_epoch(batches)));
+    RunOutput {
+        events,
+        elapsed: start.elapsed(),
+        readings,
+        stats: None,
+        memory_bytes: 0,
+    }
+}
+
+/// Runs the uniform-sampling baseline.
+pub fn run_baseline_uniform(
+    batches: &[EpochBatch],
+    shelves: Vec<Aabb>,
+    read_range: f64,
+    ignored: &[(rfid_stream::TagId, rfid_geom::Point3)],
+    seed: u64,
+) -> RunOutput {
+    let readings: usize = batches.iter().map(|b| b.readings.len()).sum();
+    let mut uni = UniformBaseline::new(
+        read_range,
+        shelves,
+        ignored.iter().map(|(t, _)| *t),
+        seed,
+    );
+    let start = Instant::now();
+    let mut events = Vec::new();
+    for b in batches {
+        events.extend(uni.process_batch(b));
+    }
+    events.extend(uni.finalize(last_epoch(batches)));
+    RunOutput {
+        events,
+        elapsed: start.elapsed(),
+        readings,
+        stats: None,
+        memory_bytes: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_sim::scenario;
+
+    #[test]
+    fn factored_run_produces_scored_events() {
+        let sc = scenario::small_trace(8, 4, 77);
+        let out = run_engine_variant(
+            &sc.trace.epoch_batches(),
+            &sc.layout,
+            &sc.trace.shelf_tags,
+            EngineVariant::Factored,
+            InferenceSensor::TrueCone(ConeSensor::paper_default()),
+            ModelParams::default_warehouse(),
+            300,
+            30,
+        );
+        assert_eq!(out.events.len(), 8);
+        let score = out.score(&sc);
+        assert_eq!(score.n, 8);
+        assert!(score.mean_xy < 2.0, "error {}", score.mean_xy);
+        assert!(out.ms_per_reading() > 0.0);
+    }
+
+    #[test]
+    fn baselines_run_and_score() {
+        let sc = scenario::small_trace(8, 4, 78);
+        let shelf = rfid_model::object::LocationPrior::bounds(&sc.layout);
+        let batches = sc.trace.epoch_batches();
+        let s = run_baseline_smurf(&batches, vec![shelf], 4.0, &sc.trace.shelf_tags);
+        let u = run_baseline_uniform(&batches, vec![shelf], 4.0, &sc.trace.shelf_tags, 1);
+        assert!(!s.events.is_empty());
+        assert!(!u.events.is_empty());
+        assert!(s.score(&sc).mean_xy.is_finite());
+        assert!(u.score(&sc).mean_xy.is_finite());
+    }
+}

@@ -1,0 +1,771 @@
+//! The inference engine: raw epoch batches in, location events out.
+//!
+//! [`InferenceEngine::process_batch`] runs one epoch of §IV's filter:
+//! reader prediction and weighting, active-set selection (all objects,
+//! or Cases 1–2 via the spatial index), per-object prediction /
+//! weighting / resampling, re-detection handling, event emission per
+//! the output policy, instrumented reader resampling, and the belief
+//! compression sweep.
+
+use crate::compression::CompressedBelief;
+use crate::config::{FilterConfig, ReaderMode};
+use crate::error::ConfigError;
+use crate::factored::{ObjectFilter, ReaderFilter};
+use crate::output::OutputPolicy;
+use crate::particle::effective_sample_size;
+use crate::spatial_hook::SpatialHook;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rfid_geom::{Point3, Pose};
+use rfid_model::object::LocationPrior;
+use rfid_model::sensor::ReadRateModel;
+use rfid_model::JointModel;
+use rfid_stream::{Epoch, EpochBatch, EventStats, LocationEvent, TagId};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// One object's belief representation.
+#[derive(Debug, Clone)]
+enum Belief {
+    Active(ObjectFilter),
+    Compressed(CompressedBelief),
+}
+
+#[derive(Debug, Clone)]
+struct ObjectState {
+    belief: Belief,
+    last_estimate: (Point3, [f64; 3]),
+    last_read: Epoch,
+}
+
+/// Counters exposed for tests, benchmarks, and EXPERIMENTS.md tables.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EngineStats {
+    pub epochs: u64,
+    pub readings: u64,
+    /// Total object-filter updates across all epochs (the quantity the
+    /// spatial index is meant to shrink).
+    pub object_updates: u64,
+    pub events_emitted: u64,
+    pub object_resamples: u64,
+    pub reader_resamples: u64,
+    pub compressions: u64,
+    pub decompressions: u64,
+    pub half_respawns: u64,
+    pub full_reinits: u64,
+}
+
+/// The end-to-end inference engine, generic over the location prior
+/// and the sensor model (logistic by default; a ground-truth sensor
+/// shape can be plugged in for oracle experiments).
+pub struct InferenceEngine<P: LocationPrior, S: ReadRateModel = rfid_model::LogisticSensorModel> {
+    model: JointModel<S>,
+    config: FilterConfig,
+    prior: P,
+    shelf_tags: Vec<(TagId, Point3)>,
+    shelf_ids: BTreeSet<TagId>,
+    reader: Option<ReaderFilter>,
+    objects: HashMap<TagId, ObjectState>,
+    policy: OutputPolicy,
+    hook: Option<SpatialHook>,
+    /// Compression schedule: epoch -> objects to check.
+    cooldown: BTreeMap<u64, Vec<TagId>>,
+    rng: StdRng,
+    stats: EngineStats,
+    /// Overestimated sensor range used for initialization cones,
+    /// sensing boxes, and re-detection thresholds.
+    range_over: f64,
+    last_report: Option<Pose>,
+}
+
+impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
+    /// Builds an engine. `shelf_tags` are the reference tags with known
+    /// locations; every other tag id encountered is treated as an
+    /// object.
+    pub fn new(
+        model: JointModel<S>,
+        prior: P,
+        shelf_tags: Vec<(TagId, Point3)>,
+        config: FilterConfig,
+    ) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let range_over = (model.sensor.detection_range(0.02)
+            * config.init_range_overestimate)
+            .min(config.max_init_range);
+        let shelf_ids = shelf_tags.iter().map(|(t, _)| *t).collect();
+        let hook = config
+            .use_spatial_index
+            .then(|| SpatialHook::new(range_over));
+        Ok(Self {
+            model,
+            prior,
+            shelf_ids,
+            shelf_tags,
+            reader: None,
+            objects: HashMap::new(),
+            policy: OutputPolicy::new(
+                config.report_delay_epochs,
+                config.report_delay_epochs.saturating_mul(2),
+            ),
+            hook,
+            cooldown: BTreeMap::new(),
+            rng: StdRng::seed_from_u64(config.seed),
+            stats: EngineStats::default(),
+            range_over,
+            last_report: None,
+            config,
+        })
+    }
+
+    /// The engine's statistics so far.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// The current posterior-mean reader pose (`None` before the first
+    /// batch).
+    pub fn reader_estimate(&self) -> Option<Pose> {
+        self.reader.as_ref().map(|r| r.estimate())
+    }
+
+    /// The current location estimate of an object.
+    pub fn object_estimate(&self, tag: TagId) -> Option<(Point3, [f64; 3])> {
+        self.objects.get(&tag).map(|s| s.last_estimate)
+    }
+
+    /// Tags of all objects the engine tracks.
+    pub fn tracked_objects(&self) -> impl Iterator<Item = TagId> + '_ {
+        self.objects.keys().copied()
+    }
+
+    /// Number of objects currently in compressed representation.
+    pub fn num_compressed(&self) -> usize {
+        self.objects
+            .values()
+            .filter(|s| matches!(s.belief, Belief::Compressed(_)))
+            .count()
+    }
+
+    /// Reader particles (exposed for the EM learner's E-step).
+    pub fn reader_particles(&self) -> Option<&[crate::particle::ReaderParticle]> {
+        self.reader.as_ref().map(|r| r.particles())
+    }
+
+    /// Object particles of a tag, when its belief is active.
+    pub fn object_particles(&self, tag: TagId) -> Option<&[crate::particle::ObjectParticle]> {
+        match self.objects.get(&tag).map(|s| &s.belief) {
+            Some(Belief::Active(f)) => Some(f.particles()),
+            _ => None,
+        }
+    }
+
+    /// Rough memory footprint of the belief state, in bytes. Tracks the
+    /// paper's claim that compression keeps memory small.
+    pub fn memory_bytes(&self) -> usize {
+        let mut total = 0usize;
+        for s in self.objects.values() {
+            total += match &s.belief {
+                Belief::Active(f) => f.len() * std::mem::size_of::<crate::particle::ObjectParticle>(),
+                Belief::Compressed(_) => std::mem::size_of::<CompressedBelief>(),
+            };
+        }
+        if let Some(r) = &self.reader {
+            total += r.len() * std::mem::size_of::<crate::particle::ReaderParticle>();
+        }
+        total
+    }
+
+    /// Processes one synchronized epoch batch and returns the events
+    /// due this epoch.
+    pub fn process_batch(&mut self, batch: &EpochBatch) -> Vec<LocationEvent> {
+        let epoch = batch.epoch;
+        let stamp = epoch.0;
+        self.stats.epochs += 1;
+        self.stats.readings += batch.readings.len() as u64;
+
+        // --- partition readings -------------------------------------
+        let mut shelf_read: BTreeSet<TagId> = BTreeSet::new();
+        let mut object_read: Vec<TagId> = Vec::new();
+        for tag in &batch.readings {
+            if self.shelf_ids.contains(tag) {
+                shelf_read.insert(*tag);
+            } else {
+                object_read.push(*tag);
+            }
+        }
+
+        // --- reader update -------------------------------------------
+        self.update_reader(batch.reader_report.as_ref(), &shelf_read);
+        let reader_est = self
+            .reader
+            .as_ref()
+            .expect("reader initialized above")
+            .estimate();
+
+        // --- active set (Cases 1 and 2) ------------------------------
+        let sensing_box = SpatialHook::new(self.range_over).sensing_box(&reader_est);
+        let mut active: BTreeSet<TagId> = object_read.iter().copied().collect();
+        match &self.hook {
+            Some(hook) => {
+                for tag in hook.candidates(&sensing_box) {
+                    if self.objects.contains_key(&tag) {
+                        active.insert(tag);
+                    }
+                }
+            }
+            None => {
+                // no index: every known object is processed (Cases 1-4)
+                active.extend(self.objects.keys().copied());
+            }
+        }
+
+        // --- per-object updates --------------------------------------
+        let read_set: BTreeSet<TagId> = object_read.iter().copied().collect();
+        for tag in &active {
+            let read = read_set.contains(tag);
+            if read {
+                self.policy.on_read(*tag, epoch);
+            } else if matches!(
+                self.objects.get(tag),
+                Some(ObjectState {
+                    belief: Belief::Compressed(_),
+                    ..
+                })
+            ) {
+                // "when a compressed object has its tag read again, we
+                // ... decompress" (§IV-D): a compressed Case-2 object
+                // stays compressed — a miss carries almost no
+                // information about a belief that already stabilized,
+                // and decompressing for it would thrash.
+                continue;
+            }
+            self.step_object(*tag, read, epoch, stamp);
+            if self.config.compression.enabled {
+                self.cooldown
+                    .entry(epoch.0 + self.config.compression.idle_epochs)
+                    .or_default()
+                    .push(*tag);
+            }
+        }
+
+        // --- record the sensing region -------------------------------
+        if self.hook.is_some() {
+            let mut members = Vec::new();
+            for tag in &active {
+                if let Some(ObjectState {
+                    belief: Belief::Active(f),
+                    ..
+                }) = self.objects.get(tag)
+                {
+                    if f.particles().iter().any(|p| sensing_box.contains(&p.loc)) {
+                        members.push(*tag);
+                    }
+                }
+            }
+            if let Some(hook) = self.hook.as_mut() {
+                hook.record(sensing_box, members);
+            }
+        }
+
+        // --- emit due events -----------------------------------------
+        let mut events = Vec::new();
+        for tag in self.policy.due(epoch) {
+            if let Some(s) = self.objects.get(&tag) {
+                events.push(self.make_event(epoch, tag, s));
+            }
+        }
+        self.stats.events_emitted += events.len() as u64;
+
+        // --- instrumented reader resampling --------------------------
+        if self.config.reader_mode == ReaderMode::Filter {
+            let remap = self
+                .reader
+                .as_mut()
+                .expect("reader exists")
+                .maybe_resample(self.config.resample_ess_frac, &mut self.rng);
+            if let Some(remap) = remap {
+                self.stats.reader_resamples += 1;
+                // realign pointers of the objects touched this epoch;
+                // untouched objects will refresh on next activation
+                for tag in &active {
+                    if let Some(ObjectState {
+                        belief: Belief::Active(f),
+                        ..
+                    }) = self.objects.get_mut(tag)
+                    {
+                        f.apply_reader_remap(&remap, &mut self.rng);
+                    }
+                }
+            }
+        }
+
+        // --- compression sweep ---------------------------------------
+        self.run_compression_sweep(epoch);
+
+        events
+    }
+
+    /// Flushes pending reports at end of trace.
+    pub fn finalize(&mut self, epoch: Epoch) -> Vec<LocationEvent> {
+        let mut events = Vec::new();
+        for tag in self.policy.flush() {
+            if let Some(s) = self.objects.get(&tag) {
+                events.push(self.make_event(epoch, tag, s));
+            }
+        }
+        self.stats.events_emitted += events.len() as u64;
+        events
+    }
+
+    // ------------------------------------------------------------------
+
+    fn make_event(&self, epoch: Epoch, tag: TagId, s: &ObjectState) -> LocationEvent {
+        let (loc, var) = s.last_estimate;
+        let support = match &s.belief {
+            Belief::Active(f) => {
+                let w: Vec<f64> = f.particles().iter().map(|p| p.log_w).collect();
+                effective_sample_size(&w)
+            }
+            Belief::Compressed(_) => self.config.compression.decompressed_particles as f64,
+        };
+        LocationEvent::new(epoch, tag, loc).with_stats(EventStats { var, support })
+    }
+
+    fn update_reader(&mut self, report: Option<&Pose>, shelf_read: &BTreeSet<TagId>) {
+        match self.config.reader_mode {
+            ReaderMode::TrustReports => {
+                // "motion model Off": the reported location is taken as
+                // the true location; a single-particle filter carries it.
+                let pose = report
+                    .copied()
+                    .or(self.last_report)
+                    .unwrap_or_else(Pose::identity);
+                self.reader = Some(ReaderFilter::new(1, pose));
+            }
+            ReaderMode::Filter => {
+                match self.reader.as_mut() {
+                    None => {
+                        // "the initial reader location R_1 is known":
+                        // anchor the filter at the first report.
+                        let start = report.copied().unwrap_or_else(Pose::identity);
+                        self.reader = Some(ReaderFilter::new(self.config.reader_particles, start));
+                        // no prediction on the very first epoch
+                    }
+                    Some(filter) => {
+                        let odom = match (self.last_report, report) {
+                            (Some(prev), Some(cur)) => Some(cur.pos - prev.pos),
+                            _ => None,
+                        };
+                        let heading = report.map(|r| r.phi);
+                        filter.predict(&self.model, odom, heading, &mut self.rng);
+                    }
+                }
+                // weight with the report and nearby shelf-tag evidence
+                let filter = self.reader.as_mut().expect("created above");
+                let est = filter.estimate();
+                let anchor = report.map(|r| r.pos).unwrap_or(est.pos);
+                let relevant: Vec<(&Point3, bool)> = self
+                    .shelf_tags
+                    .iter()
+                    .filter(|(tag, loc)| {
+                        shelf_read.contains(tag) || loc.dist(&anchor) <= 2.0 * self.range_over
+                    })
+                    .map(|(tag, loc)| (loc, shelf_read.contains(tag)))
+                    .collect();
+                filter.weight(&self.model, report, relevant.iter().copied());
+            }
+        }
+        if let Some(r) = report {
+            self.last_report = Some(*r);
+        }
+    }
+
+    fn step_object(&mut self, tag: TagId, read: bool, epoch: Epoch, stamp: u64) {
+        self.stats.object_updates += 1;
+        let reader = self.reader.as_mut().expect("reader initialized");
+        let k = self.config.particles_per_object;
+        let half_angle = self.config.init_cone_half_angle;
+
+        // materialize an active filter for this tag
+        let mut state = match self.objects.remove(&tag) {
+            None => {
+                // first sighting: sensor-model-based initialization,
+                // restricted to the shelf space
+                let f = ObjectFilter::init_from_cone(
+                    reader,
+                    self.range_over,
+                    half_angle,
+                    k,
+                    stamp,
+                    Some(&self.prior),
+                    &mut self.rng,
+                );
+                ObjectState {
+                    last_estimate: f.estimate(reader),
+                    belief: Belief::Active(f),
+                    last_read: epoch,
+                }
+            }
+            Some(mut s) => {
+                if let Belief::Compressed(c) = &s.belief {
+                    let f = c.decompress(
+                        self.config.compression.decompressed_particles,
+                        reader,
+                        stamp,
+                        &mut self.rng,
+                    );
+                    self.stats.decompressions += 1;
+                    s.belief = Belief::Active(f);
+                }
+                s
+            }
+        };
+
+        let Belief::Active(f) = &mut state.belief else {
+            unreachable!("belief made active above")
+        };
+        f.refresh_pointers(reader, stamp, &mut self.rng);
+        f.predict(&self.model, &self.prior, read, &mut self.rng);
+
+        // §IV-A re-detection handling: compare the current estimate with
+        // the location the reading implies (the reader's vicinity).
+        if read {
+            let reader_pos = reader.estimate().pos;
+            let est = state.last_estimate.0;
+            let gap = est.dist_xy(&reader_pos);
+            if gap > self.range_over + self.config.respawn_distance {
+                // moved far: discard all old particles, re-create at the
+                // new location
+                *f = ObjectFilter::init_from_cone(
+                    reader,
+                    self.range_over,
+                    half_angle,
+                    k,
+                    stamp,
+                    Some(&self.prior),
+                    &mut self.rng,
+                );
+                self.stats.full_reinits += 1;
+            } else if gap > self.range_over + self.config.small_move_distance {
+                // moved a little: keep half, move half
+                f.respawn_half(
+                    reader,
+                    self.range_over,
+                    half_angle,
+                    Some(&self.prior),
+                    &mut self.rng,
+                );
+                self.stats.half_respawns += 1;
+            }
+            state.last_read = epoch;
+        }
+
+        f.weight(&self.model, reader, read);
+        if f.maybe_resample(reader, self.config.resample_ess_frac, &mut self.rng) {
+            self.stats.object_resamples += 1;
+        }
+        state.last_estimate = f.estimate(reader);
+        self.objects.insert(tag, state);
+    }
+
+    fn run_compression_sweep(&mut self, epoch: Epoch) {
+        if !self.config.compression.enabled {
+            return;
+        }
+        let due: Vec<u64> = self
+            .cooldown
+            .range(..=epoch.0)
+            .map(|(e, _)| *e)
+            .collect();
+        for e in due {
+            let tags = self.cooldown.remove(&e).unwrap_or_default();
+            for tag in tags {
+                let Some(state) = self.objects.get_mut(&tag) else {
+                    continue;
+                };
+                // still being read recently? postpone (a fresh cooldown
+                // entry exists in that case)
+                if epoch.since(state.last_read) < self.config.compression.idle_epochs {
+                    continue;
+                }
+                if let Belief::Active(f) = &state.belief {
+                    let reader = self.reader.as_ref().expect("reader initialized");
+                    let cloud = f.weighted_cloud(reader);
+                    if let Some(c) = CompressedBelief::compress(&cloud, epoch) {
+                        if c.loss <= self.config.compression.max_cross_entropy {
+                            state.last_estimate = c.estimate();
+                            state.belief = Belief::Compressed(c);
+                            self.stats.compressions += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Convenience driver: runs the engine over a full batch sequence and
+/// returns every emitted event (including the final flush).
+pub fn run_engine<P: LocationPrior, S: ReadRateModel>(
+    engine: &mut InferenceEngine<P, S>,
+    batches: &[EpochBatch],
+) -> Vec<LocationEvent> {
+    let mut events = Vec::new();
+    for b in batches {
+        events.extend(engine.process_batch(b));
+    }
+    let last = batches.last().map(|b| b.epoch).unwrap_or(Epoch(0));
+    events.extend(engine.finalize(last));
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_geom::Aabb;
+    use rfid_model::object::BoxPrior;
+    use rfid_model::{ModelParams, JointModel};
+    use rfid_stream::EpochBatch;
+
+    fn prior() -> BoxPrior {
+        BoxPrior::new(Aabb::new(
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(4.0, 40.0, 0.0),
+        ))
+    }
+
+    fn engine(config: FilterConfig) -> InferenceEngine<BoxPrior> {
+        let model = JointModel::new(ModelParams::default_warehouse());
+        let shelf = vec![
+            (TagId(1_000_000), Point3::new(2.0, 2.0, 0.0)),
+            (TagId(1_000_001), Point3::new(2.0, 6.0, 0.0)),
+        ];
+        InferenceEngine::new(model, prior(), shelf, config).unwrap()
+    }
+
+    fn batch(epoch: u64, reader_y: f64, tags: &[u64]) -> EpochBatch {
+        EpochBatch {
+            epoch: Epoch(epoch),
+            readings: tags.iter().map(|t| TagId(*t)).collect(),
+            reader_report: Some(Pose::new(Point3::new(0.0, reader_y, 0.0), 0.0)),
+        }
+    }
+
+    #[test]
+    fn engine_rejects_bad_config() {
+        let model = JointModel::new(ModelParams::default_warehouse());
+        let mut cfg = FilterConfig::factored_default();
+        cfg.particles_per_object = 0;
+        assert!(InferenceEngine::new(model, prior(), vec![], cfg).is_err());
+    }
+
+    #[test]
+    fn object_estimate_converges_near_truth() {
+        // object at (2.0, 3.0); reader scans along y reading it when close
+        let mut cfg = FilterConfig::factored_default();
+        cfg.particles_per_object = 500;
+        cfg.reader_particles = 50;
+        cfg.report_delay_epochs = 10;
+        let mut e = engine(cfg);
+        // reads generated from the same sensor model the engine uses
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let model = JointModel::new(ModelParams::default_warehouse());
+        let truth = Point3::new(2.0, 3.0, 0.0);
+        let shelf_loc = Point3::new(2.0, 2.0, 0.0);
+        let mut events = Vec::new();
+        for t in 0..60u64 {
+            let y = t as f64 * 0.1;
+            let pose = Pose::new(Point3::new(0.0, y, 0.0), 0.0);
+            let mut tags = Vec::new();
+            if rng.gen::<f64>() < model.sensor.p_read(&pose, &truth) {
+                tags.push(7u64);
+            }
+            if rng.gen::<f64>() < model.sensor.p_read(&pose, &shelf_loc) {
+                tags.push(1_000_000);
+            }
+            events.extend(e.process_batch(&batch(t, y, &tags)));
+        }
+        events.extend(e.finalize(Epoch(60)));
+        let ev: Vec<_> = events.iter().filter(|ev| ev.tag == TagId(7)).collect();
+        assert!(!ev.is_empty(), "no event for the object");
+        let err = ev[0].location.dist_xy(&truth);
+        assert!(err < 1.0, "estimate too far: {err} ft, at {:?}", ev[0].location);
+        // statistics attached
+        assert!(ev[0].stats.is_some());
+    }
+
+    #[test]
+    fn unread_objects_produce_no_events() {
+        let mut cfg = FilterConfig::factored_default();
+        cfg.particles_per_object = 100;
+        cfg.reader_particles = 20;
+        let mut e = engine(cfg);
+        for t in 0..20u64 {
+            let evs = e.process_batch(&batch(t, t as f64 * 0.1, &[]));
+            assert!(evs.is_empty());
+        }
+        assert!(e.finalize(Epoch(20)).is_empty());
+        assert_eq!(e.stats().events_emitted, 0);
+    }
+
+    #[test]
+    fn spatial_index_reduces_object_updates() {
+        use rand::{Rng, SeedableRng};
+        let model = JointModel::new(ModelParams::default_warehouse());
+        let run = |cfg: FilterConfig| -> (u64, Point3) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+            let mut e = engine(cfg);
+            // two objects far apart; each read only near its location
+            let o7 = Point3::new(2.0, 3.0, 0.0);
+            let o8 = Point3::new(2.0, 15.0, 0.0);
+            for t in 0..200u64 {
+                let y = t as f64 * 0.1;
+                let pose = Pose::new(Point3::new(0.0, y, 0.0), 0.0);
+                let mut tags = Vec::new();
+                if rng.gen::<f64>() < model.sensor.p_read(&pose, &o7) {
+                    tags.push(7u64);
+                }
+                if rng.gen::<f64>() < model.sensor.p_read(&pose, &o8) {
+                    tags.push(8u64);
+                }
+                e.process_batch(&batch(t, y, &tags));
+            }
+            (
+                e.stats().object_updates,
+                e.object_estimate(TagId(7)).unwrap().0,
+            )
+        };
+        let mut plain = FilterConfig::factored_default();
+        plain.particles_per_object = 200;
+        plain.reader_particles = 30;
+        let mut indexed = plain;
+        indexed.use_spatial_index = true;
+        let (updates_plain, est_plain) = run(plain);
+        let (updates_indexed, est_indexed) = run(indexed);
+        assert!(
+            updates_indexed < updates_plain,
+            "index should reduce updates: {updates_indexed} vs {updates_plain}"
+        );
+        // and estimates stay in the same neighborhood
+        assert!(est_plain.dist_xy(&est_indexed) < 2.0);
+    }
+
+    #[test]
+    fn compression_kicks_in_after_idle() {
+        let mut cfg = FilterConfig::full_default();
+        cfg.particles_per_object = 200;
+        cfg.reader_particles = 30;
+        cfg.compression.idle_epochs = 5;
+        let mut e = engine(cfg);
+        for t in 0..40u64 {
+            let y = t as f64 * 0.1;
+            let mut tags = Vec::new();
+            if (y - 1.0).abs() < 1.0 {
+                tags.push(7u64);
+            }
+            e.process_batch(&batch(t, y, &tags));
+        }
+        assert!(e.stats().compressions >= 1, "stats: {:?}", e.stats());
+        assert_eq!(e.num_compressed(), 1);
+        // estimate still available after compression
+        assert!(e.object_estimate(TagId(7)).is_some());
+    }
+
+    #[test]
+    fn decompression_on_reencounter() {
+        let mut cfg = FilterConfig::full_default();
+        cfg.particles_per_object = 200;
+        cfg.reader_particles = 30;
+        cfg.compression.idle_epochs = 5;
+        cfg.report_delay_epochs = 5;
+        let mut e = engine(cfg);
+        // pass 1: read object at y ~ 1
+        for t in 0..30u64 {
+            let y = t as f64 * 0.1;
+            let tags: Vec<u64> = if (y - 1.0).abs() < 1.0 { vec![7] } else { vec![] };
+            e.process_batch(&batch(t, y, &tags));
+        }
+        assert!(e.num_compressed() >= 1);
+        // pass 2 much later: the reader returns and reads it again
+        for t in 100..115u64 {
+            let y = 2.0 - (t - 100) as f64 * 0.1;
+            let tags: Vec<u64> = if (y - 1.0).abs() < 1.0 { vec![7] } else { vec![] };
+            e.process_batch(&batch(t, y, &tags));
+        }
+        assert!(e.stats().decompressions >= 1, "stats: {:?}", e.stats());
+    }
+
+    #[test]
+    fn trust_reports_mode_runs_without_reader_filter() {
+        let mut cfg = FilterConfig::factored_default();
+        cfg.reader_mode = ReaderMode::TrustReports;
+        cfg.particles_per_object = 200;
+        let mut e = engine(cfg);
+        for t in 0..30u64 {
+            let y = t as f64 * 0.1;
+            let tags: Vec<u64> = if (y - 1.0).abs() < 1.0 { vec![7] } else { vec![] };
+            e.process_batch(&batch(t, y, &tags));
+        }
+        assert_eq!(e.stats().reader_resamples, 0);
+        assert!(e.object_estimate(TagId(7)).is_some());
+    }
+
+    #[test]
+    fn moved_object_triggers_respawn_or_reinit() {
+        let mut cfg = FilterConfig::factored_default();
+        cfg.particles_per_object = 300;
+        cfg.reader_particles = 30;
+        let mut e = engine(cfg);
+        // object seen at y ~ 1 first
+        for t in 0..25u64 {
+            let y = t as f64 * 0.1;
+            let tags: Vec<u64> = if (y - 1.0).abs() < 1.0 { vec![7] } else { vec![] };
+            e.process_batch(&batch(t, y, &tags));
+        }
+        let before = e.object_estimate(TagId(7)).unwrap().0;
+        assert!(before.y < 4.0);
+        // then suddenly read when the reader is at y ~ 20 (object moved)
+        for t in 25..40u64 {
+            let y = 19.0 + (t - 25) as f64 * 0.1;
+            e.process_batch(&batch(t, y, &[7]));
+        }
+        let s = e.stats();
+        assert!(
+            s.full_reinits + s.half_respawns >= 1,
+            "re-detection should trigger respawn: {s:?}"
+        );
+        let after = e.object_estimate(TagId(7)).unwrap().0;
+        assert!(after.y > 15.0, "estimate should follow the move: {after:?}");
+    }
+
+    #[test]
+    fn memory_shrinks_with_compression() {
+        let mut active_cfg = FilterConfig::factored_default();
+        active_cfg.particles_per_object = 500;
+        active_cfg.reader_particles = 30;
+        let mut comp_cfg = active_cfg;
+        comp_cfg.compression = crate::config::CompressionPolicy {
+            enabled: true,
+            idle_epochs: 3,
+            max_cross_entropy: f64::INFINITY,
+            decompressed_particles: 10,
+        };
+        let drive = |e: &mut InferenceEngine<BoxPrior>| {
+            for t in 0..30u64 {
+                let y = t as f64 * 0.1;
+                let tags: Vec<u64> = if (y - 1.0).abs() < 1.0 { vec![7] } else { vec![] };
+                e.process_batch(&batch(t, y, &tags));
+            }
+        };
+        let mut ea = engine(active_cfg);
+        drive(&mut ea);
+        let mut ec = engine(comp_cfg);
+        drive(&mut ec);
+        assert!(
+            ec.memory_bytes() < ea.memory_bytes() / 4,
+            "compressed {} vs active {}",
+            ec.memory_bytes(),
+            ea.memory_bytes()
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Error types for the inference crate.
+
+use std::fmt;
+
+/// An invalid filter configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: &'static str,
+}
+
+impl ConfigError {
+    pub(crate) fn new(message: &'static str) -> Self {
+        Self { message }
+    }
+
+    /// Human-readable description of the problem.
+    pub fn message(&self) -> &str {
+        self.message
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid filter configuration: {}", self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = ConfigError::new("boom");
+        assert!(e.to_string().contains("boom"));
+        assert_eq!(e.message(), "boom");
+    }
+}

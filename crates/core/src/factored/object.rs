@@ -1,0 +1,556 @@
+//! The per-object side of the factored filter.
+//!
+//! Each object owns a small particle set; every particle carries a
+//! pointer to a reader particle (Fig. 3(b)/(c)). The object's factored
+//! weight `w_ti` is kept per particle; estimates and resampling use the
+//! *joint* weight — object weight times the pointed-to reader weight —
+//! which is exactly what expanding the factorization (Eq. 5) would give.
+//!
+//! Pointers are only meaningful while the reader particle list is
+//! unchanged; the engine refreshes them (by sampling reader indices
+//! proportionally to the current reader weights) the first time an
+//! object is processed in an epoch. This keeps inactive objects free of
+//! bookkeeping — the point of spatial indexing is that they are not
+//! touched at all.
+
+use crate::factored::reader::ReaderFilter;
+use crate::particle::{
+    effective_sample_size, log_normalize, systematic_resample, ObjectParticle,
+};
+use rand::Rng;
+use rfid_geom::{Point3, Pose};
+use rfid_model::object::LocationPrior;
+use rfid_model::sensor::ReadRateModel;
+use rfid_model::JointModel;
+
+/// A per-object particle filter.
+#[derive(Debug, Clone)]
+pub struct ObjectFilter {
+    particles: Vec<ObjectParticle>,
+    /// Epoch stamp of the last pointer refresh (engine-managed).
+    pointer_stamp: u64,
+    resample_count: u64,
+}
+
+/// Samples a point uniformly over a cone originating at `pose`
+/// (§IV-A's sensor-model-based initialization): distance up to `range`,
+/// bearing within `± half_angle` of the heading. Area-uniform in the
+/// XY plane; `z` is kept at the reader's height (tags share a height in
+/// the paper's scenarios).
+pub fn sample_cone<R: Rng + ?Sized>(pose: &Pose, range: f64, half_angle: f64, rng: &mut R) -> Point3 {
+    let d = range * rng.gen::<f64>().sqrt();
+    let ang = pose.phi + half_angle * (2.0 * rng.gen::<f64>() - 1.0);
+    Point3::new(
+        pose.pos.x + d * ang.cos(),
+        pose.pos.y + d * ang.sin(),
+        pose.pos.z,
+    )
+}
+
+/// Draws a cone sample restricted to the legal object space when a
+/// prior is supplied (§V: "shelf information helps restrict the area
+/// for location sampling"): rejection-samples the cone against the
+/// prior, falling back to the raw cone point when the intersection is
+/// too small to hit.
+pub fn sample_cone_in_prior<P: LocationPrior + ?Sized, R: Rng + ?Sized>(
+    pose: &Pose,
+    range: f64,
+    half_angle: f64,
+    prior: Option<&P>,
+    rng: &mut R,
+) -> Point3 {
+    match prior {
+        None => sample_cone(pose, range, half_angle, rng),
+        Some(p) => {
+            for _ in 0..30 {
+                let cand = sample_cone(pose, range, half_angle, rng);
+                if p.contains(&cand) {
+                    return cand;
+                }
+            }
+            sample_cone(pose, range, half_angle, rng)
+        }
+    }
+}
+
+impl ObjectFilter {
+    /// Sensor-model-based initialization: `n` particles sampled from
+    /// cones at reader particles (reader particle drawn per-object
+    /// particle, proportionally to reader weights), restricted to the
+    /// legal object space when `prior` is supplied.
+    pub fn init_from_cone<P: LocationPrior + ?Sized, R: Rng + ?Sized>(
+        reader: &ReaderFilter,
+        range: f64,
+        half_angle: f64,
+        n: usize,
+        stamp: u64,
+        prior: Option<&P>,
+        rng: &mut R,
+    ) -> Self {
+        assert!(n >= 1);
+        let uniform = -(n as f64).ln();
+        let particles = (0..n)
+            .map(|_| {
+                let j = reader.sample_index(rng);
+                ObjectParticle {
+                    loc: sample_cone_in_prior(
+                        reader.pose_of(j),
+                        range,
+                        half_angle,
+                        prior,
+                        rng,
+                    ),
+                    reader_idx: j,
+                    log_w: uniform,
+                }
+            })
+            .collect();
+        Self {
+            particles,
+            pointer_stamp: stamp,
+            resample_count: 0,
+        }
+    }
+
+    /// Rebuilds a filter from an explicit particle cloud (used by
+    /// belief decompression).
+    pub fn from_particles(particles: Vec<ObjectParticle>, stamp: u64) -> Self {
+        assert!(!particles.is_empty());
+        Self {
+            particles,
+            pointer_stamp: stamp,
+            resample_count: 0,
+        }
+    }
+
+    /// The particles.
+    pub fn particles(&self) -> &[ObjectParticle] {
+        &self.particles
+    }
+
+    /// Number of particles.
+    pub fn len(&self) -> usize {
+        self.particles.len()
+    }
+
+    /// Never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of resampling events (diagnostics).
+    pub fn resample_count(&self) -> u64 {
+        self.resample_count
+    }
+
+    /// Refreshes reader pointers if they are older than `stamp`:
+    /// each particle re-draws a reader index proportionally to the
+    /// current reader weights.
+    pub fn refresh_pointers<R: Rng + ?Sized>(
+        &mut self,
+        reader: &ReaderFilter,
+        stamp: u64,
+        rng: &mut R,
+    ) {
+        if self.pointer_stamp == stamp {
+            return;
+        }
+        for p in &mut self.particles {
+            p.reader_idx = reader.sample_index(rng);
+        }
+        self.pointer_stamp = stamp;
+    }
+
+    /// Applies a reader remap after reader resampling within the same
+    /// epoch (pointers stay aligned without a full refresh).
+    pub fn apply_reader_remap<R: Rng + ?Sized>(
+        &mut self,
+        remap: &crate::factored::reader::ReaderRemap,
+        rng: &mut R,
+    ) {
+        for p in &mut self.particles {
+            p.reader_idx = match remap.map(p.reader_idx) {
+                Some(new) => new,
+                // ancestor died out: re-point uniformly (post-resample
+                // reader weights are uniform anyway)
+                None => rng.gen_range(0..remap.num_new()),
+            };
+        }
+    }
+
+    /// Proposal step: each particle moves per the object location model
+    /// (stays with probability `1 - α`, otherwise relocates uniformly
+    /// under the prior).
+    ///
+    /// Relocation is only proposed on epochs where the object's tag was
+    /// *read*: the paper's model carries no information about where a
+    /// moved object went ("the new object location will be eventually
+    /// inferred from the readings from that location"), so relocated
+    /// particles are useful exactly when a reading is available to
+    /// weight them — a relocation hypothesis far from the reader is
+    /// killed by the read likelihood immediately. Proposing relocations
+    /// on miss epochs would inject particles that a (near-)zero far
+    /// -field read rate can never cull, and in a large warehouse a
+    /// single such stray drags the posterior mean by feet.
+    pub fn predict<S: ReadRateModel, P: LocationPrior + ?Sized, R: Rng + ?Sized>(
+        &mut self,
+        model: &JointModel<S>,
+        prior: &P,
+        read: bool,
+        rng: &mut R,
+    ) {
+        let alpha = model.object.alpha();
+        if alpha <= 0.0 || !read {
+            return;
+        }
+        for p in &mut self.particles {
+            p.loc = model.object.sample_next(&p.loc, prior, rng);
+        }
+    }
+
+    /// Weighting step (the `w_ti` factor of Eq. 5): multiplies each
+    /// particle's weight by the sensor likelihood of the observed
+    /// outcome under its own reader hypothesis, renormalizes, and
+    /// deposits per-reader support (the summed joint weight mass of the
+    /// object particles pointing at each reader particle).
+    pub fn weight<S: ReadRateModel>(
+        &mut self,
+        model: &JointModel<S>,
+        reader: &mut ReaderFilter,
+        read: bool,
+    ) {
+        for p in &mut self.particles {
+            let pose = reader.pose_of(p.reader_idx);
+            p.log_w += model.object_log_weight(pose, &p.loc, read);
+        }
+        self.normalize();
+        // deposit support for instrumented reader resampling
+        let joint = self.normalized_joint_weights(reader);
+        for (p, w) in self.particles.iter().zip(joint) {
+            reader.add_support(p.reader_idx, w);
+        }
+    }
+
+    /// Normalized joint weights (object factor × reader factor), in
+    /// probability space.
+    pub fn normalized_joint_weights(&self, reader: &ReaderFilter) -> Vec<f64> {
+        let mut w: Vec<f64> = self
+            .particles
+            .iter()
+            .map(|p| p.log_w + reader.log_weight_of(p.reader_idx))
+            .collect();
+        log_normalize(&mut w);
+        w.into_iter().map(f64::exp).collect()
+    }
+
+    /// Posterior mean and per-axis variance under the joint weights.
+    pub fn estimate(&self, reader: &ReaderFilter) -> (Point3, [f64; 3]) {
+        let w = self.normalized_joint_weights(reader);
+        let mut mean = Point3::origin();
+        for (p, wi) in self.particles.iter().zip(&w) {
+            mean.x += wi * p.loc.x;
+            mean.y += wi * p.loc.y;
+            mean.z += wi * p.loc.z;
+        }
+        let mut var = [0.0f64; 3];
+        for (p, wi) in self.particles.iter().zip(&w) {
+            var[0] += wi * (p.loc.x - mean.x) * (p.loc.x - mean.x);
+            var[1] += wi * (p.loc.y - mean.y) * (p.loc.y - mean.y);
+            var[2] += wi * (p.loc.z - mean.z) * (p.loc.z - mean.z);
+        }
+        (mean, var)
+    }
+
+    /// The particle cloud as `(weight, location)` pairs under joint
+    /// weights — the input to belief compression.
+    pub fn weighted_cloud(&self, reader: &ReaderFilter) -> Vec<(f64, Point3)> {
+        self.normalized_joint_weights(reader)
+            .into_iter()
+            .zip(self.particles.iter())
+            .map(|(w, p)| (w, p.loc))
+            .collect()
+    }
+
+    /// Resamples by joint weight when the joint ESS drops below
+    /// `ess_frac * n`. Reader pointers are carried along with the
+    /// surviving particles, which concentrates object mass on good
+    /// reader hypotheses — the factored analogue of joint resampling.
+    pub fn maybe_resample<R: Rng + ?Sized>(
+        &mut self,
+        reader: &ReaderFilter,
+        ess_frac: f64,
+        rng: &mut R,
+    ) -> bool {
+        let n = self.particles.len();
+        let mut joint: Vec<f64> = self
+            .particles
+            .iter()
+            .map(|p| p.log_w + reader.log_weight_of(p.reader_idx))
+            .collect();
+        log_normalize(&mut joint);
+        if effective_sample_size(&joint) >= ess_frac * n as f64 {
+            return false;
+        }
+        let ancestry = systematic_resample(&joint, n, rng);
+        let uniform = -(n as f64).ln();
+        self.particles = ancestry
+            .into_iter()
+            .map(|i| ObjectParticle {
+                log_w: uniform,
+                ..self.particles[i as usize]
+            })
+            .collect();
+        self.resample_count += 1;
+        true
+    }
+
+    /// §IV-A re-detection handling: keeps the better half of the
+    /// particles and re-initializes the other half in a cone at the
+    /// current reader, then resets weights to uniform so "over time
+    /// weighting and resampling will favor the particles close to the
+    /// object's true location".
+    pub fn respawn_half<P: LocationPrior + ?Sized, R: Rng + ?Sized>(
+        &mut self,
+        reader: &ReaderFilter,
+        range: f64,
+        half_angle: f64,
+        prior: Option<&P>,
+        rng: &mut R,
+    ) {
+        let n = self.particles.len();
+        let joint = self.normalized_joint_weights(reader);
+        // order particle indices by joint weight, worst first
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| joint[a].partial_cmp(&joint[b]).unwrap_or(std::cmp::Ordering::Equal));
+        let uniform = -(n as f64).ln();
+        for &i in order.iter().take(n / 2) {
+            let j = reader.sample_index(rng);
+            self.particles[i] = ObjectParticle {
+                loc: sample_cone_in_prior(reader.pose_of(j), range, half_angle, prior, rng),
+                reader_idx: j,
+                log_w: uniform,
+            };
+        }
+        for &i in order.iter().skip(n / 2) {
+            self.particles[i].log_w = uniform;
+        }
+    }
+
+    fn normalize(&mut self) {
+        let mut w: Vec<f64> = self.particles.iter().map(|p| p.log_w).collect();
+        log_normalize(&mut w);
+        for (p, nw) in self.particles.iter_mut().zip(w) {
+            p.log_w = nw;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// No prior restriction (tests exercise the raw cone).
+    const NO_PRIOR: Option<&BoxPrior> = None;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rfid_geom::{Aabb, Vec3};
+    use rfid_model::object::BoxPrior;
+    use rfid_model::{ModelParams, JointModel};
+
+    fn model() -> JointModel {
+        JointModel::new(ModelParams::default_warehouse())
+    }
+
+    fn reader_at(pose: Pose, n: usize) -> ReaderFilter {
+        ReaderFilter::new(n, pose)
+    }
+
+    fn prior() -> BoxPrior {
+        BoxPrior::new(Aabb::new(
+            Point3::new(-10.0, -10.0, 0.0),
+            Point3::new(10.0, 10.0, 0.0),
+        ))
+    }
+
+    #[test]
+    fn cone_samples_inside_cone() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pose = Pose::new(Point3::new(1.0, 2.0, 0.0), 0.3);
+        for _ in 0..500 {
+            let p = sample_cone(&pose, 4.0, 0.5, &mut rng);
+            let (d, th) = pose.range_bearing(&p);
+            assert!(d <= 4.0 + 1e-9);
+            assert!(th <= 0.5 + 1e-9, "theta {th}");
+        }
+    }
+
+    #[test]
+    fn init_spreads_particles_in_front_of_reader() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let reader = reader_at(Pose::identity(), 20);
+        let f = ObjectFilter::init_from_cone(&reader, 4.0, 0.6, 1000, 0, NO_PRIOR, &mut rng);
+        assert_eq!(f.len(), 1000);
+        // all particles forward of the reader
+        for p in f.particles() {
+            assert!(p.loc.x >= -1e-9, "behind the reader: {:?}", p.loc);
+        }
+    }
+
+    #[test]
+    fn repeated_reads_from_two_poses_triangulate() {
+        // Fig. 2(b): an object read from two reader positions gets its
+        // particles concentrated in the intersection of the two cones.
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = model();
+        let truth = Point3::new(2.0, 1.0, 0.0);
+        let pose1 = Pose::new(Point3::new(0.0, 0.0, 0.0), 0.0);
+        let pose2 = Pose::new(Point3::new(0.0, 2.0, 0.0), 0.0);
+
+        let mut reader = reader_at(pose1, 50);
+        let mut f = ObjectFilter::init_from_cone(&reader, 6.0, 1.0, 2000, 0, NO_PRIOR, &mut rng);
+        f.weight(&m, &mut reader, true);
+        let (e1, _) = f.estimate(&reader);
+        let err1 = e1.dist_xy(&truth);
+
+        // second reading from pose2
+        let mut reader2 = reader_at(pose2, 50);
+        f.refresh_pointers(&reader2, 1, &mut rng);
+        f.weight(&m, &mut reader2, true);
+        f.maybe_resample(&reader2, 0.9, &mut rng);
+        let (e2, _) = f.estimate(&reader2);
+        let err2 = e2.dist_xy(&truth);
+        assert!(
+            err2 < err1 + 0.15,
+            "second reading should help or hold: {err1} -> {err2}"
+        );
+        // and the cloud tightened along y (the second pose disambiguates y)
+        assert!(e2.dist_xy(&truth) < 1.5, "err after two reads {err2}");
+    }
+
+    #[test]
+    fn misses_push_particles_away_from_reader() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = model();
+        let mut reader = reader_at(Pose::identity(), 20);
+        let mut f = ObjectFilter::init_from_cone(&reader, 6.0, 1.0, 2000, 0, NO_PRIOR, &mut rng);
+        let (before, _) = f.estimate(&reader);
+        for _ in 0..5 {
+            f.weight(&m, &mut reader, false);
+        }
+        let (after, _) = f.estimate(&reader);
+        assert!(
+            after.dist(&Point3::origin()) > before.dist(&Point3::origin()),
+            "misses should push the estimate outward: {before:?} -> {after:?}"
+        );
+    }
+
+    #[test]
+    fn resample_concentrates_on_heavy_particles() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let reader = reader_at(Pose::identity(), 10);
+        let particles: Vec<ObjectParticle> = (0..100)
+            .map(|i| ObjectParticle {
+                loc: Point3::new(i as f64, 0.0, 0.0),
+                reader_idx: 0,
+                log_w: if i == 42 { 0.0 } else { -60.0 },
+            })
+            .collect();
+        let mut f = ObjectFilter::from_particles(particles, 0);
+        assert!(f.maybe_resample(&reader, 0.5, &mut rng));
+        assert_eq!(f.resample_count(), 1);
+        let at_42 = f
+            .particles()
+            .iter()
+            .filter(|p| (p.loc.x - 42.0).abs() < 1e-9)
+            .count();
+        assert!(at_42 > 95, "resample should clone the heavy particle, got {at_42}");
+    }
+
+    #[test]
+    fn respawn_half_moves_low_weight_half() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let reader = reader_at(Pose::new(Point3::new(100.0, 100.0, 0.0), 0.0), 10);
+        let particles: Vec<ObjectParticle> = (0..100)
+            .map(|i| ObjectParticle {
+                loc: Point3::new(0.0, i as f64 * 0.01, 0.0),
+                reader_idx: 0,
+                log_w: if i < 50 { -0.1 } else { -30.0 },
+            })
+            .collect();
+        let mut f = ObjectFilter::from_particles(particles, 0);
+        f.respawn_half(&reader, 4.0, 0.6, NO_PRIOR, &mut rng);
+        // half the particles moved near the (distant) reader
+        let near_reader = f
+            .particles()
+            .iter()
+            .filter(|p| p.loc.dist(&Point3::new(100.0, 100.0, 0.0)) < 6.0)
+            .count();
+        assert_eq!(near_reader, 50);
+        // the surviving half is the previously-heavy half
+        let near_origin = f
+            .particles()
+            .iter()
+            .filter(|p| p.loc.x.abs() < 1.0 && p.loc.y < 0.6)
+            .count();
+        assert_eq!(near_origin, 50);
+    }
+
+    #[test]
+    fn pointer_refresh_is_idempotent_per_stamp() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let reader = reader_at(Pose::identity(), 10);
+        let mut f = ObjectFilter::init_from_cone(&reader, 4.0, 0.5, 100, 0, NO_PRIOR, &mut rng);
+        f.refresh_pointers(&reader, 5, &mut rng);
+        let ptrs: Vec<u32> = f.particles().iter().map(|p| p.reader_idx).collect();
+        f.refresh_pointers(&reader, 5, &mut rng); // same stamp: no-op
+        let ptrs2: Vec<u32> = f.particles().iter().map(|p| p.reader_idx).collect();
+        assert_eq!(ptrs, ptrs2);
+    }
+
+    #[test]
+    fn predict_with_zero_alpha_is_noop() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut params = ModelParams::default_warehouse();
+        params.object.alpha = 0.0;
+        let m = JointModel::new(params);
+        let reader = reader_at(Pose::identity(), 5);
+        let mut f = ObjectFilter::init_from_cone(&reader, 4.0, 0.5, 50, 0, NO_PRIOR, &mut rng);
+        let before: Vec<Point3> = f.particles().iter().map(|p| p.loc).collect();
+        f.predict(&m, &prior(), true, &mut rng);
+        let after: Vec<Point3> = f.particles().iter().map(|p| p.loc).collect();
+        assert_eq!(before.len(), after.len());
+        for (b, a) in before.iter().zip(&after) {
+            assert_eq!(b, a);
+        }
+    }
+
+    #[test]
+    fn weight_deposits_support_on_reader() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let m = model();
+        let mut reader = reader_at(Pose::identity(), 10);
+        let mut f = ObjectFilter::init_from_cone(&reader, 4.0, 0.5, 100, 0, NO_PRIOR, &mut rng);
+        f.weight(&m, &mut reader, true);
+        let total: f64 = reader.support.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "support mass {total}");
+    }
+
+    #[test]
+    fn remap_reassigns_dead_pointers() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let m = model();
+        let mut reader = reader_at(Pose::identity(), 20);
+        let mut f = ObjectFilter::init_from_cone(&reader, 4.0, 0.5, 200, 0, NO_PRIOR, &mut rng);
+        // degenerate reader weights to force a resample
+        reader.predict(&m, Some(Vec3::zero()), None, &mut rng);
+        for p in reader.particles.iter_mut() {
+            p.log_w = -60.0;
+        }
+        reader.particles[3].log_w = 0.0;
+        let remap = reader.maybe_resample(0.5, &mut rng).expect("resample");
+        f.apply_reader_remap(&remap, &mut rng);
+        for p in f.particles() {
+            assert!(p.reader_idx < remap.num_new());
+        }
+    }
+}

@@ -1,0 +1,413 @@
+//! The reader side of the factored filter.
+//!
+//! Reader particles are proposed from the motion model — conditioned on
+//! the odometry increment between consecutive location reports when one
+//! is available (the constant-velocity `Δ` is the fallback, matching
+//! §III-A's "new location is the old location plus a noisy version of
+//! the average velocity") — and weighted by the location report and the
+//! shelf-tag readings (the `w_rt` factor of Eq. 5).
+//!
+//! Resampling is *instrumented to favor reader particles that are
+//! associated with good object particles* (§IV-B): object filters
+//! deposit per-reader support while weighting, and the resampling
+//! distribution multiplies the reader weight by that support.
+
+use crate::particle::{
+    effective_sample_size, log_normalize, systematic_resample, weighted_mean_pose, ReaderParticle,
+};
+use rand::Rng;
+use rfid_geom::{Point3, Pose, Vec3};
+use rfid_model::sensor::ReadRateModel;
+use rfid_model::JointModel;
+
+/// The result of a reader resampling step: for each *old* particle
+/// index, the index of its first surviving copy (if any). Object
+/// filters use this to keep their pointers meaningful within an epoch.
+#[derive(Debug, Clone)]
+pub struct ReaderRemap {
+    first_descendant: Vec<Option<u32>>,
+    num_new: u32,
+}
+
+impl ReaderRemap {
+    /// Maps an old particle index to a surviving slot, or `None` when
+    /// the particle left no descendants.
+    pub fn map(&self, old: u32) -> Option<u32> {
+        self.first_descendant.get(old as usize).copied().flatten()
+    }
+
+    /// Number of particles after resampling.
+    pub fn num_new(&self) -> u32 {
+        self.num_new
+    }
+}
+
+/// The reader particle filter.
+#[derive(Debug, Clone)]
+pub struct ReaderFilter {
+    pub(crate) particles: Vec<ReaderParticle>,
+    /// Per-particle support accumulated from object filters since the
+    /// last resample (in probability space, not log).
+    pub(crate) support: Vec<f64>,
+    /// Number of resampling events (diagnostics).
+    resample_count: u64,
+}
+
+impl ReaderFilter {
+    /// Initializes all particles at `start` (the paper assumes "the
+    /// initial reader location R_1 is known" — in practice, the first
+    /// location report).
+    pub fn new(n: usize, start: Pose) -> Self {
+        assert!(n >= 1);
+        let w = -(n as f64).ln();
+        Self {
+            particles: vec![
+                ReaderParticle {
+                    pose: start,
+                    log_w: w,
+                };
+                n
+            ],
+            support: vec![0.0; n],
+            resample_count: 0,
+        }
+    }
+
+    /// The particles (log weights normalized).
+    pub fn particles(&self) -> &[ReaderParticle] {
+        &self.particles
+    }
+
+    /// Number of particles.
+    pub fn len(&self) -> usize {
+        self.particles.len()
+    }
+
+    /// Always at least one particle.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of resampling events so far.
+    pub fn resample_count(&self) -> u64 {
+        self.resample_count
+    }
+
+    /// Proposal step: moves every particle by the odometry increment
+    /// (or the model's average velocity when no odometry is available)
+    /// plus motion noise, and applies the heading change.
+    pub fn predict<S: ReadRateModel, R: Rng + ?Sized>(
+        &mut self,
+        model: &JointModel<S>,
+        odom_delta: Option<Vec3>,
+        heading: Option<f64>,
+        rng: &mut R,
+    ) {
+        let params = model.motion.params();
+        let delta = odom_delta.unwrap_or(params.delta);
+        for p in &mut self.particles {
+            let noise = Vec3::new(
+                params.sigma.x * rfid_geom::standard_normal(rng),
+                params.sigma.y * rfid_geom::standard_normal(rng),
+                params.sigma.z * rfid_geom::standard_normal(rng),
+            );
+            let phi = match heading {
+                // Reported heading is adopted directly: robot odometry
+                // tracks orientation well, and the sensor model's angle
+                // term needs a usable heading (see DESIGN.md §5).
+                Some(h) => {
+                    if params.heading_std > 0.0 {
+                        h + params.heading_std * rfid_geom::standard_normal(rng)
+                    } else {
+                        h
+                    }
+                }
+                None => p.pose.phi,
+            };
+            p.pose = Pose::new(p.pose.pos + delta + noise, phi);
+        }
+    }
+
+    /// Weighting step: multiplies in the location-report likelihood and
+    /// the shelf-tag reading likelihoods, then renormalizes.
+    pub fn weight<'a, S: ReadRateModel, I>(
+        &mut self,
+        model: &JointModel<S>,
+        report: Option<&Pose>,
+        shelf_obs: I,
+    ) where
+        I: IntoIterator<Item = (&'a Point3, bool)> + Clone,
+    {
+        for p in &mut self.particles {
+            p.log_w += model.reader_log_weight(&p.pose, report, shelf_obs.clone());
+        }
+        self.normalize();
+    }
+
+    /// Records object-filter support for a reader particle: `w` is the
+    /// summed normalized joint weight of the object particles pointing
+    /// at `idx`. Consumed by the next resampling step.
+    pub fn add_support(&mut self, idx: u32, w: f64) {
+        self.support[idx as usize] += w;
+    }
+
+    /// Effective sample size of the current weights.
+    pub fn ess(&self) -> f64 {
+        let w: Vec<f64> = self.particles.iter().map(|p| p.log_w).collect();
+        effective_sample_size(&w)
+    }
+
+    /// Resamples when the ESS has dropped below `ess_frac * n`,
+    /// blending the reader weights with accumulated object support.
+    /// Returns the remap when resampling occurred.
+    pub fn maybe_resample<R: Rng + ?Sized>(
+        &mut self,
+        ess_frac: f64,
+        rng: &mut R,
+    ) -> Option<ReaderRemap> {
+        let n = self.particles.len();
+        if self.ess() >= ess_frac * n as f64 {
+            // decay support between resamples so stale evidence fades
+            for s in &mut self.support {
+                *s *= 0.5;
+            }
+            return None;
+        }
+        // resampling distribution: w_r * (epsilon + support)
+        let total_support: f64 = self.support.iter().sum();
+        let mut dist: Vec<f64> = if total_support > 0.0 {
+            self.particles
+                .iter()
+                .zip(&self.support)
+                .map(|(p, s)| p.log_w + (1e-3 + s).ln())
+                .collect()
+        } else {
+            self.particles.iter().map(|p| p.log_w).collect()
+        };
+        log_normalize(&mut dist);
+        let ancestry = systematic_resample(&dist, n, rng);
+
+        let mut first_descendant = vec![None; n];
+        let mut new_particles = Vec::with_capacity(n);
+        let uniform = -(n as f64).ln();
+        for (slot, &old) in ancestry.iter().enumerate() {
+            if first_descendant[old as usize].is_none() {
+                first_descendant[old as usize] = Some(slot as u32);
+            }
+            new_particles.push(ReaderParticle {
+                pose: self.particles[old as usize].pose,
+                log_w: uniform,
+            });
+        }
+        self.particles = new_particles;
+        self.support = vec![0.0; n];
+        self.resample_count += 1;
+        Some(ReaderRemap {
+            first_descendant,
+            num_new: n as u32,
+        })
+    }
+
+    /// Posterior-mean pose estimate.
+    pub fn estimate(&self) -> Pose {
+        weighted_mean_pose(&self.particles).expect("reader filter is never empty")
+    }
+
+    /// Draws a particle index according to the current weights.
+    pub fn sample_index<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let u: f64 = rng.gen();
+        let mut cum = 0.0;
+        for (i, p) in self.particles.iter().enumerate() {
+            cum += p.log_w.exp();
+            if u <= cum {
+                return i as u32;
+            }
+        }
+        (self.particles.len() - 1) as u32
+    }
+
+    /// The normalized weight of particle `idx` (probability space).
+    pub fn weight_of(&self, idx: u32) -> f64 {
+        self.particles[idx as usize].log_w.exp()
+    }
+
+    /// The log weight of particle `idx`.
+    pub fn log_weight_of(&self, idx: u32) -> f64 {
+        self.particles[idx as usize].log_w
+    }
+
+    /// The pose of particle `idx`.
+    pub fn pose_of(&self, idx: u32) -> &Pose {
+        &self.particles[idx as usize].pose
+    }
+
+    fn normalize(&mut self) {
+        let mut w: Vec<f64> = self.particles.iter().map(|p| p.log_w).collect();
+        log_normalize(&mut w);
+        for (p, nw) in self.particles.iter_mut().zip(w) {
+            p.log_w = nw;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rfid_model::ModelParams;
+
+    fn model() -> JointModel {
+        JointModel::new(ModelParams::default_warehouse())
+    }
+
+    #[test]
+    fn predict_moves_particles_by_odometry() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = model();
+        let mut f = ReaderFilter::new(200, Pose::identity());
+        f.predict(&m, Some(Vec3::new(0.0, 0.5, 0.0)), None, &mut rng);
+        let est = f.estimate();
+        assert!((est.pos.y - 0.5).abs() < 0.01, "est y {}", est.pos.y);
+    }
+
+    #[test]
+    fn predict_falls_back_to_model_delta() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = model(); // delta = (0, 0.1, 0)
+        let mut f = ReaderFilter::new(200, Pose::identity());
+        f.predict(&m, None, None, &mut rng);
+        let est = f.estimate();
+        assert!((est.pos.y - 0.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn weighting_pulls_estimate_toward_report() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = model();
+        let mut f = ReaderFilter::new(500, Pose::identity());
+        // spread the particles with a few noisy predicts
+        for _ in 0..5 {
+            f.predict(&m, Some(Vec3::zero()), None, &mut rng);
+        }
+        let report = Pose::new(Point3::new(0.02, 0.02, 0.0), 0.0);
+        f.weight(&m, Some(&report), std::iter::empty());
+        let est = f.estimate();
+        assert!(est.pos.dist(&report.pos) < 0.02);
+    }
+
+    #[test]
+    fn shelf_tag_corrects_biased_reports() {
+        // Systematic report bias + an observed shelf tag: the particles
+        // near the shelf tag must win over the ones at the biased report.
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut params = ModelParams::default_warehouse();
+        params.sensing.sigma = Vec3::new(0.3, 0.3, 0.0); // weak trust in reports
+        let m = JointModel::new(params);
+        let mut f = ReaderFilter::new(2000, Pose::identity());
+        for _ in 0..20 {
+            f.predict(&m, Some(Vec3::zero()), None, &mut rng);
+        }
+        // true pose ~ origin; report is biased 1 ft along y
+        let report = Pose::new(Point3::new(0.0, 1.0, 0.0), 0.0);
+        let shelf = Point3::new(2.0, 0.0, 0.0); // readable only from near origin
+        f.weight(&m, Some(&report), [(&shelf, true)]);
+        let est = f.estimate();
+        assert!(
+            est.pos.y < 0.9,
+            "estimate should be pulled back toward the shelf tag; y = {}",
+            est.pos.y
+        );
+    }
+
+    #[test]
+    fn resample_triggers_on_degenerate_weights() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = model();
+        let mut f = ReaderFilter::new(100, Pose::identity());
+        for _ in 0..10 {
+            f.predict(&m, Some(Vec3::zero()), None, &mut rng);
+        }
+        // an extremely precise report degenerates the weights
+        let mut params = ModelParams::default_warehouse();
+        params.sensing.sigma = Vec3::new(0.0001, 0.0001, 0.0);
+        let sharp = JointModel::new(params);
+        let report = Pose::new(Point3::new(0.001, 0.001, 0.0), 0.0);
+        f.weight(&sharp, Some(&report), std::iter::empty());
+        let remap = f.maybe_resample(0.5, &mut rng);
+        assert!(remap.is_some());
+        assert_eq!(f.resample_count(), 1);
+        // weights are uniform afterwards
+        let ess = f.ess();
+        assert!((ess - 100.0).abs() < 1e-6, "post-resample ESS {ess}");
+    }
+
+    #[test]
+    fn remap_points_to_descendants() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let m = model();
+        let mut f = ReaderFilter::new(50, Pose::identity());
+        f.predict(&m, Some(Vec3::zero()), None, &mut rng);
+        // make one particle dominant
+        let mut params = ModelParams::default_warehouse();
+        params.sensing.sigma = Vec3::new(0.001, 0.001, 0.0);
+        let sharp = JointModel::new(params);
+        let winner_pose = *f.pose_of(7);
+        f.weight(&sharp, Some(&winner_pose), std::iter::empty());
+        if let Some(remap) = f.maybe_resample(0.9, &mut rng) {
+            // surviving index maps to a slot holding the same pose
+            if let Some(new_idx) = remap.map(7) {
+                assert!(f.pose_of(new_idx).pos.dist(&winner_pose.pos) < 1e-9);
+            }
+            assert_eq!(remap.num_new(), 50);
+        } else {
+            panic!("expected resample");
+        }
+    }
+
+    #[test]
+    fn support_biases_resampling() {
+        // two groups of particles with equal observation weights; object
+        // support only on group A => group A dominates after resampling.
+        let mut f = ReaderFilter::new(100, Pose::identity());
+        // manually move half the particles elsewhere
+        for i in 50..100 {
+            f.particles[i].pose = Pose::new(Point3::new(10.0, 0.0, 0.0), 0.0);
+        }
+        for i in 0..50 {
+            f.add_support(i as u32, 1.0);
+        }
+        // force resample by setting unequal-but-finite weights with low ESS:
+        // concentrate weight on two particles, one in each group
+        for p in f.particles.iter_mut() {
+            p.log_w = f64::NEG_INFINITY;
+        }
+        f.particles[0].log_w = (0.5f64).ln();
+        f.particles[99].log_w = (0.5f64).ln();
+        let mut rng = StdRng::seed_from_u64(7);
+        let remap = f.maybe_resample(0.5, &mut rng);
+        assert!(remap.is_some());
+        let near_origin = f
+            .particles()
+            .iter()
+            .filter(|p| p.pose.pos.x.abs() < 1.0)
+            .count();
+        assert!(
+            near_origin > 90,
+            "supported group should dominate, got {near_origin}/100"
+        );
+    }
+
+    #[test]
+    fn sample_index_follows_weights() {
+        let mut f = ReaderFilter::new(10, Pose::identity());
+        for p in f.particles.iter_mut() {
+            p.log_w = f64::NEG_INFINITY;
+        }
+        f.particles[4].log_w = 0.0;
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..50 {
+            assert_eq!(f.sample_index(&mut rng), 4);
+        }
+    }
+}

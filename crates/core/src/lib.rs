@@ -1,0 +1,41 @@
+//! Scalable particle-filter inference over mobile RFID streams — the
+//! paper's primary contribution (§IV).
+//!
+//! The input is the synchronized epoch stream of [`rfid_stream`]; the
+//! output is the clean location-event stream applications query. Four
+//! inference strategies are provided, matching the four curves of the
+//! scalability study (Fig. 5(i)/(j)):
+//!
+//! * [`basic::BasicParticleFilter`] — textbook (unfactorized) particle
+//!   filtering over the joint state of the reader and *all* objects.
+//!   Needs a number of particles exponential-ish in the object count;
+//!   kept as the baseline.
+//! * [`factored`] — **particle factorization** (§IV-B): reader particles
+//!   and per-object particles with factored weights (Eq. 5), combined
+//!   through pointers from object particles to reader particles.
+//! * [`spatial_hook`] — **spatial indexing** (§IV-C): a region index over
+//!   past sensing areas restricts each epoch's work to objects read now
+//!   (Case 1) or read before near the current location (Case 2).
+//! * [`compression`] — **belief compression** (§IV-D): per-object
+//!   particle clouds that have stabilized are collapsed into 3-D
+//!   Gaussians and re-expanded with far fewer particles when the object
+//!   is encountered again (selective Boyen–Koller).
+//!
+//! [`engine::InferenceEngine`] wires everything together behind one
+//! `process_batch` API and applies the output policy of §II-A
+//! ([`output`]).
+
+pub mod basic;
+pub mod compression;
+pub mod config;
+pub mod engine;
+pub mod error;
+pub mod factored;
+pub mod output;
+pub mod particle;
+pub mod spatial_hook;
+
+pub use basic::BasicParticleFilter;
+pub use config::{CompressionPolicy, FilterConfig, ReaderMode};
+pub use engine::{EngineStats, InferenceEngine};
+pub use error::ConfigError;

@@ -1,0 +1,226 @@
+//! Particle types and weight arithmetic shared by every filter variant.
+//!
+//! Weights live in log space while being accumulated (sensor and
+//! sensing likelihoods multiply many small numbers) and are normalized
+//! with log-sum-exp. Resampling is *systematic* (one uniform draw, `n`
+//! evenly spaced pointers), the standard low-variance scheme.
+
+use rand::Rng;
+use rfid_geom::{Point3, Pose};
+
+/// A hypothesis about the reader pose, with a factored log weight
+/// (`w_rt` in Eq. 5).
+#[derive(Debug, Clone, Copy)]
+pub struct ReaderParticle {
+    pub pose: Pose,
+    pub log_w: f64,
+}
+
+/// A hypothesis about one object's location, with a pointer to the
+/// reader particle it was weighted against (Fig. 3(b)) and a factored
+/// log weight (`w_ti` in Eq. 5).
+#[derive(Debug, Clone, Copy)]
+pub struct ObjectParticle {
+    pub loc: Point3,
+    /// Index into the reader particle list.
+    pub reader_idx: u32,
+    pub log_w: f64,
+}
+
+/// Normalizes log weights in place so that `sum(exp(w)) == 1`.
+/// Returns the log normalizer (useful as an incremental evidence
+/// estimate). All `-inf` weights (impossible particles) stay `-inf`;
+/// if *every* weight is `-inf` the weights are reset to uniform and
+/// `None` is returned (total particle depletion).
+pub fn log_normalize(log_w: &mut [f64]) -> Option<f64> {
+    let max = log_w.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        let u = -(log_w.len() as f64).ln();
+        for w in log_w.iter_mut() {
+            *w = u;
+        }
+        return None;
+    }
+    let sum: f64 = log_w.iter().map(|w| (w - max).exp()).sum();
+    let log_z = max + sum.ln();
+    for w in log_w.iter_mut() {
+        *w -= log_z;
+    }
+    Some(log_z)
+}
+
+/// Effective sample size of normalized log weights:
+/// `1 / sum(w_i^2)`. Ranges from 1 (degenerate) to `n` (uniform).
+pub fn effective_sample_size(log_w: &[f64]) -> f64 {
+    let sum_sq: f64 = log_w.iter().map(|w| (2.0 * w).exp()).sum();
+    if sum_sq > 0.0 {
+        1.0 / sum_sq
+    } else {
+        0.0
+    }
+}
+
+/// Systematic resampling: draws `n` ancestor indices from the
+/// categorical distribution given by normalized log weights.
+pub fn systematic_resample<R: Rng + ?Sized>(log_w: &[f64], n: usize, rng: &mut R) -> Vec<u32> {
+    debug_assert!(!log_w.is_empty());
+    let mut out = Vec::with_capacity(n);
+    let step = 1.0 / n as f64;
+    let mut u = rng.gen::<f64>() * step;
+    let mut cum = 0.0;
+    let mut i = 0usize;
+    let mut w_i = log_w[0].exp();
+    for _ in 0..n {
+        while cum + w_i < u && i + 1 < log_w.len() {
+            cum += w_i;
+            i += 1;
+            w_i = log_w[i].exp();
+        }
+        out.push(i as u32);
+        u += step;
+    }
+    out
+}
+
+/// Weighted mean location of object particles (normalized log weights).
+pub fn weighted_mean_loc(particles: &[ObjectParticle]) -> Option<Point3> {
+    rfid_geom::point::weighted_mean(particles.iter().map(|p| (p.log_w.exp(), p.loc)))
+}
+
+/// Weighted per-axis variance of object particles around their mean.
+pub fn weighted_variance(particles: &[ObjectParticle], mean: &Point3) -> [f64; 3] {
+    let mut var = [0.0f64; 3];
+    let mut wsum = 0.0;
+    for p in particles {
+        let w = p.log_w.exp();
+        wsum += w;
+        var[0] += w * (p.loc.x - mean.x) * (p.loc.x - mean.x);
+        var[1] += w * (p.loc.y - mean.y) * (p.loc.y - mean.y);
+        var[2] += w * (p.loc.z - mean.z) * (p.loc.z - mean.z);
+    }
+    if wsum > 0.0 {
+        for v in var.iter_mut() {
+            *v /= wsum;
+        }
+    }
+    var
+}
+
+/// Weighted mean pose of reader particles: mean position plus circular
+/// mean heading.
+pub fn weighted_mean_pose(particles: &[ReaderParticle]) -> Option<Pose> {
+    let mut wsum = 0.0;
+    let (mut x, mut y, mut z) = (0.0, 0.0, 0.0);
+    let (mut s, mut c) = (0.0, 0.0);
+    for p in particles {
+        let w = p.log_w.exp();
+        wsum += w;
+        x += w * p.pose.pos.x;
+        y += w * p.pose.pos.y;
+        z += w * p.pose.pos.z;
+        s += w * p.pose.phi.sin();
+        c += w * p.pose.phi.cos();
+    }
+    if wsum <= 0.0 {
+        return None;
+    }
+    Some(Pose::new(
+        Point3::new(x / wsum, y / wsum, z / wsum),
+        s.atan2(c),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn log_normalize_sums_to_one() {
+        let mut w = vec![-1.0, -2.0, -3.0];
+        let z = log_normalize(&mut w).unwrap();
+        let sum: f64 = w.iter().map(|x| x.exp()).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(z.is_finite());
+    }
+
+    #[test]
+    fn log_normalize_handles_extreme_magnitudes() {
+        let mut w = vec![-1000.0, -1001.0, -2000.0];
+        log_normalize(&mut w).unwrap();
+        let sum: f64 = w.iter().map(|x| x.exp()).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(w[0] > w[1]);
+        assert!(w[2] < -600.0); // vanishingly small but well-defined
+    }
+
+    #[test]
+    fn log_normalize_total_depletion_resets_uniform() {
+        let mut w = vec![f64::NEG_INFINITY; 4];
+        assert!(log_normalize(&mut w).is_none());
+        for x in &w {
+            assert!((x.exp() - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ess_bounds() {
+        let mut uniform = vec![0.0f64; 10];
+        log_normalize(&mut uniform).unwrap();
+        assert!((effective_sample_size(&uniform) - 10.0).abs() < 1e-9);
+
+        let mut degen = vec![f64::NEG_INFINITY; 10];
+        degen[3] = 0.0;
+        log_normalize(&mut degen).unwrap();
+        assert!((effective_sample_size(&degen) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn systematic_resample_matches_weights() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut w = vec![(0.7f64).ln(), (0.2f64).ln(), (0.1f64).ln()];
+        log_normalize(&mut w).unwrap();
+        let n = 10_000;
+        let idx = systematic_resample(&w, n, &mut rng);
+        let c0 = idx.iter().filter(|&&i| i == 0).count() as f64 / n as f64;
+        let c1 = idx.iter().filter(|&&i| i == 1).count() as f64 / n as f64;
+        assert!((c0 - 0.7).abs() < 0.02, "c0 {c0}");
+        assert!((c1 - 0.2).abs() < 0.02, "c1 {c1}");
+    }
+
+    #[test]
+    fn systematic_resample_deterministic_for_point_mass() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut w = vec![f64::NEG_INFINITY, 0.0, f64::NEG_INFINITY];
+        log_normalize(&mut w).unwrap();
+        let idx = systematic_resample(&w, 100, &mut rng);
+        assert!(idx.iter().all(|&i| i == 1));
+    }
+
+    #[test]
+    fn weighted_mean_and_variance() {
+        let mk = |x: f64, w: f64| ObjectParticle {
+            loc: Point3::new(x, 0.0, 0.0),
+            reader_idx: 0,
+            log_w: w.ln(),
+        };
+        let ps = vec![mk(0.0, 0.5), mk(2.0, 0.5)];
+        let m = weighted_mean_loc(&ps).unwrap();
+        assert!((m.x - 1.0).abs() < 1e-12);
+        let v = weighted_variance(&ps, &m);
+        assert!((v[0] - 1.0).abs() < 1e-12);
+        assert_eq!(v[1], 0.0);
+    }
+
+    #[test]
+    fn mean_pose_circular_heading() {
+        let mk = |phi: f64| ReaderParticle {
+            pose: Pose::new(Point3::origin(), phi),
+            log_w: (0.5f64).ln(),
+        };
+        let ps = vec![mk(170f64.to_radians()), mk(-170f64.to_radians())];
+        let m = weighted_mean_pose(&ps).unwrap();
+        assert!((m.phi.abs() - std::f64::consts::PI).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,153 @@
+//! The spatial-indexing enhancement (§IV-C), wired for the engine.
+//!
+//! Per epoch the engine must process exactly the objects of Cases 1
+//! and 2 of Fig. 4(a):
+//!
+//! * **Case 1** — objects read this epoch (wherever they are);
+//! * **Case 2** — objects not read now but read before *near the
+//!   current reader location*, so that their particles close to the
+//!   reader can be down-weighted by the miss.
+//!
+//! Cases 3 (never read here) and 4 (far away and silent) are skipped —
+//! the far-miss likelihood is rounded to one, "a good approximation".
+//!
+//! [`SpatialHook`] wraps the [`RegionIndex`] with the bounding-box
+//! construction: each epoch's sensing region is approximated by a cube
+//! of the (overestimated) sensor range around the reader estimate, and
+//! recorded with the objects that had at least one particle inside it.
+
+use rfid_geom::{Aabb, Point3, Pose};
+use rfid_spatial::RegionIndex;
+use rfid_stream::TagId;
+use std::collections::BTreeSet;
+
+/// Engine-facing wrapper around the region index.
+#[derive(Debug, Clone)]
+pub struct SpatialHook {
+    index: RegionIndex<TagId>,
+    /// Half-extent of the sensing-region bounding box, feet.
+    range: f64,
+}
+
+impl SpatialHook {
+    /// Creates a hook with sensing-region half-extent `range` (use the
+    /// sensor's overestimated detection range).
+    pub fn new(range: f64) -> Self {
+        assert!(range > 0.0);
+        Self {
+            index: RegionIndex::new(),
+            range,
+        }
+    }
+
+    /// The bounding box of the sensing region at `pose`. The sensing
+    /// region is a forward cone, so the box is centered half a range
+    /// ahead of the reader along its heading, with a half-extent just
+    /// over half the range (10% pad for the cone's lateral spread and
+    /// minor-range reads slightly behind the boresight plane).
+    pub fn sensing_box(&self, pose: &Pose) -> Aabb {
+        let ahead = rfid_geom::angles::heading_vec(pose.phi) * (0.5 * self.range);
+        Aabb::cube(pose.pos + ahead, 0.55 * self.range)
+    }
+
+    /// The Case 2 candidate set for the current sensing box: objects
+    /// recorded in any overlapping past region.
+    pub fn candidates(&self, current: &Aabb) -> BTreeSet<TagId> {
+        self.index.query_objects(current)
+    }
+
+    /// Records this epoch's sensing region with its member objects
+    /// (those with at least one particle inside the box).
+    pub fn record<I: IntoIterator<Item = TagId>>(&mut self, bbox: Aabb, members: I) {
+        self.index.insert_region(bbox, members);
+    }
+
+    /// Checks which of `(tag, particle locations)` have at least one
+    /// particle inside `bbox` — the membership rule of Fig. 4(b).
+    pub fn members_of<'a>(
+        bbox: &Aabb,
+        clouds: impl Iterator<Item = (TagId, &'a [Point3])>,
+    ) -> Vec<TagId> {
+        let mut out = Vec::new();
+        for (tag, locs) in clouds {
+            if locs.iter().any(|l| bbox.contains(l)) {
+                out.push(tag);
+            }
+        }
+        out
+    }
+
+    /// Number of recorded regions (diagnostics).
+    pub fn num_regions(&self) -> usize {
+        self.index.num_regions()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pose(x: f64, y: f64) -> Pose {
+        Pose::new(Point3::new(x, y, 0.0), 0.0)
+    }
+
+    #[test]
+    fn sensing_box_covers_forward_cone() {
+        // heading +x: the box must cover the reader position through the
+        // full range ahead, but not far behind or far beyond.
+        let h = SpatialHook::new(4.0);
+        let b = h.sensing_box(&pose(1.0, 2.0));
+        assert!(b.contains(&Point3::new(1.0, 2.0, 0.0))); // reader itself
+        assert!(b.contains(&Point3::new(4.9, 2.0, 0.0))); // near max range
+        assert!(!b.contains(&Point3::new(5.5, 2.0, 0.0))); // beyond range+pad
+        assert!(!b.contains(&Point3::new(-1.0, 2.0, 0.0))); // well behind
+    }
+
+    #[test]
+    fn sensing_box_follows_heading() {
+        let h = SpatialHook::new(4.0);
+        let west = Pose::new(Point3::new(0.0, 0.0, 0.0), std::f64::consts::PI);
+        let b = h.sensing_box(&west);
+        assert!(b.contains(&Point3::new(-3.9, 0.0, 0.0)));
+        assert!(!b.contains(&Point3::new(3.0, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn case2_returned_case4_skipped() {
+        let mut h = SpatialHook::new(2.0);
+        // object 1 recorded near y = 0, object 2 near y = 100
+        h.record(h.sensing_box(&pose(0.0, 0.0)), [TagId(1)]);
+        h.record(h.sensing_box(&pose(0.0, 100.0)), [TagId(2)]);
+        let current = h.sensing_box(&pose(0.0, 1.0));
+        let c = h.candidates(&current);
+        assert!(c.contains(&TagId(1)), "case-2 object missing");
+        assert!(!c.contains(&TagId(2)), "case-4 object should be skipped");
+    }
+
+    #[test]
+    fn members_of_requires_particle_inside() {
+        let bbox = Aabb::cube(Point3::origin(), 1.0);
+        let inside = vec![Point3::new(0.5, 0.0, 0.0), Point3::new(5.0, 0.0, 0.0)];
+        let outside = vec![Point3::new(5.0, 5.0, 0.0)];
+        let clouds = vec![
+            (TagId(1), inside.as_slice()),
+            (TagId(2), outside.as_slice()),
+        ];
+        let members = SpatialHook::members_of(&bbox, clouds.into_iter());
+        assert_eq!(members, vec![TagId(1)]);
+    }
+
+    #[test]
+    fn overlapping_history_unions() {
+        let mut h = SpatialHook::new(2.0);
+        for i in 0..10u64 {
+            h.record(h.sensing_box(&pose(0.0, i as f64)), [TagId(i)]);
+        }
+        assert_eq!(h.num_regions(), 10);
+        let c = h.candidates(&h.sensing_box(&pose(0.0, 5.0)));
+        // regions centered at y in [1, 9] overlap a box around y = 5
+        assert!(c.len() >= 5, "got {c:?}");
+        assert!(c.contains(&TagId(5)));
+        assert!(!c.contains(&TagId(0)) || c.contains(&TagId(1)));
+    }
+}

@@ -1,0 +1,92 @@
+//! End-to-end integration: generate a warehouse trace with the
+//! simulator, run the inference engine, and check the location events
+//! against ground truth. This is the paper's central claim — object
+//! locations recovered "within a range of a few inches to a foot".
+
+use rfid_core::engine::run_engine;
+use rfid_core::{FilterConfig, InferenceEngine};
+use rfid_model::{JointModel, ModelParams};
+use rfid_sim::scenario;
+use rfid_stream::LocationEvent;
+
+/// Mean XY error of events against ground truth at each event's epoch.
+fn mean_error(events: &[LocationEvent], sc: &scenario::Scenario) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for e in events {
+        if let Some(truth) = sc.trace.truth.object_at(e.tag, e.epoch) {
+            sum += e.location.dist_xy(&truth);
+            n += 1;
+        }
+    }
+    assert!(n > 0, "no scorable events");
+    sum / n as f64
+}
+
+fn run_config(sc: &scenario::Scenario, cfg: FilterConfig) -> Vec<LocationEvent> {
+    let model = JointModel::new(ModelParams::default_warehouse());
+    let mut engine = InferenceEngine::new(
+        model,
+        sc.layout.clone(),
+        sc.trace.shelf_tags.clone(),
+        cfg,
+    )
+    .expect("valid config");
+    run_engine(&mut engine, &sc.trace.epoch_batches())
+}
+
+#[test]
+fn factored_filter_localizes_within_a_foot() {
+    let sc = scenario::small_trace(10, 4, 42);
+    let mut cfg = FilterConfig::factored_default();
+    cfg.particles_per_object = 1000;
+    cfg.reader_particles = 100;
+    let events = run_config(&sc, cfg);
+    // every object must be reported
+    assert_eq!(
+        events.len(),
+        10,
+        "one event per object expected, got {}",
+        events.len()
+    );
+    let err = mean_error(&events, &sc);
+    assert!(err < 1.0, "mean XY error {err} ft too high");
+}
+
+#[test]
+fn enhancements_do_not_degrade_accuracy_much() {
+    let sc = scenario::small_trace(10, 4, 7);
+    let mut base = FilterConfig::factored_default();
+    base.particles_per_object = 600;
+    base.reader_particles = 60;
+    let mut indexed = base;
+    indexed.use_spatial_index = true;
+    let mut full = indexed;
+    full.compression = rfid_core::CompressionPolicy::paper_default();
+
+    let e_base = mean_error(&run_config(&sc, base), &sc);
+    let e_idx = mean_error(&run_config(&sc, indexed), &sc);
+    let e_full = mean_error(&run_config(&sc, full), &sc);
+    // "Neither spatial indexing nor belief compression causes obvious
+    // degradation in accuracy."
+    assert!(e_idx < e_base + 0.5, "index degraded: {e_base} -> {e_idx}");
+    assert!(e_full < e_base + 0.5, "compression degraded: {e_base} -> {e_full}");
+}
+
+#[test]
+fn robust_to_reduced_read_rate() {
+    // Fig. 5(f): accuracy degrades only slowly as RR_major drops.
+    let mut errs = Vec::new();
+    for rr in [1.0, 0.7, 0.5] {
+        let sc = scenario::read_rate_trace(rr, 3);
+        let mut cfg = FilterConfig::factored_default();
+        cfg.particles_per_object = 800;
+        cfg.reader_particles = 60;
+        let err = mean_error(&run_config(&sc, cfg), &sc);
+        errs.push(err);
+    }
+    // all within a foot and a half even at 50% read rate
+    for (i, e) in errs.iter().enumerate() {
+        assert!(*e < 1.5, "err[{i}] = {e}");
+    }
+}

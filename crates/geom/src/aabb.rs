@@ -1,0 +1,289 @@
+//! Axis-aligned bounding boxes.
+//!
+//! The spatial-indexing enhancement (§IV-C of the paper) approximates each
+//! epoch's sensing region by its bounding box and inserts those boxes into
+//! a simplified R*-tree. This module provides the box arithmetic the tree
+//! needs: union, intersection tests, area/margin, and enlargement metrics.
+
+use crate::point::Point3;
+
+/// An axis-aligned box in 3-D, in feet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    pub min: Point3,
+    pub max: Point3,
+}
+
+impl Aabb {
+    /// Creates a box from its corners; panics in debug builds if any
+    /// max coordinate is below the corresponding min.
+    #[inline]
+    pub fn new(min: Point3, max: Point3) -> Self {
+        debug_assert!(min.x <= max.x && min.y <= max.y && min.z <= max.z,
+            "degenerate AABB: min {min:?} max {max:?}");
+        Self { min, max }
+    }
+
+    /// A box containing a single point.
+    #[inline]
+    pub fn point(p: Point3) -> Self {
+        Self { min: p, max: p }
+    }
+
+    /// A box centered on `c` extending `r` in every axis.
+    #[inline]
+    pub fn cube(c: Point3, r: f64) -> Self {
+        debug_assert!(r >= 0.0);
+        Self {
+            min: Point3::new(c.x - r, c.y - r, c.z - r),
+            max: Point3::new(c.x + r, c.y + r, c.z + r),
+        }
+    }
+
+    /// The "empty" box: union identity. Contains nothing; unioning with
+    /// any real box yields that box.
+    #[inline]
+    pub fn empty() -> Self {
+        Self {
+            min: Point3::new(f64::INFINITY, f64::INFINITY, f64::INFINITY),
+            max: Point3::new(f64::NEG_INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY),
+        }
+    }
+
+    /// True for the union identity produced by [`Aabb::empty`].
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x
+    }
+
+    /// Smallest box containing both operands.
+    #[inline]
+    pub fn union(&self, other: &Aabb) -> Aabb {
+        Aabb {
+            min: Point3::new(
+                self.min.x.min(other.min.x),
+                self.min.y.min(other.min.y),
+                self.min.z.min(other.min.z),
+            ),
+            max: Point3::new(
+                self.max.x.max(other.max.x),
+                self.max.y.max(other.max.y),
+                self.max.z.max(other.max.z),
+            ),
+        }
+    }
+
+    /// Grows the box (in place) to contain `p`.
+    #[inline]
+    pub fn extend(&mut self, p: Point3) {
+        self.min.x = self.min.x.min(p.x);
+        self.min.y = self.min.y.min(p.y);
+        self.min.z = self.min.z.min(p.z);
+        self.max.x = self.max.x.max(p.x);
+        self.max.y = self.max.y.max(p.y);
+        self.max.z = self.max.z.max(p.z);
+    }
+
+    /// True when the boxes overlap (closed intervals: touching counts).
+    #[inline]
+    pub fn intersects(&self, other: &Aabb) -> bool {
+        self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+            && self.min.z <= other.max.z
+            && self.max.z >= other.min.z
+    }
+
+    /// True when `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, p: &Point3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// True when `other` lies entirely inside this box.
+    #[inline]
+    pub fn contains_box(&self, other: &Aabb) -> bool {
+        self.contains(&other.min) && self.contains(&other.max)
+    }
+
+    /// Volume of the box (`0` for empty or degenerate boxes).
+    #[inline]
+    pub fn volume(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        (self.max.x - self.min.x) * (self.max.y - self.min.y) * (self.max.z - self.min.z)
+    }
+
+    /// Area of the XY footprint (useful because the warehouse is
+    /// effectively planar).
+    #[inline]
+    pub fn area_xy(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        (self.max.x - self.min.x) * (self.max.y - self.min.y)
+    }
+
+    /// Sum of the edge lengths — the "margin" criterion used by the
+    /// R*-tree split heuristic.
+    #[inline]
+    pub fn margin(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        (self.max.x - self.min.x) + (self.max.y - self.min.y) + (self.max.z - self.min.z)
+    }
+
+    /// How much the volume grows when this box is enlarged to include
+    /// `other` — the R*-tree `ChooseSubtree` criterion.
+    #[inline]
+    pub fn enlargement(&self, other: &Aabb) -> f64 {
+        self.union(other).volume() - self.volume()
+    }
+
+    /// Geometric center of the box.
+    #[inline]
+    pub fn center(&self) -> Point3 {
+        Point3::new(
+            (self.min.x + self.max.x) * 0.5,
+            (self.min.y + self.max.y) * 0.5,
+            (self.min.z + self.max.z) * 0.5,
+        )
+    }
+
+    /// Volume of the intersection with `other` (0 when disjoint).
+    #[inline]
+    pub fn intersection_volume(&self, other: &Aabb) -> f64 {
+        let dx = (self.max.x.min(other.max.x) - self.min.x.max(other.min.x)).max(0.0);
+        let dy = (self.max.y.min(other.max.y) - self.min.y.max(other.min.y)).max(0.0);
+        let dz = (self.max.z.min(other.max.z) - self.min.z.max(other.min.z)).max(0.0);
+        dx * dy * dz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn b(ax: f64, ay: f64, bx: f64, by: f64) -> Aabb {
+        Aabb::new(Point3::new(ax, ay, 0.0), Point3::new(bx, by, 1.0))
+    }
+
+    #[test]
+    fn union_contains_both() {
+        let a = b(0.0, 0.0, 1.0, 1.0);
+        let c = b(2.0, 2.0, 3.0, 3.0);
+        let u = a.union(&c);
+        assert!(u.contains_box(&a));
+        assert!(u.contains_box(&c));
+    }
+
+    #[test]
+    fn empty_is_union_identity() {
+        let a = b(0.0, 0.0, 1.0, 1.0);
+        let e = Aabb::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.union(&a), a);
+        assert_eq!(a.union(&e), a);
+        assert_eq!(e.volume(), 0.0);
+    }
+
+    #[test]
+    fn touching_boxes_intersect() {
+        let a = b(0.0, 0.0, 1.0, 1.0);
+        let c = b(1.0, 0.0, 2.0, 1.0);
+        assert!(a.intersects(&c));
+    }
+
+    #[test]
+    fn disjoint_boxes_do_not_intersect() {
+        let a = b(0.0, 0.0, 1.0, 1.0);
+        let c = b(1.5, 0.0, 2.0, 1.0);
+        assert!(!a.intersects(&c));
+        assert_eq!(a.intersection_volume(&c), 0.0);
+    }
+
+    #[test]
+    fn cube_geometry() {
+        let c = Aabb::cube(Point3::new(1.0, 1.0, 1.0), 0.5);
+        assert!((c.volume() - 1.0).abs() < 1e-12);
+        assert!((c.margin() - 3.0).abs() < 1e-12);
+        assert_eq!(c.center(), Point3::new(1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn enlargement_zero_for_contained() {
+        let a = b(0.0, 0.0, 10.0, 10.0);
+        let c = b(1.0, 1.0, 2.0, 2.0);
+        assert!(a.enlargement(&c).abs() < 1e-12);
+        assert!(c.enlargement(&a) > 0.0);
+    }
+
+    #[test]
+    fn extend_grows_to_point() {
+        let mut a = Aabb::point(Point3::origin());
+        a.extend(Point3::new(2.0, -1.0, 3.0));
+        assert!(a.contains(&Point3::new(1.0, -0.5, 2.0)));
+        assert!(!a.contains(&Point3::new(3.0, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn intersection_volume_of_overlap() {
+        let a = b(0.0, 0.0, 2.0, 2.0);
+        let c = b(1.0, 1.0, 3.0, 3.0);
+        // overlap is 1x1 in XY and z in [0,1] => volume 1
+        assert!((a.intersection_volume(&c) - 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_union_commutative(
+            ax in -10.0..0.0f64, ay in -10.0..0.0f64,
+            bx in 0.0..10.0f64, by in 0.0..10.0f64,
+            cx in -10.0..0.0f64, cy in -10.0..0.0f64,
+            dx in 0.0..10.0f64, dy in 0.0..10.0f64) {
+            let a = b(ax, ay, bx, by);
+            let c = b(cx, cy, dx, dy);
+            prop_assert_eq!(a.union(&c), c.union(&a));
+        }
+
+        #[test]
+        fn prop_union_volume_superadditive(
+            ax in -10.0..0.0f64, ay in -10.0..0.0f64,
+            bx in 0.0..10.0f64, by in 0.0..10.0f64,
+            cx in -10.0..0.0f64, cy in -10.0..0.0f64,
+            dx in 0.0..10.0f64, dy in 0.0..10.0f64) {
+            let a = b(ax, ay, bx, by);
+            let c = b(cx, cy, dx, dy);
+            let u = a.union(&c);
+            prop_assert!(u.volume() + 1e-9 >= a.volume());
+            prop_assert!(u.volume() + 1e-9 >= c.volume());
+        }
+
+        #[test]
+        fn prop_contains_center(
+            ax in -10.0..0.0f64, ay in -10.0..0.0f64,
+            bx in 0.0..10.0f64, by in 0.0..10.0f64) {
+            let a = b(ax, ay, bx, by);
+            prop_assert!(a.contains(&a.center()));
+        }
+
+        #[test]
+        fn prop_intersection_symmetric(
+            ax in -10.0..0.0f64, bx in 0.0..10.0f64,
+            cx in -10.0..10.0f64, w in 0.1..5.0f64) {
+            let a = b(ax, -1.0, bx, 1.0);
+            let c = b(cx, -1.0, cx + w, 1.0);
+            prop_assert_eq!(a.intersects(&c), c.intersects(&a));
+            prop_assert!((a.intersection_volume(&c) - c.intersection_volume(&a)).abs() < 1e-9);
+        }
+    }
+}

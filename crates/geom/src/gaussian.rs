@@ -1,0 +1,437 @@
+//! Gaussian distributions in one and three dimensions.
+//!
+//! Three uses in the system, mirroring the paper:
+//!
+//! * reader **motion noise** `eps ~ N(0, Sigma_m)` (diagonal covariance),
+//! * reader **location-sensing noise** `eta ~ N(mu_s, Sigma_s)`,
+//! * **belief compression** (§IV-D): a stabilized particle cloud is
+//!   collapsed into a full-covariance 3-D Gaussian, which requires the
+//!   weighted empirical mean/covariance, sampling (decompression), exact
+//!   log-density, and the KL divergence from the particle set.
+//!
+//! Sampling uses Box-Muller on top of any [`rand::Rng`], so the workspace
+//! needs no `rand_distr` dependency.
+
+use crate::mat3::Mat3;
+use crate::point::{Point3, Vec3};
+use rand::Rng;
+
+const LN_2PI: f64 = 1.837_877_066_409_345_5; // ln(2*pi)
+
+/// Draws one standard-normal sample via the Box-Muller transform.
+#[inline]
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Draw u1 in (0, 1] to avoid ln(0).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// A univariate Gaussian `N(mean, std^2)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gaussian1 {
+    pub mean: f64,
+    pub std: f64,
+}
+
+impl Gaussian1 {
+    /// Creates a univariate Gaussian; `std` must be non-negative.
+    #[inline]
+    pub fn new(mean: f64, std: f64) -> Self {
+        debug_assert!(std >= 0.0, "negative std {std}");
+        Self { mean, std }
+    }
+
+    /// Draws one sample.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std * standard_normal(rng)
+    }
+
+    /// Natural log of the density at `x`. For `std == 0` this returns
+    /// `+inf` at the mean and `-inf` elsewhere (a point mass).
+    pub fn log_pdf(&self, x: f64) -> f64 {
+        if self.std == 0.0 {
+            return if x == self.mean {
+                f64::INFINITY
+            } else {
+                f64::NEG_INFINITY
+            };
+        }
+        let z = (x - self.mean) / self.std;
+        -0.5 * z * z - self.std.ln() - 0.5 * LN_2PI
+    }
+}
+
+/// A 3-D Gaussian with diagonal covariance — the reader motion and
+/// location-sensing noise models of §III-A.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiagGaussian3 {
+    pub mean: Vec3,
+    /// Per-axis standard deviations.
+    pub std: Vec3,
+}
+
+impl DiagGaussian3 {
+    /// Creates a diagonal Gaussian from a mean vector and per-axis stds.
+    #[inline]
+    pub fn new(mean: Vec3, std: Vec3) -> Self {
+        debug_assert!(std.x >= 0.0 && std.y >= 0.0 && std.z >= 0.0);
+        Self { mean, std }
+    }
+
+    /// Zero-mean isotropic noise with std `s` in x and y and 0 in z
+    /// (the planar default of the paper's simulator).
+    #[inline]
+    pub fn planar(s: f64) -> Self {
+        Self::new(Vec3::zero(), Vec3::new(s, s, 0.0))
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec3 {
+        Vec3::new(
+            self.mean.x + self.std.x * standard_normal(rng),
+            self.mean.y + self.std.y * standard_normal(rng),
+            self.mean.z + self.std.z * standard_normal(rng),
+        )
+    }
+
+    /// Log density at `v`. Axes with zero std are treated as point
+    /// masses: they contribute 0 when `v` matches the mean exactly and
+    /// `-inf` otherwise, except that a *small tolerance* is applied so
+    /// that planar models do not veto tiny z jitter. The tolerance is
+    /// 1e-9 ft.
+    pub fn log_pdf(&self, v: &Vec3) -> f64 {
+        let mut lp = 0.0;
+        for (x, m, s) in [
+            (v.x, self.mean.x, self.std.x),
+            (v.y, self.mean.y, self.std.y),
+            (v.z, self.mean.z, self.std.z),
+        ] {
+            if s == 0.0 {
+                if (x - m).abs() > 1e-9 {
+                    return f64::NEG_INFINITY;
+                }
+                continue;
+            }
+            let z = (x - m) / s;
+            lp += -0.5 * z * z - s.ln() - 0.5 * LN_2PI;
+        }
+        lp
+    }
+
+    /// The covariance as a full matrix.
+    pub fn covariance(&self) -> Mat3 {
+        Mat3::diag([
+            self.std.x * self.std.x,
+            self.std.y * self.std.y,
+            self.std.z * self.std.z,
+        ])
+    }
+}
+
+/// A full-covariance 3-D Gaussian, used by belief compression.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gaussian3 {
+    pub mean: Point3,
+    pub cov: Mat3,
+    /// Cached Cholesky factor of `cov` (lower triangular).
+    chol: Mat3,
+    /// Cached inverse of `cov`.
+    inv: Mat3,
+    /// Cached `log det cov`.
+    log_det: f64,
+}
+
+impl Gaussian3 {
+    /// Builds a Gaussian from mean and covariance; the covariance is
+    /// ridge-regularized until it admits a Cholesky factorization, so
+    /// degenerate particle clouds (all mass on a line or plane) still
+    /// compress to a usable distribution.
+    pub fn new(mean: Point3, cov: Mat3) -> Self {
+        let mut c = cov;
+        let mut ridge = 0.0;
+        let (chol, cov_final) = loop {
+            if let Some(l) = c.cholesky() {
+                break (l, c);
+            }
+            ridge = if ridge == 0.0 { 1e-9 } else { ridge * 10.0 };
+            assert!(
+                ridge < 1.0,
+                "covariance cannot be regularized into PD: {cov:?}"
+            );
+            c = cov.regularized(ridge);
+        };
+        // Invert via the Cholesky factor: solving L L^T x = e_i is stable
+        // even for the tiny ridge covariances produced by degenerate
+        // particle clouds (where the raw determinant underflows the
+        // adjugate path's threshold).
+        let inv = {
+            let solve = |b: Vec3| -> Vec3 {
+                // forward: L y = b
+                let l = &chol.m;
+                let y0 = b.x / l[0][0];
+                let y1 = (b.y - l[1][0] * y0) / l[1][1];
+                let y2 = (b.z - l[2][0] * y0 - l[2][1] * y1) / l[2][2];
+                // backward: L^T x = y
+                let x2 = y2 / l[2][2];
+                let x1 = (y1 - l[2][1] * x2) / l[1][1];
+                let x0 = (y0 - l[1][0] * x1 - l[2][0] * x2) / l[0][0];
+                Vec3::new(x0, x1, x2)
+            };
+            let c0 = solve(Vec3::new(1.0, 0.0, 0.0));
+            let c1 = solve(Vec3::new(0.0, 1.0, 0.0));
+            let c2 = solve(Vec3::new(0.0, 0.0, 1.0));
+            Mat3::from_rows([c0.x, c1.x, c2.x], [c0.y, c1.y, c2.y], [c0.z, c1.z, c2.z])
+        };
+        let log_det =
+            2.0 * (chol.m[0][0].ln() + chol.m[1][1].ln() + chol.m[2][2].ln());
+        Self {
+            mean,
+            cov: cov_final,
+            chol,
+            inv,
+            log_det,
+        }
+    }
+
+    /// Isotropic Gaussian with variance `var` on each axis.
+    pub fn isotropic(mean: Point3, var: f64) -> Self {
+        Self::new(mean, Mat3::scale(var))
+    }
+
+    /// Weighted maximum-likelihood fit (the KL-optimal Gaussian of
+    /// §IV-D): sample mean and empirical covariance of a weighted point
+    /// set. Weights need not be normalized. Returns `None` when the
+    /// total weight is not strictly positive.
+    pub fn fit_weighted(points: &[(f64, Point3)]) -> Option<Self> {
+        let wsum: f64 = points.iter().map(|(w, _)| *w).sum();
+        if wsum <= 0.0 || !wsum.is_finite() {
+            return None;
+        }
+        let mut mean = Vec3::zero();
+        for (w, p) in points {
+            mean += p.to_vec() * (*w / wsum);
+        }
+        let mut cov = Mat3::zero();
+        for (w, p) in points {
+            let d = p.to_vec() - mean;
+            cov = cov.add(&Mat3::outer(&d, &d).scaled(*w / wsum));
+        }
+        Some(Self::new(mean.to_point(), cov))
+    }
+
+    /// Draws one sample: `mean + L z` with `z ~ N(0, I)`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Point3 {
+        let z = Vec3::new(
+            standard_normal(rng),
+            standard_normal(rng),
+            standard_normal(rng),
+        );
+        self.mean + self.chol.mul_vec(&z)
+    }
+
+    /// Log density at `p`.
+    pub fn log_pdf(&self, p: &Point3) -> f64 {
+        let d = *p - self.mean;
+        let q = d.dot(&self.inv.mul_vec(&d));
+        -0.5 * (q + self.log_det + 3.0 * LN_2PI)
+    }
+
+    /// Mahalanobis distance squared from the mean.
+    pub fn mahalanobis_sq(&self, p: &Point3) -> f64 {
+        let d = *p - self.mean;
+        d.dot(&self.inv.mul_vec(&d))
+    }
+
+    /// KL divergence `KL(p_hat || self)` from a weighted empirical
+    /// distribution (a particle set) to this Gaussian, up to the
+    /// entropy term of `p_hat` (which is a constant for the selection
+    /// problem in §IV-D): the *cross-entropy* `-E_{p_hat}[log q]`.
+    ///
+    /// Belief compression ranks objects by this quantity evaluated at
+    /// their own fitted Gaussian, which measures how much is lost by
+    /// compressing — small values mean the cloud is already
+    /// Gaussian-shaped and tight.
+    pub fn cross_entropy(&self, points: &[(f64, Point3)]) -> f64 {
+        let wsum: f64 = points.iter().map(|(w, _)| *w).sum();
+        if wsum <= 0.0 {
+            return f64::INFINITY;
+        }
+        let mut s = 0.0;
+        for (w, p) in points {
+            s -= (*w / wsum) * self.log_pdf(p);
+        }
+        s
+    }
+
+    /// Largest diagonal variance — a cheap spread measure used to decide
+    /// whether a belief has "stabilized in a small region".
+    pub fn max_axis_var(&self) -> f64 {
+        self.cov.m[0][0].max(self.cov.m[1][1]).max(self.cov.m[2][2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn gaussian1_log_pdf_peak_at_mean() {
+        let g = Gaussian1::new(2.0, 0.5);
+        assert!(g.log_pdf(2.0) > g.log_pdf(2.4));
+        assert!(g.log_pdf(2.0) > g.log_pdf(1.6));
+        // density integrates to one => at the mean, pdf = 1/(std*sqrt(2pi))
+        let expect = -(0.5f64.ln()) - 0.5 * LN_2PI;
+        assert!((g.log_pdf(2.0) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian1_point_mass() {
+        let g = Gaussian1::new(1.0, 0.0);
+        assert_eq!(g.log_pdf(1.0), f64::INFINITY);
+        assert_eq!(g.log_pdf(1.1), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn diag_gaussian_sample_moments() {
+        let mut r = rng();
+        let g = DiagGaussian3::new(Vec3::new(1.0, -2.0, 0.0), Vec3::new(0.5, 2.0, 0.0));
+        let n = 20_000;
+        let mut mean = Vec3::zero();
+        for _ in 0..n {
+            mean += g.sample(&mut r);
+        }
+        mean = mean / n as f64;
+        assert!((mean.x - 1.0).abs() < 0.02);
+        assert!((mean.y + 2.0).abs() < 0.06);
+        assert_eq!(mean.z, 0.0); // zero std on z: exactly the mean
+    }
+
+    #[test]
+    fn diag_planar_rejects_z_offsets() {
+        let g = DiagGaussian3::planar(0.1);
+        assert!(g.log_pdf(&Vec3::new(0.0, 0.0, 0.5)).is_infinite());
+        assert!(g.log_pdf(&Vec3::new(0.05, -0.05, 0.0)).is_finite());
+    }
+
+    #[test]
+    fn gaussian3_log_pdf_matches_diag() {
+        // Full-covariance with a diagonal matrix must agree with the
+        // product of univariate densities.
+        let g3 = Gaussian3::new(Point3::new(1.0, 2.0, 3.0), Mat3::diag([0.25, 1.0, 4.0]));
+        let gx = Gaussian1::new(1.0, 0.5);
+        let gy = Gaussian1::new(2.0, 1.0);
+        let gz = Gaussian1::new(3.0, 2.0);
+        let p = Point3::new(1.3, 1.5, 4.0);
+        let expect = gx.log_pdf(p.x) + gy.log_pdf(p.y) + gz.log_pdf(p.z);
+        assert!((g3.log_pdf(&p) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gaussian3_sampling_respects_covariance() {
+        let mut r = rng();
+        let cov = Mat3::from_rows([1.0, 0.8, 0.0], [0.8, 1.0, 0.0], [0.0, 0.0, 0.01]);
+        let g = Gaussian3::new(Point3::origin(), cov);
+        let n = 30_000;
+        let mut sxy = 0.0;
+        let mut sx = 0.0;
+        let mut sy = 0.0;
+        let samples: Vec<Point3> = (0..n).map(|_| g.sample(&mut r)).collect();
+        for p in &samples {
+            sx += p.x;
+            sy += p.y;
+        }
+        let mx = sx / n as f64;
+        let my = sy / n as f64;
+        for p in &samples {
+            sxy += (p.x - mx) * (p.y - my);
+        }
+        let cov_xy = sxy / n as f64;
+        assert!((cov_xy - 0.8).abs() < 0.05, "cov_xy {cov_xy}");
+    }
+
+    #[test]
+    fn fit_weighted_recovers_mean_and_cov() {
+        let pts = vec![
+            (1.0, Point3::new(-1.0, 0.0, 0.0)),
+            (1.0, Point3::new(1.0, 0.0, 0.0)),
+            (1.0, Point3::new(0.0, -1.0, 0.0)),
+            (1.0, Point3::new(0.0, 1.0, 0.0)),
+        ];
+        let g = Gaussian3::fit_weighted(&pts).unwrap();
+        assert!(g.mean.dist(&Point3::origin()) < 1e-9);
+        assert!((g.cov.m[0][0] - 0.5).abs() < 1e-9);
+        assert!((g.cov.m[1][1] - 0.5).abs() < 1e-9);
+        assert!(g.cov.m[0][1].abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_weighted_degenerate_cloud_is_regularized() {
+        // All particles identical: covariance is exactly zero, must be
+        // ridge-regularized instead of panicking.
+        let pts = vec![(1.0, Point3::new(2.0, 2.0, 0.0)); 10];
+        let g = Gaussian3::fit_weighted(&pts).unwrap();
+        assert!(g.mean.dist(&Point3::new(2.0, 2.0, 0.0)) < 1e-9);
+        assert!(g.cov.m[0][0] > 0.0);
+    }
+
+    #[test]
+    fn fit_weighted_zero_weight_is_none() {
+        let pts = vec![(0.0, Point3::origin())];
+        assert!(Gaussian3::fit_weighted(&pts).is_none());
+        assert!(Gaussian3::fit_weighted(&[]).is_none());
+    }
+
+    #[test]
+    fn cross_entropy_smaller_for_tighter_cloud() {
+        let tight: Vec<(f64, Point3)> = (0..100)
+            .map(|i| (1.0, Point3::new((i % 10) as f64 * 0.001, 0.0, 0.0)))
+            .collect();
+        let wide: Vec<(f64, Point3)> = (0..100)
+            .map(|i| (1.0, Point3::new((i % 10) as f64 * 1.0, 0.0, 0.0)))
+            .collect();
+        let gt = Gaussian3::fit_weighted(&tight).unwrap();
+        let gw = Gaussian3::fit_weighted(&wide).unwrap();
+        assert!(gt.cross_entropy(&tight) < gw.cross_entropy(&wide));
+    }
+
+    #[test]
+    fn mahalanobis_of_mean_is_zero() {
+        let g = Gaussian3::isotropic(Point3::new(1.0, 2.0, 3.0), 2.0);
+        assert!(g.mahalanobis_sq(&g.mean) < 1e-12);
+        assert!(g.mahalanobis_sq(&Point3::origin()) > 0.0);
+    }
+
+    #[test]
+    fn decompression_roundtrip_preserves_moments() {
+        // compress a cloud, sample from the Gaussian, refit: moments match.
+        let mut r = rng();
+        let src = Gaussian3::new(
+            Point3::new(5.0, -3.0, 1.0),
+            Mat3::from_rows([0.5, 0.1, 0.0], [0.1, 0.3, 0.0], [0.0, 0.0, 0.05]),
+        );
+        let cloud: Vec<(f64, Point3)> = (0..5000).map(|_| (1.0, src.sample(&mut r))).collect();
+        let fit = Gaussian3::fit_weighted(&cloud).unwrap();
+        assert!(fit.mean.dist(&src.mean) < 0.05);
+        assert!((fit.cov.m[0][0] - 0.5).abs() < 0.05);
+        assert!((fit.cov.m[0][1] - 0.1).abs() < 0.03);
+    }
+}

@@ -1,0 +1,336 @@
+//! 3x3 matrices with the factorizations Gaussian models need.
+//!
+//! Covariance matrices in this system are 3x3 symmetric positive
+//! (semi-)definite; sampling needs a Cholesky factor and density
+//! evaluation needs `Sigma^{-1}` and `log det Sigma`. A hand-rolled type
+//! keeps the workspace dependency-free and the hot paths branch-light.
+
+use crate::point::Vec3;
+
+/// A row-major 3x3 matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat3 {
+    pub m: [[f64; 3]; 3],
+}
+
+impl Mat3 {
+    /// Builds a matrix from rows.
+    #[inline]
+    pub const fn from_rows(r0: [f64; 3], r1: [f64; 3], r2: [f64; 3]) -> Self {
+        Self { m: [r0, r1, r2] }
+    }
+
+    /// The zero matrix.
+    #[inline]
+    pub const fn zero() -> Self {
+        Self { m: [[0.0; 3]; 3] }
+    }
+
+    /// The identity matrix.
+    #[inline]
+    pub const fn identity() -> Self {
+        Self::from_rows([1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0])
+    }
+
+    /// Diagonal matrix with entries `d`.
+    #[inline]
+    pub const fn diag(d: [f64; 3]) -> Self {
+        Self::from_rows([d[0], 0.0, 0.0], [0.0, d[1], 0.0], [0.0, 0.0, d[2]])
+    }
+
+    /// Uniform scaling `s * I`.
+    #[inline]
+    pub const fn scale(s: f64) -> Self {
+        Self::diag([s, s, s])
+    }
+
+    /// Matrix-vector product.
+    #[inline]
+    pub fn mul_vec(&self, v: &Vec3) -> Vec3 {
+        Vec3::new(
+            self.m[0][0] * v.x + self.m[0][1] * v.y + self.m[0][2] * v.z,
+            self.m[1][0] * v.x + self.m[1][1] * v.y + self.m[1][2] * v.z,
+            self.m[2][0] * v.x + self.m[2][1] * v.y + self.m[2][2] * v.z,
+        )
+    }
+
+    /// Matrix-matrix product.
+    pub fn mul(&self, o: &Mat3) -> Mat3 {
+        let mut r = Mat3::zero();
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut s = 0.0;
+                for (k, ok) in o.m.iter().enumerate() {
+                    s += self.m[i][k] * ok[j];
+                }
+                r.m[i][j] = s;
+            }
+        }
+        r
+    }
+
+    /// Matrix sum.
+    pub fn add(&self, o: &Mat3) -> Mat3 {
+        let mut r = *self;
+        for i in 0..3 {
+            for j in 0..3 {
+                r.m[i][j] += o.m[i][j];
+            }
+        }
+        r
+    }
+
+    /// Scales every entry by `s`.
+    pub fn scaled(&self, s: f64) -> Mat3 {
+        let mut r = *self;
+        for row in r.m.iter_mut() {
+            for v in row.iter_mut() {
+                *v *= s;
+            }
+        }
+        r
+    }
+
+    /// Transpose.
+    #[inline]
+    pub fn transpose(&self) -> Mat3 {
+        Mat3::from_rows(
+            [self.m[0][0], self.m[1][0], self.m[2][0]],
+            [self.m[0][1], self.m[1][1], self.m[2][1]],
+            [self.m[0][2], self.m[1][2], self.m[2][2]],
+        )
+    }
+
+    /// Outer product `u v^T`.
+    pub fn outer(u: &Vec3, v: &Vec3) -> Mat3 {
+        Mat3::from_rows(
+            [u.x * v.x, u.x * v.y, u.x * v.z],
+            [u.y * v.x, u.y * v.y, u.y * v.z],
+            [u.z * v.x, u.z * v.y, u.z * v.z],
+        )
+    }
+
+    /// Determinant by cofactor expansion.
+    pub fn det(&self) -> f64 {
+        let m = &self.m;
+        m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+            - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+            + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0])
+    }
+
+    /// Inverse via the adjugate; `None` when `|det|` is below `1e-15`.
+    pub fn inverse(&self) -> Option<Mat3> {
+        let d = self.det();
+        if d.abs() < 1e-15 {
+            return None;
+        }
+        let m = &self.m;
+        let inv_d = 1.0 / d;
+        Some(Mat3::from_rows(
+            [
+                (m[1][1] * m[2][2] - m[1][2] * m[2][1]) * inv_d,
+                (m[0][2] * m[2][1] - m[0][1] * m[2][2]) * inv_d,
+                (m[0][1] * m[1][2] - m[0][2] * m[1][1]) * inv_d,
+            ],
+            [
+                (m[1][2] * m[2][0] - m[1][0] * m[2][2]) * inv_d,
+                (m[0][0] * m[2][2] - m[0][2] * m[2][0]) * inv_d,
+                (m[0][2] * m[1][0] - m[0][0] * m[1][2]) * inv_d,
+            ],
+            [
+                (m[1][0] * m[2][1] - m[1][1] * m[2][0]) * inv_d,
+                (m[0][1] * m[2][0] - m[0][0] * m[2][1]) * inv_d,
+                (m[0][0] * m[1][1] - m[0][1] * m[1][0]) * inv_d,
+            ],
+        ))
+    }
+
+    /// Lower-triangular Cholesky factor `L` with `L L^T = self`.
+    ///
+    /// Returns `None` when the matrix is not (numerically) positive
+    /// definite. Callers holding near-singular covariances should
+    /// regularize with [`Mat3::regularized`] first.
+    pub fn cholesky(&self) -> Option<Mat3> {
+        let a = &self.m;
+        let mut l = [[0.0f64; 3]; 3];
+        for i in 0..3 {
+            for j in 0..=i {
+                let mut s = a[i][j];
+                for k in 0..j {
+                    s -= l[i][k] * l[j][k];
+                }
+                if i == j {
+                    if s <= 0.0 {
+                        return None;
+                    }
+                    l[i][j] = s.sqrt();
+                } else {
+                    l[i][j] = s / l[j][j];
+                }
+            }
+        }
+        Some(Mat3 { m: l })
+    }
+
+    /// Adds `eps` to the diagonal — a standard ridge to keep empirically
+    /// estimated covariances positive definite (needed by belief
+    /// compression when particles have collapsed to a near-plane).
+    #[inline]
+    pub fn regularized(&self, eps: f64) -> Mat3 {
+        let mut r = *self;
+        r.m[0][0] += eps;
+        r.m[1][1] += eps;
+        r.m[2][2] += eps;
+        r
+    }
+
+    /// True when the matrix is symmetric to tolerance `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        (self.m[0][1] - self.m[1][0]).abs() <= tol
+            && (self.m[0][2] - self.m[2][0]).abs() <= tol
+            && (self.m[1][2] - self.m[2][1]).abs() <= tol
+    }
+
+    /// Trace of the matrix.
+    #[inline]
+    pub fn trace(&self) -> f64 {
+        self.m[0][0] + self.m[1][1] + self.m[2][2]
+    }
+
+    /// Solves `self * x = b` for symmetric positive-definite `self`
+    /// using the Cholesky factor (forward then backward substitution).
+    pub fn solve_spd(&self, b: &Vec3) -> Option<Vec3> {
+        let l = self.cholesky()?;
+        // forward: L y = b
+        let y0 = b.x / l.m[0][0];
+        let y1 = (b.y - l.m[1][0] * y0) / l.m[1][1];
+        let y2 = (b.z - l.m[2][0] * y0 - l.m[2][1] * y1) / l.m[2][2];
+        // backward: L^T x = y
+        let x2 = y2 / l.m[2][2];
+        let x1 = (y1 - l.m[2][1] * x2) / l.m[1][1];
+        let x0 = (y0 - l.m[1][0] * x1 - l.m[2][0] * x2) / l.m[0][0];
+        Some(Vec3::new(x0, x1, x2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn spd_sample(a: f64, b: f64, c: f64, d: f64, e: f64, f: f64) -> Mat3 {
+        // Build SPD as A^T A + I for a random A.
+        let m = Mat3::from_rows([a, b, c], [d, e, f], [b, f, a + 1.0]);
+        m.transpose().mul(&m).add(&Mat3::identity())
+    }
+
+    #[test]
+    fn identity_is_its_own_inverse_and_factor() {
+        let i = Mat3::identity();
+        assert_eq!(i.inverse().unwrap(), i);
+        assert_eq!(i.cholesky().unwrap(), i);
+        assert!((i.det() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mul_vec_identity() {
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(Mat3::identity().mul_vec(&v), v);
+    }
+
+    #[test]
+    fn diag_cholesky_is_sqrt() {
+        let d = Mat3::diag([4.0, 9.0, 16.0]);
+        let l = d.cholesky().unwrap();
+        assert_eq!(l, Mat3::diag([2.0, 3.0, 4.0]));
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let m = Mat3::diag([1.0, -1.0, 1.0]);
+        assert!(m.cholesky().is_none());
+    }
+
+    #[test]
+    fn inverse_of_singular_is_none() {
+        let m = Mat3::from_rows([1.0, 2.0, 3.0], [2.0, 4.0, 6.0], [0.0, 0.0, 1.0]);
+        assert!(m.inverse().is_none());
+    }
+
+    #[test]
+    fn solve_spd_matches_inverse() {
+        let m = spd_sample(1.0, 0.2, -0.3, 0.1, 2.0, 0.4);
+        let b = Vec3::new(1.0, -2.0, 0.5);
+        let x = m.solve_spd(&b).unwrap();
+        let r = m.mul_vec(&x);
+        assert!((r - b).norm() < 1e-9);
+    }
+
+    #[test]
+    fn outer_product_rank_one() {
+        let u = Vec3::new(1.0, 2.0, 3.0);
+        let v = Vec3::new(4.0, 5.0, 6.0);
+        let o = Mat3::outer(&u, &v);
+        assert!((o.det()).abs() < 1e-9); // rank 1 => singular
+        assert!((o.m[1][2] - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regularized_adds_ridge() {
+        let m = Mat3::zero().regularized(0.5);
+        assert_eq!(m, Mat3::scale(0.5));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cholesky_reconstructs(
+            a in -2.0..2.0f64, b in -2.0..2.0f64, c in -2.0..2.0f64,
+            d in -2.0..2.0f64, e in -2.0..2.0f64, f in -2.0..2.0f64) {
+            let m = spd_sample(a, b, c, d, e, f);
+            let l = m.cholesky().expect("SPD by construction");
+            let r = l.mul(&l.transpose());
+            for i in 0..3 {
+                for j in 0..3 {
+                    prop_assert!((r.m[i][j] - m.m[i][j]).abs() < 1e-6,
+                        "mismatch at ({}, {}): {} vs {}", i, j, r.m[i][j], m.m[i][j]);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_inverse_roundtrip(
+            a in -2.0..2.0f64, b in -2.0..2.0f64, c in -2.0..2.0f64,
+            d in -2.0..2.0f64, e in -2.0..2.0f64, f in -2.0..2.0f64) {
+            let m = spd_sample(a, b, c, d, e, f);
+            let inv = m.inverse().expect("SPD is invertible");
+            let p = m.mul(&inv);
+            for i in 0..3 {
+                for j in 0..3 {
+                    let expect = if i == j { 1.0 } else { 0.0 };
+                    prop_assert!((p.m[i][j] - expect).abs() < 1e-6);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_det_of_product(
+            a in -2.0..2.0f64, b in -2.0..2.0f64, c in -2.0..2.0f64,
+            d in -2.0..2.0f64, e in -2.0..2.0f64, f in -2.0..2.0f64) {
+            let m1 = spd_sample(a, b, c, d, e, f);
+            let m2 = spd_sample(f, e, d, c, b, a);
+            let lhs = m1.mul(&m2).det();
+            let rhs = m1.det() * m2.det();
+            prop_assert!((lhs - rhs).abs() / rhs.abs().max(1.0) < 1e-6);
+        }
+
+        #[test]
+        fn prop_solve_spd_residual(
+            a in -2.0..2.0f64, b in -2.0..2.0f64, c in -2.0..2.0f64,
+            bx in -5.0..5.0f64, by in -5.0..5.0f64, bz in -5.0..5.0f64) {
+            let m = spd_sample(a, b, c, 0.3, 1.1, -0.7);
+            let rhs = Vec3::new(bx, by, bz);
+            let x = m.solve_spd(&rhs).unwrap();
+            prop_assert!((m.mul_vec(&x) - rhs).norm() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! Points and displacement vectors in 3-D space.
+//!
+//! The paper measures everything in feet; `z` is carried everywhere but the
+//! warehouse simulator pins tags to a common height, so most distances are
+//! effectively planar. [`Point3::dist_xy`] exists because the paper reports
+//! inference error "in the XY plane".
+
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A position in 3-D space, in feet.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point3 {
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+}
+
+/// A displacement between two [`Point3`]s, in feet.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+}
+
+impl Point3 {
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Self { x, y, z }
+    }
+
+    /// The origin `(0, 0, 0)`.
+    #[inline]
+    pub const fn origin() -> Self {
+        Self::new(0.0, 0.0, 0.0)
+    }
+
+    /// Euclidean distance to `other` in 3-D.
+    #[inline]
+    pub fn dist(&self, other: &Point3) -> f64 {
+        (*self - *other).norm()
+    }
+
+    /// Euclidean distance to `other` projected onto the XY plane.
+    ///
+    /// This is the error metric of the paper's evaluation ("Inference
+    /// Error in XY Plane (ft)").
+    #[inline]
+    pub fn dist_xy(&self, other: &Point3) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other`; avoids the square root on
+    /// hot paths such as particle weighting.
+    #[inline]
+    pub fn dist_sq(&self, other: &Point3) -> f64 {
+        (*self - *other).norm_sq()
+    }
+
+    /// Component-wise linear interpolation: `self` when `t == 0`, `other`
+    /// when `t == 1`.
+    #[inline]
+    pub fn lerp(&self, other: &Point3, t: f64) -> Point3 {
+        Point3::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+            self.z + (other.z - self.z) * t,
+        )
+    }
+
+    /// Returns the displacement vector from the origin to this point.
+    #[inline]
+    pub fn to_vec(self) -> Vec3 {
+        Vec3::new(self.x, self.y, self.z)
+    }
+
+    /// Returns true if all coordinates are finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+}
+
+impl Vec3 {
+    /// Creates a vector from its components.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Self { x, y, z }
+    }
+
+    /// The zero vector.
+    #[inline]
+    pub const fn zero() -> Self {
+        Self::new(0.0, 0.0, 0.0)
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Squared Euclidean norm.
+    #[inline]
+    pub fn norm_sq(&self) -> f64 {
+        self.x * self.x + self.y * self.y + self.z * self.z
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(&self, other: &Vec3) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(&self, other: &Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * other.z - self.z * other.y,
+            self.z * other.x - self.x * other.z,
+            self.x * other.y - self.y * other.x,
+        )
+    }
+
+    /// Returns the unit vector in the same direction, or `None` for the
+    /// zero vector (and anything shorter than `1e-12`).
+    #[inline]
+    pub fn normalized(&self) -> Option<Vec3> {
+        let n = self.norm();
+        if n < 1e-12 {
+            None
+        } else {
+            Some(*self / n)
+        }
+    }
+
+    /// The planar (XY) norm of the vector.
+    #[inline]
+    pub fn norm_xy(&self) -> f64 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+
+    /// Converts the vector to a point (origin + self).
+    #[inline]
+    pub fn to_point(self) -> Point3 {
+        Point3::new(self.x, self.y, self.z)
+    }
+}
+
+impl Add<Vec3> for Point3 {
+    type Output = Point3;
+    #[inline]
+    fn add(self, rhs: Vec3) -> Point3 {
+        Point3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign<Vec3> for Point3 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec3) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+        self.z += rhs.z;
+    }
+}
+
+impl Sub<Vec3> for Point3 {
+    type Output = Point3;
+    #[inline]
+    fn sub(self, rhs: Vec3) -> Point3 {
+        Point3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl SubAssign<Vec3> for Point3 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec3) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+        self.z -= rhs.z;
+    }
+}
+
+impl Sub<Point3> for Point3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, rhs: Point3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl Add<Vec3> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign<Vec3> for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec3) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+        self.z += rhs.z;
+    }
+}
+
+impl Sub<Vec3> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, rhs: f64) -> Vec3 {
+        Vec3::new(self.x * rhs, self.y * rhs, self.z * rhs)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, rhs: Vec3) -> Vec3 {
+        rhs * self
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, rhs: f64) -> Vec3 {
+        Vec3::new(self.x / rhs, self.y / rhs, self.z / rhs)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+/// Weighted centroid of `(weight, point)` pairs.
+///
+/// Returns `None` when the total weight is not strictly positive. Used to
+/// turn a weighted particle set into a location estimate (Eq. 4 in the
+/// paper reduces to this for the posterior mean).
+pub fn weighted_mean<I>(iter: I) -> Option<Point3>
+where
+    I: IntoIterator<Item = (f64, Point3)>,
+{
+    let mut wsum = 0.0;
+    let mut acc = Vec3::zero();
+    for (w, p) in iter {
+        wsum += w;
+        acc += p.to_vec() * w;
+    }
+    if wsum > 0.0 {
+        Some((acc / wsum).to_point())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn point_sub_gives_displacement() {
+        let a = Point3::new(1.0, 2.0, 3.0);
+        let b = Point3::new(4.0, 6.0, 3.0);
+        let d = b - a;
+        assert_eq!(d, Vec3::new(3.0, 4.0, 0.0));
+        assert!((d.norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dist_xy_ignores_z() {
+        let a = Point3::new(0.0, 0.0, 0.0);
+        let b = Point3::new(3.0, 4.0, 100.0);
+        assert!((a.dist_xy(&b) - 5.0).abs() < 1e-12);
+        assert!(a.dist(&b) > 100.0);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Point3::new(1.0, 1.0, 1.0);
+        let b = Point3::new(2.0, 3.0, 4.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        let mid = a.lerp(&b, 0.5);
+        assert!((mid.x - 1.5).abs() < 1e-12);
+        assert!((mid.y - 2.0).abs() < 1e-12);
+        assert!((mid.z - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_product_orthogonality() {
+        let a = Vec3::new(1.0, 0.0, 0.0);
+        let b = Vec3::new(0.0, 1.0, 0.0);
+        assert_eq!(a.cross(&b), Vec3::new(0.0, 0.0, 1.0));
+        assert!((a.cross(&b).dot(&a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_zero_vector_is_none() {
+        assert!(Vec3::zero().normalized().is_none());
+        let v = Vec3::new(0.0, 0.0, 2.0).normalized().unwrap();
+        assert!((v.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_mean_basic() {
+        let pts = vec![
+            (1.0, Point3::new(0.0, 0.0, 0.0)),
+            (1.0, Point3::new(2.0, 0.0, 0.0)),
+        ];
+        let m = weighted_mean(pts).unwrap();
+        assert!((m.x - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_mean_zero_weight_is_none() {
+        let pts = vec![(0.0, Point3::new(1.0, 1.0, 1.0))];
+        assert!(weighted_mean(pts).is_none());
+        assert!(weighted_mean(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn weighted_mean_respects_weights() {
+        let pts = vec![
+            (3.0, Point3::new(0.0, 0.0, 0.0)),
+            (1.0, Point3::new(4.0, 0.0, 0.0)),
+        ];
+        let m = weighted_mean(pts).unwrap();
+        assert!((m.x - 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dist_symmetry(ax in -100.0..100.0f64, ay in -100.0..100.0f64,
+                              bx in -100.0..100.0f64, by in -100.0..100.0f64) {
+            let a = Point3::new(ax, ay, 0.0);
+            let b = Point3::new(bx, by, 0.0);
+            prop_assert!((a.dist(&b) - b.dist(&a)).abs() < 1e-9);
+            prop_assert!(a.dist(&b) >= 0.0);
+        }
+
+        #[test]
+        fn prop_triangle_inequality(
+            ax in -50.0..50.0f64, ay in -50.0..50.0f64, az in -50.0..50.0f64,
+            bx in -50.0..50.0f64, by in -50.0..50.0f64, bz in -50.0..50.0f64,
+            cx in -50.0..50.0f64, cy in -50.0..50.0f64, cz in -50.0..50.0f64) {
+            let a = Point3::new(ax, ay, az);
+            let b = Point3::new(bx, by, bz);
+            let c = Point3::new(cx, cy, cz);
+            prop_assert!(a.dist(&c) <= a.dist(&b) + b.dist(&c) + 1e-9);
+        }
+
+        #[test]
+        fn prop_add_sub_roundtrip(
+            px in -50.0..50.0f64, py in -50.0..50.0f64, pz in -50.0..50.0f64,
+            vx in -50.0..50.0f64, vy in -50.0..50.0f64, vz in -50.0..50.0f64) {
+            let p = Point3::new(px, py, pz);
+            let v = Vec3::new(vx, vy, vz);
+            let q = (p + v) - v;
+            prop_assert!(p.dist(&q) < 1e-9);
+        }
+
+        #[test]
+        fn prop_cross_orthogonal(
+            ax in -10.0..10.0f64, ay in -10.0..10.0f64, az in -10.0..10.0f64,
+            bx in -10.0..10.0f64, by in -10.0..10.0f64, bz in -10.0..10.0f64) {
+            let a = Vec3::new(ax, ay, az);
+            let b = Vec3::new(bx, by, bz);
+            let c = a.cross(&b);
+            prop_assert!(c.dot(&a).abs() < 1e-6);
+            prop_assert!(c.dot(&b).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_weighted_mean_in_hull_1d(
+            x1 in -10.0..10.0f64, x2 in -10.0..10.0f64,
+            w1 in 0.001..10.0f64, w2 in 0.001..10.0f64) {
+            let m = weighted_mean(vec![
+                (w1, Point3::new(x1, 0.0, 0.0)),
+                (w2, Point3::new(x2, 0.0, 0.0)),
+            ]).unwrap();
+            let lo = x1.min(x2) - 1e-9;
+            let hi = x1.max(x2) + 1e-9;
+            prop_assert!(m.x >= lo && m.x <= hi);
+        }
+    }
+}

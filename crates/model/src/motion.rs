@@ -1,0 +1,138 @@
+//! The reader motion model of §III-A.
+//!
+//! "The new location is the old location plus a noisy version of the
+//! average velocity": `R_t = R_{t-1} + Δ + ε`, with `ε ~ N(0, Σ_m)`
+//! diagonal. The heading is a random walk with per-epoch std
+//! `heading_std` (zero for readers that move in a straight line within
+//! a scan). The particle filter uses this model as its proposal
+//! distribution for reader particles.
+
+use crate::params::MotionParams;
+use rfid_geom::{standard_normal, DiagGaussian3, Gaussian1, Pose};
+use rand::Rng;
+
+/// Samples and scores reader-pose transitions.
+#[derive(Debug, Clone, Copy)]
+pub struct MotionModel {
+    params: MotionParams,
+    noise: DiagGaussian3,
+}
+
+impl MotionModel {
+    /// Builds the model from its parameters.
+    pub fn new(params: MotionParams) -> Self {
+        Self {
+            params,
+            noise: DiagGaussian3::new(params.delta, params.sigma),
+        }
+    }
+
+    /// The underlying parameters.
+    pub fn params(&self) -> &MotionParams {
+        &self.params
+    }
+
+    /// Samples `R_t` given `R_{t-1}`.
+    pub fn sample_next<R: Rng + ?Sized>(&self, prev: &Pose, rng: &mut R) -> Pose {
+        let step = self.noise.sample(rng);
+        let dphi = if self.params.heading_std > 0.0 {
+            self.params.heading_std * standard_normal(rng)
+        } else {
+            0.0
+        };
+        Pose::new(prev.pos + step, prev.phi + dphi)
+    }
+
+    /// Log density `log p(next | prev)`.
+    ///
+    /// Axes with zero motion std are point masses (see
+    /// [`DiagGaussian3::log_pdf`]); a zero `heading_std` likewise pins
+    /// the heading.
+    pub fn log_pdf(&self, prev: &Pose, next: &Pose) -> f64 {
+        let dp = next.pos - prev.pos;
+        let mut lp = self.noise.log_pdf(&dp);
+        let dphi = rfid_geom::angles::wrap_pi(next.phi - prev.phi);
+        if self.params.heading_std > 0.0 {
+            lp += Gaussian1::new(0.0, self.params.heading_std).log_pdf(dphi);
+        } else if dphi.abs() > 1e-9 {
+            return f64::NEG_INFINITY;
+        }
+        lp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rfid_geom::{Point3, Vec3};
+
+    fn model() -> MotionModel {
+        MotionModel::new(MotionParams {
+            delta: Vec3::new(0.0, 0.1, 0.0),
+            sigma: Vec3::new(0.01, 0.01, 0.0),
+            heading_std: 0.0,
+        })
+    }
+
+    #[test]
+    fn samples_drift_along_delta() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = model();
+        let start = Pose::identity();
+        let mut pose = start;
+        let steps = 1000;
+        for _ in 0..steps {
+            pose = m.sample_next(&pose, &mut rng);
+        }
+        // expected displacement = steps * delta
+        assert!((pose.pos.y - 100.0 * 0.1 * (steps / 100) as f64).abs() < 2.0);
+        assert!(pose.pos.x.abs() < 2.0);
+        assert_eq!(pose.pos.z, 0.0); // zero std in z
+        assert_eq!(pose.phi, 0.0); // zero heading_std
+    }
+
+    #[test]
+    fn log_pdf_peaks_at_expected_step() {
+        let m = model();
+        let prev = Pose::identity();
+        let expected = Pose::new(Point3::new(0.0, 0.1, 0.0), 0.0);
+        let off = Pose::new(Point3::new(0.0, 0.2, 0.0), 0.0);
+        assert!(m.log_pdf(&prev, &expected) > m.log_pdf(&prev, &off));
+    }
+
+    #[test]
+    fn heading_change_impossible_with_zero_std() {
+        let m = model();
+        let prev = Pose::identity();
+        let turned = Pose::new(Point3::new(0.0, 0.1, 0.0), 0.3);
+        assert_eq!(m.log_pdf(&prev, &turned), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn heading_walk_scored_when_enabled() {
+        let m = MotionModel::new(MotionParams {
+            delta: Vec3::zero(),
+            sigma: Vec3::new(0.1, 0.1, 0.0),
+            heading_std: 0.1,
+        });
+        let prev = Pose::identity();
+        let small_turn = Pose::new(Point3::origin(), 0.05);
+        let big_turn = Pose::new(Point3::origin(), 0.5);
+        assert!(m.log_pdf(&prev, &small_turn) > m.log_pdf(&prev, &big_turn));
+        assert!(m.log_pdf(&prev, &big_turn).is_finite());
+    }
+
+    #[test]
+    fn sample_log_pdf_agreement() {
+        // Samples from the model should score finitely under it.
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = model();
+        let prev = Pose::identity();
+        for _ in 0..100 {
+            let next = m.sample_next(&prev, &mut rng);
+            assert!(m.log_pdf(&prev, &next).is_finite());
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Shelf geometry and tag placement.
+//!
+//! The simulated warehouse "consists of consecutive shelves aligned on
+//! the y axis, with objects evenly spaced on the shelves. Both shelves
+//! and objects are affixed with RFID tags. For simplicity, we assume the
+//! same height for all tags and hence ignore the z axis." (§V-A)
+//!
+//! The reader travels along the y axis at `x = 0` facing `+x`; shelf
+//! faces sit at `x = standoff` (default 2 ft).
+
+use rfid_geom::{Aabb, Point3};
+use rfid_model::object::LocationPrior;
+use rand::Rng;
+use rfid_stream::TagId;
+
+/// Tag ids at or above this value denote shelf (reference) tags;
+/// object tags count up from zero.
+pub const SHELF_TAG_BASE: u64 = 1_000_000;
+
+/// One shelf: a box of storage space whose front face carries the tags.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Shelf {
+    /// Storage region of the shelf.
+    pub bbox: Aabb,
+}
+
+impl Shelf {
+    /// Front-face x coordinate (where tags sit, closest to the aisle).
+    pub fn face_x(&self) -> f64 {
+        self.bbox.min.x
+    }
+}
+
+/// The full warehouse: consecutive shelves along the y axis.
+#[derive(Debug, Clone)]
+pub struct WarehouseLayout {
+    shelves: Vec<Shelf>,
+    /// Distance from the aisle (x=0) to the shelf face.
+    standoff: f64,
+    /// Common tag height.
+    tag_z: f64,
+}
+
+impl WarehouseLayout {
+    /// A run of `num_shelves` consecutive shelves, each `shelf_len` feet
+    /// long (along y) and `depth` feet deep (along x), with faces at
+    /// `x = standoff` and tags at height `tag_z`.
+    pub fn linear(num_shelves: usize, shelf_len: f64, depth: f64, standoff: f64, tag_z: f64) -> Self {
+        assert!(num_shelves > 0 && shelf_len > 0.0 && depth > 0.0);
+        let shelves = (0..num_shelves)
+            .map(|i| {
+                let y0 = i as f64 * shelf_len;
+                Shelf {
+                    bbox: Aabb::new(
+                        Point3::new(standoff, y0, tag_z),
+                        Point3::new(standoff + depth, y0 + shelf_len, tag_z),
+                    ),
+                }
+            })
+            .collect();
+        Self {
+            shelves,
+            standoff,
+            tag_z,
+        }
+    }
+
+    /// The paper's small-scale default: shelving long enough for the
+    /// requested number of objects at the given spacing.
+    pub fn for_objects(num_objects: usize, spacing: f64) -> Self {
+        let total_len = (num_objects as f64 * spacing).max(4.0);
+        // one shelf per ~8 feet of run
+        let num_shelves = ((total_len / 8.0).ceil() as usize).max(1);
+        let shelf_len = total_len / num_shelves as f64;
+        Self::linear(num_shelves, shelf_len, 0.5, 2.0, 0.0)
+    }
+
+    /// The shelves.
+    pub fn shelves(&self) -> &[Shelf] {
+        &self.shelves
+    }
+
+    /// Total run length along y.
+    pub fn total_length(&self) -> f64 {
+        self.shelves
+            .iter()
+            .map(|s| s.bbox.max.y - s.bbox.min.y)
+            .sum()
+    }
+
+    /// Aisle-to-face distance.
+    pub fn standoff(&self) -> f64 {
+        self.standoff
+    }
+
+    /// Common tag height.
+    pub fn tag_z(&self) -> f64 {
+        self.tag_z
+    }
+
+    /// Evenly spaced object locations along the shelf faces: object `i`
+    /// of `n` sits at the face, at `y = (i + 0.5) * total_len / n`.
+    pub fn object_slots(&self, n: usize) -> Vec<Point3> {
+        let len = self.total_length();
+        let y0 = self.shelves[0].bbox.min.y;
+        (0..n)
+            .map(|i| {
+                Point3::new(
+                    self.standoff,
+                    y0 + (i as f64 + 0.5) * len / n as f64,
+                    self.tag_z,
+                )
+            })
+            .collect()
+    }
+
+    /// `per_shelf` evenly spaced reference (shelf) tags on each shelf
+    /// face, with their assigned [`TagId`]s starting at
+    /// [`SHELF_TAG_BASE`].
+    pub fn shelf_tags(&self, per_shelf: usize) -> Vec<(TagId, Point3)> {
+        let mut out = Vec::new();
+        let mut id = SHELF_TAG_BASE;
+        for s in &self.shelves {
+            let y0 = s.bbox.min.y;
+            let len = s.bbox.max.y - s.bbox.min.y;
+            for i in 0..per_shelf {
+                let y = y0 + (i as f64 + 0.5) * len / per_shelf as f64;
+                out.push((TagId(id), Point3::new(s.face_x(), y, self.tag_z)));
+                id += 1;
+            }
+        }
+        out
+    }
+}
+
+/// The warehouse layout *is* the "uniform across all shelves" prior of
+/// the object location model: sampling picks a shelf with probability
+/// proportional to its face length, then a uniform position on the face.
+/// A type alias keeps call sites readable.
+pub type ShelfSpace = WarehouseLayout;
+
+impl LocationPrior for WarehouseLayout {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Point3 {
+        let total = self.total_length();
+        let mut pick = rng.gen_range(0.0..total);
+        for s in &self.shelves {
+            let len = s.bbox.max.y - s.bbox.min.y;
+            if pick <= len {
+                return Point3::new(s.face_x(), s.bbox.min.y + pick, self.tag_z);
+            }
+            pick -= len;
+        }
+        // numeric edge: fall back to the very end of the last shelf
+        let s = self.shelves.last().expect("layout has shelves");
+        Point3::new(s.face_x(), s.bbox.max.y, self.tag_z)
+    }
+
+    fn pdf(&self, p: &Point3) -> f64 {
+        // density along the 1-D face manifold, with a tolerance band of
+        // 0.5 ft around the face in x and z so respawned particles near
+        // the shelf count as legal.
+        let total = self.total_length();
+        for s in &self.shelves {
+            let on_face_x = (p.x - s.face_x()).abs() <= 0.5;
+            let on_face_z = (p.z - self.tag_z).abs() <= 0.5;
+            let in_y = p.y >= s.bbox.min.y - 1e-9 && p.y <= s.bbox.max.y + 1e-9;
+            if on_face_x && on_face_z && in_y {
+                return 1.0 / total;
+            }
+        }
+        0.0
+    }
+
+    fn bounds(&self) -> Aabb {
+        let mut b = Aabb::empty();
+        for s in &self.shelves {
+            b = b.union(&s.bbox);
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_layout_dimensions() {
+        let w = WarehouseLayout::linear(3, 8.0, 0.5, 2.0, 0.0);
+        assert_eq!(w.shelves().len(), 3);
+        assert!((w.total_length() - 24.0).abs() < 1e-12);
+        assert_eq!(w.standoff(), 2.0);
+        // consecutive: shelf i starts where i-1 ends
+        assert!((w.shelves()[1].bbox.min.y - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn object_slots_evenly_spaced_on_face() {
+        let w = WarehouseLayout::linear(1, 10.0, 0.5, 2.0, 0.0);
+        let slots = w.object_slots(5);
+        assert_eq!(slots.len(), 5);
+        for (i, s) in slots.iter().enumerate() {
+            assert_eq!(s.x, 2.0);
+            assert!((s.y - (i as f64 + 0.5) * 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn shelf_tags_get_reserved_ids() {
+        let w = WarehouseLayout::linear(2, 8.0, 0.5, 2.0, 0.0);
+        let tags = w.shelf_tags(4);
+        assert_eq!(tags.len(), 8);
+        assert!(tags.iter().all(|(id, _)| id.0 >= SHELF_TAG_BASE));
+        // ids are unique
+        let mut ids: Vec<u64> = tags.iter().map(|(id, _)| id.0).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 8);
+    }
+
+    #[test]
+    fn prior_samples_on_faces() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let w = WarehouseLayout::linear(3, 8.0, 0.5, 2.0, 0.0);
+        for _ in 0..500 {
+            let p = LocationPrior::sample(&w, &mut rng);
+            assert!(w.pdf(&p) > 0.0, "sample off-face: {p:?}");
+            assert_eq!(p.x, 2.0);
+            assert!(p.y >= 0.0 && p.y <= 24.0);
+        }
+    }
+
+    #[test]
+    fn prior_pdf_zero_off_shelf() {
+        let w = WarehouseLayout::linear(1, 8.0, 0.5, 2.0, 0.0);
+        assert_eq!(w.pdf(&Point3::new(0.0, 4.0, 0.0)), 0.0); // in the aisle
+        assert_eq!(w.pdf(&Point3::new(2.0, 9.0, 0.0)), 0.0); // past the end
+        assert!(w.pdf(&Point3::new(2.2, 4.0, 0.0)) > 0.0); // tolerance band
+    }
+
+    #[test]
+    fn for_objects_fits_spacing() {
+        let w = WarehouseLayout::for_objects(100, 0.5);
+        assert!((w.total_length() - 50.0).abs() < 1e-9);
+        let slots = w.object_slots(100);
+        assert!((slots[1].y - slots[0].y - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounds_cover_shelves() {
+        let w = WarehouseLayout::linear(2, 8.0, 0.5, 2.0, 0.0);
+        let b = LocationPrior::bounds(&w);
+        assert!(b.contains(&Point3::new(2.0, 0.0, 0.0)));
+        assert!(b.contains(&Point3::new(2.5, 16.0, 0.0)));
+    }
+}

@@ -1,0 +1,38 @@
+//! Warehouse and lab-deployment simulator.
+//!
+//! The paper evaluates on (a) a synthetic warehouse simulator (§V-A) and
+//! (b) a physical lab rig (§V-C: two shelves of EPC Gen2 tags scanned by
+//! a ThingMagic reader on an iRobot Create). This crate reproduces both
+//! as controlled generative processes. Per DESIGN.md §5, the lab rig is
+//! hardware we do not have, so [`lab`] *simulates* its statistically
+//! relevant properties: dead-reckoning drift, a spherical antenna
+//! pattern, timeout-dependent read rates, 4-inch tag spacing, and five
+//! reference tags per shelf.
+//!
+//! Modules:
+//! * [`layout`] — shelf geometry, tag placement, the uniform-over-shelves
+//!   location prior.
+//! * [`trajectory`] — per-epoch intended motion of the reader.
+//! * [`noise`] — reader location reporting noise, including an
+//!   accumulating dead-reckoning model for the lab.
+//! * [`truth`] — ground-truth object locations and reader poses per
+//!   epoch, for error measurement.
+//! * [`generator`] — turns (layout, trajectory, sensor, noise) into the
+//!   two raw streams plus ground truth.
+//! * [`scenario`] — canned configurations matching each experiment of
+//!   the paper.
+//! * [`lab`] — the simulated §V-C deployment.
+
+pub mod generator;
+pub mod lab;
+pub mod layout;
+pub mod noise;
+pub mod scenario;
+pub mod trajectory;
+pub mod truth;
+
+pub use generator::{MovementEvent, SimTrace, TraceGenerator};
+pub use layout::{ShelfSpace, WarehouseLayout};
+pub use noise::{DeadReckoning, ReportNoise};
+pub use trajectory::Trajectory;
+pub use truth::GroundTruth;

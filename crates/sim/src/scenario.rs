@@ -1,0 +1,205 @@
+//! Canned scenarios matching each experiment of the paper's §V.
+//!
+//! Every figure's workload is a function here, so the bench harness and
+//! the tests agree on exactly what was generated. All scenarios use the
+//! §V-A defaults unless the experiment sweeps them: cone sensor with
+//! RR_major = 100%, read frequency once per epoch, motion noise σ = .01,
+//! sensing noise σ = .01, reader speed 0.1 ft per epoch.
+
+use crate::generator::{MovementEvent, SimTrace, TraceGenerator};
+use crate::layout::WarehouseLayout;
+use crate::noise::ReportNoise;
+use crate::trajectory::Trajectory;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rfid_geom::{Point3, Vec3};
+use rfid_model::sensor::ConeSensor;
+use rfid_stream::{Epoch, TagId};
+
+/// A scenario bundles the generated trace with the layout that produced
+/// it (inference needs the layout as its location prior).
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    pub layout: WarehouseLayout,
+    pub trace: SimTrace,
+}
+
+/// Default object spacing on the shelf face, feet.
+pub const OBJECT_SPACING: f64 = 0.5;
+
+fn objects_on(layout: &WarehouseLayout, n: usize) -> Vec<(TagId, Point3)> {
+    layout
+        .object_slots(n)
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| (TagId(i as u64), p))
+        .collect()
+}
+
+/// The basic small trace used by the calibration experiments
+/// (Fig. 5(e)): `num_objects` object tags and `num_shelf_tags` shelf
+/// tags on a single scan.
+pub fn small_trace(num_objects: usize, num_shelf_tags: usize, seed: u64) -> Scenario {
+    let layout = WarehouseLayout::for_objects(num_objects.max(8), OBJECT_SPACING);
+    let objects = objects_on(&layout, num_objects);
+    let shelf_tags = layout.shelf_tags(num_shelf_tags.max(1));
+    let shelf_tags: Vec<_> = shelf_tags.into_iter().take(num_shelf_tags).collect();
+    let traj = Trajectory::linear_scan(layout.total_length(), 0.1);
+    let gen = TraceGenerator::new(ConeSensor::paper_default());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let trace = gen.generate(&layout, &traj, &objects, &shelf_tags, &[], &mut rng);
+    Scenario { layout, trace }
+}
+
+/// Fig. 5(f): vary the read rate in the major detection range
+/// (100% down to 50%), 16 object tags + 4 shelf tags.
+pub fn read_rate_trace(rr_major: f64, seed: u64) -> Scenario {
+    let layout = WarehouseLayout::for_objects(16, OBJECT_SPACING);
+    let objects = objects_on(&layout, 16);
+    let shelf_tags: Vec<_> = layout.shelf_tags(4).into_iter().take(4).collect();
+    let traj = Trajectory::linear_scan(layout.total_length(), 0.1);
+    let gen = TraceGenerator::new(ConeSensor::with_rr_major(rr_major));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let trace = gen.generate(&layout, &traj, &objects, &shelf_tags, &[], &mut rng);
+    Scenario { layout, trace }
+}
+
+/// Fig. 5(g): systematic reader-location error `mu_y` with random noise
+/// `sigma_y`, 16 object tags + 4 shelf tags.
+pub fn location_noise_trace(mu_y: f64, sigma_y: f64, seed: u64) -> Scenario {
+    let layout = WarehouseLayout::for_objects(16, OBJECT_SPACING);
+    let objects = objects_on(&layout, 16);
+    let shelf_tags: Vec<_> = layout.shelf_tags(4).into_iter().take(4).collect();
+    let traj = Trajectory::linear_scan(layout.total_length(), 0.1);
+    let gen = TraceGenerator {
+        report_noise: ReportNoise::Gaussian {
+            mu: Vec3::new(0.0, mu_y, 0.0),
+            sigma: Vec3::new(0.01, sigma_y, 0.0),
+        },
+        ..TraceGenerator::new(ConeSensor::paper_default())
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let trace = gen.generate(&layout, &traj, &objects, &shelf_tags, &[], &mut rng);
+    Scenario { layout, trace }
+}
+
+/// The tag moved by [`moving_object_trace`].
+pub const MOVED_TAG: TagId = TagId(2);
+
+/// Fig. 5(h): one object ([`MOVED_TAG`]) moves `distance` feet along
+/// the shelf after `move_after` epochs; the scan is long enough to
+/// observe both before and after (two rounds).
+pub fn moving_object_trace(distance: f64, move_after: u64, seed: u64) -> Scenario {
+    // a long enough run that the object is re-scanned after it moves
+    let num_objects = 16;
+    let layout = WarehouseLayout::for_objects(num_objects, 2.0);
+    let objects = objects_on(&layout, num_objects);
+    let shelf_tags: Vec<_> = layout.shelf_tags(4).into_iter().take(4).collect();
+    let traj = Trajectory::rounds_scan(layout.total_length(), 0.1, 2);
+    // move object 2 `distance` feet down the shelf (wrapping at the end)
+    let mover = objects[2];
+    let total = layout.total_length();
+    let new_y = (mover.1.y + distance) % total;
+    let movements = [MovementEvent {
+        epoch: Epoch(move_after),
+        tag: mover.0,
+        new_location: Point3::new(mover.1.x, new_y, mover.1.z),
+    }];
+    let gen = TraceGenerator::new(ConeSensor::paper_default());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let trace = gen.generate(&layout, &traj, &objects, &shelf_tags, &movements, &mut rng);
+    Scenario { layout, trace }
+}
+
+/// Fig. 5(i)/(j): the scalability workload — `num_objects` from 10 to
+/// 20,000, two rounds of scan of a large warehouse. The reader moves
+/// faster (0.5 ft/epoch) than the small traces so that the 20,000-object
+/// run stays tractable; tags are spaced 0.5 ft apart, and one shelf tag
+/// is placed every 20 ft.
+pub fn scalability_trace(num_objects: usize, seed: u64) -> Scenario {
+    let layout = WarehouseLayout::for_objects(num_objects, OBJECT_SPACING);
+    let objects = objects_on(&layout, num_objects);
+    let per_shelf = 2usize;
+    let shelf_tags = layout.shelf_tags(per_shelf);
+    let traj = Trajectory::rounds_scan(layout.total_length(), 0.5, 2);
+    let gen = TraceGenerator {
+        culling_range: Some(6.0),
+        ..TraceGenerator::new(ConeSensor::paper_default())
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let trace = gen.generate(&layout, &traj, &objects, &shelf_tags, &[], &mut rng);
+    Scenario { layout, trace }
+}
+
+/// The calibration trace of §V-B: readings of `num_tags` tags (up to
+/// `num_known` of which will be treated as shelf tags with known
+/// locations during learning), single pass.
+pub fn calibration_trace(num_tags: usize, seed: u64) -> Scenario {
+    small_trace(num_tags, 0, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_trace_reads_objects_and_shelves() {
+        let s = small_trace(10, 4, 1);
+        assert_eq!(s.trace.object_tags.len(), 10);
+        assert_eq!(s.trace.shelf_tags.len(), 4);
+        assert!(s.trace.num_readings() > 50);
+    }
+
+    #[test]
+    fn read_rate_scales_reading_count() {
+        let full = read_rate_trace(1.0, 2);
+        let half = read_rate_trace(0.5, 2);
+        assert!(half.trace.num_readings() < full.trace.num_readings());
+    }
+
+    #[test]
+    fn location_noise_biases_reports() {
+        let s = location_noise_trace(1.0, 0.01, 3);
+        // mean report error along y should be ~1.0
+        let mut err = 0.0;
+        let mut n = 0;
+        for rep in &s.trace.reports {
+            let e = Epoch::from_seconds(rep.time, s.trace.epoch_len);
+            if let Some(truth) = s.trace.truth.reader_at(e) {
+                err += rep.pose.pos.y - truth.pos.y;
+                n += 1;
+            }
+        }
+        let mean = err / n as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean y bias {mean}");
+    }
+
+    #[test]
+    fn moving_object_trace_moves_exactly_one() {
+        let s = moving_object_trace(6.0, 100, 4);
+        let mut moved = 0;
+        for tag in s.trace.truth.object_tags().collect::<Vec<_>>() {
+            let a = s.trace.truth.object_at(tag, Epoch(0)).unwrap();
+            let b = s.trace.truth.object_at(tag, Epoch(10_000)).unwrap();
+            if a.dist(&b) > 1e-9 {
+                moved += 1;
+                assert!((a.dist(&b) - 6.0).abs() < 1e-9, "moved {}", a.dist(&b));
+            }
+        }
+        assert_eq!(moved, 1);
+    }
+
+    #[test]
+    fn scalability_trace_large_counts() {
+        let s = scalability_trace(1000, 5);
+        assert_eq!(s.trace.object_tags.len(), 1000);
+        assert!(s.trace.num_readings() > 1000);
+        // two rounds: the trajectory ends back near the start
+        let last = s
+            .trace
+            .truth
+            .reader_at(Epoch((s.trace.truth.num_epochs() - 1) as u64))
+            .unwrap();
+        assert!(last.pos.y.abs() < 3.0, "end y {}", last.pos.y);
+    }
+}

@@ -1,0 +1,125 @@
+//! Ground truth for error measurement.
+//!
+//! Records the true reader pose per epoch and each object's true
+//! location over time (as a change list, since objects move rarely).
+
+use rfid_geom::{Point3, Pose};
+use rfid_stream::{Epoch, TagId};
+use std::collections::BTreeMap;
+
+/// Per-object location history: `(epoch_from, location)` entries sorted
+/// by epoch; the location holds until the next entry.
+#[derive(Debug, Clone, Default)]
+struct ObjectHistory {
+    changes: Vec<(Epoch, Point3)>,
+}
+
+impl ObjectHistory {
+    fn at(&self, epoch: Epoch) -> Option<Point3> {
+        // last change at or before `epoch`
+        match self.changes.binary_search_by_key(&epoch, |(e, _)| *e) {
+            Ok(i) => Some(self.changes[i].1),
+            Err(0) => None,
+            Err(i) => Some(self.changes[i - 1].1),
+        }
+    }
+}
+
+/// The complete ground truth of a generated trace.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    reader: Vec<(Epoch, Pose)>,
+    objects: BTreeMap<TagId, ObjectHistory>,
+}
+
+impl GroundTruth {
+    /// Creates an empty record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the true reader pose of an epoch (must be pushed in
+    /// epoch order).
+    pub fn push_reader(&mut self, epoch: Epoch, pose: Pose) {
+        debug_assert!(self.reader.last().is_none_or(|(e, _)| *e < epoch));
+        self.reader.push((epoch, pose));
+    }
+
+    /// Records a (re)location of an object effective from `epoch`.
+    pub fn set_object(&mut self, tag: TagId, epoch: Epoch, loc: Point3) {
+        let h = self.objects.entry(tag).or_default();
+        debug_assert!(h.changes.last().is_none_or(|(e, _)| *e <= epoch));
+        h.changes.push((epoch, loc));
+    }
+
+    /// The true reader pose at an epoch.
+    pub fn reader_at(&self, epoch: Epoch) -> Option<Pose> {
+        match self.reader.binary_search_by_key(&epoch, |(e, _)| *e) {
+            Ok(i) => Some(self.reader[i].1),
+            Err(_) => None,
+        }
+    }
+
+    /// The true location of an object at an epoch (`None` before it
+    /// first appears).
+    pub fn object_at(&self, tag: TagId, epoch: Epoch) -> Option<Point3> {
+        self.objects.get(&tag).and_then(|h| h.at(epoch))
+    }
+
+    /// All tracked object tags.
+    pub fn object_tags(&self) -> impl Iterator<Item = TagId> + '_ {
+        self.objects.keys().copied()
+    }
+
+    /// Number of tracked objects.
+    pub fn num_objects(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Number of recorded reader epochs.
+    pub fn num_epochs(&self) -> usize {
+        self.reader.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reader_lookup_exact() {
+        let mut g = GroundTruth::new();
+        g.push_reader(Epoch(0), Pose::identity());
+        g.push_reader(Epoch(1), Pose::new(Point3::new(0.0, 0.1, 0.0), 0.0));
+        assert!(g.reader_at(Epoch(1)).is_some());
+        assert!(g.reader_at(Epoch(5)).is_none());
+        assert_eq!(g.num_epochs(), 2);
+    }
+
+    #[test]
+    fn object_history_holds_until_change() {
+        let mut g = GroundTruth::new();
+        let tag = TagId(3);
+        g.set_object(tag, Epoch(0), Point3::new(1.0, 1.0, 0.0));
+        g.set_object(tag, Epoch(10), Point3::new(5.0, 5.0, 0.0));
+        assert_eq!(g.object_at(tag, Epoch(0)).unwrap().x, 1.0);
+        assert_eq!(g.object_at(tag, Epoch(9)).unwrap().x, 1.0);
+        assert_eq!(g.object_at(tag, Epoch(10)).unwrap().x, 5.0);
+        assert_eq!(g.object_at(tag, Epoch(99)).unwrap().x, 5.0);
+    }
+
+    #[test]
+    fn unknown_object_is_none() {
+        let g = GroundTruth::new();
+        assert!(g.object_at(TagId(9), Epoch(0)).is_none());
+        assert_eq!(g.num_objects(), 0);
+    }
+
+    #[test]
+    fn before_first_appearance_is_none() {
+        let mut g = GroundTruth::new();
+        g.set_object(TagId(1), Epoch(5), Point3::origin());
+        assert!(g.object_at(TagId(1), Epoch(4)).is_none());
+        assert!(g.object_at(TagId(1), Epoch(5)).is_some());
+    }
+}

@@ -1,0 +1,110 @@
+//! The stream tuple types of the pipeline: raw readings, reader
+//! location reports, and cleaned location events.
+
+use crate::epoch::Epoch;
+use rfid_geom::{Point3, Pose};
+use std::fmt;
+
+/// An RFID tag identifier (EPC code abstracted to a u64).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TagId(pub u64);
+
+impl fmt::Display for TagId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tag:{:06}", self.0)
+    }
+}
+
+/// One raw reading from the RFID reading stream: `(time, tag_id)`. The
+/// tag may be an object tag or a shelf tag — the consumer decides using
+/// its registry of known shelf tags.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RfidReading {
+    /// Wall-clock seconds since trace start.
+    pub time: f64,
+    pub tag: TagId,
+}
+
+/// One raw report from the reader location stream:
+/// `(time, (x, y, z))` plus the reported heading (a robotic reader's
+/// odometry reports orientation along with position; see DESIGN.md §5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReaderLocationReport {
+    /// Wall-clock seconds since trace start.
+    pub time: f64,
+    pub pose: Pose,
+}
+
+/// Summary statistics optionally attached to an output event —
+/// "the optional statistics field can be used to report summary
+/// information of the estimated location distribution".
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EventStats {
+    /// Per-axis variance of the location estimate, in square feet.
+    pub var: [f64; 3],
+    /// Effective number of particles (or samples) behind the estimate.
+    pub support: f64,
+}
+
+impl EventStats {
+    /// Radius of a ~95% circular confidence region in the XY plane,
+    /// from the per-axis variances (2-sigma of the larger axis).
+    pub fn confidence_radius_xy(&self) -> f64 {
+        2.0 * self.var[0].max(self.var[1]).max(0.0).sqrt()
+    }
+}
+
+/// One cleaned output event:
+/// `(time, tag_id, (x, y, z), (statistics)?)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocationEvent {
+    pub epoch: Epoch,
+    pub tag: TagId,
+    pub location: Point3,
+    pub stats: Option<EventStats>,
+}
+
+impl LocationEvent {
+    /// Creates an event without statistics.
+    pub fn new(epoch: Epoch, tag: TagId, location: Point3) -> Self {
+        Self {
+            epoch,
+            tag,
+            location,
+            stats: None,
+        }
+    }
+
+    /// Attaches statistics.
+    pub fn with_stats(mut self, stats: EventStats) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_display() {
+        assert_eq!(TagId(7).to_string(), "tag:000007");
+    }
+
+    #[test]
+    fn confidence_radius_uses_worst_axis() {
+        let s = EventStats {
+            var: [0.01, 0.04, 0.0],
+            support: 100.0,
+        };
+        assert!((s.confidence_radius_xy() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn event_builder() {
+        let e = LocationEvent::new(Epoch(3), TagId(1), Point3::new(1.0, 2.0, 0.0))
+            .with_stats(EventStats::default());
+        assert_eq!(e.epoch, Epoch(3));
+        assert!(e.stats.is_some());
+    }
+}

@@ -1,0 +1,57 @@
+//! `Group By` aggregation and `Having` filtering.
+
+use std::collections::BTreeMap;
+
+/// Groups items by `key_fn` and sums `val_fn` within each group —
+/// the `Group By E2.area ... sum(E2.weight)` step of the fire-code
+/// query. `BTreeMap` keeps output deterministic.
+pub fn group_sum<T, K, FK, FV>(items: impl IntoIterator<Item = T>, key_fn: FK, val_fn: FV) -> BTreeMap<K, f64>
+where
+    K: Ord,
+    FK: Fn(&T) -> K,
+    FV: Fn(&T) -> f64,
+{
+    let mut out: BTreeMap<K, f64> = BTreeMap::new();
+    for item in items {
+        let k = key_fn(&item);
+        let v = val_fn(&item);
+        *out.entry(k).or_insert(0.0) += v;
+    }
+    out
+}
+
+/// Keeps groups whose aggregate satisfies `pred` — the `Having` clause.
+pub fn having<K: Ord, F>(groups: BTreeMap<K, f64>, pred: F) -> BTreeMap<K, f64>
+where
+    F: Fn(f64) -> bool,
+{
+    groups.into_iter().filter(|(_, v)| pred(*v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_sum_basic() {
+        let items = vec![("a", 1.0), ("b", 2.0), ("a", 3.0)];
+        let g = group_sum(items, |t| t.0, |t| t.1);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g["a"], 4.0);
+        assert_eq!(g["b"], 2.0);
+    }
+
+    #[test]
+    fn group_sum_empty() {
+        let g = group_sum(Vec::<(u8, f64)>::new(), |t| t.0, |t| t.1);
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn having_filters() {
+        let items = vec![(1, 10.0), (2, 5.0), (1, 10.0)];
+        let g = having(group_sum(items, |t| t.0, |t| t.1), |v| v > 15.0);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[&1], 20.0);
+    }
+}

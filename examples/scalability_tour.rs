@@ -1,0 +1,104 @@
+//! A tour of the three scalability enhancements of §IV: run the same
+//! warehouse trace through the basic filter, the factored filter, the
+//! factored+indexed filter, and the full system, and watch the cost
+//! per reading collapse while accuracy holds.
+//!
+//! ```text
+//! cargo run --release --example scalability_tour
+//! ```
+
+use rfid_repro::core::engine::run_engine;
+use rfid_repro::core::BasicParticleFilter;
+use rfid_repro::prelude::*;
+use rfid_repro::sim::scenario;
+use std::time::Instant;
+
+fn main() {
+    let num_objects = 200;
+    let sc = scenario::scalability_trace(num_objects, 4242);
+    let batches = sc.trace.epoch_batches();
+    let readings: usize = batches.iter().map(|b| b.readings.len()).sum();
+    println!(
+        "warehouse: {num_objects} objects, {} epochs, {readings} raw readings\n",
+        batches.len()
+    );
+
+    let score = |events: &[LocationEvent]| -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0;
+        for e in events {
+            if let Some(t) = sc.trace.truth.object_at(e.tag, e.epoch) {
+                sum += e.location.dist_xy(&t);
+                n += 1;
+            }
+        }
+        sum / n.max(1) as f64
+    };
+
+    println!("{:<34} {:>9} {:>12} {:>10}", "variant", "error ft", "ms/reading", "mem MB");
+
+    // --- basic (unfactorized) filter: small joint-particle budget ---
+    // (at 200 objects a *fair* budget would be astronomically large;
+    // this is exactly the paper's point)
+    {
+        let model = JointModel::with_sensor(
+            ConeSensor::paper_default(),
+            ModelParams::default_warehouse(),
+        );
+        let mut f = BasicParticleFilter::new(
+            model,
+            sc.layout.clone(),
+            sc.trace.shelf_tags.clone(),
+            FilterConfig::factored_default(),
+            20_000,
+        )
+        .expect("valid configuration");
+        let start = Instant::now();
+        let mut events = Vec::new();
+        for b in &batches {
+            events.extend(f.process_batch(b));
+        }
+        events.extend(f.finalize(batches.last().unwrap().epoch));
+        let ms = start.elapsed().as_secs_f64() * 1e3 / readings as f64;
+        println!(
+            "{:<34} {:>9.2} {:>12.3} {:>10}",
+            "Unfactorized (20k joint particles)",
+            score(&events),
+            ms,
+            "-"
+        );
+    }
+
+    // --- the three engine variants ----------------------------------
+    let variants: [(&str, FilterConfig); 3] = [
+        ("Factorized", FilterConfig::factored_default()),
+        ("Factorized+Index", FilterConfig::indexed_default()),
+        ("Factorized+Index+Compression", FilterConfig::full_default()),
+    ];
+    for (name, mut cfg) in variants {
+        cfg.particles_per_object = 1000;
+        let model = JointModel::with_sensor(
+            ConeSensor::paper_default(),
+            ModelParams::default_warehouse(),
+        );
+        let mut engine = InferenceEngine::new(
+            model,
+            sc.layout.clone(),
+            sc.trace.shelf_tags.clone(),
+            cfg,
+        )
+        .expect("valid configuration");
+        let start = Instant::now();
+        let events = run_engine(&mut engine, &batches);
+        let ms = start.elapsed().as_secs_f64() * 1e3 / readings as f64;
+        println!(
+            "{:<34} {:>9.2} {:>12.3} {:>10.1}",
+            name,
+            score(&events),
+            ms,
+            engine.memory_bytes() as f64 / (1024.0 * 1024.0)
+        );
+    }
+    println!("\n(see `cargo run -p rfid-bench --release --bin experiments -- fig5ij-scalability`");
+    println!(" for the full Fig 5(i)/(j) sweep up to 20,000 objects)");
+}

@@ -1,0 +1,93 @@
+//! Cross-crate calibration test: EM self-calibration (rfid-learn) on a
+//! simulated trace (rfid-sim) improves inference (rfid-core).
+
+use rfid_repro::core::engine::run_engine;
+use rfid_repro::prelude::*;
+use rfid_repro::sim::scenario;
+
+fn mean_err(events: &[LocationEvent], truth: &rfid_repro::sim::GroundTruth) -> f64 {
+    let mut s = 0.0;
+    let mut n = 0;
+    for e in events {
+        if let Some(t) = truth.object_at(e.tag, e.epoch) {
+            s += e.location.dist_xy(&t);
+            n += 1;
+        }
+    }
+    assert!(n > 0);
+    s / n as f64
+}
+
+#[test]
+fn calibrated_model_performs_on_held_out_trace() {
+    // train on one trace, evaluate on a fresh one (different seed)
+    let train = scenario::small_trace(16, 4, 1000);
+    let mut init = ModelParams::default_warehouse();
+    init.sensor = SensorParams {
+        a: [2.0, -0.2, -0.05],
+        b: [-0.1, -0.5],
+    };
+    let em_cfg = EmConfig {
+        iterations: 3,
+        ..EmConfig::default()
+    };
+    let learned = calibrate(
+        &train.trace.epoch_batches(),
+        &train.trace.shelf_tags,
+        &train.layout,
+        init,
+        &em_cfg,
+    )
+    .params;
+
+    let test = scenario::small_trace(10, 4, 2000);
+    let mut cfg = FilterConfig::factored_default();
+    cfg.particles_per_object = 800;
+
+    let run = |params: ModelParams| {
+        let mut engine = InferenceEngine::new(
+            JointModel::new(params),
+            test.layout.clone(),
+            test.trace.shelf_tags.clone(),
+            cfg,
+        )
+        .unwrap();
+        mean_err(
+            &run_engine(&mut engine, &test.trace.epoch_batches()),
+            &test.trace.truth,
+        )
+    };
+
+    let err_init = run(init);
+    let err_learned = run(learned);
+    assert!(
+        err_learned < 1.0,
+        "calibrated model should localize within a foot, got {err_learned}"
+    );
+    assert!(
+        err_learned <= err_init + 0.1,
+        "calibration should not hurt: {err_init} -> {err_learned}"
+    );
+}
+
+#[test]
+fn learned_coefficients_respect_physical_signs() {
+    // the paper expects the decay coefficients to be negative
+    let train = scenario::small_trace(16, 4, 1234);
+    let em_cfg = EmConfig {
+        iterations: 3,
+        ..EmConfig::default()
+    };
+    let learned = calibrate(
+        &train.trace.epoch_batches(),
+        &train.trace.shelf_tags,
+        &train.layout,
+        ModelParams::default_warehouse(),
+        &em_cfg,
+    )
+    .params;
+    let [_, a1, a2] = learned.sensor.a;
+    let [b1, b2] = learned.sensor.b;
+    assert!(a1 <= 1e-9 && a2 <= 1e-9, "distance decay not negative: {a1}, {a2}");
+    assert!(b1 <= 1e-9 && b2 <= 1e-9, "angle decay not negative: {b1}, {b2}");
+}

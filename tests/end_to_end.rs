@@ -1,0 +1,140 @@
+//! End-to-end integration through the umbrella crate: simulator →
+//! stream synchronization → inference engine → location events.
+
+use rfid_repro::core::engine::run_engine;
+use rfid_repro::prelude::*;
+use rfid_repro::sim::scenario;
+
+fn mean_err(events: &[LocationEvent], truth: &rfid_repro::sim::GroundTruth) -> f64 {
+    let mut s = 0.0;
+    let mut n = 0;
+    for e in events {
+        if let Some(t) = truth.object_at(e.tag, e.epoch) {
+            s += e.location.dist_xy(&t);
+            n += 1;
+        }
+    }
+    assert!(n > 0);
+    s / n as f64
+}
+
+#[test]
+fn full_system_cleans_a_warehouse_trace() {
+    let sc = scenario::small_trace(10, 4, 2024);
+    let model = JointModel::new(ModelParams::default_warehouse());
+    let mut cfg = FilterConfig::full_default();
+    cfg.particles_per_object = 800;
+    let mut engine =
+        InferenceEngine::new(model, sc.layout.clone(), sc.trace.shelf_tags.clone(), cfg)
+            .expect("valid configuration");
+    let events = run_engine(&mut engine, &sc.trace.epoch_batches());
+    // one event per object, all located within a foot on average
+    assert_eq!(events.len(), 10);
+    let err = mean_err(&events, &sc.trace.truth);
+    assert!(err < 1.0, "mean error {err} ft");
+    // statistics attached to every event
+    assert!(events.iter().all(|e| e.stats.is_some()));
+}
+
+#[test]
+fn true_sensor_engine_matches_logistic_engine_closely() {
+    // Inference with the ground-truth cone and with the generic
+    // logistic approximation should land in the same neighborhood.
+    let sc = scenario::small_trace(10, 4, 31);
+    let batches = sc.trace.epoch_batches();
+    let mut cfg = FilterConfig::factored_default();
+    cfg.particles_per_object = 600;
+
+    let mut e1 = InferenceEngine::new(
+        JointModel::with_sensor(ConeSensor::paper_default(), ModelParams::default_warehouse()),
+        sc.layout.clone(),
+        sc.trace.shelf_tags.clone(),
+        cfg,
+    )
+    .unwrap();
+    let ev1 = run_engine(&mut e1, &batches);
+
+    let mut e2 = InferenceEngine::new(
+        JointModel::new(ModelParams::default_warehouse()),
+        sc.layout.clone(),
+        sc.trace.shelf_tags.clone(),
+        cfg,
+    )
+    .unwrap();
+    let ev2 = run_engine(&mut e2, &batches);
+
+    let d1 = mean_err(&ev1, &sc.trace.truth);
+    let d2 = mean_err(&ev2, &sc.trace.truth);
+    assert!(d1 < 1.0, "true-sensor error {d1}");
+    assert!(d2 < 1.0, "logistic error {d2}");
+    assert!((d1 - d2).abs() < 0.8, "models disagree: {d1} vs {d2}");
+}
+
+#[test]
+fn engine_is_deterministic_for_a_fixed_seed() {
+    let sc = scenario::small_trace(6, 2, 55);
+    let batches = sc.trace.epoch_batches();
+    let run = || {
+        let mut cfg = FilterConfig::full_default();
+        cfg.particles_per_object = 300;
+        let mut engine = InferenceEngine::new(
+            JointModel::new(ModelParams::default_warehouse()),
+            sc.layout.clone(),
+            sc.trace.shelf_tags.clone(),
+            cfg,
+        )
+        .unwrap();
+        run_engine(&mut engine, &batches)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.tag, y.tag);
+        assert!(x.location.dist(&y.location) < 1e-12, "nondeterministic output");
+    }
+}
+
+#[test]
+fn reader_estimate_tracks_biased_reports_via_shelf_tags() {
+    // systematic y bias in the reports; the engine's reader estimate
+    // should stay closer to the truth than the raw reports do
+    let sc = scenario::location_noise_trace(0.8, 0.2, 77);
+    let batches = sc.trace.epoch_batches();
+    let mut params = ModelParams::default_warehouse();
+    // the engine knows reports are noisy but not the exact bias: give
+    // it a weak report trust and let shelf tags correct the rest
+    params.sensing.sigma = Vec3::new(0.3, 0.3, 0.0);
+    let mut cfg = FilterConfig::factored_default();
+    cfg.particles_per_object = 400;
+    cfg.reader_particles = 200;
+    let mut engine = InferenceEngine::new(
+        JointModel::with_sensor(ConeSensor::paper_default(), params),
+        sc.layout.clone(),
+        sc.trace.shelf_tags.clone(),
+        cfg,
+    )
+    .unwrap();
+
+    let mut report_err = 0.0;
+    let mut est_err = 0.0;
+    let mut n = 0;
+    for b in &batches {
+        engine.process_batch(b);
+        if let (Some(rep), Some(est), Some(truth)) = (
+            b.reader_report,
+            engine.reader_estimate(),
+            sc.trace.truth.reader_at(b.epoch),
+        ) {
+            report_err += rep.pos.dist_xy(&truth.pos);
+            est_err += est.pos.dist_xy(&truth.pos);
+            n += 1;
+        }
+    }
+    let report_err = report_err / n as f64;
+    let est_err = est_err / n as f64;
+    assert!(
+        est_err < report_err,
+        "engine should beat raw reports: est {est_err} vs reports {report_err}"
+    );
+}

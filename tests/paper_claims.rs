@@ -1,0 +1,134 @@
+//! The paper's §IV claims, asserted end to end at small scale:
+//!
+//! 1. factorization beats the unfactorized filter at comparable budget;
+//! 2. spatial indexing cuts per-epoch work without hurting accuracy;
+//! 3. belief compression cuts memory without hurting accuracy.
+
+use rfid_repro::core::engine::run_engine;
+use rfid_repro::core::BasicParticleFilter;
+use rfid_repro::prelude::*;
+use rfid_repro::sim::scenario;
+
+fn mean_err(events: &[LocationEvent], truth: &rfid_repro::sim::GroundTruth) -> f64 {
+    let mut s = 0.0;
+    let mut n = 0;
+    for e in events {
+        if let Some(t) = truth.object_at(e.tag, e.epoch) {
+            s += e.location.dist_xy(&t);
+            n += 1;
+        }
+    }
+    assert!(n > 0);
+    s / n as f64
+}
+
+#[test]
+fn factorization_beats_unfactorized_at_same_total_budget() {
+    // 30 objects; the factored filter gets 500 particles per object,
+    // the unfactorized filter the same *total* budget (15,000 joint
+    // particles). The paper's Fig 3(a) argument predicts the factored
+    // filter wins because good per-object hypotheses combine.
+    let sc = scenario::scalability_trace(30, 4040);
+    let batches = sc.trace.epoch_batches();
+    let model = || {
+        JointModel::with_sensor(ConeSensor::paper_default(), ModelParams::default_warehouse())
+    };
+
+    let mut cfg = FilterConfig::factored_default();
+    cfg.particles_per_object = 500;
+    cfg.report_delay_epochs = 30;
+    let mut engine =
+        InferenceEngine::new(model(), sc.layout.clone(), sc.trace.shelf_tags.clone(), cfg)
+            .unwrap();
+    let factored = run_engine(&mut engine, &batches);
+
+    let mut basic = BasicParticleFilter::new(
+        model(),
+        sc.layout.clone(),
+        sc.trace.shelf_tags.clone(),
+        cfg,
+        15_000,
+    )
+    .unwrap();
+    let mut unfactored = Vec::new();
+    for b in &batches {
+        unfactored.extend(basic.process_batch(b));
+    }
+    unfactored.extend(basic.finalize(batches.last().unwrap().epoch));
+
+    let e_f = mean_err(&factored, &sc.trace.truth);
+    let e_u = mean_err(&unfactored, &sc.trace.truth);
+    assert!(
+        e_f < e_u,
+        "factored ({e_f:.2} ft) should beat unfactorized ({e_u:.2} ft) at equal budget"
+    );
+}
+
+#[test]
+fn spatial_index_cuts_work_not_accuracy() {
+    let sc = scenario::scalability_trace(150, 4141);
+    let batches = sc.trace.epoch_batches();
+    let run = |use_index: bool| {
+        let mut cfg = FilterConfig::factored_default();
+        cfg.particles_per_object = 300;
+        cfg.use_spatial_index = use_index;
+        cfg.report_delay_epochs = 30;
+        let model = JointModel::with_sensor(
+            ConeSensor::paper_default(),
+            ModelParams::default_warehouse(),
+        );
+        let mut engine =
+            InferenceEngine::new(model, sc.layout.clone(), sc.trace.shelf_tags.clone(), cfg)
+                .unwrap();
+        let events = run_engine(&mut engine, &batches);
+        (mean_err(&events, &sc.trace.truth), engine.stats().object_updates)
+    };
+    let (err_plain, updates_plain) = run(false);
+    let (err_indexed, updates_indexed) = run(true);
+    assert!(
+        updates_indexed * 3 < updates_plain,
+        "index should cut object updates by a large factor: {updates_indexed} vs {updates_plain}"
+    );
+    assert!(
+        err_indexed < err_plain + 0.3,
+        "index must not hurt accuracy: {err_plain:.2} -> {err_indexed:.2}"
+    );
+}
+
+#[test]
+fn compression_cuts_memory_not_accuracy() {
+    let sc = scenario::scalability_trace(60, 4242);
+    let batches = sc.trace.epoch_batches();
+    let run = |compress: bool| {
+        let mut cfg = FilterConfig::indexed_default();
+        cfg.particles_per_object = 300;
+        cfg.report_delay_epochs = 30;
+        if compress {
+            cfg.compression = CompressionPolicy::paper_default();
+        }
+        let model = JointModel::with_sensor(
+            ConeSensor::paper_default(),
+            ModelParams::default_warehouse(),
+        );
+        let mut engine =
+            InferenceEngine::new(model, sc.layout.clone(), sc.trace.shelf_tags.clone(), cfg)
+                .unwrap();
+        let events = run_engine(&mut engine, &batches);
+        (
+            mean_err(&events, &sc.trace.truth),
+            engine.memory_bytes(),
+            engine.stats().compressions,
+        )
+    };
+    let (err_off, mem_off, _) = run(false);
+    let (err_on, mem_on, compressions) = run(true);
+    assert!(compressions > 0, "compression never fired");
+    assert!(
+        mem_on * 3 < mem_off,
+        "compression should shrink belief memory: {mem_on} vs {mem_off} bytes"
+    );
+    assert!(
+        err_on < err_off + 0.4,
+        "compression must not obviously degrade accuracy: {err_off:.2} -> {err_on:.2}"
+    );
+}
