@@ -28,8 +28,16 @@ pub fn sample_range_shelf<R: Rng + ?Sized>(
     let hi_y = shelf.max.y.min(center.y + range);
     if lo_x <= hi_x && lo_y <= hi_y {
         for _ in 0..64 {
-            let x = if hi_x > lo_x { rng.gen_range(lo_x..=hi_x) } else { lo_x };
-            let y = if hi_y > lo_y { rng.gen_range(lo_y..=hi_y) } else { lo_y };
+            let x = if hi_x > lo_x {
+                rng.gen_range(lo_x..=hi_x)
+            } else {
+                lo_x
+            };
+            let y = if hi_y > lo_y {
+                rng.gen_range(lo_y..=hi_y)
+            } else {
+                lo_y
+            };
             let p = Point3::new(x, y, z);
             if p.dist_xy(center) <= range {
                 return p;

@@ -166,21 +166,13 @@ impl Smurf {
                 let half = len / 2;
                 let transition = if half >= 1 {
                     let older = len - half;
-                    let older_reads = state
-                        .history
-                        .iter()
-                        .take(older)
-                        .filter(|b| **b)
-                        .count() as f64;
+                    let older_reads =
+                        state.history.iter().take(older).filter(|b| **b).count() as f64;
                     // Laplace-smoothed estimate: a single-epoch older
                     // half must not yield p1 = 1 with zero variance
                     let p1 = (older_reads + 1.0) / (older as f64 + 2.0);
-                    let recent_reads = state
-                        .history
-                        .iter()
-                        .skip(older)
-                        .filter(|b| **b)
-                        .count() as f64;
+                    let recent_reads =
+                        state.history.iter().skip(older).filter(|b| **b).count() as f64;
                     let expected = p1 * half as f64;
                     let sigma = (half as f64 * p1 * (1.0 - p1)).sqrt();
                     p1 > 0.0 && recent_reads < expected - 2.0 * sigma
@@ -204,12 +196,8 @@ impl Smurf {
                 if let Some(rep) = reported {
                     let pose: Pose = rep;
                     let shelf = nearest_shelf(&self.config.shelves, &pose);
-                    let p = sample_range_shelf(
-                        &pose.pos,
-                        self.config.read_range,
-                        shelf,
-                        &mut self.rng,
-                    );
+                    let p =
+                        sample_range_shelf(&pose.pos, self.config.read_range, shelf, &mut self.rng);
                     state.acc.push(p);
                 }
             } else if state.in_scope {

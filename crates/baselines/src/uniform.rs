@@ -59,8 +59,7 @@ impl UniformBaseline {
                     continue;
                 }
                 let shelf = nearest_shelf(&self.shelves, &rep);
-                let sample =
-                    sample_range_shelf(&rep.pos, self.read_range, shelf, &mut self.rng);
+                let sample = sample_range_shelf(&rep.pos, self.read_range, shelf, &mut self.rng);
                 let entry = self
                     .tags
                     .entry(*tag)
@@ -78,12 +77,12 @@ impl UniformBaseline {
         for (tag, (sample, count, last_read, in_scope)) in self.tags.iter_mut() {
             if *in_scope && epoch.since(*last_read) > self.scope_gap {
                 *in_scope = false;
-                events.push(LocationEvent::new(epoch, *tag, *sample).with_stats(
-                    EventStats {
+                events.push(
+                    LocationEvent::new(epoch, *tag, *sample).with_stats(EventStats {
                         var: [0.0; 3],
                         support: *count as f64,
-                    },
-                ));
+                    }),
+                );
                 *count = 0;
             }
         }
@@ -97,12 +96,12 @@ impl UniformBaseline {
         for (tag, (sample, count, _, in_scope)) in self.tags.iter_mut() {
             if *in_scope {
                 *in_scope = false;
-                events.push(LocationEvent::new(epoch, *tag, *sample).with_stats(
-                    EventStats {
+                events.push(
+                    LocationEvent::new(epoch, *tag, *sample).with_stats(EventStats {
                         var: [0.0; 3],
                         support: *count as f64,
-                    },
-                ));
+                    }),
+                );
                 *count = 0;
             }
         }

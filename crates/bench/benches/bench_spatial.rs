@@ -12,7 +12,11 @@ fn build_tree(n: usize, seed: u64) -> RTree<u32> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut t = RTree::new();
     for i in 0..n as u32 {
-        let c = Point3::new(rng.gen_range(-500.0..500.0), rng.gen_range(-500.0..500.0), 0.0);
+        let c = Point3::new(
+            rng.gen_range(-500.0..500.0),
+            rng.gen_range(-500.0..500.0),
+            0.0,
+        );
         t.insert(Aabb::cube(c, rng.gen_range(1.0..6.0)), i);
     }
     t

@@ -13,8 +13,8 @@
 
 use rfid_bench::report::{f2, f3, Report, Table};
 use rfid_bench::runner::{
-    run_baseline_smurf, run_baseline_uniform, run_engine_variant, run_motion_off,
-    EngineVariant, InferenceSensor,
+    run_baseline_smurf, run_baseline_uniform, run_engine_variant, run_motion_off, EngineVariant,
+    InferenceSensor,
 };
 use rfid_bench::ErrorStats;
 use rfid_learn::{calibrate, EmConfig};
@@ -513,7 +513,11 @@ fn fig5ij_scalability(opts: Opts) {
     let mut rows: Vec<Row> = Vec::new();
 
     let sizes_unf: &[usize] = if opts.quick { &[10] } else { &[10, 20] };
-    let sizes_fac: &[usize] = if opts.quick { &[10, 100] } else { &[10, 100, 500] };
+    let sizes_fac: &[usize] = if opts.quick {
+        &[10, 100]
+    } else {
+        &[10, 100, 500]
+    };
     let sizes_idx: &[usize] = if opts.quick {
         &[10, 100, 1000]
     } else {
@@ -742,7 +746,10 @@ fn ablation_init(opts: Opts) {
         )
         .expect("valid");
         let events = rfid_core::engine::run_engine(&mut engine, &batches);
-        t.row(vec![f2(factor), f2(score(&events, &sc.trace.truth).mean_xy)]);
+        t.row(vec![
+            f2(factor),
+            f2(score(&events, &sc.trace.truth).mean_xy),
+        ]);
     }
     r.table(&t);
     r.line("# the paper chooses the cone as 'an overestimate of the true range';");

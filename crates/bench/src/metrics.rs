@@ -120,7 +120,10 @@ mod tests {
             n: 1,
             unscored: 0,
         };
-        let smurf = ErrorStats { mean_xy: 1.0, ..ours };
+        let smurf = ErrorStats {
+            mean_xy: 1.0,
+            ..ours
+        };
         assert!((ours.reduction_vs(&smurf) - 50.0).abs() < 1e-12);
     }
 }

@@ -142,7 +142,7 @@ mod tests {
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4);
         // all rows the same width
-        assert_eq!(lines[0].trim_end().len() > 0, true);
+        assert!(!lines[0].trim_end().is_empty());
         assert!(lines[2].starts_with("1"));
         assert!(lines[3].starts_with("wide-cell"));
     }

@@ -4,10 +4,7 @@
 use crate::metrics::ErrorStats;
 use rfid_baselines::{Smurf, SmurfConfig, UniformBaseline};
 use rfid_core::engine::run_engine;
-use rfid_core::{
-    BasicParticleFilter, EngineStats, FilterConfig, InferenceEngine,
-    ReaderMode,
-};
+use rfid_core::{BasicParticleFilter, EngineStats, FilterConfig, InferenceEngine, ReaderMode};
 use rfid_geom::Aabb;
 use rfid_model::object::LocationPrior;
 use rfid_model::sensor::{ConeSensor, ReadRateModel};
@@ -88,6 +85,7 @@ fn last_epoch(batches: &[EpochBatch]) -> Epoch {
 
 /// Runs an engine variant with a given sensor choice over prepared
 /// batches. `params` supplies the motion/sensing/object components.
+#[allow(clippy::too_many_arguments)] // flat experiment knobs
 pub fn run_engine_variant<P: LocationPrior + Clone>(
     batches: &[EpochBatch],
     prior: &P,
@@ -112,23 +110,53 @@ pub fn run_engine_variant<P: LocationPrior + Clone>(
     match (variant, sensor) {
         (EngineVariant::Unfactored { particles }, InferenceSensor::TrueCone(c)) => {
             let model = JointModel::with_sensor(c, params);
-            run_unfactored(model, prior.clone(), shelf_tags.to_vec(), cfg, particles, batches, readings)
+            run_unfactored(
+                model,
+                prior.clone(),
+                shelf_tags.to_vec(),
+                cfg,
+                particles,
+                batches,
+                readings,
+            )
         }
         (EngineVariant::Unfactored { particles }, InferenceSensor::Logistic(sp)) => {
             let mut p = params;
             p.sensor = sp;
             let model = JointModel::new(p);
-            run_unfactored(model, prior.clone(), shelf_tags.to_vec(), cfg, particles, batches, readings)
+            run_unfactored(
+                model,
+                prior.clone(),
+                shelf_tags.to_vec(),
+                cfg,
+                particles,
+                batches,
+                readings,
+            )
         }
         (_, InferenceSensor::TrueCone(c)) => {
             let model = JointModel::with_sensor(c, params);
-            run_factored(model, prior.clone(), shelf_tags.to_vec(), cfg, batches, readings)
+            run_factored(
+                model,
+                prior.clone(),
+                shelf_tags.to_vec(),
+                cfg,
+                batches,
+                readings,
+            )
         }
         (_, InferenceSensor::Logistic(sp)) => {
             let mut p = params;
             p.sensor = sp;
             let model = JointModel::new(p);
-            run_factored(model, prior.clone(), shelf_tags.to_vec(), cfg, batches, readings)
+            run_factored(
+                model,
+                prior.clone(),
+                shelf_tags.to_vec(),
+                cfg,
+                batches,
+                readings,
+            )
         }
     }
 }
@@ -201,13 +229,27 @@ pub fn run_motion_off<P: LocationPrior + Clone>(
     match sensor {
         InferenceSensor::TrueCone(c) => {
             let model = JointModel::with_sensor(c, params);
-            run_factored(model, prior.clone(), shelf_tags.to_vec(), cfg, batches, readings)
+            run_factored(
+                model,
+                prior.clone(),
+                shelf_tags.to_vec(),
+                cfg,
+                batches,
+                readings,
+            )
         }
         InferenceSensor::Logistic(sp) => {
             let mut p = params;
             p.sensor = sp;
             let model = JointModel::new(p);
-            run_factored(model, prior.clone(), shelf_tags.to_vec(), cfg, batches, readings)
+            run_factored(
+                model,
+                prior.clone(),
+                shelf_tags.to_vec(),
+                cfg,
+                batches,
+                readings,
+            )
         }
     }
 }
@@ -248,12 +290,7 @@ pub fn run_baseline_uniform(
     seed: u64,
 ) -> RunOutput {
     let readings: usize = batches.iter().map(|b| b.readings.len()).sum();
-    let mut uni = UniformBaseline::new(
-        read_range,
-        shelves,
-        ignored.iter().map(|(t, _)| *t),
-        seed,
-    );
+    let mut uni = UniformBaseline::new(read_range, shelves, ignored.iter().map(|(t, _)| *t), seed);
     let start = Instant::now();
     let mut events = Vec::new();
     for b in batches {

@@ -33,7 +33,8 @@ struct JointParticle {
 }
 
 /// Unfactorized joint particle filter, generic like the engine.
-pub struct BasicParticleFilter<P: LocationPrior, S: ReadRateModel = rfid_model::LogisticSensorModel> {
+pub struct BasicParticleFilter<P: LocationPrior, S: ReadRateModel = rfid_model::LogisticSensorModel>
+{
     model: JointModel<S>,
     prior: P,
     config: FilterConfig,
@@ -66,8 +67,7 @@ impl<P: LocationPrior, S: ReadRateModel> BasicParticleFilter<P, S> {
         if num_particles == 0 {
             return Err(ConfigError::new("num_particles must be >= 1"));
         }
-        let range_over = (model.sensor.detection_range(0.02)
-            * config.init_range_overestimate)
+        let range_over = (model.sensor.detection_range(0.02) * config.init_range_overestimate)
             .min(config.max_init_range);
         let shelf_ids = shelf_tags.iter().map(|(t, _)| *t).collect();
         let uniform = -(num_particles as f64).ln();
@@ -197,7 +197,10 @@ impl<P: LocationPrior, S: ReadRateModel> BasicParticleFilter<P, S> {
                 // objects (their read likelihood weights it immediately)
                 for (idx, loc) in p.objects.iter_mut().enumerate() {
                     if read_idx_early.contains(&idx) {
-                        *loc = self.model.object.sample_next(loc, &self.prior, &mut self.rng);
+                        *loc = self
+                            .model
+                            .object
+                            .sample_next(loc, &self.prior, &mut self.rng);
                     }
                 }
             }
@@ -233,9 +236,9 @@ impl<P: LocationPrior, S: ReadRateModel> BasicParticleFilter<P, S> {
 
         // ---- weighting (the full Eq. 3 product) ----------------------
         for p in &mut self.particles {
-            let mut lw = self
-                .model
-                .reader_log_weight(&p.reader, report.as_ref(), std::iter::empty());
+            let mut lw =
+                self.model
+                    .reader_log_weight(&p.reader, report.as_ref(), std::iter::empty());
             for (tag, loc) in &self.shelf_tags {
                 // evaluate every shelf tag: the basic filter makes no
                 // spatial approximations (that is the point)

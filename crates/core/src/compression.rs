@@ -10,8 +10,8 @@
 //! Boyen–Koller algorithm; compressing selectively combines the
 //! Gaussian and particle representations.
 
-use crate::factored::reader::ReaderFilter;
 use crate::factored::object::ObjectFilter;
+use crate::factored::reader::ReaderFilter;
 use crate::particle::ObjectParticle;
 use rand::Rng;
 use rfid_geom::{Gaussian3, Point3};
@@ -119,12 +119,7 @@ mod tests {
     fn tighter_cloud_compresses_with_lower_loss() {
         let tight = tight_cloud(Point3::origin(), 100);
         let wide: Vec<(f64, Point3)> = (0..100)
-            .map(|i| {
-                (
-                    0.01,
-                    Point3::new((i % 10) as f64, (i / 10) as f64, 0.0),
-                )
-            })
+            .map(|i| (0.01, Point3::new((i % 10) as f64, (i / 10) as f64, 0.0)))
             .collect();
         let ct = CompressedBelief::compress(&tight, Epoch(0)).unwrap();
         let cw = CompressedBelief::compress(&wide, Epoch(0)).unwrap();

@@ -14,9 +14,7 @@
 //! touched at all.
 
 use crate::factored::reader::ReaderFilter;
-use crate::particle::{
-    effective_sample_size, log_normalize, systematic_resample, ObjectParticle,
-};
+use crate::particle::{effective_sample_size, log_normalize, systematic_resample, ObjectParticle};
 use rand::Rng;
 use rfid_geom::{Point3, Pose};
 use rfid_model::object::LocationPrior;
@@ -37,7 +35,12 @@ pub struct ObjectFilter {
 /// bearing within `± half_angle` of the heading. Area-uniform in the
 /// XY plane; `z` is kept at the reader's height (tags share a height in
 /// the paper's scenarios).
-pub fn sample_cone<R: Rng + ?Sized>(pose: &Pose, range: f64, half_angle: f64, rng: &mut R) -> Point3 {
+pub fn sample_cone<R: Rng + ?Sized>(
+    pose: &Pose,
+    range: f64,
+    half_angle: f64,
+    rng: &mut R,
+) -> Point3 {
     let d = range * rng.gen::<f64>().sqrt();
     let ang = pose.phi + half_angle * (2.0 * rng.gen::<f64>() - 1.0);
     Point3::new(
@@ -93,13 +96,7 @@ impl ObjectFilter {
             .map(|_| {
                 let j = reader.sample_index(rng);
                 ObjectParticle {
-                    loc: sample_cone_in_prior(
-                        reader.pose_of(j),
-                        range,
-                        half_angle,
-                        prior,
-                        rng,
-                    ),
+                    loc: sample_cone_in_prior(reader.pose_of(j), range, half_angle, prior, rng),
                     reader_idx: j,
                     log_w: uniform,
                 }
@@ -321,7 +318,11 @@ impl ObjectFilter {
         let joint = self.normalized_joint_weights(reader);
         // order particle indices by joint weight, worst first
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| joint[a].partial_cmp(&joint[b]).unwrap_or(std::cmp::Ordering::Equal));
+        order.sort_by(|&a, &b| {
+            joint[a]
+                .partial_cmp(&joint[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         let uniform = -(n as f64).ln();
         for &i in order.iter().take(n / 2) {
             let j = reader.sample_index(rng);
@@ -355,7 +356,7 @@ mod tests {
     use rand::SeedableRng;
     use rfid_geom::{Aabb, Vec3};
     use rfid_model::object::BoxPrior;
-    use rfid_model::{ModelParams, JointModel};
+    use rfid_model::{JointModel, ModelParams};
 
     fn model() -> JointModel {
         JointModel::new(ModelParams::default_warehouse())
@@ -463,7 +464,10 @@ mod tests {
             .iter()
             .filter(|p| (p.loc.x - 42.0).abs() < 1e-9)
             .count();
-        assert!(at_42 > 95, "resample should clone the heavy particle, got {at_42}");
+        assert!(
+            at_42 > 95,
+            "resample should clone the heavy particle, got {at_42}"
+        );
     }
 
     #[test]

@@ -25,13 +25,9 @@ fn mean_error(events: &[LocationEvent], sc: &scenario::Scenario) -> f64 {
 
 fn run_config(sc: &scenario::Scenario, cfg: FilterConfig) -> Vec<LocationEvent> {
     let model = JointModel::new(ModelParams::default_warehouse());
-    let mut engine = InferenceEngine::new(
-        model,
-        sc.layout.clone(),
-        sc.trace.shelf_tags.clone(),
-        cfg,
-    )
-    .expect("valid config");
+    let mut engine =
+        InferenceEngine::new(model, sc.layout.clone(), sc.trace.shelf_tags.clone(), cfg)
+            .expect("valid config");
     run_engine(&mut engine, &sc.trace.epoch_batches())
 }
 
@@ -70,7 +66,10 @@ fn enhancements_do_not_degrade_accuracy_much() {
     // "Neither spatial indexing nor belief compression causes obvious
     // degradation in accuracy."
     assert!(e_idx < e_base + 0.5, "index degraded: {e_base} -> {e_idx}");
-    assert!(e_full < e_base + 0.5, "compression degraded: {e_base} -> {e_full}");
+    assert!(
+        e_full < e_base + 0.5,
+        "compression degraded: {e_base} -> {e_full}"
+    );
 }
 
 #[test]

@@ -19,8 +19,10 @@ impl Aabb {
     /// max coordinate is below the corresponding min.
     #[inline]
     pub fn new(min: Point3, max: Point3) -> Self {
-        debug_assert!(min.x <= max.x && min.y <= max.y && min.z <= max.z,
-            "degenerate AABB: min {min:?} max {max:?}");
+        debug_assert!(
+            min.x <= max.x && min.y <= max.y && min.z <= max.z,
+            "degenerate AABB: min {min:?} max {max:?}"
+        );
         Self { min, max }
     }
 

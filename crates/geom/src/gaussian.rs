@@ -184,8 +184,7 @@ impl Gaussian3 {
             let c2 = solve(Vec3::new(0.0, 0.0, 1.0));
             Mat3::from_rows([c0.x, c1.x, c2.x], [c0.y, c1.y, c2.y], [c0.z, c1.z, c2.z])
         };
-        let log_det =
-            2.0 * (chol.m[0][0].ln() + chol.m[1][1].ln() + chol.m[2][2].ln());
+        let log_det = 2.0 * (chol.m[0][0].ln() + chol.m[1][1].ln() + chol.m[2][2].ln());
         Self {
             mean,
             cov: cov_final,

@@ -150,6 +150,7 @@ impl Mat3 {
     /// Returns `None` when the matrix is not (numerically) positive
     /// definite. Callers holding near-singular covariances should
     /// regularize with [`Mat3::regularized`] first.
+    #[allow(clippy::needless_range_loop)] // textbook index form
     pub fn cholesky(&self) -> Option<Mat3> {
         let a = &self.m;
         let mut l = [[0.0f64; 3]; 3];

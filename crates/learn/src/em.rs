@@ -114,14 +114,26 @@ pub fn calibrate<P: LocationPrior + Clone>(
         // E-step exploration: weaken report trust and widen motion
         // noise so reader particles can discover systematic report bias
         let mut estep_params = params;
-        estep_params.sensing.sigma.x =
-            estep_params.sensing.sigma.x.max(cfg.estep_sensing_sigma_floor);
-        estep_params.sensing.sigma.y =
-            estep_params.sensing.sigma.y.max(cfg.estep_sensing_sigma_floor);
-        estep_params.motion.sigma.x =
-            estep_params.motion.sigma.x.max(cfg.estep_motion_sigma_floor);
-        estep_params.motion.sigma.y =
-            estep_params.motion.sigma.y.max(cfg.estep_motion_sigma_floor);
+        estep_params.sensing.sigma.x = estep_params
+            .sensing
+            .sigma
+            .x
+            .max(cfg.estep_sensing_sigma_floor);
+        estep_params.sensing.sigma.y = estep_params
+            .sensing
+            .sigma
+            .y
+            .max(cfg.estep_sensing_sigma_floor);
+        estep_params.motion.sigma.x = estep_params
+            .motion
+            .sigma
+            .x
+            .max(cfg.estep_motion_sigma_floor);
+        estep_params.motion.sigma.y = estep_params
+            .motion
+            .sigma
+            .y
+            .max(cfg.estep_motion_sigma_floor);
         let model = JointModel::new(estep_params);
         let mut engine =
             InferenceEngine::new(model, prior.clone(), shelf_tags.to_vec(), engine_cfg)
@@ -161,7 +173,8 @@ pub fn calibrate<P: LocationPrior + Clone>(
         }
 
         // final smoothed object clouds (subsampled)
-        let mut clouds: Vec<(TagId, Point3, Vec<(f64, Point3)>)> = Vec::new();
+        type Cloud = Vec<(f64, Point3)>;
+        let mut clouds: Vec<(TagId, Point3, Cloud)> = Vec::new();
         for tag in engine.tracked_objects().collect::<Vec<_>>() {
             let Some((est, _)) = engine.object_estimate(tag) else {
                 continue;
@@ -310,7 +323,10 @@ mod tests {
             gap_learned < gap_init,
             "learning should improve the model: {gap_init} -> {gap_learned}"
         );
-        assert!(gap_learned < 0.25, "learned model too far off: {gap_learned}");
+        assert!(
+            gap_learned < 0.25,
+            "learned model too far off: {gap_learned}"
+        );
         assert!(result.final_rows > 100);
     }
 
@@ -328,7 +344,10 @@ mod tests {
         // assertions stay within the training data's geometric support:
         // tags sit ~2 ft off the aisle, so observed (d, θ) pairs range
         // from (2, 0) head-on to roughly (4.5, 1.1) down the shelf
-        assert!(m.p_read_dt(2.1, 0.05) > 0.5, "head-on shelf-face read rate too low");
+        assert!(
+            m.p_read_dt(2.1, 0.05) > 0.5,
+            "head-on shelf-face read rate too low"
+        );
         assert!(
             m.p_read_dt(3.5, 0.9) < m.p_read_dt(2.1, 0.05),
             "wide-angle rate should be below head-on rate"

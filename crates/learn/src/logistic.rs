@@ -23,6 +23,7 @@ pub struct FitReport {
 
 /// Solves the 5x5 system `A x = b` by Gaussian elimination with partial
 /// pivoting. Returns `None` for (numerically) singular systems.
+#[allow(clippy::needless_range_loop)] // textbook index form
 fn solve5(mut a: [[f64; 5]; 5], mut b: [f64; 5]) -> Option<[f64; 5]> {
     for col in 0..5 {
         // pivot
@@ -87,6 +88,7 @@ pub fn nll(rows: &[SensorRow], params: &SensorParams) -> f64 {
 /// loop uses a small positive value). Stops when the coefficient change
 /// drops below `1e-8` or after `max_iter` iterations, with step
 /// halving when a Newton step fails to decrease the objective.
+#[allow(clippy::needless_range_loop)] // textbook index form
 pub fn fit_logistic(
     rows: &[SensorRow],
     init: SensorParams,
@@ -128,8 +130,7 @@ pub fn fit_logistic(
             for i in 0..5 {
                 cand[i] -= alpha * step[i];
             }
-            let cand_nll =
-                nll(rows, &SensorParams::from_flat(cand)) + 0.5 * ridge * l2(&cand);
+            let cand_nll = nll(rows, &SensorParams::from_flat(cand)) + 0.5 * ridge * l2(&cand);
             if cand_nll <= best_nll {
                 let delta: f64 = step.iter().map(|s| (alpha * s).abs()).sum();
                 w = cand;
@@ -172,6 +173,7 @@ fn l2(w: &[f64; 5]) -> f64 {
 /// MLE can then turn the distance coefficient positive and predict
 /// reads at 50+ feet. Projected gradient descent from the projected
 /// IRLS solution enforces the physical prior.
+#[allow(clippy::needless_range_loop)] // textbook index form
 pub fn fit_logistic_signed(
     rows: &[SensorRow],
     init: SensorParams,
@@ -189,9 +191,8 @@ pub fn fit_logistic_signed(
             *wi = wi.min(0.0);
         }
     };
-    let obj = |w: &[f64; 5]| -> f64 {
-        nll(rows, &SensorParams::from_flat(*w)) + 0.5 * ridge * l2(w)
-    };
+    let obj =
+        |w: &[f64; 5]| -> f64 { nll(rows, &SensorParams::from_flat(*w)) + 0.5 * ridge * l2(w) };
     let mut w = {
         let mut p = unconstrained.params.as_flat();
         project(&mut p);
@@ -226,11 +227,7 @@ pub fn fit_logistic_signed(
             project(&mut cand);
             let c = obj(&cand);
             if c < best - 1e-12 {
-                let delta: f64 = cand
-                    .iter()
-                    .zip(&w)
-                    .map(|(a, b)| (a - b).abs())
-                    .sum();
+                let delta: f64 = cand.iter().zip(&w).map(|(a, b)| (a - b).abs()).sum();
                 w = cand;
                 best = c;
                 improved = true;

@@ -98,10 +98,12 @@ mod tests {
         // trajectory drifting 0.1/epoch along y with known odometry of
         // 0.08 (systematically under-reporting)
         let n = 200;
-        let estimated: Vec<Point3> =
-            (0..n).map(|t| Point3::new(0.0, t as f64 * 0.1, 0.0)).collect();
-        let odometry: Vec<Option<Vec3>> =
-            (0..n - 1).map(|_| Some(Vec3::new(0.0, 0.08, 0.0))).collect();
+        let estimated: Vec<Point3> = (0..n)
+            .map(|t| Point3::new(0.0, t as f64 * 0.1, 0.0))
+            .collect();
+        let odometry: Vec<Option<Vec3>> = (0..n - 1)
+            .map(|_| Some(Vec3::new(0.0, 0.08, 0.0)))
+            .collect();
         let m = fit_motion(&estimated, &odometry, 0.0, 0.005);
         assert!((m.delta.y - 0.1).abs() < 1e-9);
         // residual vs odometry is constant 0.02 => tiny std, floored

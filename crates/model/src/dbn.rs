@@ -149,9 +149,13 @@ mod tests {
         let reader = Pose::identity();
         let close = Point3::new(1.0, 0.0, 0.0);
         let far = Point3::new(20.0, 0.0, 0.0);
-        assert!(m.object_log_weight(&reader, &close, true) > m.object_log_weight(&reader, &far, true));
+        assert!(
+            m.object_log_weight(&reader, &close, true) > m.object_log_weight(&reader, &far, true)
+        );
         // and the reverse for a miss
-        assert!(m.object_log_weight(&reader, &far, false) > m.object_log_weight(&reader, &close, false));
+        assert!(
+            m.object_log_weight(&reader, &far, false) > m.object_log_weight(&reader, &close, false)
+        );
     }
 
     #[test]

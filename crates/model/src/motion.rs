@@ -8,8 +8,8 @@
 //! distribution for reader particles.
 
 use crate::params::MotionParams;
-use rfid_geom::{standard_normal, DiagGaussian3, Gaussian1, Pose};
 use rand::Rng;
+use rfid_geom::{standard_normal, DiagGaussian3, Gaussian1, Pose};
 
 /// Samples and scores reader-pose transitions.
 #[derive(Debug, Clone, Copy)]

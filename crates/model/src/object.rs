@@ -11,8 +11,8 @@
 //! trait decouples the two.
 
 use crate::params::ObjectParams;
-use rfid_geom::{Aabb, Point3};
 use rand::Rng;
+use rfid_geom::{Aabb, Point3};
 
 /// A distribution over legal object locations (in practice: uniform over
 /// the union of shelf surfaces). Implemented by the warehouse layout.
@@ -51,9 +51,21 @@ impl LocationPrior for BoxPrior {
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Point3 {
         let b = &self.bbox;
         Point3::new(
-            if b.max.x > b.min.x { rng.gen_range(b.min.x..=b.max.x) } else { b.min.x },
-            if b.max.y > b.min.y { rng.gen_range(b.min.y..=b.max.y) } else { b.min.y },
-            if b.max.z > b.min.z { rng.gen_range(b.min.z..=b.max.z) } else { b.min.z },
+            if b.max.x > b.min.x {
+                rng.gen_range(b.min.x..=b.max.x)
+            } else {
+                b.min.x
+            },
+            if b.max.y > b.min.y {
+                rng.gen_range(b.min.y..=b.max.y)
+            } else {
+                b.min.y
+            },
+            if b.max.z > b.min.z {
+                rng.gen_range(b.min.z..=b.max.z)
+            } else {
+                b.min.z
+            },
         )
     }
 

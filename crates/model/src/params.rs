@@ -37,7 +37,11 @@ impl SensorParams {
     /// The linear predictor `u(d, θ)` before the sigmoid.
     #[inline]
     pub fn linear_predictor(&self, d: f64, theta: f64) -> f64 {
-        self.a[0] + self.a[1] * d + self.a[2] * d * d + self.b[0] * theta + self.b[1] * theta * theta
+        self.a[0]
+            + self.a[1] * d
+            + self.a[2] * d * d
+            + self.b[0] * theta
+            + self.b[1] * theta * theta
     }
 
     /// The five coefficients as a flat array `[a0, a1, a2, b1, b2]` —

@@ -8,8 +8,8 @@
 //! from the static shelf tags."
 
 use crate::params::SensingParams;
-use rfid_geom::{standard_normal, DiagGaussian3, Gaussian1, Pose};
 use rand::Rng;
+use rfid_geom::{standard_normal, DiagGaussian3, Gaussian1, Pose};
 
 /// Samples and scores reader-location observations.
 #[derive(Debug, Clone, Copy)]

@@ -303,9 +303,7 @@ mod tests {
         let tag = Point3::new(3.0, 3.5, 0.0);
         let (d, th) = pose.range_bearing(&tag);
         assert!((m.p_read(&pose, &tag) - m.p_read_dt(d, th)).abs() < 1e-12);
-        assert!(
-            (m.log_likelihood(&pose, &tag, true) - m.log_p_read_dt(d, th)).abs() < 1e-12
-        );
+        assert!((m.log_likelihood(&pose, &tag, true) - m.log_p_read_dt(d, th)).abs() < 1e-12);
     }
 
     #[test]

@@ -9,14 +9,14 @@
 //! ground-truth sensor model at its true distance and angle.
 
 use crate::layout::WarehouseLayout;
-use crate::noise::{Reporter, ReportNoise};
+use crate::noise::{ReportNoise, Reporter};
 use crate::trajectory::Trajectory;
 use crate::truth::GroundTruth;
+use rand::Rng;
 use rfid_geom::{standard_normal, Point3, Pose, Vec3};
 use rfid_model::sensor::ReadRateModel;
-use rand::Rng;
 use rfid_stream::sync::synchronize_traces;
-use rfid_stream::{EpochBatch, Epoch, ReaderLocationReport, RfidReading, TagId};
+use rfid_stream::{Epoch, EpochBatch, ReaderLocationReport, RfidReading, TagId};
 
 /// A scheduled object relocation (the Fig. 5(h) experiment moves "a
 /// case of objects" after a time interval).
@@ -259,7 +259,9 @@ mod tests {
     use rand::SeedableRng;
     use rfid_model::sensor::ConeSensor;
 
-    fn setup() -> (WarehouseLayout, Trajectory, Vec<(TagId, Point3)>, Vec<(TagId, Point3)>) {
+    type Placements = Vec<(TagId, Point3)>;
+
+    fn setup() -> (WarehouseLayout, Trajectory, Placements, Placements) {
         let layout = WarehouseLayout::linear(1, 10.0, 0.5, 2.0, 0.0);
         let traj = Trajectory::linear_scan(10.0, 0.1);
         let objects: Vec<(TagId, Point3)> = layout
@@ -352,11 +354,21 @@ mod tests {
         let (layout, traj, objects, shelves) = setup();
         let mut rng = StdRng::seed_from_u64(6);
         let full = TraceGenerator::new(ConeSensor::paper_default()).generate(
-            &layout, &traj, &objects, &shelves, &[], &mut rng,
+            &layout,
+            &traj,
+            &objects,
+            &shelves,
+            &[],
+            &mut rng,
         );
         let mut rng = StdRng::seed_from_u64(6);
         let half = TraceGenerator::new(ConeSensor::with_rr_major(0.5)).generate(
-            &layout, &traj, &objects, &shelves, &[], &mut rng,
+            &layout,
+            &traj,
+            &objects,
+            &shelves,
+            &[],
+            &mut rng,
         );
         assert!(half.num_readings() < full.num_readings());
     }
@@ -371,7 +383,12 @@ mod tests {
         let (layout, traj, objects, shelves) = setup();
         let mut rng = StdRng::seed_from_u64(9);
         let full = TraceGenerator::new(ConeSensor::paper_default()).generate(
-            &layout, &traj, &objects, &shelves, &[], &mut rng,
+            &layout,
+            &traj,
+            &objects,
+            &shelves,
+            &[],
+            &mut rng,
         );
         let mut rng = StdRng::seed_from_u64(9);
         let culled = TraceGenerator {
@@ -403,7 +420,12 @@ mod tests {
         let multi = gen.generate(&layout, &traj, &objects, &shelves, &[], &mut rng);
         let mut rng = StdRng::seed_from_u64(7);
         let single = TraceGenerator::new(ConeSensor::with_rr_major(0.3)).generate(
-            &layout, &traj, &objects, &shelves, &[], &mut rng,
+            &layout,
+            &traj,
+            &objects,
+            &shelves,
+            &[],
+            &mut rng,
         );
         assert!(multi.num_readings() > single.num_readings());
     }

@@ -57,7 +57,13 @@ impl LabDeployment {
         // single layout spanning both rows' y-range with a widened
         // tolerance — sampling restricted per-row is handled by the
         // imagined-shelf boxes below.
-        let layout = WarehouseLayout::linear(1, row_len, 2.0 * ROW_STANDOFF + 1.0, -ROW_STANDOFF - 0.5, 0.0);
+        let layout = WarehouseLayout::linear(
+            1,
+            row_len,
+            2.0 * ROW_STANDOFF + 1.0,
+            -ROW_STANDOFF - 0.5,
+            0.0,
+        );
 
         let mut objects = Vec::new();
         let mut reference_tags = Vec::new();

@@ -8,9 +8,9 @@
 //! The reader travels along the y axis at `x = 0` facing `+x`; shelf
 //! faces sit at `x = standoff` (default 2 ft).
 
+use rand::Rng;
 use rfid_geom::{Aabb, Point3};
 use rfid_model::object::LocationPrior;
-use rand::Rng;
 use rfid_stream::TagId;
 
 /// Tag ids at or above this value denote shelf (reference) tags;
@@ -45,7 +45,13 @@ impl WarehouseLayout {
     /// A run of `num_shelves` consecutive shelves, each `shelf_len` feet
     /// long (along y) and `depth` feet deep (along x), with faces at
     /// `x = standoff` and tags at height `tag_z`.
-    pub fn linear(num_shelves: usize, shelf_len: f64, depth: f64, standoff: f64, tag_z: f64) -> Self {
+    pub fn linear(
+        num_shelves: usize,
+        shelf_len: f64,
+        depth: f64,
+        standoff: f64,
+        tag_z: f64,
+    ) -> Self {
         assert!(num_shelves > 0 && shelf_len > 0.0 && depth > 0.0);
         let shelves = (0..num_shelves)
             .map(|i| {

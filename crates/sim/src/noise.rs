@@ -10,8 +10,8 @@
 //!   (wheel slippage forward, sideways drift from inertia), "with error
 //!   in reported location up to 1 foot away from its true location".
 
-use rfid_geom::{standard_normal, Pose, Vec3};
 use rand::Rng;
+use rfid_geom::{standard_normal, Pose, Vec3};
 
 /// Accumulating odometry error model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -94,7 +94,8 @@ impl Reporter {
                         let dir = step / dist;
                         // perpendicular in the XY plane
                         let perp = Vec3::new(-dir.y, dir.x, 0.0);
-                        self.acc_error += dir * (dr.slip * dist) + perp * (dr.side_drift_per_ft * dist);
+                        self.acc_error +=
+                            dir * (dr.slip * dist) + perp * (dr.side_drift_per_ft * dist);
                     }
                     self.acc_error += Vec3::new(
                         dr.jitter_std * standard_normal(rng),

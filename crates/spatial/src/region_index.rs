@@ -95,12 +95,7 @@ impl<K: Copy + Ord + Hash> RegionIndex<K> {
 
     /// Ids of regions intersecting `query` (diagnostics / tests).
     pub fn query_regions(&self, query: &Aabb) -> Vec<RegionId> {
-        let mut ids: Vec<RegionId> = self
-            .tree
-            .query(query)
-            .into_iter()
-            .copied()
-            .collect();
+        let mut ids: Vec<RegionId> = self.tree.query(query).into_iter().copied().collect();
         ids.sort_unstable();
         ids
     }

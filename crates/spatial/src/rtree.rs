@@ -23,12 +23,8 @@ const MIN_ENTRIES: usize = 3;
 
 #[derive(Debug, Clone)]
 enum Node<T> {
-    Leaf {
-        entries: Vec<(Aabb, T)>,
-    },
-    Inner {
-        children: Vec<(Aabb, Box<Node<T>>)>,
-    },
+    Leaf { entries: Vec<(Aabb, T)> },
+    Inner { children: Vec<(Aabb, Box<Node<T>>)> },
 }
 
 impl<T> Node<T> {
@@ -371,7 +367,11 @@ mod tests {
             assert!(hits.contains(&&i), "entry {i} lost after splits");
         }
         // global query returns everything exactly once
-        let mut all: Vec<u32> = t.query(&cube(25.0, 0.0, 100.0)).into_iter().copied().collect();
+        let mut all: Vec<u32> = t
+            .query(&cube(25.0, 0.0, 100.0))
+            .into_iter()
+            .copied()
+            .collect();
         all.sort_unstable();
         assert_eq!(all, (0..50).collect::<Vec<_>>());
     }
@@ -445,7 +445,7 @@ mod tests {
     }
 
     /// Brute-force oracle for query correctness.
-    fn brute<'a>(items: &'a [(Aabb, u32)], q: &Aabb) -> Vec<u32> {
+    fn brute(items: &[(Aabb, u32)], q: &Aabb) -> Vec<u32> {
         let mut v: Vec<u32> = items
             .iter()
             .filter(|(a, _)| a.intersects(q))

@@ -5,7 +5,11 @@ use std::collections::BTreeMap;
 /// Groups items by `key_fn` and sums `val_fn` within each group —
 /// the `Group By E2.area ... sum(E2.weight)` step of the fire-code
 /// query. `BTreeMap` keeps output deterministic.
-pub fn group_sum<T, K, FK, FV>(items: impl IntoIterator<Item = T>, key_fn: FK, val_fn: FV) -> BTreeMap<K, f64>
+pub fn group_sum<T, K, FK, FV>(
+    items: impl IntoIterator<Item = T>,
+    key_fn: FK,
+    val_fn: FV,
+) -> BTreeMap<K, f64>
 where
     K: Ord,
     FK: Fn(&T) -> K,

@@ -239,10 +239,7 @@ mod tests {
         });
         let batches = sync.flush();
         let phi = batches[0].reader_report.unwrap().phi;
-        assert!(
-            (phi.abs() - std::f64::consts::PI).abs() < 1e-9,
-            "phi {phi}"
-        );
+        assert!((phi.abs() - std::f64::consts::PI).abs() < 1e-9, "phi {phi}");
     }
 
     #[test]

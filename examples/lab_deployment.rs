@@ -12,10 +12,7 @@ use rfid_repro::prelude::*;
 use rfid_repro::sim::lab::LabDeployment;
 use rfid_repro::stream::Epoch;
 
-fn mean_xy_error(
-    events: &[LocationEvent],
-    truth: &rfid_repro::sim::GroundTruth,
-) -> f64 {
+fn mean_xy_error(events: &[LocationEvent], truth: &rfid_repro::sim::GroundTruth) -> f64 {
     let mut sum = 0.0;
     let mut n = 0;
     for e in events {
@@ -106,7 +103,10 @@ fn main() {
     let e_uni = mean_xy_error(&uni_events, &trace.truth);
     println!("\nmean XY error over the scan (small imagined shelf):");
     println!("  our system : {e_ours:.2} ft ({} events)", ours.len());
-    println!("  SMURF      : {e_smurf:.2} ft ({} events)", smurf_events.len());
+    println!(
+        "  SMURF      : {e_smurf:.2} ft ({} events)",
+        smurf_events.len()
+    );
     println!("  uniform    : {e_uni:.2} ft ({} events)", uni_events.len());
     println!(
         "\nerror reduction vs SMURF: {:.0}%  (the paper reports 49% on its rig)",

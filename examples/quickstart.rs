@@ -29,13 +29,9 @@ fn main() {
     let model = JointModel::new(ModelParams::default_warehouse());
     let mut cfg = FilterConfig::full_default();
     cfg.particles_per_object = 1000;
-    let mut engine = InferenceEngine::new(
-        model,
-        sc.layout.clone(),
-        sc.trace.shelf_tags.clone(),
-        cfg,
-    )
-    .expect("valid configuration");
+    let mut engine =
+        InferenceEngine::new(model, sc.layout.clone(), sc.trace.shelf_tags.clone(), cfg)
+            .expect("valid configuration");
 
     let events = run_engine(&mut engine, &sc.trace.epoch_batches());
 

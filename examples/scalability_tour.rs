@@ -35,7 +35,10 @@ fn main() {
         sum / n.max(1) as f64
     };
 
-    println!("{:<34} {:>9} {:>12} {:>10}", "variant", "error ft", "ms/reading", "mem MB");
+    println!(
+        "{:<34} {:>9} {:>12} {:>10}",
+        "variant", "error ft", "ms/reading", "mem MB"
+    );
 
     // --- basic (unfactorized) filter: small joint-particle budget ---
     // (at 200 objects a *fair* budget would be astronomically large;
@@ -81,13 +84,9 @@ fn main() {
             ConeSensor::paper_default(),
             ModelParams::default_warehouse(),
         );
-        let mut engine = InferenceEngine::new(
-            model,
-            sc.layout.clone(),
-            sc.trace.shelf_tags.clone(),
-            cfg,
-        )
-        .expect("valid configuration");
+        let mut engine =
+            InferenceEngine::new(model, sc.layout.clone(), sc.trace.shelf_tags.clone(), cfg)
+                .expect("valid configuration");
         let start = Instant::now();
         let events = run_engine(&mut engine, &batches);
         let ms = start.elapsed().as_secs_f64() * 1e3 / readings as f64;

@@ -62,12 +62,7 @@ fn our_system_beats_smurf_on_the_lab_rig() {
     smurf_events.extend(smurf.finalize(last));
 
     // uniform
-    let mut uni = UniformBaseline::new(
-        3.0,
-        shelves,
-        trace.shelf_tags.iter().map(|(t, _)| *t),
-        5,
-    );
+    let mut uni = UniformBaseline::new(3.0, shelves, trace.shelf_tags.iter().map(|(t, _)| *t), 5);
     let mut uni_events = Vec::new();
     for b in &batches {
         uni_events.extend(uni.process_batch(b));

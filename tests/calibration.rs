@@ -88,6 +88,12 @@ fn learned_coefficients_respect_physical_signs() {
     .params;
     let [_, a1, a2] = learned.sensor.a;
     let [b1, b2] = learned.sensor.b;
-    assert!(a1 <= 1e-9 && a2 <= 1e-9, "distance decay not negative: {a1}, {a2}");
-    assert!(b1 <= 1e-9 && b2 <= 1e-9, "angle decay not negative: {b1}, {b2}");
+    assert!(
+        a1 <= 1e-9 && a2 <= 1e-9,
+        "distance decay not negative: {a1}, {a2}"
+    );
+    assert!(
+        b1 <= 1e-9 && b2 <= 1e-9,
+        "angle decay not negative: {b1}, {b2}"
+    );
 }

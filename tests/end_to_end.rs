@@ -46,7 +46,10 @@ fn true_sensor_engine_matches_logistic_engine_closely() {
     cfg.particles_per_object = 600;
 
     let mut e1 = InferenceEngine::new(
-        JointModel::with_sensor(ConeSensor::paper_default(), ModelParams::default_warehouse()),
+        JointModel::with_sensor(
+            ConeSensor::paper_default(),
+            ModelParams::default_warehouse(),
+        ),
         sc.layout.clone(),
         sc.trace.shelf_tags.clone(),
         cfg,
@@ -91,7 +94,10 @@ fn engine_is_deterministic_for_a_fixed_seed() {
     assert_eq!(a.len(), b.len());
     for (x, y) in a.iter().zip(&b) {
         assert_eq!(x.tag, y.tag);
-        assert!(x.location.dist(&y.location) < 1e-12, "nondeterministic output");
+        assert!(
+            x.location.dist(&y.location) < 1e-12,
+            "nondeterministic output"
+        );
     }
 }
 

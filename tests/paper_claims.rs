@@ -31,15 +31,17 @@ fn factorization_beats_unfactorized_at_same_total_budget() {
     let sc = scenario::scalability_trace(30, 4040);
     let batches = sc.trace.epoch_batches();
     let model = || {
-        JointModel::with_sensor(ConeSensor::paper_default(), ModelParams::default_warehouse())
+        JointModel::with_sensor(
+            ConeSensor::paper_default(),
+            ModelParams::default_warehouse(),
+        )
     };
 
     let mut cfg = FilterConfig::factored_default();
     cfg.particles_per_object = 500;
     cfg.report_delay_epochs = 30;
     let mut engine =
-        InferenceEngine::new(model(), sc.layout.clone(), sc.trace.shelf_tags.clone(), cfg)
-            .unwrap();
+        InferenceEngine::new(model(), sc.layout.clone(), sc.trace.shelf_tags.clone(), cfg).unwrap();
     let factored = run_engine(&mut engine, &batches);
 
     let mut basic = BasicParticleFilter::new(
@@ -81,7 +83,10 @@ fn spatial_index_cuts_work_not_accuracy() {
             InferenceEngine::new(model, sc.layout.clone(), sc.trace.shelf_tags.clone(), cfg)
                 .unwrap();
         let events = run_engine(&mut engine, &batches);
-        (mean_err(&events, &sc.trace.truth), engine.stats().object_updates)
+        (
+            mean_err(&events, &sc.trace.truth),
+            engine.stats().object_updates,
+        )
     };
     let (err_plain, updates_plain) = run(false);
     let (err_indexed, updates_indexed) = run(true);

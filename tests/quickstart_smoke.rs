@@ -1,0 +1,51 @@
+//! Smoke test pinning the documented entry point: runs the exact flow of
+//! `examples/quickstart.rs` headlessly (fewer particles, no printing) so the
+//! README/example can't rot without CI noticing. The examples themselves are
+//! compile-checked by `cargo clippy --all-targets` in CI.
+
+use rfid_repro::core::engine::run_engine;
+use rfid_repro::prelude::*;
+use rfid_repro::sim::scenario;
+
+#[test]
+fn quickstart_flow_produces_an_event_per_object() {
+    // same scenario shape and seed as examples/quickstart.rs
+    let sc = scenario::small_trace(10, 4, 7);
+    assert!(
+        sc.trace.num_readings() > 0,
+        "simulator produced no readings"
+    );
+    assert_eq!(sc.trace.object_tags.len(), 10);
+    assert_eq!(sc.trace.shelf_tags.len(), 4);
+
+    let model = JointModel::new(ModelParams::default_warehouse());
+    let mut cfg = FilterConfig::full_default();
+    cfg.particles_per_object = 300; // the example uses 1000; keep CI fast
+    let mut engine =
+        InferenceEngine::new(model, sc.layout.clone(), sc.trace.shelf_tags.clone(), cfg)
+            .expect("valid configuration");
+
+    let events = run_engine(&mut engine, &sc.trace.epoch_batches());
+    assert_eq!(
+        events.len(),
+        sc.trace.object_tags.len(),
+        "every object should yield exactly one location event"
+    );
+
+    // every event scores against ground truth, as the example prints
+    let mut total_err = 0.0;
+    for e in &events {
+        let truth = sc
+            .trace
+            .truth
+            .object_at(e.tag, e.epoch)
+            .expect("simulated object has ground truth");
+        total_err += e.location.dist_xy(&truth);
+        assert!(e.stats.is_some(), "events carry confidence stats");
+    }
+    let mean_err = total_err / events.len() as f64;
+    assert!(
+        mean_err < 3.0,
+        "mean XY error {mean_err:.2} ft is out of the plausible range"
+    );
+}

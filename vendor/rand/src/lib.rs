@@ -1,0 +1,391 @@
+//! Offline vendored shim for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! This container builds with no registry access, so the workspace vendors
+//! the *subset* of the rand 0.8 API its crates actually use:
+//!
+//! * [`Rng`] — `gen`, `gen_range`, `gen_bool`
+//! * [`SeedableRng`] — `from_seed`, `seed_from_u64`
+//! * [`rngs::StdRng`] — a deterministic xoshiro256++ generator seeded via
+//!   SplitMix64 (not the ChaCha12 of upstream, but the same trait surface;
+//!   all in-repo tests fix their seeds against *this* generator)
+//! * [`distributions::Distribution`] / [`distributions::Standard`] and the
+//!   uniform range machinery backing `gen_range`
+//!
+//! The trait layering (`RngCore` → blanket `Rng`, `?Sized` bounds, range
+//! sampling via `SampleRange`/`SampleUniform`) mirrors upstream so that the
+//! shim can later be swapped for the real crate by editing one line in the
+//! root `Cargo.toml`.
+
+/// The raw-word generator interface; everything else layers on `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of reproducible generators from seeds.
+pub trait SeedableRng: Sized {
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expand a `u64` into a full seed with SplitMix64, as upstream does.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = rngs::SplitMix64::new(state);
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = sm.next_word().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// SplitMix64: seed expander (also usable as a quick generator).
+    #[derive(Clone, Debug)]
+    pub struct SplitMix64 {
+        state: u64,
+    }
+
+    impl SplitMix64 {
+        pub fn new(state: u64) -> Self {
+            Self { state }
+        }
+
+        pub fn next_word(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// The workspace's standard generator: xoshiro256++.
+    ///
+    /// Deterministic, fast, and passes BigCrush; a different algorithm from
+    /// upstream's `StdRng` (ChaCha12) but the same name and trait surface.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+                *word = u64::from_le_bytes(b);
+            }
+            // xoshiro must not start from the all-zero state
+            if s == [0, 0, 0, 0] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0x6A09_E667_F3BC_C909,
+                    0xBB67_AE85_84CA_A73B,
+                    0x3C6E_F372_FE94_F82B,
+                ];
+            }
+            Self { s }
+        }
+    }
+}
+
+pub mod distributions {
+    use super::Rng;
+
+    /// Types that can produce values of `T` given a source of randomness.
+    pub trait Distribution<T> {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" distribution: uniform over `[0,1)` for floats, uniform
+    /// over all values for integers, fair coin for `bool`.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Standard;
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 high bits -> uniform in [0, 1)
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! standard_int {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Distribution<u128> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u128 {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+
+    pub mod uniform {
+        use super::super::RngCore;
+        use std::ops::{Range, RangeInclusive};
+
+        /// Types usable with `Rng::gen_range`.
+        pub trait SampleUniform: Sized {
+            fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+            fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+        }
+
+        /// Range types accepted by `Rng::gen_range`.
+        pub trait SampleRange<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                assert!(self.start < self.end, "gen_range: empty range");
+                T::sample_half_open(self.start, self.end, rng)
+            }
+        }
+
+        impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                let (low, high) = self.into_inner();
+                assert!(low <= high, "gen_range: empty range");
+                T::sample_inclusive(low, high, rng)
+            }
+        }
+
+        macro_rules! uniform_float {
+            ($($t:ty => $bits:expr, $shift:expr),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_half_open<R: RngCore + ?Sized>(
+                        low: Self,
+                        high: Self,
+                        rng: &mut R,
+                    ) -> Self {
+                        let unit =
+                            (rng.next_u64() >> $shift) as $t * (1.0 / (1u64 << $bits) as $t);
+                        low + (high - low) * unit
+                    }
+
+                    fn sample_inclusive<R: RngCore + ?Sized>(
+                        low: Self,
+                        high: Self,
+                        rng: &mut R,
+                    ) -> Self {
+                        // same as half-open; the missing endpoint has measure zero
+                        Self::sample_half_open(low, high, rng)
+                    }
+                }
+            )*};
+        }
+        uniform_float!(f64 => 53, 11, f32 => 24, 40);
+
+        macro_rules! uniform_int {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_half_open<R: RngCore + ?Sized>(
+                        low: Self,
+                        high: Self,
+                        rng: &mut R,
+                    ) -> Self {
+                        let span = (high as i128 - low as i128) as u128;
+                        // widening-multiply rejection-free mapping; the bias is
+                        // < 2^-64 for every span this workspace uses
+                        let word = if span > u64::MAX as u128 {
+                            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+                        } else {
+                            ((rng.next_u64() as u128).wrapping_mul(span)) >> 64
+                        };
+                        (low as i128 + (word % span.max(1)) as i128) as $t
+                    }
+
+                    fn sample_inclusive<R: RngCore + ?Sized>(
+                        low: Self,
+                        high: Self,
+                        rng: &mut R,
+                    ) -> Self {
+                        if low == high {
+                            return low;
+                        }
+                        // low..=high with high < MAX reduces to the half-open case
+                        if let Some(bump) = high.checked_add(1) {
+                            return Self::sample_half_open(low, bump, rng);
+                        }
+                        let span = (high as i128 - low as i128) as u128 + 1;
+                        (low as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                    }
+                }
+            )*};
+        }
+        uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+    }
+
+    pub use uniform::{SampleRange, SampleUniform};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_across_clones() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        use super::RngCore;
+        // exercise the forwarding impl for &mut R
+        let forwarded: &mut StdRng = &mut a;
+        let _ = forwarded.next_u32();
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn unit_floats_cover_the_interval() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-50.0..50.0);
+            assert!((-50.0..50.0).contains(&x));
+            let i = rng.gen_range(0..7usize);
+            assert!(i < 7);
+            let j = rng.gen_range(1..=6u32);
+            assert!((1..=6).contains(&j));
+        }
+    }
+
+    #[test]
+    fn gen_range_hits_every_int_bucket() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = [false; 6];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..6usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "buckets {seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.25).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn works_through_unsized_refs() {
+        fn takes_dyn_width<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen()
+        }
+        let mut rng = StdRng::seed_from_u64(6);
+        let x = takes_dyn_width(&mut rng);
+        assert!((0.0..1.0).contains(&x));
+    }
+}
