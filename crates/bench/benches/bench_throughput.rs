@@ -1,0 +1,44 @@
+//! Whole-trace throughput of the hot path rebuilt in the
+//! allocation-free/parallel execution PR: the indexed variant
+//! single-threaded (the acceptance metric tracked in
+//! `BENCH_throughput.json`) and the factored variant under the
+//! `worker_threads` fan-out. Events are bit-identical across worker
+//! counts, so the variants measure cost only.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rfid_bench::runner::{run_engine_variant_opts, EngineVariant, InferenceSensor, RunOpts};
+use rfid_model::sensor::ConeSensor;
+use rfid_model::ModelParams;
+use rfid_sim::scenario;
+
+fn bench_throughput(c: &mut Criterion) {
+    let sc = scenario::scalability_trace(100, 99);
+    let batches = sc.trace.epoch_batches();
+    let mut g = c.benchmark_group("throughput_100_objects");
+    g.sample_size(10);
+    for (name, variant, workers) in [
+        ("indexed_1_thread", EngineVariant::FactoredIndexed, 1usize),
+        ("factored_1_thread", EngineVariant::Factored, 1),
+        ("factored_4_threads", EngineVariant::Factored, 4),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                run_engine_variant_opts(
+                    &batches,
+                    &sc.layout,
+                    &sc.trace.shelf_tags,
+                    variant,
+                    InferenceSensor::TrueCone(ConeSensor::paper_default()),
+                    ModelParams::default_warehouse(),
+                    RunOpts::new(200, 60).with_workers(workers),
+                )
+                .events
+                .len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -55,6 +55,7 @@ fn main() {
             fig5ij_scalability(opts)
         }
         "fig6b-lab-table" => fig6b_lab_table(opts),
+        "throughput" => throughput(opts, args.iter().any(|a| a == "--json")),
         "ablation-init" => ablation_init(opts),
         "ablation-particles" => ablation_particles(opts),
         "ablation-resample" => ablation_resample(opts),
@@ -84,6 +85,8 @@ fn main() {
                  \x20 fig5h-moving-objects   error vs object movement distance (Fig 5h)\n\
                  \x20 fig5ij-scalability     error and CPU time vs #objects (Fig 5i/5j)\n\
                  \x20 fig6b-lab-table        lab comparison vs SMURF and uniform (Fig 6b)\n\
+                 \x20 throughput             whole-trace engine throughput (--json writes\n\
+                 \x20                        BENCH_throughput.json at the repo root)\n\
                  \x20 ablation-init          initialization-cone overestimate sweep\n\
                  \x20 ablation-particles     particles-per-object accuracy/cost frontier\n\
                  \x20 ablation-resample      resampling-threshold policy sweep\n\
@@ -602,6 +605,161 @@ fn fig5ij_scalability(opts: Opts) {
     r.line("# the spatial index makes the per-reading cost flat in #objects; and");
     r.line("# compression cuts cost and memory further (>1500 readings/s).");
     r.finish();
+}
+
+// ---------------------------------------------------------------------
+// Throughput baseline: whole-trace readings/sec per engine variant
+// ---------------------------------------------------------------------
+
+/// One measured throughput row.
+struct ThroughputRow {
+    variant: &'static str,
+    objects: usize,
+    workers: usize,
+    readings: usize,
+    readings_per_sec: f64,
+    ms_per_reading: f64,
+    memory_mb: f64,
+    events: usize,
+}
+
+/// Measures whole-trace throughput of each engine variant on the
+/// `bench_scalability` scenario (`scalability_trace(100, 99)`, 200
+/// particles/object — the same workload as the criterion bench), plus
+/// a `worker_threads` sweep of the indexed variant on a larger
+/// multi-object trace (where per-epoch active sets are big enough for
+/// the fan-out to bite). Each configuration runs `reps` times; the
+/// best run is reported (min wall time), the standard way to suppress
+/// scheduler noise.
+fn throughput(opts: Opts, json: bool) {
+    let mut r = Report::new(
+        "throughput",
+        "Whole-trace engine throughput (bench_scalability scenario + worker sweep)",
+    );
+    let reps = if opts.quick { 1 } else { 3 };
+    let particles = 200;
+
+    let mut rows: Vec<ThroughputRow> = Vec::new();
+    let run_one = |sc: &rfid_sim::scenario::Scenario,
+                   objects: usize,
+                   variant: EngineVariant,
+                   workers: usize,
+                   rows: &mut Vec<ThroughputRow>| {
+        let batches = sc.trace.epoch_batches();
+        let mut best: Option<rfid_bench::runner::RunOutput> = None;
+        for _ in 0..reps {
+            let out = rfid_bench::runner::run_engine_variant_opts(
+                &batches,
+                &sc.layout,
+                &sc.trace.shelf_tags,
+                variant,
+                InferenceSensor::TrueCone(ConeSensor::paper_default()),
+                ModelParams::default_warehouse(),
+                rfid_bench::runner::RunOpts::new(particles, default_report_delay())
+                    .with_workers(workers),
+            );
+            if best.as_ref().is_none_or(|b| out.elapsed < b.elapsed) {
+                best = Some(out);
+            }
+        }
+        let out = best.expect("reps >= 1");
+        eprintln!(
+            "  [{} n={objects} w={workers}] {:.0} readings/s, {:.3} ms/reading",
+            variant.label(),
+            out.readings_per_sec(),
+            out.ms_per_reading()
+        );
+        rows.push(ThroughputRow {
+            variant: variant.label(),
+            objects,
+            workers,
+            readings: out.readings,
+            readings_per_sec: out.readings_per_sec(),
+            ms_per_reading: out.ms_per_reading(),
+            memory_mb: out.memory_bytes as f64 / (1024.0 * 1024.0),
+            events: out.events.len(),
+        });
+    };
+
+    // single-threaded variant comparison (the acceptance baseline)
+    let sc100 = scenario::scalability_trace(100, 99);
+    for variant in [
+        EngineVariant::Factored,
+        EngineVariant::FactoredIndexed,
+        EngineVariant::Full,
+    ] {
+        run_one(&sc100, 100, variant, 1, &mut rows);
+    }
+    // worker sweep on a denser multi-object trace (factored: every
+    // object is active every epoch, so the fan-out has real work)
+    let sweep_n = if opts.quick { 200 } else { 500 };
+    let sc_sweep = scenario::scalability_trace(sweep_n, 99);
+    for workers in [1usize, 2, 4] {
+        run_one(
+            &sc_sweep,
+            sweep_n,
+            EngineVariant::Factored,
+            workers,
+            &mut rows,
+        );
+    }
+
+    let mut t = Table::new(vec![
+        "variant",
+        "#objects",
+        "workers",
+        "readings",
+        "readings/s",
+        "ms/reading",
+        "memory (MB)",
+        "events",
+    ]);
+    for row in &rows {
+        t.row(vec![
+            row.variant.to_string(),
+            row.objects.to_string(),
+            row.workers.to_string(),
+            row.readings.to_string(),
+            format!("{:.0}", row.readings_per_sec),
+            f3(row.ms_per_reading),
+            f2(row.memory_mb),
+            row.events.to_string(),
+        ]);
+    }
+    r.table(&t);
+    r.finish();
+
+    if json {
+        let mut s = String::from("{\n  \"scenario\": \"scalability_trace(n, 99)\",\n");
+        s.push_str(&format!("  \"particles_per_object\": {particles},\n"));
+        // the pre-PR-2 (seed hot path) single-threaded numbers on the
+        // 100-object workload, kept in the file so any run can be
+        // compared against the recorded trajectory (see EXPERIMENTS.md)
+        s.push_str(
+            "  \"baseline_pr2_readings_per_sec\": {\"Factorized\": 753.3, \
+             \"Factorized+Index\": 2198.7, \"Factorized+Index+Compression\": 6538.4},\n",
+        );
+        s.push_str("  \"rows\": [\n");
+        for (i, row) in rows.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"variant\": \"{}\", \"objects\": {}, \"worker_threads\": {}, \
+                 \"readings\": {}, \"readings_per_sec\": {:.1}, \"ms_per_reading\": {:.4}, \
+                 \"memory_mb\": {:.3}, \"events\": {}}}{}\n",
+                row.variant,
+                row.objects,
+                row.workers,
+                row.readings,
+                row.readings_per_sec,
+                row.ms_per_reading,
+                row.memory_mb,
+                row.events,
+                if i + 1 == rows.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        std::fs::write("BENCH_throughput.json", &s).expect("write BENCH_throughput.json");
+        eprintln!("  wrote BENCH_throughput.json");
+    }
 }
 
 // ---------------------------------------------------------------------

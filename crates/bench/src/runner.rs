@@ -83,6 +83,33 @@ fn last_epoch(batches: &[EpochBatch]) -> Epoch {
     batches.last().map(|b| b.epoch).unwrap_or(Epoch(0))
 }
 
+/// Engine knobs shared by every variant run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOpts {
+    pub particles_per_object: usize,
+    pub report_delay: u64,
+    /// Worker threads for the per-object fan-out (`rfid_core::exec`);
+    /// events are bit-identical for every value.
+    pub worker_threads: usize,
+}
+
+impl RunOpts {
+    /// Sequential run (the default execution mode).
+    pub fn new(particles_per_object: usize, report_delay: u64) -> Self {
+        Self {
+            particles_per_object,
+            report_delay,
+            worker_threads: 1,
+        }
+    }
+
+    /// Same run fanned out across `workers` threads.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.worker_threads = workers;
+        self
+    }
+}
+
 /// Runs an engine variant with a given sensor choice over prepared
 /// batches. `params` supplies the motion/sensing/object components.
 #[allow(clippy::too_many_arguments)] // flat experiment knobs
@@ -96,6 +123,27 @@ pub fn run_engine_variant<P: LocationPrior + Clone>(
     particles_per_object: usize,
     report_delay: u64,
 ) -> RunOutput {
+    run_engine_variant_opts(
+        batches,
+        prior,
+        shelf_tags,
+        variant,
+        sensor,
+        params,
+        RunOpts::new(particles_per_object, report_delay),
+    )
+}
+
+/// [`run_engine_variant`] with the full option set.
+pub fn run_engine_variant_opts<P: LocationPrior + Clone>(
+    batches: &[EpochBatch],
+    prior: &P,
+    shelf_tags: &[(rfid_stream::TagId, rfid_geom::Point3)],
+    variant: EngineVariant,
+    sensor: InferenceSensor,
+    params: ModelParams,
+    opts: RunOpts,
+) -> RunOutput {
     let mut cfg = match variant {
         EngineVariant::Unfactored { .. } | EngineVariant::Factored => {
             FilterConfig::factored_default()
@@ -103,8 +151,9 @@ pub fn run_engine_variant<P: LocationPrior + Clone>(
         EngineVariant::FactoredIndexed => FilterConfig::indexed_default(),
         EngineVariant::Full => FilterConfig::full_default(),
     };
-    cfg.particles_per_object = particles_per_object;
-    cfg.report_delay_epochs = report_delay;
+    cfg.particles_per_object = opts.particles_per_object;
+    cfg.report_delay_epochs = opts.report_delay;
+    cfg.worker_threads = opts.worker_threads;
     let readings: usize = batches.iter().map(|b| b.readings.len()).sum();
 
     match (variant, sensor) {

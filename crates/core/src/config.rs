@@ -98,6 +98,12 @@ pub struct FilterConfig {
     pub report_delay_epochs: u64,
     /// RNG seed for the engine.
     pub seed: u64,
+    /// Worker threads for the per-object update fan-out (`rfid_core::exec`).
+    /// Per-object RNG streams are seeded from `(seed, tag, epoch)`, so
+    /// the emitted events are bit-identical for every value, including
+    /// the default of 1 (fully sequential, no threads spawned). See the
+    /// `exec` module docs for guidance on picking a value.
+    pub worker_threads: usize,
 }
 
 impl FilterConfig {
@@ -118,6 +124,7 @@ impl FilterConfig {
             compression: CompressionPolicy::disabled(),
             report_delay_epochs: 60,
             seed: 0x5eed,
+            worker_threads: 1,
         }
     }
 
@@ -167,6 +174,9 @@ impl FilterConfig {
                 "decompressed_particles must be >= 1 when compression is on",
             ));
         }
+        if self.worker_threads == 0 {
+            return Err(ConfigError::new("worker_threads must be >= 1"));
+        }
         Ok(())
     }
 }
@@ -210,6 +220,10 @@ mod tests {
 
         let mut c = FilterConfig::full_default();
         c.compression.decompressed_particles = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = FilterConfig::factored_default();
+        c.worker_threads = 0;
         assert!(c.validate().is_err());
     }
 }

@@ -6,14 +6,32 @@
 //! weighting / resampling, re-detection handling, event emission per
 //! the output policy, instrumented reader resampling, and the belief
 //! compression sweep.
+//!
+//! # Execution model
+//!
+//! The per-object updates are the hot path and are built to be
+//! **allocation-free in steady state** and **deterministically
+//! parallel**:
+//!
+//! * every buffer the per-object step needs (joint weights, resampling
+//!   counts, staged reader support, the active/read sets) lives in
+//!   reusable scratch owned by the engine ([`crate::exec`]);
+//! * the fused [`ObjectFilter::step_fused`] computes the normalized
+//!   joint weights once per step instead of once each for weighting,
+//!   resampling, and estimation, and resamples in place;
+//! * each object's step draws from its own RNG stream seeded from
+//!   `(config.seed, tag, epoch)`, and all cross-object side effects
+//!   (reader support, statistics) are staged per object and merged in
+//!   active-set order on the calling thread — so the emitted event
+//!   stream is bit-identical for every `config.worker_threads` value.
 
 use crate::compression::CompressedBelief;
 use crate::config::{FilterConfig, ReaderMode};
 use crate::error::ConfigError;
+use crate::exec::{self, StepScratch, WorkerScratch};
 use crate::factored::{ObjectFilter, ReaderFilter};
 use crate::output::OutputPolicy;
-use crate::particle::effective_sample_size;
-use crate::spatial_hook::SpatialHook;
+use crate::spatial_hook::{sensing_box, SpatialHook};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rfid_geom::{Point3, Pose};
@@ -38,6 +56,12 @@ struct ObjectState {
     belief: Belief,
     last_estimate: (Point3, [f64; 3]),
     last_read: Epoch,
+    /// Epoch at which the compression sweep should next consider this
+    /// object (0 = no check queued). Bumped on every *read* epoch
+    /// (Case-2 activity does not reset the clock) and on failed
+    /// compression attempts, so the cooldown queue holds at most one
+    /// live entry per tag instead of one per active epoch.
+    compression_due: u64,
 }
 
 /// Counters exposed for tests, benchmarks, and EXPERIMENTS.md tables.
@@ -57,9 +81,49 @@ pub struct EngineStats {
     pub full_reinits: u64,
 }
 
+/// Statistic deltas produced by one object step, merged into
+/// [`EngineStats`] on the calling thread in active-set order.
+#[derive(Debug, Clone, Copy, Default)]
+struct StepDelta {
+    resampled: bool,
+    decompressed: bool,
+    full_reinit: bool,
+    half_respawn: bool,
+}
+
+/// One queued per-object update: built during the epoch pre-pass,
+/// executed sequentially or fanned out across workers.
+#[derive(Debug)]
+struct StepTask {
+    tag: TagId,
+    read: bool,
+    /// Owned state while the task is in flight (parallel path only;
+    /// the sequential path mutates the map entry directly).
+    state: Option<ObjectState>,
+    delta: StepDelta,
+}
+
+/// The read-only environment one object step runs against.
+struct StepCtx<'a, P, S> {
+    model: &'a JointModel<S>,
+    prior: &'a P,
+    config: &'a FilterConfig,
+    range_over: f64,
+    /// Posterior-mean reader position this epoch (for re-detection).
+    reader_pos: Point3,
+    /// Reader-weight CDF, built once per epoch (the reader is frozen
+    /// while objects step) and shared by every pointer refresh, cone
+    /// initialization, and respawn.
+    reader_cdf: &'a [f64],
+    epoch: Epoch,
+    stamp: u64,
+}
+
 /// The end-to-end inference engine, generic over the location prior
 /// and the sensor model (logistic by default; a ground-truth sensor
-/// shape can be plugged in for oracle experiments).
+/// shape can be plugged in for oracle experiments). Priors and sensor
+/// models are `Send + Sync` by trait contract, so the per-object
+/// updates can fan out across `config.worker_threads` scoped threads.
 pub struct InferenceEngine<P: LocationPrior, S: ReadRateModel = rfid_model::LogisticSensorModel> {
     model: JointModel<S>,
     config: FilterConfig,
@@ -70,7 +134,8 @@ pub struct InferenceEngine<P: LocationPrior, S: ReadRateModel = rfid_model::Logi
     objects: HashMap<TagId, ObjectState>,
     policy: OutputPolicy,
     hook: Option<SpatialHook>,
-    /// Compression schedule: epoch -> objects to check.
+    /// Compression schedule: epoch -> objects to check (at most one
+    /// live entry per tag; see `ObjectState::compression_due`).
     cooldown: BTreeMap<u64, Vec<TagId>>,
     rng: StdRng,
     stats: EngineStats,
@@ -78,6 +143,23 @@ pub struct InferenceEngine<P: LocationPrior, S: ReadRateModel = rfid_model::Logi
     /// sensing boxes, and re-detection thresholds.
     range_over: f64,
     last_report: Option<Pose>,
+    // --- reusable per-epoch scratch (allocation-free steady state) ---
+    /// Sorted active set (Cases 1–2) of the current epoch.
+    active: Vec<TagId>,
+    /// Sorted object tags read this epoch.
+    object_read: Vec<TagId>,
+    /// Sorted shelf tags read this epoch.
+    shelf_read: Vec<TagId>,
+    /// Shelf observations relevant to the reader update.
+    shelf_obs: Vec<(Point3, bool)>,
+    /// Active objects with a particle in the sensing box.
+    members: Vec<TagId>,
+    /// Per-object update queue for the current epoch.
+    steps: Vec<StepTask>,
+    /// Per-worker step scratch (`config.worker_threads` entries).
+    scratches: Vec<WorkerScratch>,
+    /// Reader-weight CDF of the current epoch (reused buffer).
+    reader_cdf: Vec<f64>,
 }
 
 impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
@@ -114,6 +196,16 @@ impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
             stats: EngineStats::default(),
             range_over,
             last_report: None,
+            active: Vec::new(),
+            object_read: Vec::new(),
+            shelf_read: Vec::new(),
+            shelf_obs: Vec::new(),
+            members: Vec::new(),
+            steps: Vec::new(),
+            scratches: (0..config.worker_threads)
+                .map(|_| WorkerScratch::default())
+                .collect(),
+            reader_cdf: Vec::new(),
             config,
         })
     }
@@ -137,6 +229,14 @@ impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
     /// Tags of all objects the engine tracks.
     pub fn tracked_objects(&self) -> impl Iterator<Item = TagId> + '_ {
         self.objects.keys().copied()
+    }
+
+    /// Live entries in the compression cooldown queue (diagnostics).
+    /// The scheduler keeps at most one entry per tracked tag, so this
+    /// is bounded by the object count no matter how long the engine
+    /// runs or how often compression attempts fail and retry.
+    pub fn cooldown_entries(&self) -> usize {
+        self.cooldown.values().map(Vec::len).sum()
     }
 
     /// Number of objects currently in compressed representation.
@@ -186,19 +286,23 @@ impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
         self.stats.epochs += 1;
         self.stats.readings += batch.readings.len() as u64;
 
-        // --- partition readings -------------------------------------
-        let mut shelf_read: BTreeSet<TagId> = BTreeSet::new();
-        let mut object_read: Vec<TagId> = Vec::new();
+        // --- partition readings (reused sorted Vecs) -----------------
+        self.shelf_read.clear();
+        self.object_read.clear();
         for tag in &batch.readings {
             if self.shelf_ids.contains(tag) {
-                shelf_read.insert(*tag);
+                self.shelf_read.push(*tag);
             } else {
-                object_read.push(*tag);
+                self.object_read.push(*tag);
             }
         }
+        self.shelf_read.sort_unstable();
+        self.shelf_read.dedup();
+        self.object_read.sort_unstable();
+        self.object_read.dedup();
 
         // --- reader update -------------------------------------------
-        self.update_reader(batch.reader_report.as_ref(), &shelf_read);
+        self.update_reader(batch.reader_report.as_ref());
         let reader_est = self
             .reader
             .as_ref()
@@ -206,30 +310,41 @@ impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
             .estimate();
 
         // --- active set (Cases 1 and 2) ------------------------------
-        let sensing_box = SpatialHook::new(self.range_over).sensing_box(&reader_est);
-        let mut active: BTreeSet<TagId> = object_read.iter().copied().collect();
+        let sensing_box = sensing_box(self.range_over, &reader_est);
+        self.active.clear();
+        self.active.extend_from_slice(&self.object_read);
         match &self.hook {
             Some(hook) => {
-                for tag in hook.candidates(&sensing_box) {
-                    if self.objects.contains_key(&tag) {
-                        active.insert(tag);
+                let known_from = self.active.len();
+                hook.candidates_into(&sensing_box, &mut self.active);
+                // hook candidates may be stale; only keep known objects
+                let objects = &self.objects;
+                let mut keep = known_from;
+                for i in known_from..self.active.len() {
+                    if objects.contains_key(&self.active[i]) {
+                        self.active[keep] = self.active[i];
+                        keep += 1;
                     }
                 }
+                self.active.truncate(keep);
             }
             None => {
                 // no index: every known object is processed (Cases 1-4)
-                active.extend(self.objects.keys().copied());
+                self.active.extend(self.objects.keys().copied());
             }
         }
+        self.active.sort_unstable();
+        self.active.dedup();
 
-        // --- per-object updates --------------------------------------
-        let read_set: BTreeSet<TagId> = object_read.iter().copied().collect();
-        for tag in &active {
-            let read = read_set.contains(tag);
+        // --- pre-pass: output policy, compressed-miss skip -----------
+        self.steps.clear();
+        for i in 0..self.active.len() {
+            let tag = self.active[i];
+            let read = self.object_read.binary_search(&tag).is_ok();
             if read {
-                self.policy.on_read(*tag, epoch);
+                self.policy.on_read(tag, epoch);
             } else if matches!(
-                self.objects.get(tag),
+                self.objects.get(&tag),
                 Some(ObjectState {
                     belief: Belief::Compressed(_),
                     ..
@@ -242,31 +357,57 @@ impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
                 // and decompressing for it would thrash.
                 continue;
             }
-            self.step_object(*tag, read, epoch, stamp);
-            if self.config.compression.enabled {
-                self.cooldown
-                    .entry(epoch.0 + self.config.compression.idle_epochs)
-                    .or_default()
-                    .push(*tag);
+            self.steps.push(StepTask {
+                tag,
+                read,
+                state: None,
+                delta: StepDelta::default(),
+            });
+        }
+
+        // --- per-object updates (sequential or fanned out) -----------
+        self.run_steps(epoch, stamp, reader_est.pos);
+
+        // --- compression scheduling (one live entry per tag) ---------
+        // An object becomes a compression candidate `idle_epochs` after
+        // its last *read* (continued Case-2 processing does not reset
+        // the clock — a silent object compresses even while the reader
+        // keeps passing it). The seed code pushed one cooldown entry per
+        // active epoch per tag; a read epoch now just bumps the tag's
+        // authoritative due epoch, and the queue holds one live entry.
+        if self.config.compression.enabled {
+            let due = epoch.0 + self.config.compression.idle_epochs;
+            for i in 0..self.steps.len() {
+                let StepTask { tag, read, .. } = self.steps[i];
+                if !read {
+                    continue;
+                }
+                let Some(state) = self.objects.get_mut(&tag) else {
+                    continue;
+                };
+                if state.compression_due == 0 {
+                    self.cooldown.entry(due).or_default().push(tag);
+                }
+                state.compression_due = due;
             }
         }
 
         // --- record the sensing region -------------------------------
         if self.hook.is_some() {
-            let mut members = Vec::new();
-            for tag in &active {
+            self.members.clear();
+            for tag in &self.active {
                 if let Some(ObjectState {
                     belief: Belief::Active(f),
                     ..
                 }) = self.objects.get(tag)
                 {
                     if f.particles().iter().any(|p| sensing_box.contains(&p.loc)) {
-                        members.push(*tag);
+                        self.members.push(*tag);
                     }
                 }
             }
             if let Some(hook) = self.hook.as_mut() {
-                hook.record(sensing_box, members);
+                hook.record(sensing_box, self.members.drain(..));
             }
         }
 
@@ -290,7 +431,7 @@ impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
                 self.stats.reader_resamples += 1;
                 // realign pointers of the objects touched this epoch;
                 // untouched objects will refresh on next activation
-                for tag in &active {
+                for tag in &self.active {
                     if let Some(ObjectState {
                         belief: Belief::Active(f),
                         ..
@@ -325,16 +466,13 @@ impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
     fn make_event(&self, epoch: Epoch, tag: TagId, s: &ObjectState) -> LocationEvent {
         let (loc, var) = s.last_estimate;
         let support = match &s.belief {
-            Belief::Active(f) => {
-                let w: Vec<f64> = f.particles().iter().map(|p| p.log_w).collect();
-                effective_sample_size(&w)
-            }
+            Belief::Active(f) => f.object_ess(),
             Belief::Compressed(_) => self.config.compression.decompressed_particles as f64,
         };
         LocationEvent::new(epoch, tag, loc).with_stats(EventStats { var, support })
     }
 
-    fn update_reader(&mut self, report: Option<&Pose>, shelf_read: &BTreeSet<TagId>) {
+    fn update_reader(&mut self, report: Option<&Pose>) {
         match self.config.reader_mode {
             ReaderMode::TrustReports => {
                 // "motion model Off": the reported location is taken as
@@ -367,15 +505,18 @@ impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
                 let filter = self.reader.as_mut().expect("created above");
                 let est = filter.estimate();
                 let anchor = report.map(|r| r.pos).unwrap_or(est.pos);
-                let relevant: Vec<(&Point3, bool)> = self
-                    .shelf_tags
-                    .iter()
-                    .filter(|(tag, loc)| {
-                        shelf_read.contains(tag) || loc.dist(&anchor) <= 2.0 * self.range_over
-                    })
-                    .map(|(tag, loc)| (loc, shelf_read.contains(tag)))
-                    .collect();
-                filter.weight(&self.model, report, relevant.iter().copied());
+                self.shelf_obs.clear();
+                for (tag, loc) in &self.shelf_tags {
+                    let read = self.shelf_read.binary_search(tag).is_ok();
+                    if read || loc.dist(&anchor) <= 2.0 * self.range_over {
+                        self.shelf_obs.push((*loc, read));
+                    }
+                }
+                filter.weight(
+                    &self.model,
+                    report,
+                    self.shelf_obs.iter().map(|(loc, read)| (loc, *read)),
+                );
             }
         }
         if let Some(r) = report {
@@ -383,124 +524,295 @@ impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
         }
     }
 
-    fn step_object(&mut self, tag: TagId, read: bool, epoch: Epoch, stamp: u64) {
-        self.stats.object_updates += 1;
-        let reader = self.reader.as_mut().expect("reader initialized");
-        let k = self.config.particles_per_object;
-        let half_angle = self.config.init_cone_half_angle;
+    /// Executes the queued per-object updates — on the calling thread
+    /// when `worker_threads == 1` (map entries mutated in place via
+    /// `get_mut`/`entry`, no remove/insert churn), otherwise fanned out
+    /// across scoped worker threads with staged side effects.
+    fn run_steps(&mut self, epoch: Epoch, stamp: u64, reader_pos: Point3) {
+        if self.steps.is_empty() {
+            return;
+        }
+        self.stats.object_updates += self.steps.len() as u64;
+        let mut reader = self.reader.take().expect("reader initialized");
+        let mut steps = std::mem::take(&mut self.steps);
+        let mut scratches = std::mem::take(&mut self.scratches);
+        let mut reader_cdf = std::mem::take(&mut self.reader_cdf);
+        let nr = reader.len();
+        // one CDF build serves every pointer refresh / init / respawn
+        // this epoch — the reader weights are frozen while objects step
+        reader.sampling_cdf_into(&mut reader_cdf);
+        let ctx = StepCtx {
+            model: &self.model,
+            prior: &self.prior,
+            config: &self.config,
+            range_over: self.range_over,
+            reader_pos,
+            reader_cdf: &reader_cdf,
+            epoch,
+            stamp,
+        };
+        let workers = self.config.worker_threads.min(steps.len()).max(1);
 
-        // materialize an active filter for this tag
-        let mut state = match self.objects.remove(&tag) {
-            None => {
-                // first sighting: sensor-model-based initialization,
-                // restricted to the shelf space
-                let f = ObjectFilter::init_from_cone(
-                    reader,
-                    self.range_over,
-                    half_angle,
-                    k,
-                    stamp,
-                    Some(&self.prior),
-                    &mut self.rng,
-                );
-                ObjectState {
-                    last_estimate: f.estimate(reader),
-                    belief: Belief::Active(f),
-                    last_read: epoch,
+        if workers == 1 {
+            let scratch = scratches.first_mut().expect("worker scratch");
+            scratch.staged_support.clear();
+            scratch.staged_support.resize(nr, 0.0);
+            for task in &mut steps {
+                scratch.staged_support.fill(0.0);
+                match self.objects.entry(task.tag) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        task.delta = step_one(
+                            &ctx,
+                            &reader,
+                            task.tag,
+                            task.read,
+                            Some(e.get_mut()),
+                            &mut scratch.step,
+                            &mut scratch.staged_support,
+                        )
+                        .0;
+                    }
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        let (delta, created) = step_one(
+                            &ctx,
+                            &reader,
+                            task.tag,
+                            task.read,
+                            None,
+                            &mut scratch.step,
+                            &mut scratch.staged_support,
+                        );
+                        task.delta = delta;
+                        v.insert(created.expect("step created a state"));
+                    }
                 }
+                reader.merge_support(&scratch.staged_support);
             }
-            Some(mut s) => {
-                if let Belief::Compressed(c) = &s.belief {
-                    let f = c.decompress(
-                        self.config.compression.decompressed_particles,
-                        reader,
-                        stamp,
-                        &mut self.rng,
+        } else {
+            // move the states into the tasks, fan out, merge back
+            for task in &mut steps {
+                task.state = self.objects.remove(&task.tag);
+            }
+            let scratch_slice = &mut scratches[..workers];
+            for (scratch, range) in scratch_slice
+                .iter_mut()
+                .zip(exec::chunk_ranges(steps.len(), workers))
+            {
+                // clear + resize leaves every element freshly zeroed
+                scratch.staged_support.clear();
+                scratch.staged_support.resize(range.len() * nr, 0.0);
+            }
+            let ctx_ref = &ctx;
+            let reader_ref = &reader;
+            exec::parallel_chunks(
+                &mut steps,
+                scratch_slice,
+                |_global, local, task, scratch| {
+                    let WorkerScratch {
+                        step,
+                        staged_support,
+                    } = scratch;
+                    let row = &mut staged_support[local * nr..(local + 1) * nr];
+                    let (delta, created) = step_one(
+                        ctx_ref,
+                        reader_ref,
+                        task.tag,
+                        task.read,
+                        task.state.as_mut(),
+                        step,
+                        row,
                     );
-                    self.stats.decompressions += 1;
-                    s.belief = Belief::Active(f);
+                    task.delta = delta;
+                    if let Some(created) = created {
+                        task.state = Some(created);
+                    }
+                },
+            );
+            // deterministic merge: support rows and states in global
+            // task order, regardless of how many workers ran
+            for (scratch, range) in scratches[..workers]
+                .iter()
+                .zip(exec::chunk_ranges(steps.len(), workers))
+            {
+                for local in 0..range.len() {
+                    reader.merge_support(&scratch.staged_support[local * nr..(local + 1) * nr]);
                 }
-                s
             }
-        };
-
-        let Belief::Active(f) = &mut state.belief else {
-            unreachable!("belief made active above")
-        };
-        f.refresh_pointers(reader, stamp, &mut self.rng);
-        f.predict(&self.model, &self.prior, read, &mut self.rng);
-
-        // §IV-A re-detection handling: compare the current estimate with
-        // the location the reading implies (the reader's vicinity).
-        if read {
-            let reader_pos = reader.estimate().pos;
-            let est = state.last_estimate.0;
-            let gap = est.dist_xy(&reader_pos);
-            if gap > self.range_over + self.config.respawn_distance {
-                // moved far: discard all old particles, re-create at the
-                // new location
-                *f = ObjectFilter::init_from_cone(
-                    reader,
-                    self.range_over,
-                    half_angle,
-                    k,
-                    stamp,
-                    Some(&self.prior),
-                    &mut self.rng,
-                );
-                self.stats.full_reinits += 1;
-            } else if gap > self.range_over + self.config.small_move_distance {
-                // moved a little: keep half, move half
-                f.respawn_half(
-                    reader,
-                    self.range_over,
-                    half_angle,
-                    Some(&self.prior),
-                    &mut self.rng,
-                );
-                self.stats.half_respawns += 1;
+            for task in &mut steps {
+                let state = task.state.take().expect("state returned by step");
+                self.objects.insert(task.tag, state);
             }
-            state.last_read = epoch;
         }
 
-        f.weight(&self.model, reader, read);
-        if f.maybe_resample(reader, self.config.resample_ess_frac, &mut self.rng) {
-            self.stats.object_resamples += 1;
+        for task in &steps {
+            self.stats.object_resamples += u64::from(task.delta.resampled);
+            self.stats.decompressions += u64::from(task.delta.decompressed);
+            self.stats.full_reinits += u64::from(task.delta.full_reinit);
+            self.stats.half_respawns += u64::from(task.delta.half_respawn);
         }
-        state.last_estimate = f.estimate(reader);
-        self.objects.insert(tag, state);
+
+        self.reader = Some(reader);
+        self.steps = steps;
+        self.scratches = scratches;
+        self.reader_cdf = reader_cdf;
     }
 
     fn run_compression_sweep(&mut self, epoch: Epoch) {
         if !self.config.compression.enabled {
             return;
         }
-        let due: Vec<u64> = self.cooldown.range(..=epoch.0).map(|(e, _)| *e).collect();
-        for e in due {
+        while let Some((&e, _)) = self.cooldown.range(..=epoch.0).next() {
             let tags = self.cooldown.remove(&e).unwrap_or_default();
             for tag in tags {
                 let Some(state) = self.objects.get_mut(&tag) else {
                     continue;
                 };
-                // still being read recently? postpone (a fresh cooldown
-                // entry exists in that case)
-                if epoch.since(state.last_read) < self.config.compression.idle_epochs {
+                if state.compression_due > e {
+                    // activity after this entry was queued pushed the
+                    // check out; re-queue at the authoritative epoch
+                    let due = state.compression_due;
+                    self.cooldown.entry(due).or_default().push(tag);
                     continue;
                 }
+                state.compression_due = 0;
+                // compression_due is only ever last_read + idle_epochs
+                // (or a later retry), so a popped-at-due object has
+                // been silent for at least a full idle period
+                debug_assert!(epoch.since(state.last_read) >= self.config.compression.idle_epochs);
                 if let Belief::Active(f) = &state.belief {
                     let reader = self.reader.as_ref().expect("reader initialized");
                     let cloud = f.weighted_cloud(reader);
+                    let mut compressed = false;
                     if let Some(c) = CompressedBelief::compress(&cloud, epoch) {
                         if c.loss <= self.config.compression.max_cross_entropy {
                             state.last_estimate = c.estimate();
                             state.belief = Belief::Compressed(c);
                             self.stats.compressions += 1;
+                            compressed = true;
                         }
+                    }
+                    if !compressed {
+                        // the belief has not converged enough yet (loss
+                        // above threshold): retry one idle period later —
+                        // the seed code retried every active epoch; a
+                        // bounded cadence keeps the one-entry-per-tag
+                        // invariant without dropping the object forever
+                        let retry = epoch.0 + self.config.compression.idle_epochs.max(1);
+                        state.compression_due = retry;
+                        self.cooldown.entry(retry).or_default().push(tag);
                     }
                 }
             }
         }
     }
+}
+
+/// One per-object update: materialize an active filter (init or
+/// decompress), refresh pointers, predict, handle re-detection, then
+/// the fused weight/resample/estimate pass. Runs on any thread; all
+/// randomness comes from the task's own `(seed, tag, epoch)` stream and
+/// all shared-state effects are staged in `support`/the returned delta.
+fn step_one<P: LocationPrior, S: ReadRateModel>(
+    ctx: &StepCtx<'_, P, S>,
+    reader: &ReaderFilter,
+    tag: TagId,
+    read: bool,
+    state: Option<&mut ObjectState>,
+    scratch: &mut StepScratch,
+    support: &mut [f64],
+) -> (StepDelta, Option<ObjectState>) {
+    let mut delta = StepDelta::default();
+    let mut rng = exec::task_rng(ctx.config.seed, tag.0, ctx.epoch.0);
+    let k = ctx.config.particles_per_object;
+    let half_angle = ctx.config.init_cone_half_angle;
+
+    let mut created: Option<ObjectState> = None;
+    let state: &mut ObjectState = match state {
+        Some(s) => s,
+        None => {
+            // first sighting: sensor-model-based initialization,
+            // restricted to the legal object space
+            let f = ObjectFilter::init_from_cone_with(
+                reader,
+                ctx.reader_cdf,
+                ctx.range_over,
+                half_angle,
+                k,
+                ctx.stamp,
+                Some(ctx.prior),
+                &mut rng,
+            );
+            created.insert(ObjectState {
+                last_estimate: f.estimate_with(reader, scratch),
+                belief: Belief::Active(f),
+                last_read: ctx.epoch,
+                compression_due: 0,
+            })
+        }
+    };
+
+    if let Belief::Compressed(c) = &state.belief {
+        let f = c.decompress(
+            ctx.config.compression.decompressed_particles,
+            reader,
+            ctx.stamp,
+            &mut rng,
+        );
+        delta.decompressed = true;
+        state.belief = Belief::Active(f);
+    }
+    let Belief::Active(f) = &mut state.belief else {
+        unreachable!("belief made active above")
+    };
+    f.refresh_pointers_with(reader, ctx.reader_cdf, ctx.stamp, &mut rng);
+    f.predict(ctx.model, ctx.prior, read, &mut rng);
+
+    // §IV-A re-detection handling: compare the current estimate with
+    // the location the reading implies (the reader's vicinity).
+    if read {
+        let est = state.last_estimate.0;
+        let gap = est.dist_xy(&ctx.reader_pos);
+        if gap > ctx.range_over + ctx.config.respawn_distance {
+            // moved far: discard all old particles, re-create at the
+            // new location
+            *f = ObjectFilter::init_from_cone_with(
+                reader,
+                ctx.reader_cdf,
+                ctx.range_over,
+                half_angle,
+                k,
+                ctx.stamp,
+                Some(ctx.prior),
+                &mut rng,
+            );
+            delta.full_reinit = true;
+        } else if gap > ctx.range_over + ctx.config.small_move_distance {
+            // moved a little: keep half, move half
+            f.respawn_half_with(
+                reader,
+                ctx.reader_cdf,
+                ctx.range_over,
+                half_angle,
+                Some(ctx.prior),
+                &mut rng,
+            );
+            delta.half_respawn = true;
+        }
+        state.last_read = ctx.epoch;
+    }
+
+    let outcome = f.step_fused(
+        ctx.model,
+        reader,
+        read,
+        ctx.config.resample_ess_frac,
+        scratch,
+        support,
+        &mut rng,
+    );
+    state.last_estimate = outcome.estimate;
+    delta.resampled = outcome.resampled;
+    (delta, created)
 }
 
 /// Convenience driver: runs the engine over a full batch sequence and
@@ -707,6 +1019,32 @@ mod tests {
             e.process_batch(&batch(t, y, &tags));
         }
         assert!(e.stats().decompressions >= 1, "stats: {:?}", e.stats());
+    }
+
+    #[test]
+    fn failed_compression_retries_with_bounded_queue() {
+        // an unpassable loss threshold: every compression attempt fails,
+        // and each failure must schedule a retry (the seed code retried
+        // every active epoch) while the queue stays at one entry per tag
+        let mut cfg = FilterConfig::full_default();
+        cfg.particles_per_object = 200;
+        cfg.reader_particles = 30;
+        cfg.compression.idle_epochs = 5;
+        cfg.compression.max_cross_entropy = f64::NEG_INFINITY;
+        let mut e = engine(cfg);
+        for t in 0..80u64 {
+            let y = t as f64 * 0.1;
+            let mut tags = Vec::new();
+            if (y - 1.0).abs() < 1.0 {
+                tags.push(7u64);
+            }
+            e.process_batch(&batch(t, y, &tags));
+        }
+        assert_eq!(e.stats().compressions, 0);
+        assert_eq!(e.num_compressed(), 0);
+        // retry is still scheduled — the object was not dropped from
+        // the compression schedule — and the queue has not grown
+        assert_eq!(e.cooldown_entries(), 1);
     }
 
     #[test]

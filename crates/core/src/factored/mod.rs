@@ -19,5 +19,5 @@
 pub mod object;
 pub mod reader;
 
-pub use object::ObjectFilter;
+pub use object::{ObjectFilter, StepOutcome};
 pub use reader::{ReaderFilter, ReaderRemap};

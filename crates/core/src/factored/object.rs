@@ -13,8 +13,12 @@
 //! bookkeeping — the point of spatial indexing is that they are not
 //! touched at all.
 
+use crate::exec::StepScratch;
 use crate::factored::reader::ReaderFilter;
-use crate::particle::{effective_sample_size, log_normalize, systematic_resample, ObjectParticle};
+use crate::particle::{
+    effective_sample_size, effective_sample_size_iter, log_normalize, log_normalize_by,
+    reorder_by_counts, systematic_resample, systematic_resample_counts, ObjectParticle,
+};
 use rand::Rng;
 use rfid_geom::{Point3, Pose};
 use rfid_model::object::LocationPrior;
@@ -28,6 +32,16 @@ pub struct ObjectFilter {
     /// Epoch stamp of the last pointer refresh (engine-managed).
     pointer_stamp: u64,
     resample_count: u64,
+}
+
+/// What one fused weight/resample/estimate step produced.
+#[derive(Debug, Clone, Copy)]
+pub struct StepOutcome {
+    /// Whether the joint ESS dropped below the threshold and the
+    /// particle set was resampled.
+    pub resampled: bool,
+    /// Posterior mean and per-axis variance under the joint weights.
+    pub estimate: (Point3, [f64; 3]),
 }
 
 /// Samples a point uniformly over a cone originating at `pose`
@@ -90,11 +104,32 @@ impl ObjectFilter {
         prior: Option<&P>,
         rng: &mut R,
     ) -> Self {
-        assert!(n >= 1);
+        // one O(reader) CDF build, then O(log reader) per draw — picks
+        // the same indices as per-particle `sample_index` scans
+        let mut cdf = Vec::new();
+        reader.sampling_cdf_into(&mut cdf);
+        Self::init_from_cone_with(reader, &cdf, range, half_angle, n, stamp, prior, rng)
+    }
+
+    /// [`init_from_cone`](Self::init_from_cone) with a prebuilt reader
+    /// CDF (see [`ReaderFilter::sampling_cdf_into`]) — the engine's
+    /// hot path, which builds the CDF once per epoch.
+    #[allow(clippy::too_many_arguments)] // init_from_cone + the CDF
+    pub fn init_from_cone_with<P: LocationPrior + ?Sized, R: Rng + ?Sized>(
+        reader: &ReaderFilter,
+        cdf: &[f64],
+        range: f64,
+        half_angle: f64,
+        n: usize,
+        stamp: u64,
+        prior: Option<&P>,
+        rng: &mut R,
+    ) -> Self {
+        debug_assert!(n >= 1, "object filters are never empty");
         let uniform = -(n as f64).ln();
         let particles = (0..n)
             .map(|_| {
-                let j = reader.sample_index(rng);
+                let j = reader.sample_index_with(cdf, rng);
                 ObjectParticle {
                     loc: sample_cone_in_prior(reader.pose_of(j), range, half_angle, prior, rng),
                     reader_idx: j,
@@ -112,7 +147,7 @@ impl ObjectFilter {
     /// Rebuilds a filter from an explicit particle cloud (used by
     /// belief decompression).
     pub fn from_particles(particles: Vec<ObjectParticle>, stamp: u64) -> Self {
-        assert!(!particles.is_empty());
+        debug_assert!(!particles.is_empty(), "object filters are never empty");
         Self {
             particles,
             pointer_stamp: stamp,
@@ -130,9 +165,11 @@ impl ObjectFilter {
         self.particles.len()
     }
 
-    /// Never empty by construction.
+    /// Whether the filter has no particles. Never true in practice —
+    /// every construction site `debug_assert!`s non-emptiness — but the
+    /// answer comes from the particle set, not a hardcoded constant.
     pub fn is_empty(&self) -> bool {
-        false
+        self.particles.is_empty()
     }
 
     /// Number of resampling events (diagnostics).
@@ -152,8 +189,28 @@ impl ObjectFilter {
         if self.pointer_stamp == stamp {
             return;
         }
+        let mut cdf = Vec::new();
+        reader.sampling_cdf_into(&mut cdf);
+        self.refresh_pointers_with(reader, &cdf, stamp, rng);
+    }
+
+    /// [`refresh_pointers`](Self::refresh_pointers) with a prebuilt
+    /// reader CDF — the engine's allocation-free hot path (one CDF
+    /// build per epoch serves every active object, since the reader
+    /// weights are frozen while objects step). Draws the same indices
+    /// as the buffer-less version for the same RNG stream.
+    pub fn refresh_pointers_with<R: Rng + ?Sized>(
+        &mut self,
+        reader: &ReaderFilter,
+        cdf: &[f64],
+        stamp: u64,
+        rng: &mut R,
+    ) {
+        if self.pointer_stamp == stamp {
+            return;
+        }
         for p in &mut self.particles {
-            p.reader_idx = reader.sample_index(rng);
+            p.reader_idx = reader.sample_index_with(cdf, rng);
         }
         self.pointer_stamp = stamp;
     }
@@ -205,11 +262,143 @@ impl ObjectFilter {
         }
     }
 
+    /// The fused hot-path step: weight → (maybe) resample → estimate in
+    /// one pass over the normalized joint weights, with every buffer
+    /// supplied by the caller. Emits the same particle states and
+    /// estimates as the unfused [`weight`](Self::weight) /
+    /// [`maybe_resample`](Self::maybe_resample) /
+    /// [`estimate`](Self::estimate) sequence (pinned bit-for-bit by
+    /// `tests/fused_equivalence.rs`) while computing the joint weights
+    /// once instead of three times and performing **zero heap
+    /// allocations** once `scratch` has warmed up.
+    ///
+    /// Reader support is *staged* into `support` (a zeroed,
+    /// `reader.len()`-sized slice) rather than deposited into the
+    /// reader directly, so steps for different objects can run on
+    /// different threads and merge deterministically afterwards.
+    #[allow(clippy::too_many_arguments)] // the fused step's full input set
+    pub fn step_fused<S: ReadRateModel, R: Rng + ?Sized>(
+        &mut self,
+        model: &JointModel<S>,
+        reader: &ReaderFilter,
+        read: bool,
+        ess_frac: f64,
+        scratch: &mut StepScratch,
+        support: &mut [f64],
+        rng: &mut R,
+    ) -> StepOutcome {
+        debug_assert_eq!(support.len(), reader.len());
+        let n = self.particles.len();
+
+        // -- weight (w_ti of Eq. 5), normalize in place ----------------
+        for p in &mut self.particles {
+            let pose = reader.pose_of(p.reader_idx);
+            p.log_w += model.object_log_weight(pose, &p.loc, read);
+        }
+        self.normalize_in_place();
+
+        // -- the single joint-weight pass ------------------------------
+        self.fill_joint(reader, &mut scratch.joint);
+
+        // stage per-reader support (probability space)
+        for (p, w) in self.particles.iter().zip(scratch.joint.iter()) {
+            support[p.reader_idx as usize] += w.exp();
+        }
+
+        // -- resample on low joint ESS, in place -----------------------
+        let resampled = effective_sample_size(&scratch.joint) < ess_frac * n as f64;
+        if resampled {
+            systematic_resample_counts(&scratch.joint, n, &mut scratch.counts, rng);
+            reorder_by_counts(&mut self.particles, &mut scratch.counts);
+            let uniform = -(n as f64).ln();
+            for p in &mut self.particles {
+                p.log_w = uniform;
+            }
+            self.resample_count += 1;
+            // the joint weights changed with the particle set: recompute
+            // for the estimate (the only second pass, resample epochs only)
+            self.fill_joint(reader, &mut scratch.joint);
+        }
+
+        // -- estimate under the current joint weights ------------------
+        for w in scratch.joint.iter_mut() {
+            *w = w.exp();
+        }
+        let estimate = Self::moments(&self.particles, &scratch.joint);
+        StepOutcome {
+            resampled,
+            estimate,
+        }
+    }
+
+    /// Posterior mean and per-axis variance given probability-space
+    /// joint weights aligned with `particles`.
+    fn moments(particles: &[ObjectParticle], w: &[f64]) -> (Point3, [f64; 3]) {
+        let mut mean = Point3::origin();
+        for (p, wi) in particles.iter().zip(w) {
+            mean.x += wi * p.loc.x;
+            mean.y += wi * p.loc.y;
+            mean.z += wi * p.loc.z;
+        }
+        let mut var = [0.0f64; 3];
+        for (p, wi) in particles.iter().zip(w) {
+            var[0] += wi * (p.loc.x - mean.x) * (p.loc.x - mean.x);
+            var[1] += wi * (p.loc.y - mean.y) * (p.loc.y - mean.y);
+            var[2] += wi * (p.loc.z - mean.z) * (p.loc.z - mean.z);
+        }
+        (mean, var)
+    }
+
+    /// [`estimate`](Self::estimate) into caller-owned scratch — same
+    /// result, no allocation.
+    pub fn estimate_with(
+        &self,
+        reader: &ReaderFilter,
+        scratch: &mut StepScratch,
+    ) -> (Point3, [f64; 3]) {
+        self.fill_joint(reader, &mut scratch.joint);
+        for w in scratch.joint.iter_mut() {
+            *w = w.exp();
+        }
+        Self::moments(&self.particles, &scratch.joint)
+    }
+
+    /// Effective sample size of the (normalized) object-factor weights,
+    /// computed in one streaming pass — no buffer.
+    pub fn object_ess(&self) -> f64 {
+        effective_sample_size_iter(self.particles.iter().map(|p| p.log_w))
+    }
+
+    /// Writes the normalized joint (object factor × reader factor) log
+    /// weights into `joint` — the buffer-reusing core shared by the
+    /// fused step and [`estimate_with`](Self::estimate_with).
+    fn fill_joint(&self, reader: &ReaderFilter, joint: &mut Vec<f64>) {
+        joint.clear();
+        joint.extend(
+            self.particles
+                .iter()
+                .map(|p| p.log_w + reader.log_weight_of(p.reader_idx)),
+        );
+        log_normalize(joint);
+    }
+
+    /// In-place log-normalization of the particle weights (the shared
+    /// [`log_normalize_by`], projected onto `log_w`).
+    fn normalize_in_place(&mut self) {
+        log_normalize_by(&mut self.particles, |p| p.log_w, |p, w| p.log_w = w);
+    }
+
     /// Weighting step (the `w_ti` factor of Eq. 5): multiplies each
     /// particle's weight by the sensor likelihood of the observed
     /// outcome under its own reader hypothesis, renormalizes, and
     /// deposits per-reader support (the summed joint weight mass of the
     /// object particles pointing at each reader particle).
+    ///
+    /// Together with [`maybe_resample`](Self::maybe_resample) and
+    /// [`estimate`](Self::estimate) this is the *reference* (seed)
+    /// step path; the engine's hot path runs the allocation-free
+    /// [`step_fused`](Self::step_fused), which is pinned to emit
+    /// identical results.
     pub fn weight<S: ReadRateModel>(
         &mut self,
         model: &JointModel<S>,
@@ -243,19 +432,7 @@ impl ObjectFilter {
     /// Posterior mean and per-axis variance under the joint weights.
     pub fn estimate(&self, reader: &ReaderFilter) -> (Point3, [f64; 3]) {
         let w = self.normalized_joint_weights(reader);
-        let mut mean = Point3::origin();
-        for (p, wi) in self.particles.iter().zip(&w) {
-            mean.x += wi * p.loc.x;
-            mean.y += wi * p.loc.y;
-            mean.z += wi * p.loc.z;
-        }
-        let mut var = [0.0f64; 3];
-        for (p, wi) in self.particles.iter().zip(&w) {
-            var[0] += wi * (p.loc.x - mean.x) * (p.loc.x - mean.x);
-            var[1] += wi * (p.loc.y - mean.y) * (p.loc.y - mean.y);
-            var[2] += wi * (p.loc.z - mean.z) * (p.loc.z - mean.z);
-        }
-        (mean, var)
+        Self::moments(&self.particles, &w)
     }
 
     /// The particle cloud as `(weight, location)` pairs under joint
@@ -314,6 +491,22 @@ impl ObjectFilter {
         prior: Option<&P>,
         rng: &mut R,
     ) {
+        let mut cdf = Vec::new();
+        reader.sampling_cdf_into(&mut cdf);
+        self.respawn_half_with(reader, &cdf, range, half_angle, prior, rng);
+    }
+
+    /// [`respawn_half`](Self::respawn_half) with a prebuilt reader CDF
+    /// (the engine's per-epoch one).
+    pub fn respawn_half_with<P: LocationPrior + ?Sized, R: Rng + ?Sized>(
+        &mut self,
+        reader: &ReaderFilter,
+        cdf: &[f64],
+        range: f64,
+        half_angle: f64,
+        prior: Option<&P>,
+        rng: &mut R,
+    ) {
         let n = self.particles.len();
         let joint = self.normalized_joint_weights(reader);
         // order particle indices by joint weight, worst first
@@ -325,7 +518,7 @@ impl ObjectFilter {
         });
         let uniform = -(n as f64).ln();
         for &i in order.iter().take(n / 2) {
-            let j = reader.sample_index(rng);
+            let j = reader.sample_index_with(cdf, rng);
             self.particles[i] = ObjectParticle {
                 loc: sample_cone_in_prior(reader.pose_of(j), range, half_angle, prior, rng),
                 reader_idx: j,

@@ -13,7 +13,8 @@
 //! distribution multiplies the reader weight by that support.
 
 use crate::particle::{
-    effective_sample_size, log_normalize, systematic_resample, weighted_mean_pose, ReaderParticle,
+    effective_sample_size_iter, log_normalize, log_normalize_by, systematic_resample,
+    weighted_mean_pose, ReaderParticle,
 };
 use rand::Rng;
 use rfid_geom::{Point3, Pose, Vec3};
@@ -58,7 +59,7 @@ impl ReaderFilter {
     /// initial reader location R_1 is known" — in practice, the first
     /// location report).
     pub fn new(n: usize, start: Pose) -> Self {
-        assert!(n >= 1);
+        debug_assert!(n >= 1, "reader filters are never empty");
         let w = -(n as f64).ln();
         Self {
             particles: vec![
@@ -83,9 +84,10 @@ impl ReaderFilter {
         self.particles.len()
     }
 
-    /// Always at least one particle.
+    /// Whether the filter has no particles (never true in practice —
+    /// construction `debug_assert!`s at least one).
     pub fn is_empty(&self) -> bool {
-        false
+        self.particles.is_empty()
     }
 
     /// Number of resampling events so far.
@@ -151,10 +153,22 @@ impl ReaderFilter {
         self.support[idx as usize] += w;
     }
 
-    /// Effective sample size of the current weights.
+    /// Merges one object's staged support row (dense, `len()`-sized)
+    /// into the accumulated support. The engine merges rows in active-
+    /// set order on one thread, so the floating-point sum is identical
+    /// for every `worker_threads` value.
+    pub fn merge_support(&mut self, staged: &[f64]) {
+        debug_assert_eq!(staged.len(), self.support.len());
+        for (s, d) in self.support.iter_mut().zip(staged) {
+            *s += *d;
+        }
+    }
+
+    /// Effective sample size of the current weights, computed in one
+    /// streaming pass (weights are kept normalized by
+    /// [`weight`](Self::weight)).
     pub fn ess(&self) -> f64 {
-        let w: Vec<f64> = self.particles.iter().map(|p| p.log_w).collect();
-        effective_sample_size(&w)
+        effective_sample_size_iter(self.particles.iter().map(|p| p.log_w))
     }
 
     /// Resamples when the ESS has dropped below `ess_frac * n`,
@@ -214,6 +228,13 @@ impl ReaderFilter {
     }
 
     /// Draws a particle index according to the current weights.
+    ///
+    /// One O(n) scan with an `exp` per step — fine for occasional
+    /// draws. Loops that draw per object particle (pointer refreshes,
+    /// cone initialization) build the CDF once with
+    /// [`sampling_cdf_into`](Self::sampling_cdf_into) and draw through
+    /// [`sample_index_with`](Self::sample_index_with) instead; both
+    /// paths select identical indices from identical RNG draws.
     pub fn sample_index<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
         let u: f64 = rng.gen();
         let mut cum = 0.0;
@@ -224,6 +245,34 @@ impl ReaderFilter {
             }
         }
         (self.particles.len() - 1) as u32
+    }
+
+    /// Fills `out` with the cumulative particle weights (probability
+    /// space), for repeated O(log n) draws via
+    /// [`sample_index_with`](Self::sample_index_with). The running sum
+    /// accumulates in the same order as [`sample_index`](Self::sample_index)'s
+    /// scan, so the two paths pick bit-identical indices for the same
+    /// RNG draw. Valid until the weights change.
+    pub fn sampling_cdf_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.particles.len());
+        let mut cum = 0.0;
+        for p in &self.particles {
+            cum += p.log_w.exp();
+            out.push(cum);
+        }
+    }
+
+    /// Draws a particle index by binary search over a CDF built by
+    /// [`sampling_cdf_into`](Self::sampling_cdf_into).
+    pub fn sample_index_with<R: Rng + ?Sized>(&self, cdf: &[f64], rng: &mut R) -> u32 {
+        debug_assert_eq!(cdf.len(), self.particles.len());
+        let u: f64 = rng.gen();
+        // first index with cdf[i] >= u — exactly sample_index's
+        // `u <= cum` stopping rule (clamped like its fallback when
+        // floating-point shortfall leaves the total below u)
+        let i = cdf.partition_point(|c| *c < u);
+        i.min(self.particles.len() - 1) as u32
     }
 
     /// The normalized weight of particle `idx` (probability space).
@@ -241,12 +290,10 @@ impl ReaderFilter {
         &self.particles[idx as usize].pose
     }
 
+    /// In-place log-normalization (the shared [`log_normalize_by`],
+    /// projected onto `log_w`).
     fn normalize(&mut self) {
-        let mut w: Vec<f64> = self.particles.iter().map(|p| p.log_w).collect();
-        log_normalize(&mut w);
-        for (p, nw) in self.particles.iter_mut().zip(w) {
-            p.log_w = nw;
-        }
+        log_normalize_by(&mut self.particles, |p| p.log_w, |p, w| p.log_w = w);
     }
 }
 

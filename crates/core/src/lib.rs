@@ -30,6 +30,7 @@ pub mod compression;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod exec;
 pub mod factored;
 pub mod output;
 pub mod particle;

@@ -51,7 +51,22 @@ pub fn log_normalize(log_w: &mut [f64]) -> Option<f64> {
 
 /// Effective sample size of normalized log weights:
 /// `1 / sum(w_i^2)`. Ranges from 1 (degenerate) to `n` (uniform).
+///
+/// # Contract
+///
+/// The input **must** be normalized (`sum(exp(w)) == 1`, e.g. via
+/// [`log_normalize`]); on unnormalized input the result is meaningless
+/// — it silently scales with the square of the stray normalizer. The
+/// contract is checked with a `debug_assert!` so debug/test builds
+/// catch violations while release builds pay nothing.
 pub fn effective_sample_size(log_w: &[f64]) -> f64 {
+    debug_assert!(
+        log_w.is_empty() || {
+            let total: f64 = log_w.iter().map(|w| w.exp()).sum();
+            (total - 1.0).abs() < 1e-6
+        },
+        "effective_sample_size requires normalized log weights"
+    );
     let sum_sq: f64 = log_w.iter().map(|w| (2.0 * w).exp()).sum();
     if sum_sq > 0.0 {
         1.0 / sum_sq
@@ -80,6 +95,117 @@ pub fn systematic_resample<R: Rng + ?Sized>(log_w: &[f64], n: usize, rng: &mut R
         u += step;
     }
     out
+}
+
+/// Streaming variant of [`effective_sample_size`] over an iterator of
+/// normalized log weights — same arithmetic, same
+/// `debug_assert!`-checked normalization contract, without
+/// materializing a buffer.
+pub fn effective_sample_size_iter<I: Iterator<Item = f64> + Clone>(log_w: I) -> f64 {
+    debug_assert!(
+        {
+            let mut probe = log_w.clone().map(f64::exp).peekable();
+            probe.peek().is_none() || (probe.sum::<f64>() - 1.0).abs() < 1e-6
+        },
+        "effective_sample_size_iter requires normalized log weights"
+    );
+    let sum_sq: f64 = log_w.map(|w| (2.0 * w).exp()).sum();
+    if sum_sq > 0.0 {
+        1.0 / sum_sq
+    } else {
+        0.0
+    }
+}
+
+/// In-place [`log_normalize`] over a projected weight field — identical
+/// arithmetic (including the total-depletion uniform reset) applied
+/// directly to a particle array instead of a collected buffer. The one
+/// implementation both filters' hot paths normalize through.
+pub fn log_normalize_by<T>(
+    items: &mut [T],
+    get: impl Fn(&T) -> f64,
+    mut set: impl FnMut(&mut T, f64),
+) {
+    let max = items.iter().map(&get).fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        let u = -(items.len() as f64).ln();
+        for it in items.iter_mut() {
+            set(it, u);
+        }
+        return;
+    }
+    let sum: f64 = items.iter().map(|it| (get(it) - max).exp()).sum();
+    let log_z = max + sum.ln();
+    for it in items.iter_mut() {
+        let w = get(it) - log_z;
+        set(it, w);
+    }
+}
+
+/// Systematic resampling into per-source replication counts: after the
+/// call, `counts[i]` is the number of times particle `i` appears in the
+/// resampled set. Consumes exactly one RNG draw and selects the same
+/// ancestors as [`systematic_resample`] (whose ancestry vector is the
+/// non-decreasing sequence `i` repeated `counts[i]` times) — but fills
+/// a caller-owned buffer instead of allocating, which combined with
+/// [`reorder_by_counts`] makes resampling allocation-free.
+pub fn systematic_resample_counts<R: Rng + ?Sized>(
+    log_w: &[f64],
+    n: usize,
+    counts: &mut Vec<u32>,
+    rng: &mut R,
+) {
+    debug_assert!(!log_w.is_empty());
+    counts.clear();
+    counts.resize(log_w.len(), 0);
+    let step = 1.0 / n as f64;
+    let mut u = rng.gen::<f64>() * step;
+    let mut cum = 0.0;
+    let mut i = 0usize;
+    let mut w_i = log_w[0].exp();
+    for _ in 0..n {
+        while cum + w_i < u && i + 1 < log_w.len() {
+            cum += w_i;
+            i += 1;
+            w_i = log_w[i].exp();
+        }
+        counts[i] += 1;
+        u += step;
+    }
+}
+
+/// Reorders `items` in place into the resampled sequence described by
+/// `counts` (each survivor `i` repeated `counts[i]` times, in index
+/// order) — the exact sequence [`systematic_resample`]'s ancestry
+/// vector produces, without the second allocation.
+///
+/// Two passes: survivors are first compacted to the front (the write
+/// cursor never passes the read cursor), then expanded from the back.
+/// The back-expansion is safe because survivors each contribute at
+/// least one copy, so survivor `r`'s output block starts at an index
+/// `>= r` and never clobbers a survivor that is still to be read.
+/// `counts` is clobbered by the compaction.
+pub fn reorder_by_counts<T: Copy>(items: &mut [T], counts: &mut [u32]) {
+    let n = items.len();
+    debug_assert_eq!(counts.len(), n);
+    debug_assert_eq!(counts.iter().map(|&c| c as usize).sum::<usize>(), n);
+    let mut survivors = 0usize;
+    for i in 0..n {
+        if counts[i] > 0 {
+            items[survivors] = items[i];
+            counts[survivors] = counts[i];
+            survivors += 1;
+        }
+    }
+    let mut write = n;
+    for r in (0..survivors).rev() {
+        let item = items[r];
+        for _ in 0..counts[r] {
+            write -= 1;
+            items[write] = item;
+        }
+    }
+    debug_assert_eq!(write, 0);
 }
 
 /// Weighted mean location of object particles (normalized log weights).
@@ -196,6 +322,53 @@ mod tests {
         log_normalize(&mut w).unwrap();
         let idx = systematic_resample(&w, 100, &mut rng);
         assert!(idx.iter().all(|&i| i == 1));
+    }
+
+    #[test]
+    fn counts_match_ancestry_and_reorder_matches_gather() {
+        // the counts + in-place-reorder pair must reproduce exactly the
+        // sequence the allocating ancestry path produces, from the same
+        // RNG draw
+        for seed in 0..20u64 {
+            let mut w: Vec<f64> = (0..17).map(|i| (-(i as f64) * 0.3).exp().ln()).collect();
+            log_normalize(&mut w).unwrap();
+            let n = w.len();
+            let ancestry = systematic_resample(&w, n, &mut StdRng::seed_from_u64(seed));
+            let mut counts = Vec::new();
+            systematic_resample_counts(&w, n, &mut counts, &mut StdRng::seed_from_u64(seed));
+            // ancestry is non-decreasing and is the histogram expansion
+            let expanded: Vec<u32> = counts
+                .iter()
+                .enumerate()
+                .flat_map(|(i, &c)| std::iter::repeat_n(i as u32, c as usize))
+                .collect();
+            assert_eq!(ancestry, expanded, "seed {seed}");
+            // in-place reorder equals the gather the old path performed
+            let mut items: Vec<u64> = (0..n as u64).map(|i| i * 100).collect();
+            let gathered: Vec<u64> = ancestry.iter().map(|&a| items[a as usize]).collect();
+            reorder_by_counts(&mut items, &mut counts);
+            assert_eq!(items, gathered, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn reorder_handles_point_mass_and_identity() {
+        // all mass on the last source
+        let mut items = vec![10, 20, 30, 40];
+        let mut counts = vec![0u32, 0, 0, 4];
+        reorder_by_counts(&mut items, &mut counts);
+        assert_eq!(items, vec![40, 40, 40, 40]);
+        // identity counts leave items untouched
+        let mut items = vec![1, 2, 3];
+        let mut counts = vec![1u32, 1, 1];
+        reorder_by_counts(&mut items, &mut counts);
+        assert_eq!(items, vec![1, 2, 3]);
+        // the adversarial shape for naive one-pass copies: a middle
+        // survivor whose block lands on a later survivor's slot
+        let mut items = vec![0, 1, 2, 3];
+        let mut counts = vec![0u32, 3, 1, 0];
+        reorder_by_counts(&mut items, &mut counts);
+        assert_eq!(items, vec![1, 1, 1, 2]);
     }
 
     #[test]

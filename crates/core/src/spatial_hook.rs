@@ -21,6 +21,21 @@ use rfid_spatial::RegionIndex;
 use rfid_stream::TagId;
 use std::collections::BTreeSet;
 
+/// The bounding box of the sensing region at `pose` for a sensor of
+/// (overestimated) detection range `range`. The sensing region is a
+/// forward cone, so the box is centered half a range ahead of the
+/// reader along its heading, with a half-extent just over half the
+/// range (10% pad for the cone's lateral spread and minor-range reads
+/// slightly behind the boresight plane).
+///
+/// A free function — the box depends only on the range and the pose,
+/// so the engine computes it without consulting (or rebuilding) a
+/// [`SpatialHook`].
+pub fn sensing_box(range: f64, pose: &Pose) -> Aabb {
+    let ahead = rfid_geom::angles::heading_vec(pose.phi) * (0.5 * range);
+    Aabb::cube(pose.pos + ahead, 0.55 * range)
+}
+
 /// Engine-facing wrapper around the region index.
 #[derive(Debug, Clone)]
 pub struct SpatialHook {
@@ -40,20 +55,24 @@ impl SpatialHook {
         }
     }
 
-    /// The bounding box of the sensing region at `pose`. The sensing
-    /// region is a forward cone, so the box is centered half a range
-    /// ahead of the reader along its heading, with a half-extent just
-    /// over half the range (10% pad for the cone's lateral spread and
-    /// minor-range reads slightly behind the boresight plane).
+    /// The bounding box of the sensing region at `pose` (see the free
+    /// [`sensing_box`] — this method uses the hook's stored range).
     pub fn sensing_box(&self, pose: &Pose) -> Aabb {
-        let ahead = rfid_geom::angles::heading_vec(pose.phi) * (0.5 * self.range);
-        Aabb::cube(pose.pos + ahead, 0.55 * self.range)
+        sensing_box(self.range, pose)
     }
 
     /// The Case 2 candidate set for the current sensing box: objects
     /// recorded in any overlapping past region.
     pub fn candidates(&self, current: &Aabb) -> BTreeSet<TagId> {
         self.index.query_objects(current)
+    }
+
+    /// [`candidates`](Self::candidates) appended into a caller-owned
+    /// buffer (unsorted, may contain duplicates across regions) — the
+    /// engine's per-epoch path, which sorts and dedups its active-set
+    /// `Vec` once instead of paying a `BTreeSet` per epoch.
+    pub fn candidates_into(&self, current: &Aabb, out: &mut Vec<TagId>) {
+        self.index.query_objects_into(current, out);
     }
 
     /// Records this epoch's sensing region with its member objects

@@ -1,0 +1,108 @@
+//! Verifies the acceptance criterion that the steady-state object step
+//! performs **zero heap allocations** for an active, non-resampling
+//! object: a counting global allocator brackets the hot path
+//! (pointer refresh → predict → fused weight/estimate) after a warm-up
+//! step has grown the scratch buffers.
+//!
+//! This file contains exactly one `#[test]` so no concurrent test can
+//! disturb the allocation counter.
+
+// The workspace denies unsafe code; a global allocator shim is the one
+// place a counting test cannot avoid it. The implementation only
+// forwards to `System` around an atomic counter.
+#![allow(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rfid_core::exec::StepScratch;
+use rfid_core::factored::{ObjectFilter, ReaderFilter};
+use rfid_geom::{Point3, Pose};
+use rfid_model::object::BoxPrior;
+use rfid_model::{JointModel, ModelParams};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_object_step_allocates_nothing() {
+    let model = JointModel::new(ModelParams::default_warehouse());
+    let prior = BoxPrior::new(rfid_geom::Aabb::new(
+        Point3::new(-20.0, -20.0, 0.0),
+        Point3::new(20.0, 20.0, 0.0),
+    ));
+    let reader = ReaderFilter::new(50, Pose::identity());
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut filter =
+        ObjectFilter::init_from_cone(&reader, 4.0, 0.6, 500, 0, Some(&prior), &mut rng);
+    let mut scratch = StepScratch::default();
+    let mut support = vec![0.0f64; reader.len()];
+    // the engine builds this once per epoch and shares it
+    let mut cdf = Vec::new();
+    reader.sampling_cdf_into(&mut cdf);
+
+    // warm-up: grows the joint/counts buffers to the particle count
+    // (a resampling step warms the counts buffer too)
+    filter.refresh_pointers_with(&reader, &cdf, 1, &mut rng);
+    filter.step_fused(
+        &model,
+        &reader,
+        true,
+        1.0, // force one resample so scratch.counts is sized
+        &mut scratch,
+        &mut support,
+        &mut rng,
+    );
+
+    // measured steady state: pointer refresh + predict + fused step
+    // over several epochs. ess_frac = 0.0 never resamples (the
+    // criterion is about the active, non-resampling steady state;
+    // resampling itself is also in-place and allocation-free, but the
+    // post-resample estimate recompute is exercised above instead).
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for stamp in 2..12u64 {
+        let read = stamp % 2 == 0;
+        filter.refresh_pointers_with(&reader, &cdf, stamp, &mut rng);
+        filter.predict(&model, &prior, read, &mut rng);
+        support.fill(0.0);
+        let out = filter.step_fused(
+            &model,
+            &reader,
+            read,
+            0.0,
+            &mut scratch,
+            &mut support,
+            &mut rng,
+        );
+        assert!(!out.resampled);
+        assert!(out.estimate.0.x.is_finite());
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state step_object hot path allocated {} times",
+        after - before
+    );
+}

@@ -1,0 +1,114 @@
+//! Determinism of the parallel execution model: the engine's emitted
+//! event stream must be **bit-identical** for every `worker_threads`
+//! value, because each object step draws from its own
+//! `(seed, tag, epoch)` RNG stream and all cross-object side effects
+//! (reader support, statistics) merge in active-set order on the
+//! calling thread.
+
+use rfid_core::engine::run_engine;
+use rfid_core::{FilterConfig, InferenceEngine};
+use rfid_model::sensor::ConeSensor;
+use rfid_model::{JointModel, ModelParams};
+use rfid_sim::scenario;
+use rfid_stream::LocationEvent;
+
+fn run_with_threads(cfg_base: FilterConfig, workers: usize) -> (Vec<LocationEvent>, u64, u64) {
+    let sc = scenario::scalability_trace(60, 4242);
+    let batches = sc.trace.epoch_batches();
+    let mut cfg = cfg_base;
+    cfg.worker_threads = workers;
+    let model = JointModel::with_sensor(
+        ConeSensor::paper_default(),
+        ModelParams::default_warehouse(),
+    );
+    let mut engine =
+        InferenceEngine::new(model, sc.layout.clone(), sc.trace.shelf_tags.clone(), cfg)
+            .expect("valid config");
+    let events = run_engine(&mut engine, &batches);
+    (
+        events,
+        engine.stats().object_resamples,
+        engine.stats().object_updates,
+    )
+}
+
+fn assert_identical(a: &[LocationEvent], b: &[LocationEvent], label: &str) {
+    assert_eq!(a.len(), b.len(), "{label}: event counts differ");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.epoch, y.epoch, "{label}: event {i} epoch");
+        assert_eq!(x.tag, y.tag, "{label}: event {i} tag");
+        // bit-level equality of the floating-point payloads
+        assert_eq!(
+            x.location.x.to_bits(),
+            y.location.x.to_bits(),
+            "{label}: event {i} ({:?}) x",
+            x.tag
+        );
+        assert_eq!(
+            x.location.y.to_bits(),
+            y.location.y.to_bits(),
+            "{label}: event {i} y"
+        );
+        assert_eq!(
+            x.location.z.to_bits(),
+            y.location.z.to_bits(),
+            "{label}: event {i} z"
+        );
+        let (sx, sy) = (x.stats.expect("stats"), y.stats.expect("stats"));
+        assert_eq!(
+            sx.support.to_bits(),
+            sy.support.to_bits(),
+            "{label}: event {i} support"
+        );
+        for ax in 0..3 {
+            assert_eq!(
+                sx.var[ax].to_bits(),
+                sy.var[ax].to_bits(),
+                "{label}: event {i} var[{ax}]"
+            );
+        }
+    }
+}
+
+#[test]
+fn events_bit_identical_across_worker_threads() {
+    let mut cfg = FilterConfig::indexed_default();
+    cfg.particles_per_object = 150;
+    cfg.reader_particles = 50;
+    cfg.report_delay_epochs = 40;
+    let (one, resamples_one, updates_one) = run_with_threads(cfg, 1);
+    assert!(!one.is_empty(), "trace produced no events");
+    for workers in [2usize, 4] {
+        let (multi, resamples, updates) = run_with_threads(cfg, workers);
+        assert_identical(&one, &multi, &format!("workers={workers}"));
+        assert_eq!(
+            resamples_one, resamples,
+            "workers={workers}: resample counts"
+        );
+        assert_eq!(updates_one, updates, "workers={workers}: update counts");
+    }
+}
+
+#[test]
+fn full_variant_bit_identical_across_worker_threads() {
+    // compression + decompression draw from the per-tag streams too
+    let mut cfg = FilterConfig::full_default();
+    cfg.particles_per_object = 120;
+    cfg.reader_particles = 40;
+    cfg.report_delay_epochs = 40;
+    cfg.compression.idle_epochs = 8;
+    let (one, ..) = run_with_threads(cfg, 1);
+    let (four, ..) = run_with_threads(cfg, 4);
+    assert_identical(&one, &four, "full workers=4");
+}
+
+#[test]
+fn reruns_with_same_seed_are_reproducible() {
+    let mut cfg = FilterConfig::indexed_default();
+    cfg.particles_per_object = 100;
+    cfg.reader_particles = 30;
+    cfg.report_delay_epochs = 40;
+    let (a, ..) = run_with_threads(cfg, 2);
+    let (b, ..) = run_with_threads(cfg, 2);
+    assert_identical(&a, &b, "rerun");
+}

@@ -1,0 +1,184 @@
+//! Pins the fused single-pass hot path to the seed code path.
+//!
+//! The seed engine stepped each object with three separate calls —
+//! `weight` (normalize + deposit support), `maybe_resample` (recompute
+//! joint weights, resample), `estimate` (recompute joint weights again)
+//! — each recomputing the normalized joint weights and allocating
+//! fresh buffers. Those unfused methods are retained as the reference
+//! path; this test drives both paths over multi-epoch read/miss
+//! sequences and asserts **bit-identical** particle states, estimates,
+//! and resample decisions from identical RNG streams.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rfid_core::exec::StepScratch;
+use rfid_core::factored::{ObjectFilter, ReaderFilter};
+use rfid_geom::{Point3, Pose};
+use rfid_model::object::BoxPrior;
+use rfid_model::{JointModel, ModelParams};
+
+const NO_PRIOR: Option<&BoxPrior> = None;
+
+fn assert_particles_identical(a: &ObjectFilter, b: &ObjectFilter, epoch: usize) {
+    assert_eq!(a.len(), b.len(), "epoch {epoch}: particle counts");
+    for (i, (pa, pb)) in a.particles().iter().zip(b.particles()).enumerate() {
+        assert_eq!(
+            pa.loc.x.to_bits(),
+            pb.loc.x.to_bits(),
+            "epoch {epoch} particle {i}: loc.x {} vs {}",
+            pa.loc.x,
+            pb.loc.x
+        );
+        assert_eq!(
+            pa.loc.y.to_bits(),
+            pb.loc.y.to_bits(),
+            "epoch {epoch} particle {i}: loc.y"
+        );
+        assert_eq!(
+            pa.loc.z.to_bits(),
+            pb.loc.z.to_bits(),
+            "epoch {epoch} particle {i}: loc.z"
+        );
+        assert_eq!(
+            pa.reader_idx, pb.reader_idx,
+            "epoch {epoch} particle {i}: pointer"
+        );
+        assert_eq!(
+            pa.log_w.to_bits(),
+            pb.log_w.to_bits(),
+            "epoch {epoch} particle {i}: log weight {} vs {}",
+            pa.log_w,
+            pb.log_w
+        );
+    }
+}
+
+/// Drives the reference (seed) path and the fused path side by side
+/// through `epochs` weight/resample/estimate steps under a read/miss
+/// schedule, asserting bit-identical outcomes at every step.
+fn drive(ess_frac: f64, read_at: fn(usize) -> bool, epochs: usize, seed: u64) -> u64 {
+    let m = JointModel::new(ModelParams::default_warehouse());
+    let pose = Pose::new(Point3::new(0.0, 0.5, 0.0), 0.1);
+    let mut reader_ref = ReaderFilter::new(30, pose);
+    let mut reader_fused = ReaderFilter::new(30, pose);
+
+    let mut init_rng = StdRng::seed_from_u64(seed);
+    let reference_seed =
+        ObjectFilter::init_from_cone(&reader_ref, 5.0, 0.6, 120, 0, NO_PRIOR, &mut init_rng);
+    let mut reference = reference_seed.clone();
+    let mut fused = reference_seed;
+
+    // identical RNG streams for the two paths
+    let mut rng_ref = StdRng::seed_from_u64(seed ^ 0xABCD);
+    let mut rng_fused = StdRng::seed_from_u64(seed ^ 0xABCD);
+    let mut scratch = StepScratch::default();
+    let mut support = vec![0.0f64; reader_ref.len()];
+
+    let mut resamples = 0;
+    for epoch in 0..epochs {
+        let read = read_at(epoch);
+
+        // --- reference: the seed three-call sequence ------------------
+        reference.weight(&m, &mut reader_ref, read);
+        let resampled_ref = reference.maybe_resample(&reader_ref, ess_frac, &mut rng_ref);
+        let est_ref = reference.estimate(&reader_ref);
+
+        // --- fused: one pass ------------------------------------------
+        support.fill(0.0);
+        let out = fused.step_fused(
+            &m,
+            &reader_fused,
+            read,
+            ess_frac,
+            &mut scratch,
+            &mut support,
+            &mut rng_fused,
+        );
+        reader_fused.merge_support(&support);
+
+        // --- identical results ----------------------------------------
+        assert_eq!(
+            resampled_ref, out.resampled,
+            "epoch {epoch}: resample decision"
+        );
+        resamples += u64::from(out.resampled);
+        assert_particles_identical(&reference, &fused, epoch);
+        assert_eq!(
+            est_ref.0.x.to_bits(),
+            out.estimate.0.x.to_bits(),
+            "epoch {epoch}: estimate x {} vs {}",
+            est_ref.0.x,
+            out.estimate.0.x
+        );
+        assert_eq!(
+            est_ref.0.y.to_bits(),
+            out.estimate.0.y.to_bits(),
+            "epoch {epoch}: estimate y"
+        );
+        assert_eq!(
+            est_ref.0.z.to_bits(),
+            out.estimate.0.z.to_bits(),
+            "epoch {epoch}: estimate z"
+        );
+        for ax in 0..3 {
+            assert_eq!(
+                est_ref.1[ax].to_bits(),
+                out.estimate.1[ax].to_bits(),
+                "epoch {epoch}: variance[{ax}]"
+            );
+        }
+        // staged support merges to the same accumulated mass the seed
+        // path deposited particle-by-particle (same addends, grouped
+        // per object before the running sum — agreement to float noise)
+        for (i, (a, b)) in reader_ref
+            .particles()
+            .iter()
+            .zip(reader_fused.particles())
+            .enumerate()
+        {
+            assert_eq!(
+                a.log_w.to_bits(),
+                b.log_w.to_bits(),
+                "epoch {epoch}: reader weight {i}"
+            );
+        }
+    }
+    resamples
+}
+
+#[test]
+fn fused_step_equals_seed_path_on_read_heavy_trace() {
+    let resamples = drive(0.5, |e| e % 3 != 2, 25, 11);
+    assert!(
+        resamples >= 1,
+        "trace should exercise the resampling branch"
+    );
+}
+
+#[test]
+fn fused_step_equals_seed_path_on_miss_heavy_trace() {
+    drive(0.5, |e| e % 5 == 0, 25, 12);
+}
+
+#[test]
+fn fused_step_equals_seed_path_resample_always() {
+    // ess_frac = 1.0 resamples every step (the Ng et al. scheme):
+    // maximal exercise of the in-place reorder path
+    let resamples = drive(1.0, |e| e % 2 == 0, 20, 13);
+    assert_eq!(resamples, 20);
+}
+
+#[test]
+fn fused_support_mass_matches_seed_deposits() {
+    // one fused step's staged support row carries exactly the mass the
+    // seed path deposits: total 1 (the joint weights are normalized)
+    let m = JointModel::new(ModelParams::default_warehouse());
+    let reader = ReaderFilter::new(20, Pose::identity());
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut f = ObjectFilter::init_from_cone(&reader, 4.0, 0.5, 200, 0, NO_PRIOR, &mut rng);
+    let mut scratch = StepScratch::default();
+    let mut support = vec![0.0f64; reader.len()];
+    f.step_fused(&m, &reader, true, 0.5, &mut scratch, &mut support, &mut rng);
+    let total: f64 = support.iter().sum();
+    assert!((total - 1.0).abs() < 1e-9, "staged support mass {total}");
+}

@@ -33,7 +33,9 @@ pub fn log_sigmoid(x: f64) -> f64 {
 }
 
 /// Anything that yields a read probability for a (reader pose, tag) pair.
-pub trait ReadRateModel {
+// `Send + Sync` supertraits: sensor models are immutable model data
+// shared by reference across the engine's worker threads.
+pub trait ReadRateModel: Send + Sync {
     /// Probability of reading a tag at distance `d` (feet) and bearing
     /// angle `theta` (radians, `[0, π]`) from the reader.
     fn p_read_dt(&self, d: f64, theta: f64) -> f64;

@@ -93,6 +93,17 @@ impl<K: Copy + Ord + Hash> RegionIndex<K> {
         out
     }
 
+    /// [`query_objects`](Self::query_objects) into a caller-owned
+    /// buffer: appends the members of every intersecting region to
+    /// `out` *without* deduplicating across regions. Hot-path variant —
+    /// callers that probe every epoch sort/dedup a reused `Vec` once
+    /// instead of building a fresh `BTreeSet` per probe.
+    pub fn query_objects_into(&self, query: &Aabb, out: &mut Vec<K>) {
+        self.tree.for_each_intersecting(query, &mut |_, id| {
+            out.extend_from_slice(&self.members[*id as usize]);
+        });
+    }
+
     /// Ids of regions intersecting `query` (diagnostics / tests).
     pub fn query_regions(&self, query: &Aabb) -> Vec<RegionId> {
         let mut ids: Vec<RegionId> = self.tree.query(query).into_iter().copied().collect();
