@@ -115,6 +115,16 @@ impl UniformBaseline {
     }
 }
 
+impl rfid_stream::pipeline::InferenceStage for UniformBaseline {
+    fn process_batch_into(&mut self, batch: &EpochBatch, out: &mut Vec<LocationEvent>) {
+        out.extend(self.process_batch(batch));
+    }
+
+    fn finalize_into(&mut self, last_epoch: Epoch, out: &mut Vec<LocationEvent>) {
+        out.extend(self.finalize(last_epoch));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

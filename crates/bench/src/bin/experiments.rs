@@ -616,68 +616,92 @@ struct ThroughputRow {
     variant: &'static str,
     objects: usize,
     workers: usize,
+    shards: usize,
+    /// Scan rounds of the workload (2 = the standard trace; larger
+    /// values are the endurance runs probing bounded-memory streaming).
+    rounds: usize,
+    epochs: u64,
     readings: usize,
     readings_per_sec: f64,
     ms_per_reading: f64,
     memory_mb: f64,
     events: usize,
+    /// Synchronizer buffer high-water (epochs) — must stay flat as
+    /// `rounds` grows.
+    sync_high_water: usize,
+    /// Drained-batch buffer high-water — must stay flat as `rounds`
+    /// grows.
+    batch_high_water: usize,
 }
 
-/// Measures whole-trace throughput of each engine variant on the
-/// `bench_scalability` scenario (`scalability_trace(100, 99)`, 200
-/// particles/object — the same workload as the criterion bench), plus
-/// a `worker_threads` sweep of the indexed variant on a larger
-/// multi-object trace (where per-epoch active sets are big enough for
-/// the fan-out to bite). Each configuration runs `reps` times; the
-/// best run is reported (min wall time), the standard way to suppress
-/// scheduler noise.
+/// Measures whole-trace throughput of each engine variant through the
+/// **streaming pipeline** (incremental source → synchronizer → engine
+/// → sink) on the `bench_scalability` scenario (`scalability_trace(100,
+/// 99)`, 200 particles/object — the same workload as the criterion
+/// bench), plus a `worker_threads` sweep, a `num_shards` sweep, and an
+/// endurance pair (2 vs 20 scan rounds) whose pipeline-buffer
+/// high-water marks demonstrate bounded-memory streaming. Each
+/// configuration runs `reps` times; the best run is reported (min wall
+/// time), the standard way to suppress scheduler noise.
 fn throughput(opts: Opts, json: bool) {
     let mut r = Report::new(
         "throughput",
-        "Whole-trace engine throughput (bench_scalability scenario + worker sweep)",
+        "Whole-trace pipeline throughput (bench_scalability scenario + worker/shard sweeps)",
     );
     let reps = if opts.quick { 1 } else { 3 };
     let particles = 200;
 
     let mut rows: Vec<ThroughputRow> = Vec::new();
-    let run_one = |sc: &rfid_sim::scenario::Scenario,
-                   objects: usize,
-                   variant: EngineVariant,
-                   workers: usize,
-                   rows: &mut Vec<ThroughputRow>| {
-        let batches = sc.trace.epoch_batches();
+    let mut last_per_shard: Option<Vec<rfid_core::ShardCounts>> = None;
+    let mut run_one = |sc: &rfid_sim::scenario::Scenario,
+                       objects: usize,
+                       rounds: usize,
+                       variant: EngineVariant,
+                       workers: usize,
+                       shards: usize,
+                       rows: &mut Vec<ThroughputRow>| {
         let mut best: Option<rfid_bench::runner::RunOutput> = None;
         for _ in 0..reps {
-            let out = rfid_bench::runner::run_engine_variant_opts(
-                &batches,
+            let out = rfid_bench::runner::run_pipeline_variant_opts(
+                &sc.trace,
                 &sc.layout,
-                &sc.trace.shelf_tags,
                 variant,
                 InferenceSensor::TrueCone(ConeSensor::paper_default()),
                 ModelParams::default_warehouse(),
                 rfid_bench::runner::RunOpts::new(particles, default_report_delay())
-                    .with_workers(workers),
+                    .with_workers(workers)
+                    .with_shards(shards),
             );
             if best.as_ref().is_none_or(|b| out.elapsed < b.elapsed) {
                 best = Some(out);
             }
         }
         let out = best.expect("reps >= 1");
+        let pstats = out.pipeline.expect("pipeline run records stats");
         eprintln!(
-            "  [{} n={objects} w={workers}] {:.0} readings/s, {:.3} ms/reading",
+            "  [{} n={objects} w={workers} s={shards} r={rounds}] {:.0} readings/s, \
+             {:.3} ms/reading, sync hw {}, batch hw {}",
             variant.label(),
             out.readings_per_sec(),
-            out.ms_per_reading()
+            out.ms_per_reading(),
+            pstats.sync_pending_high_water,
+            pstats.batch_buffer_high_water,
         );
+        last_per_shard = out.stats.as_ref().map(|s| s.per_shard.clone());
         rows.push(ThroughputRow {
             variant: variant.label(),
             objects,
             workers,
+            shards,
+            rounds,
+            epochs: pstats.epochs,
             readings: out.readings,
             readings_per_sec: out.readings_per_sec(),
             ms_per_reading: out.ms_per_reading(),
             memory_mb: out.memory_bytes as f64 / (1024.0 * 1024.0),
             events: out.events.len(),
+            sync_high_water: pstats.sync_pending_high_water,
+            batch_high_water: pstats.batch_buffer_high_water,
         });
     };
 
@@ -688,7 +712,7 @@ fn throughput(opts: Opts, json: bool) {
         EngineVariant::FactoredIndexed,
         EngineVariant::Full,
     ] {
-        run_one(&sc100, 100, variant, 1, &mut rows);
+        run_one(&sc100, 100, 2, variant, 1, 1, &mut rows);
     }
     // worker sweep on a denser multi-object trace (factored: every
     // object is active every epoch, so the fan-out has real work)
@@ -698,20 +722,86 @@ fn throughput(opts: Opts, json: bool) {
         run_one(
             &sc_sweep,
             sweep_n,
+            2,
             EngineVariant::Factored,
             workers,
+            1,
             &mut rows,
         );
+    }
+    // shard sweep: state partitioning must be near-free single-threaded
+    for shards in [2usize, 8] {
+        run_one(
+            &sc100,
+            100,
+            2,
+            EngineVariant::FactoredIndexed,
+            1,
+            shards,
+            &mut rows,
+        );
+    }
+    // endurance pair: 10x the scan rounds, same warehouse — the
+    // pipeline's buffer high-water marks must stay flat (O(open
+    // epochs), not O(trace length))
+    let endurance_rounds = if opts.quick { 6 } else { 20 };
+    let sc_short = scenario::endurance_trace(100, 2, 99);
+    let sc_long = scenario::endurance_trace(100, endurance_rounds, 99);
+    run_one(&sc_short, 100, 2, EngineVariant::Full, 1, 4, &mut rows);
+    run_one(
+        &sc_long,
+        100,
+        endurance_rounds,
+        EngineVariant::Full,
+        1,
+        4,
+        &mut rows,
+    );
+    if let Some(per_shard) = &last_per_shard {
+        let line: Vec<String> = per_shard
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                format!(
+                    "shard {i}: {} objects, {} compressed, {} cooldown",
+                    c.objects, c.compressed, c.cooldown_entries
+                )
+            })
+            .collect();
+        r.line(&format!(
+            "per-shard state after the endurance run ({} shards): {}",
+            per_shard.len(),
+            line.join("; ")
+        ));
+    }
+    {
+        let short = &rows[rows.len() - 2];
+        let long = &rows[rows.len() - 1];
+        r.line(&format!(
+            "endurance: {}x epochs ({} -> {}), sync high-water {} -> {}, batch high-water {} -> {}",
+            long.epochs / short.epochs.max(1),
+            short.epochs,
+            long.epochs,
+            short.sync_high_water,
+            long.sync_high_water,
+            short.batch_high_water,
+            long.batch_high_water,
+        ));
     }
 
     let mut t = Table::new(vec![
         "variant",
         "#objects",
         "workers",
+        "shards",
+        "rounds",
+        "epochs",
         "readings",
         "readings/s",
         "ms/reading",
         "memory (MB)",
+        "sync hw",
+        "batch hw",
         "events",
     ]);
     for row in &rows {
@@ -719,10 +809,15 @@ fn throughput(opts: Opts, json: bool) {
             row.variant.to_string(),
             row.objects.to_string(),
             row.workers.to_string(),
+            row.shards.to_string(),
+            row.rounds.to_string(),
+            row.epochs.to_string(),
             row.readings.to_string(),
             format!("{:.0}", row.readings_per_sec),
             f3(row.ms_per_reading),
             f2(row.memory_mb),
+            row.sync_high_water.to_string(),
+            row.batch_high_water.to_string(),
             row.events.to_string(),
         ]);
     }
@@ -730,28 +825,40 @@ fn throughput(opts: Opts, json: bool) {
     r.finish();
 
     if json {
-        let mut s = String::from("{\n  \"scenario\": \"scalability_trace(n, 99)\",\n");
+        let mut s = String::from("{\n  \"scenario\": \"endurance_trace(n, rounds, 99)\",\n");
         s.push_str(&format!("  \"particles_per_object\": {particles},\n"));
-        // the pre-PR-2 (seed hot path) single-threaded numbers on the
-        // 100-object workload, kept in the file so any run can be
-        // compared against the recorded trajectory (see EXPERIMENTS.md)
+        // recorded single-threaded trajectory numbers on the 100-object
+        // workload, kept in the file so any run can be compared against
+        // the history (see EXPERIMENTS.md): pr2 = seed hot path,
+        // pr3 = fused hot path through the batch API
         s.push_str(
             "  \"baseline_pr2_readings_per_sec\": {\"Factorized\": 753.3, \
              \"Factorized+Index\": 2198.7, \"Factorized+Index+Compression\": 6538.4},\n",
+        );
+        s.push_str(
+            "  \"baseline_pr3_batch_readings_per_sec\": {\"Factorized\": 4149.0, \
+             \"Factorized+Index\": 10509.0, \"Factorized+Index+Compression\": 24223.0},\n",
         );
         s.push_str("  \"rows\": [\n");
         for (i, row) in rows.iter().enumerate() {
             s.push_str(&format!(
                 "    {{\"variant\": \"{}\", \"objects\": {}, \"worker_threads\": {}, \
+                 \"num_shards\": {}, \"rounds\": {}, \"epochs\": {}, \
                  \"readings\": {}, \"readings_per_sec\": {:.1}, \"ms_per_reading\": {:.4}, \
-                 \"memory_mb\": {:.3}, \"events\": {}}}{}\n",
+                 \"memory_mb\": {:.3}, \"sync_pending_high_water\": {}, \
+                 \"batch_buffer_high_water\": {}, \"events\": {}}}{}\n",
                 row.variant,
                 row.objects,
                 row.workers,
+                row.shards,
+                row.rounds,
+                row.epochs,
                 row.readings,
                 row.readings_per_sec,
                 row.ms_per_reading,
                 row.memory_mb,
+                row.sync_high_water,
+                row.batch_high_water,
                 row.events,
                 if i + 1 == rows.len() { "" } else { "," }
             ));

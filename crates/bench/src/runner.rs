@@ -10,6 +10,8 @@ use rfid_model::object::LocationPrior;
 use rfid_model::sensor::{ConeSensor, ReadRateModel};
 use rfid_model::{JointModel, ModelParams};
 use rfid_sim::scenario::Scenario;
+use rfid_sim::SimTrace;
+use rfid_stream::pipeline::{InferenceStage, Pipeline, PipelineStats};
 use rfid_stream::{Epoch, EpochBatch, LocationEvent};
 use std::time::{Duration, Instant};
 
@@ -56,21 +58,32 @@ pub struct RunOutput {
     pub readings: usize,
     pub stats: Option<EngineStats>,
     pub memory_bytes: usize,
+    /// Streaming-pipeline counters and buffer high-water marks
+    /// (`None` for the legacy batch paths).
+    pub pipeline: Option<PipelineStats>,
 }
 
 impl RunOutput {
     /// Milliseconds of processing per raw reading — the Fig. 5(j)
-    /// metric.
+    /// metric. An empty run reports 0 (not NaN), so the value is always
+    /// safe to put in a table or a JSON report.
     pub fn ms_per_reading(&self) -> f64 {
         if self.readings == 0 {
-            return f64::NAN;
+            return 0.0;
         }
         self.elapsed.as_secs_f64() * 1e3 / self.readings as f64
     }
 
-    /// Readings processed per second.
+    /// Readings processed per second. An empty or instantaneous run
+    /// reports 0 (not NaN/inf): a zero-reading trace has no meaningful
+    /// throughput, and a sub-nanosecond elapsed time means the clock
+    /// did not resolve the run.
     pub fn readings_per_sec(&self) -> f64 {
-        self.readings as f64 / self.elapsed.as_secs_f64().max(1e-12)
+        let secs = self.elapsed.as_secs_f64();
+        if self.readings == 0 || secs <= 1e-9 {
+            return 0.0;
+        }
+        self.readings as f64 / secs
     }
 
     /// Scores the events against a scenario's ground truth.
@@ -91,21 +104,31 @@ pub struct RunOpts {
     /// Worker threads for the per-object fan-out (`rfid_core::exec`);
     /// events are bit-identical for every value.
     pub worker_threads: usize,
+    /// Object-state shards (`rfid_core::shard`); events are
+    /// bit-identical for every value.
+    pub num_shards: usize,
 }
 
 impl RunOpts {
-    /// Sequential run (the default execution mode).
+    /// Sequential single-shard run (the default execution mode).
     pub fn new(particles_per_object: usize, report_delay: u64) -> Self {
         Self {
             particles_per_object,
             report_delay,
             worker_threads: 1,
+            num_shards: 1,
         }
     }
 
     /// Same run fanned out across `workers` threads.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.worker_threads = workers;
+        self
+    }
+
+    /// Same run with object state partitioned into `shards`.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.num_shards = shards;
         self
     }
 }
@@ -134,16 +157,10 @@ pub fn run_engine_variant<P: LocationPrior + Clone>(
     )
 }
 
-/// [`run_engine_variant`] with the full option set.
-pub fn run_engine_variant_opts<P: LocationPrior + Clone>(
-    batches: &[EpochBatch],
-    prior: &P,
-    shelf_tags: &[(rfid_stream::TagId, rfid_geom::Point3)],
-    variant: EngineVariant,
-    sensor: InferenceSensor,
-    params: ModelParams,
-    opts: RunOpts,
-) -> RunOutput {
+/// The engine configuration a variant runs with under the given
+/// options — shared by the batch and pipeline entry points so the two
+/// paths can never diverge.
+fn variant_config(variant: EngineVariant, opts: RunOpts) -> FilterConfig {
     let mut cfg = match variant {
         EngineVariant::Unfactored { .. } | EngineVariant::Factored => {
             FilterConfig::factored_default()
@@ -154,6 +171,27 @@ pub fn run_engine_variant_opts<P: LocationPrior + Clone>(
     cfg.particles_per_object = opts.particles_per_object;
     cfg.report_delay_epochs = opts.report_delay;
     cfg.worker_threads = opts.worker_threads;
+    cfg.num_shards = opts.num_shards;
+    cfg
+}
+
+/// `params` with its sensor component replaced by a learned model.
+fn with_logistic_sensor(mut params: ModelParams, sp: rfid_model::SensorParams) -> ModelParams {
+    params.sensor = sp;
+    params
+}
+
+/// [`run_engine_variant`] with the full option set.
+pub fn run_engine_variant_opts<P: LocationPrior + Clone>(
+    batches: &[EpochBatch],
+    prior: &P,
+    shelf_tags: &[(rfid_stream::TagId, rfid_geom::Point3)],
+    variant: EngineVariant,
+    sensor: InferenceSensor,
+    params: ModelParams,
+    opts: RunOpts,
+) -> RunOutput {
+    let cfg = variant_config(variant, opts);
     let readings: usize = batches.iter().map(|b| b.readings.len()).sum();
 
     match (variant, sensor) {
@@ -170,9 +208,7 @@ pub fn run_engine_variant_opts<P: LocationPrior + Clone>(
             )
         }
         (EngineVariant::Unfactored { particles }, InferenceSensor::Logistic(sp)) => {
-            let mut p = params;
-            p.sensor = sp;
-            let model = JointModel::new(p);
+            let model = JointModel::new(with_logistic_sensor(params, sp));
             run_unfactored(
                 model,
                 prior.clone(),
@@ -195,9 +231,7 @@ pub fn run_engine_variant_opts<P: LocationPrior + Clone>(
             )
         }
         (_, InferenceSensor::Logistic(sp)) => {
-            let mut p = params;
-            p.sensor = sp;
-            let model = JointModel::new(p);
+            let model = JointModel::new(with_logistic_sensor(params, sp));
             run_factored(
                 model,
                 prior.clone(),
@@ -227,7 +261,8 @@ fn run_factored<P: LocationPrior + Clone, S: ReadRateModel>(
         elapsed,
         readings,
         memory_bytes: engine.memory_bytes(),
-        stats: Some(*engine.stats()),
+        stats: Some(engine.stats().clone()),
+        pipeline: None,
     }
 }
 
@@ -255,6 +290,7 @@ fn run_unfactored<P: LocationPrior + Clone, S: ReadRateModel>(
         readings,
         memory_bytes: particles * filter.num_objects() * std::mem::size_of::<rfid_geom::Point3>(),
         stats: None,
+        pipeline: None,
     }
 }
 
@@ -288,9 +324,7 @@ pub fn run_motion_off<P: LocationPrior + Clone>(
             )
         }
         InferenceSensor::Logistic(sp) => {
-            let mut p = params;
-            p.sensor = sp;
-            let model = JointModel::new(p);
+            let model = JointModel::new(with_logistic_sensor(params, sp));
             run_factored(
                 model,
                 prior.clone(),
@@ -327,6 +361,7 @@ pub fn run_baseline_smurf(
         readings,
         stats: None,
         memory_bytes: 0,
+        pipeline: None,
     }
 }
 
@@ -352,6 +387,99 @@ pub fn run_baseline_uniform(
         readings,
         stats: None,
         memory_bytes: 0,
+        pipeline: None,
+    }
+}
+
+/// Drives any [`InferenceStage`] through the streaming pipeline over a
+/// simulated trace (incremental source, watermark synchronization) and
+/// returns the collected events plus the pipeline's buffer statistics.
+pub fn drive_pipeline<St: InferenceStage>(
+    trace: &SimTrace,
+    stage: St,
+) -> (Vec<LocationEvent>, Duration, PipelineStats, St) {
+    let mut pipeline = Pipeline::new(trace.epoch_len, stage, Vec::new());
+    let start = Instant::now();
+    let stats = pipeline.run_to_completion(&mut trace.stream());
+    let elapsed = start.elapsed();
+    let (stage, events, _) = pipeline.into_parts();
+    (events, elapsed, stats, stage)
+}
+
+/// [`run_engine_variant_opts`], but through the streaming pipeline:
+/// the trace's raw streams are pulled incrementally through the
+/// synchronizer into the engine — no `Vec<EpochBatch>` is ever built.
+/// Event streams are bit-identical to the batch path.
+pub fn run_pipeline_variant_opts<P: LocationPrior + Clone>(
+    trace: &SimTrace,
+    prior: &P,
+    variant: EngineVariant,
+    sensor: InferenceSensor,
+    params: ModelParams,
+    opts: RunOpts,
+) -> RunOutput {
+    let cfg = variant_config(variant, opts);
+    let shelf_tags = trace.shelf_tags.clone();
+
+    fn run_factored_pipeline<P: LocationPrior + Clone, S: ReadRateModel>(
+        trace: &SimTrace,
+        model: JointModel<S>,
+        prior: P,
+        shelf_tags: Vec<(rfid_stream::TagId, rfid_geom::Point3)>,
+        cfg: FilterConfig,
+    ) -> RunOutput {
+        let engine = InferenceEngine::new(model, prior, shelf_tags, cfg).expect("valid config");
+        let (events, elapsed, stats, engine) = drive_pipeline(trace, engine);
+        RunOutput {
+            events,
+            elapsed,
+            readings: stats.batch_readings as usize,
+            memory_bytes: engine.memory_bytes(),
+            stats: Some(engine.stats().clone()),
+            pipeline: Some(stats),
+        }
+    }
+
+    fn run_unfactored_pipeline<P: LocationPrior + Clone, S: ReadRateModel>(
+        trace: &SimTrace,
+        model: JointModel<S>,
+        prior: P,
+        shelf_tags: Vec<(rfid_stream::TagId, rfid_geom::Point3)>,
+        cfg: FilterConfig,
+        particles: usize,
+    ) -> RunOutput {
+        let filter = BasicParticleFilter::new(model, prior, shelf_tags, cfg, particles)
+            .expect("valid config");
+        let (events, elapsed, stats, filter) = drive_pipeline(trace, filter);
+        RunOutput {
+            events,
+            elapsed,
+            readings: stats.batch_readings as usize,
+            memory_bytes: particles
+                * filter.num_objects()
+                * std::mem::size_of::<rfid_geom::Point3>(),
+            stats: None,
+            pipeline: Some(stats),
+        }
+    }
+
+    match (variant, sensor) {
+        (EngineVariant::Unfactored { particles }, InferenceSensor::TrueCone(c)) => {
+            let model = JointModel::with_sensor(c, params);
+            run_unfactored_pipeline(trace, model, prior.clone(), shelf_tags, cfg, particles)
+        }
+        (EngineVariant::Unfactored { particles }, InferenceSensor::Logistic(sp)) => {
+            let model = JointModel::new(with_logistic_sensor(params, sp));
+            run_unfactored_pipeline(trace, model, prior.clone(), shelf_tags, cfg, particles)
+        }
+        (_, InferenceSensor::TrueCone(c)) => {
+            let model = JointModel::with_sensor(c, params);
+            run_factored_pipeline(trace, model, prior.clone(), shelf_tags, cfg)
+        }
+        (_, InferenceSensor::Logistic(sp)) => {
+            let model = JointModel::new(with_logistic_sensor(params, sp));
+            run_factored_pipeline(trace, model, prior.clone(), shelf_tags, cfg)
+        }
     }
 }
 
@@ -378,6 +506,62 @@ mod tests {
         assert_eq!(score.n, 8);
         assert!(score.mean_xy < 2.0, "error {}", score.mean_xy);
         assert!(out.ms_per_reading() > 0.0);
+    }
+
+    #[test]
+    fn pipeline_run_matches_batch_run() {
+        let sc = scenario::small_trace(8, 4, 77);
+        let batch = run_engine_variant(
+            &sc.trace.epoch_batches(),
+            &sc.layout,
+            &sc.trace.shelf_tags,
+            EngineVariant::FactoredIndexed,
+            InferenceSensor::TrueCone(ConeSensor::paper_default()),
+            ModelParams::default_warehouse(),
+            200,
+            30,
+        );
+        let piped = run_pipeline_variant_opts(
+            &sc.trace,
+            &sc.layout,
+            EngineVariant::FactoredIndexed,
+            InferenceSensor::TrueCone(ConeSensor::paper_default()),
+            ModelParams::default_warehouse(),
+            RunOpts::new(200, 30),
+        );
+        assert_eq!(batch.readings, piped.readings);
+        assert_eq!(batch.events.len(), piped.events.len());
+        for (a, b) in batch.events.iter().zip(&piped.events) {
+            assert_eq!(a.epoch, b.epoch);
+            assert_eq!(a.tag, b.tag);
+            assert_eq!(a.location.x.to_bits(), b.location.x.to_bits());
+            assert_eq!(a.location.y.to_bits(), b.location.y.to_bits());
+        }
+        let pstats = piped.pipeline.expect("pipeline stats recorded");
+        assert!(pstats.sync_pending_high_water >= 1);
+        assert!(pstats.epochs > 0);
+    }
+
+    #[test]
+    fn zero_reading_run_reports_zero_not_nan() {
+        let out = RunOutput {
+            events: Vec::new(),
+            elapsed: Duration::ZERO,
+            readings: 0,
+            stats: None,
+            memory_bytes: 0,
+            pipeline: None,
+        };
+        assert_eq!(out.ms_per_reading(), 0.0);
+        assert_eq!(out.readings_per_sec(), 0.0);
+        assert!(out.ms_per_reading().is_finite());
+        assert!(out.readings_per_sec().is_finite());
+        // readings but an unresolvable clock: still finite
+        let fast = RunOutput {
+            readings: 10,
+            ..out
+        };
+        assert_eq!(fast.readings_per_sec(), 0.0);
     }
 
     #[test]

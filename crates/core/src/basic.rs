@@ -304,6 +304,18 @@ impl<P: LocationPrior, S: ReadRateModel> BasicParticleFilter<P, S> {
     }
 }
 
+impl<P: LocationPrior, S: ReadRateModel> rfid_stream::pipeline::InferenceStage
+    for BasicParticleFilter<P, S>
+{
+    fn process_batch_into(&mut self, batch: &EpochBatch, out: &mut Vec<LocationEvent>) {
+        out.extend(self.process_batch(batch));
+    }
+
+    fn finalize_into(&mut self, last_epoch: Epoch, out: &mut Vec<LocationEvent>) {
+        out.extend(self.finalize(last_epoch));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

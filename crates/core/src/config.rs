@@ -104,6 +104,12 @@ pub struct FilterConfig {
     /// the default of 1 (fully sequential, no threads spawned). See the
     /// `exec` module docs for guidance on picking a value.
     pub worker_threads: usize,
+    /// Shards the object state is partitioned into (`tag % num_shards`;
+    /// `rfid_core::shard`). Each shard owns its objects, output policy,
+    /// and compression cooldown. Like `worker_threads`, this changes
+    /// cost only: emitted events are bit-identical for every
+    /// `(worker_threads, num_shards)` combination.
+    pub num_shards: usize,
 }
 
 impl FilterConfig {
@@ -125,6 +131,7 @@ impl FilterConfig {
             report_delay_epochs: 60,
             seed: 0x5eed,
             worker_threads: 1,
+            num_shards: 1,
         }
     }
 
@@ -177,6 +184,9 @@ impl FilterConfig {
         if self.worker_threads == 0 {
             return Err(ConfigError::new("worker_threads must be >= 1"));
         }
+        if self.num_shards == 0 {
+            return Err(ConfigError::new("num_shards must be >= 1"));
+        }
         Ok(())
     }
 }
@@ -224,6 +234,10 @@ mod tests {
 
         let mut c = FilterConfig::factored_default();
         c.worker_threads = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = FilterConfig::factored_default();
+        c.num_shards = 0;
         assert!(c.validate().is_err());
     }
 }

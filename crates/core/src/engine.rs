@@ -1,29 +1,37 @@
 //! The inference engine: raw epoch batches in, location events out.
 //!
-//! [`InferenceEngine::process_batch`] runs one epoch of §IV's filter:
-//! reader prediction and weighting, active-set selection (all objects,
-//! or Cases 1–2 via the spatial index), per-object prediction /
-//! weighting / resampling, re-detection handling, event emission per
-//! the output policy, instrumented reader resampling, and the belief
-//! compression sweep.
+//! [`InferenceEngine::process_batch`] runs one epoch of §IV's filter in
+//! three explicit stages:
+//!
+//! 1. **ingestion** ([`InferenceEngine::ingest`]): partition the
+//!    epoch's readings into shelf evidence and per-shard object reads,
+//!    then update the reader filter;
+//! 2. **inference** ([`InferenceEngine::infer`]): build the per-shard
+//!    active sets (Cases 1–2 via the spatial index), merge them into
+//!    the global step queue, run the per-object updates, schedule
+//!    compression checks, and record the sensing region;
+//! 3. **emission** ([`InferenceEngine::emit`]): collect due events
+//!    from every shard's output policy, resample the reader, and run
+//!    the compression sweep.
 //!
 //! # Execution model
 //!
-//! The per-object updates are the hot path and are built to be
-//! **allocation-free in steady state** and **deterministically
-//! parallel**:
+//! Object state is partitioned into [`crate::shard`]s by
+//! `tag % config.num_shards`; the per-object updates fan out across
+//! `config.worker_threads` scoped threads. Both knobs change *cost
+//! only*: the hot path is **allocation-free in steady state** and the
+//! emitted event stream is **bit-identical for every
+//! `(worker_threads, num_shards)` combination**, because
 //!
-//! * every buffer the per-object step needs (joint weights, resampling
-//!   counts, staged reader support, the active/read sets) lives in
-//!   reusable scratch owned by the engine ([`crate::exec`]);
+//! * every buffer the per-object step needs lives in reusable scratch
+//!   owned by the engine ([`crate::exec`]);
 //! * the fused [`ObjectFilter::step_fused`] computes the normalized
-//!   joint weights once per step instead of once each for weighting,
-//!   resampling, and estimation, and resamples in place;
+//!   joint weights once per step and resamples in place;
 //! * each object's step draws from its own RNG stream seeded from
 //!   `(config.seed, tag, epoch)`, and all cross-object side effects
-//!   (reader support, statistics) are staged per object and merged in
-//!   active-set order on the calling thread — so the emitted event
-//!   stream is bit-identical for every `config.worker_threads` value.
+//!   (reader support, reader-remap draws, statistics, event order) are
+//!   staged per shard/task and merged in **global tag order** on the
+//!   calling thread (see [`crate::shard`] for the rule).
 
 use crate::compression::CompressedBelief;
 use crate::config::{FilterConfig, ReaderMode};
@@ -31,6 +39,7 @@ use crate::error::ConfigError;
 use crate::exec::{self, StepScratch, WorkerScratch};
 use crate::factored::{ObjectFilter, ReaderFilter};
 use crate::output::OutputPolicy;
+use crate::shard::{merge_by_tag, shard_index, Belief, ObjectState, Shard, ShardCounts};
 use crate::spatial_hook::{sensing_box, SpatialHook};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -39,33 +48,9 @@ use rfid_model::object::LocationPrior;
 use rfid_model::sensor::ReadRateModel;
 use rfid_model::JointModel;
 use rfid_stream::{Epoch, EpochBatch, EventStats, LocationEvent, TagId};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
-
-/// One object's belief representation.
-// Compressed is the larger variant but keeps dormant objects heap-free;
-// Active dominates during tracking and already owns a particle Vec.
-#[allow(clippy::large_enum_variant)]
-#[derive(Debug, Clone)]
-enum Belief {
-    Active(ObjectFilter),
-    Compressed(CompressedBelief),
-}
-
-#[derive(Debug, Clone)]
-struct ObjectState {
-    belief: Belief,
-    last_estimate: (Point3, [f64; 3]),
-    last_read: Epoch,
-    /// Epoch at which the compression sweep should next consider this
-    /// object (0 = no check queued). Bumped on every *read* epoch
-    /// (Case-2 activity does not reset the clock) and on failed
-    /// compression attempts, so the cooldown queue holds at most one
-    /// live entry per tag instead of one per active epoch.
-    compression_due: u64,
-}
 
 /// Counters exposed for tests, benchmarks, and EXPERIMENTS.md tables.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EngineStats {
     pub epochs: u64,
     pub readings: u64,
@@ -79,10 +64,13 @@ pub struct EngineStats {
     pub decompressions: u64,
     pub half_respawns: u64,
     pub full_reinits: u64,
+    /// Current per-shard state counters (objects, compressed, cooldown
+    /// entries), refreshed after every processed batch.
+    pub per_shard: Vec<ShardCounts>,
 }
 
 /// Statistic deltas produced by one object step, merged into
-/// [`EngineStats`] on the calling thread in active-set order.
+/// [`EngineStats`] on the calling thread in global task order.
 #[derive(Debug, Clone, Copy, Default)]
 struct StepDelta {
     resampled: bool,
@@ -98,7 +86,7 @@ struct StepTask {
     tag: TagId,
     read: bool,
     /// Owned state while the task is in flight (parallel path only;
-    /// the sequential path mutates the map entry directly).
+    /// the sequential path mutates the shard entry directly).
     state: Option<ObjectState>,
     delta: StepDelta,
 }
@@ -129,14 +117,14 @@ pub struct InferenceEngine<P: LocationPrior, S: ReadRateModel = rfid_model::Logi
     config: FilterConfig,
     prior: P,
     shelf_tags: Vec<(TagId, Point3)>,
-    shelf_ids: BTreeSet<TagId>,
+    shelf_ids: std::collections::BTreeSet<TagId>,
     reader: Option<ReaderFilter>,
-    objects: HashMap<TagId, ObjectState>,
-    policy: OutputPolicy,
+    /// Object state, partitioned by `tag % num_shards`.
+    shards: Vec<Shard>,
+    /// `config.num_shards` as `u64`, cached for the modulo on every
+    /// state lookup.
+    num_shards: u64,
     hook: Option<SpatialHook>,
-    /// Compression schedule: epoch -> objects to check (at most one
-    /// live entry per tag; see `ObjectState::compression_due`).
-    cooldown: BTreeMap<u64, Vec<TagId>>,
     rng: StdRng,
     stats: EngineStats,
     /// Overestimated sensor range used for initialization cones,
@@ -144,17 +132,22 @@ pub struct InferenceEngine<P: LocationPrior, S: ReadRateModel = rfid_model::Logi
     range_over: f64,
     last_report: Option<Pose>,
     // --- reusable per-epoch scratch (allocation-free steady state) ---
-    /// Sorted active set (Cases 1–2) of the current epoch.
+    /// Global active set of the current epoch: the per-shard active
+    /// sets merged in tag order.
     active: Vec<TagId>,
-    /// Sorted object tags read this epoch.
-    object_read: Vec<TagId>,
     /// Sorted shelf tags read this epoch.
     shelf_read: Vec<TagId>,
     /// Shelf observations relevant to the reader update.
     shelf_obs: Vec<(Point3, bool)>,
+    /// Spatial-index candidates of the current epoch.
+    candidates: Vec<TagId>,
     /// Active objects with a particle in the sensing box.
     members: Vec<TagId>,
-    /// Per-object update queue for the current epoch.
+    /// Merged due tags of the emission stage.
+    due_merged: Vec<TagId>,
+    /// Cursor scratch for the k-way shard merges.
+    merge_pos: Vec<usize>,
+    /// Per-object update queue for the current epoch (global tag order).
     steps: Vec<StepTask>,
     /// Per-worker step scratch (`config.worker_threads` entries).
     scratches: Vec<WorkerScratch>,
@@ -179,28 +172,34 @@ impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
         let hook = config
             .use_spatial_index
             .then(|| SpatialHook::new(range_over));
+        let shards = (0..config.num_shards)
+            .map(|_| {
+                Shard::new(OutputPolicy::new(
+                    config.report_delay_epochs,
+                    config.report_delay_epochs.saturating_mul(2),
+                ))
+            })
+            .collect();
         Ok(Self {
             model,
             prior,
             shelf_ids,
             shelf_tags,
             reader: None,
-            objects: HashMap::new(),
-            policy: OutputPolicy::new(
-                config.report_delay_epochs,
-                config.report_delay_epochs.saturating_mul(2),
-            ),
+            shards,
+            num_shards: config.num_shards as u64,
             hook,
-            cooldown: BTreeMap::new(),
             rng: StdRng::seed_from_u64(config.seed),
             stats: EngineStats::default(),
             range_over,
             last_report: None,
             active: Vec::new(),
-            object_read: Vec::new(),
             shelf_read: Vec::new(),
             shelf_obs: Vec::new(),
+            candidates: Vec::new(),
             members: Vec::new(),
+            due_merged: Vec::new(),
+            merge_pos: Vec::new(),
             steps: Vec::new(),
             scratches: (0..config.worker_threads)
                 .map(|_| WorkerScratch::default())
@@ -221,30 +220,37 @@ impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
         self.reader.as_ref().map(|r| r.estimate())
     }
 
+    #[inline]
+    fn shard(&self, tag: TagId) -> &Shard {
+        &self.shards[shard_index(self.num_shards, tag)]
+    }
+
+    #[inline]
+    fn object(&self, tag: TagId) -> Option<&ObjectState> {
+        self.shard(tag).objects.get(&tag)
+    }
+
     /// The current location estimate of an object.
     pub fn object_estimate(&self, tag: TagId) -> Option<(Point3, [f64; 3])> {
-        self.objects.get(&tag).map(|s| s.last_estimate)
+        self.object(tag).map(|s| s.last_estimate)
     }
 
     /// Tags of all objects the engine tracks.
     pub fn tracked_objects(&self) -> impl Iterator<Item = TagId> + '_ {
-        self.objects.keys().copied()
+        self.shards.iter().flat_map(|s| s.objects.keys().copied())
     }
 
-    /// Live entries in the compression cooldown queue (diagnostics).
+    /// Live entries in the compression cooldown queues (diagnostics).
     /// The scheduler keeps at most one entry per tracked tag, so this
     /// is bounded by the object count no matter how long the engine
     /// runs or how often compression attempts fail and retry.
     pub fn cooldown_entries(&self) -> usize {
-        self.cooldown.values().map(Vec::len).sum()
+        self.shards.iter().map(|s| s.cooldown_len).sum()
     }
 
     /// Number of objects currently in compressed representation.
     pub fn num_compressed(&self) -> usize {
-        self.objects
-            .values()
-            .filter(|s| matches!(s.belief, Belief::Compressed(_)))
-            .count()
+        self.shards.iter().map(|s| s.compressed).sum()
     }
 
     /// Reader particles (exposed for the EM learner's E-step).
@@ -254,7 +260,7 @@ impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
 
     /// Object particles of a tag, when its belief is active.
     pub fn object_particles(&self, tag: TagId) -> Option<&[crate::particle::ObjectParticle]> {
-        match self.objects.get(&tag).map(|s| &s.belief) {
+        match self.object(tag).map(|s| &s.belief) {
             Some(Belief::Active(f)) => Some(f.particles()),
             _ => None,
         }
@@ -264,7 +270,7 @@ impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
     /// paper's claim that compression keeps memory small.
     pub fn memory_bytes(&self) -> usize {
         let mut total = 0usize;
-        for s in self.objects.values() {
+        for s in self.shards.iter().flat_map(|s| s.objects.values()) {
             total += match &s.belief {
                 Belief::Active(f) => {
                     f.len() * std::mem::size_of::<crate::particle::ObjectParticle>()
@@ -281,70 +287,135 @@ impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
     /// Processes one synchronized epoch batch and returns the events
     /// due this epoch.
     pub fn process_batch(&mut self, batch: &EpochBatch) -> Vec<LocationEvent> {
+        let mut events = Vec::new();
+        self.process_batch_into(batch, &mut events);
+        events
+    }
+
+    /// [`InferenceEngine::process_batch`] appending into a caller-owned
+    /// buffer — the pipeline entry point (one reused buffer, no
+    /// per-epoch allocation).
+    pub fn process_batch_into(&mut self, batch: &EpochBatch, events: &mut Vec<LocationEvent>) {
         let epoch = batch.epoch;
-        let stamp = epoch.0;
         self.stats.epochs += 1;
         self.stats.readings += batch.readings.len() as u64;
+        let reader_est = self.ingest(batch);
+        self.infer(epoch, &reader_est);
+        self.emit(epoch, events);
+    }
 
-        // --- partition readings (reused sorted Vecs) -----------------
+    /// Flushes pending reports at end of trace.
+    pub fn finalize(&mut self, epoch: Epoch) -> Vec<LocationEvent> {
+        let mut events = Vec::new();
+        self.finalize_into(epoch, &mut events);
+        events
+    }
+
+    /// [`InferenceEngine::finalize`] appending into a caller-owned
+    /// buffer.
+    pub fn finalize_into(&mut self, epoch: Epoch, events: &mut Vec<LocationEvent>) {
+        for shard in &mut self.shards {
+            shard.policy.flush_into(&mut shard.due);
+        }
+        let before = events.len();
+        self.emit_due_events(epoch, events);
+        self.stats.events_emitted += (events.len() - before) as u64;
+        self.refresh_per_shard_stats();
+    }
+
+    // ------------------------------------------------------------------
+    // stage 1: ingestion
+    // ------------------------------------------------------------------
+
+    /// Partitions the epoch's readings into shelf evidence and
+    /// per-shard object reads, then updates the reader filter. Returns
+    /// the posterior reader estimate the rest of the epoch runs
+    /// against.
+    fn ingest(&mut self, batch: &EpochBatch) -> Pose {
         self.shelf_read.clear();
-        self.object_read.clear();
+        for shard in &mut self.shards {
+            shard.object_read.clear();
+        }
         for tag in &batch.readings {
             if self.shelf_ids.contains(tag) {
                 self.shelf_read.push(*tag);
             } else {
-                self.object_read.push(*tag);
+                self.shards[shard_index(self.num_shards, *tag)]
+                    .object_read
+                    .push(*tag);
             }
         }
         self.shelf_read.sort_unstable();
         self.shelf_read.dedup();
-        self.object_read.sort_unstable();
-        self.object_read.dedup();
+        for shard in &mut self.shards {
+            shard.object_read.sort_unstable();
+            shard.object_read.dedup();
+        }
 
-        // --- reader update -------------------------------------------
         self.update_reader(batch.reader_report.as_ref());
-        let reader_est = self
-            .reader
+        self.reader
             .as_ref()
             .expect("reader initialized above")
-            .estimate();
+            .estimate()
+    }
 
-        // --- active set (Cases 1 and 2) ------------------------------
-        let sensing_box = sensing_box(self.range_over, &reader_est);
-        self.active.clear();
-        self.active.extend_from_slice(&self.object_read);
+    // ------------------------------------------------------------------
+    // stage 2: inference
+    // ------------------------------------------------------------------
+
+    /// Builds the active sets, runs the per-object updates, schedules
+    /// compression checks, and records the sensing region.
+    fn infer(&mut self, epoch: Epoch, reader_est: &Pose) {
+        let stamp = epoch.0;
+        let sensing_box = sensing_box(self.range_over, reader_est);
+
+        // --- per-shard active sets (Cases 1 and 2) -------------------
+        for shard in &mut self.shards {
+            shard.active.clear();
+            shard.active.extend_from_slice(&shard.object_read);
+        }
         match &self.hook {
             Some(hook) => {
-                let known_from = self.active.len();
-                hook.candidates_into(&sensing_box, &mut self.active);
+                self.candidates.clear();
+                hook.candidates_into(&sensing_box, &mut self.candidates);
                 // hook candidates may be stale; only keep known objects
-                let objects = &self.objects;
-                let mut keep = known_from;
-                for i in known_from..self.active.len() {
-                    if objects.contains_key(&self.active[i]) {
-                        self.active[keep] = self.active[i];
-                        keep += 1;
+                for tag in &self.candidates {
+                    let shard = &mut self.shards[shard_index(self.num_shards, *tag)];
+                    if shard.objects.contains_key(tag) {
+                        shard.active.push(*tag);
                     }
                 }
-                self.active.truncate(keep);
             }
             None => {
                 // no index: every known object is processed (Cases 1-4)
-                self.active.extend(self.objects.keys().copied());
+                for shard in &mut self.shards {
+                    let objects = &shard.objects;
+                    shard.active.extend(objects.keys().copied());
+                }
             }
         }
-        self.active.sort_unstable();
-        self.active.dedup();
+        for shard in &mut self.shards {
+            shard.active.sort_unstable();
+            shard.active.dedup();
+        }
+        // merge into the canonical global order (see crate::shard)
+        merge_by_tag(
+            &self.shards,
+            |s| &s.active,
+            &mut self.merge_pos,
+            &mut self.active,
+        );
 
         // --- pre-pass: output policy, compressed-miss skip -----------
         self.steps.clear();
         for i in 0..self.active.len() {
             let tag = self.active[i];
-            let read = self.object_read.binary_search(&tag).is_ok();
+            let shard = &mut self.shards[shard_index(self.num_shards, tag)];
+            let read = shard.object_read.binary_search(&tag).is_ok();
             if read {
-                self.policy.on_read(tag, epoch);
+                shard.policy.on_read(tag, epoch);
             } else if matches!(
-                self.objects.get(&tag),
+                shard.objects.get(&tag),
                 Some(ObjectState {
                     belief: Belief::Compressed(_),
                     ..
@@ -372,9 +443,8 @@ impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
         // An object becomes a compression candidate `idle_epochs` after
         // its last *read* (continued Case-2 processing does not reset
         // the clock — a silent object compresses even while the reader
-        // keeps passing it). The seed code pushed one cooldown entry per
-        // active epoch per tag; a read epoch now just bumps the tag's
-        // authoritative due epoch, and the queue holds one live entry.
+        // keeps passing it). A read epoch bumps the tag's authoritative
+        // due epoch; the queue holds one live entry per tag.
         if self.config.compression.enabled {
             let due = epoch.0 + self.config.compression.idle_epochs;
             for i in 0..self.steps.len() {
@@ -382,11 +452,13 @@ impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
                 if !read {
                     continue;
                 }
-                let Some(state) = self.objects.get_mut(&tag) else {
+                let shard = &mut self.shards[shard_index(self.num_shards, tag)];
+                let Some(state) = shard.objects.get_mut(&tag) else {
                     continue;
                 };
                 if state.compression_due == 0 {
-                    self.cooldown.entry(due).or_default().push(tag);
+                    shard.cooldown.entry(due).or_default().push(tag);
+                    shard.cooldown_len += 1;
                 }
                 state.compression_due = due;
             }
@@ -399,7 +471,7 @@ impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
                 if let Some(ObjectState {
                     belief: Belief::Active(f),
                     ..
-                }) = self.objects.get(tag)
+                }) = self.shard(*tag).objects.get(tag)
                 {
                     if f.particles().iter().any(|p| sensing_box.contains(&p.loc)) {
                         self.members.push(*tag);
@@ -410,15 +482,22 @@ impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
                 hook.record(sensing_box, self.members.drain(..));
             }
         }
+    }
 
+    // ------------------------------------------------------------------
+    // stage 3: emission
+    // ------------------------------------------------------------------
+
+    /// Emits due events, resamples the reader, and runs the compression
+    /// sweep.
+    fn emit(&mut self, epoch: Epoch, events: &mut Vec<LocationEvent>) {
         // --- emit due events -----------------------------------------
-        let mut events = Vec::new();
-        for tag in self.policy.due(epoch) {
-            if let Some(s) = self.objects.get(&tag) {
-                events.push(self.make_event(epoch, tag, s));
-            }
+        for shard in &mut self.shards {
+            shard.policy.due_into(epoch, &mut shard.due);
         }
-        self.stats.events_emitted += events.len() as u64;
+        let before = events.len();
+        self.emit_due_events(epoch, events);
+        self.stats.events_emitted += (events.len() - before) as u64;
 
         // --- instrumented reader resampling --------------------------
         if self.config.reader_mode == ReaderMode::Filter {
@@ -429,13 +508,17 @@ impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
                 .maybe_resample(self.config.resample_ess_frac, &mut self.rng);
             if let Some(remap) = remap {
                 self.stats.reader_resamples += 1;
-                // realign pointers of the objects touched this epoch;
-                // untouched objects will refresh on next activation
-                for tag in &self.active {
+                // realign pointers of the objects touched this epoch in
+                // global tag order (the remap draws consume the engine
+                // RNG stream, so the order is part of the determinism
+                // contract); untouched objects refresh on activation
+                for i in 0..self.active.len() {
+                    let tag = self.active[i];
+                    let shard = &mut self.shards[shard_index(self.num_shards, tag)];
                     if let Some(ObjectState {
                         belief: Belief::Active(f),
                         ..
-                    }) = self.objects.get_mut(tag)
+                    }) = shard.objects.get_mut(&tag)
                     {
                         f.apply_reader_remap(&remap, &mut self.rng);
                     }
@@ -446,19 +529,31 @@ impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
         // --- compression sweep ---------------------------------------
         self.run_compression_sweep(epoch);
 
-        events
+        self.refresh_per_shard_stats();
     }
 
-    /// Flushes pending reports at end of trace.
-    pub fn finalize(&mut self, epoch: Epoch) -> Vec<LocationEvent> {
-        let mut events = Vec::new();
-        for tag in self.policy.flush() {
-            if let Some(s) = self.objects.get(&tag) {
+    /// Turns the shards' staged `due` lists into events, in global tag
+    /// order.
+    fn emit_due_events(&mut self, epoch: Epoch, events: &mut Vec<LocationEvent>) {
+        merge_by_tag(
+            &self.shards,
+            |s| &s.due,
+            &mut self.merge_pos,
+            &mut self.due_merged,
+        );
+        for i in 0..self.due_merged.len() {
+            let tag = self.due_merged[i];
+            if let Some(s) = self.shard(tag).objects.get(&tag) {
                 events.push(self.make_event(epoch, tag, s));
             }
         }
-        self.stats.events_emitted += events.len() as u64;
-        events
+    }
+
+    fn refresh_per_shard_stats(&mut self) {
+        self.stats.per_shard.clear();
+        self.stats
+            .per_shard
+            .extend(self.shards.iter().map(Shard::counts));
     }
 
     // ------------------------------------------------------------------
@@ -525,7 +620,7 @@ impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
     }
 
     /// Executes the queued per-object updates — on the calling thread
-    /// when `worker_threads == 1` (map entries mutated in place via
+    /// when `worker_threads == 1` (shard entries mutated in place via
     /// `get_mut`/`entry`, no remove/insert churn), otherwise fanned out
     /// across scoped worker threads with staged side effects.
     fn run_steps(&mut self, epoch: Epoch, stamp: u64, reader_pos: Point3) {
@@ -537,6 +632,7 @@ impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
         let mut steps = std::mem::take(&mut self.steps);
         let mut scratches = std::mem::take(&mut self.scratches);
         let mut reader_cdf = std::mem::take(&mut self.reader_cdf);
+        let num_shards = self.num_shards;
         let nr = reader.len();
         // one CDF build serves every pointer refresh / init / respawn
         // this epoch — the reader weights are frozen while objects step
@@ -559,7 +655,8 @@ impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
             scratch.staged_support.resize(nr, 0.0);
             for task in &mut steps {
                 scratch.staged_support.fill(0.0);
-                match self.objects.entry(task.tag) {
+                let shard = &mut self.shards[shard_index(num_shards, task.tag)];
+                match shard.objects.entry(task.tag) {
                     std::collections::hash_map::Entry::Occupied(mut e) => {
                         task.delta = step_one(
                             &ctx,
@@ -591,7 +688,9 @@ impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
         } else {
             // move the states into the tasks, fan out, merge back
             for task in &mut steps {
-                task.state = self.objects.remove(&task.tag);
+                task.state = self.shards[shard_index(num_shards, task.tag)]
+                    .objects
+                    .remove(&task.tag);
             }
             let scratch_slice = &mut scratches[..workers];
             for (scratch, range) in scratch_slice
@@ -629,7 +728,8 @@ impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
                 },
             );
             // deterministic merge: support rows and states in global
-            // task order, regardless of how many workers ran
+            // task (= tag) order, regardless of how many workers ran
+            // or how the tags are sharded
             for (scratch, range) in scratches[..workers]
                 .iter()
                 .zip(exec::chunk_ranges(steps.len(), workers))
@@ -640,7 +740,9 @@ impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
             }
             for task in &mut steps {
                 let state = task.state.take().expect("state returned by step");
-                self.objects.insert(task.tag, state);
+                self.shards[shard_index(num_shards, task.tag)]
+                    .objects
+                    .insert(task.tag, state);
             }
         }
 
@@ -649,6 +751,9 @@ impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
             self.stats.decompressions += u64::from(task.delta.decompressed);
             self.stats.full_reinits += u64::from(task.delta.full_reinit);
             self.stats.half_respawns += u64::from(task.delta.half_respawn);
+            if task.delta.decompressed {
+                self.shards[shard_index(num_shards, task.tag)].compressed -= 1;
+            }
         }
 
         self.reader = Some(reader);
@@ -661,45 +766,57 @@ impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
         if !self.config.compression.enabled {
             return;
         }
-        while let Some((&e, _)) = self.cooldown.range(..=epoch.0).next() {
-            let tags = self.cooldown.remove(&e).unwrap_or_default();
-            for tag in tags {
-                let Some(state) = self.objects.get_mut(&tag) else {
-                    continue;
-                };
-                if state.compression_due > e {
-                    // activity after this entry was queued pushed the
-                    // check out; re-queue at the authoritative epoch
-                    let due = state.compression_due;
-                    self.cooldown.entry(due).or_default().push(tag);
-                    continue;
-                }
-                state.compression_due = 0;
-                // compression_due is only ever last_read + idle_epochs
-                // (or a later retry), so a popped-at-due object has
-                // been silent for at least a full idle period
-                debug_assert!(epoch.since(state.last_read) >= self.config.compression.idle_epochs);
-                if let Belief::Active(f) = &state.belief {
-                    let reader = self.reader.as_ref().expect("reader initialized");
-                    let cloud = f.weighted_cloud(reader);
-                    let mut compressed = false;
-                    if let Some(c) = CompressedBelief::compress(&cloud, epoch) {
-                        if c.loss <= self.config.compression.max_cross_entropy {
-                            state.last_estimate = c.estimate();
-                            state.belief = Belief::Compressed(c);
-                            self.stats.compressions += 1;
-                            compressed = true;
-                        }
+        // Per-tag decisions are independent of sweep order (each
+        // depends only on the tag's own belief and the frozen reader),
+        // so sweeping shard-by-shard stays deterministic for every
+        // shard count.
+        let reader = self.reader.as_ref().expect("reader initialized");
+        for shard in &mut self.shards {
+            while let Some((&e, _)) = shard.cooldown.range(..=epoch.0).next() {
+                let tags = shard.cooldown.remove(&e).unwrap_or_default();
+                shard.cooldown_len -= tags.len();
+                for tag in tags {
+                    let Some(state) = shard.objects.get_mut(&tag) else {
+                        continue;
+                    };
+                    if state.compression_due > e {
+                        // activity after this entry was queued pushed the
+                        // check out; re-queue at the authoritative epoch
+                        let due = state.compression_due;
+                        shard.cooldown.entry(due).or_default().push(tag);
+                        shard.cooldown_len += 1;
+                        continue;
                     }
-                    if !compressed {
-                        // the belief has not converged enough yet (loss
-                        // above threshold): retry one idle period later —
-                        // the seed code retried every active epoch; a
-                        // bounded cadence keeps the one-entry-per-tag
-                        // invariant without dropping the object forever
-                        let retry = epoch.0 + self.config.compression.idle_epochs.max(1);
-                        state.compression_due = retry;
-                        self.cooldown.entry(retry).or_default().push(tag);
+                    state.compression_due = 0;
+                    // compression_due is only ever last_read + idle_epochs
+                    // (or a later retry), so a popped-at-due object has
+                    // been silent for at least a full idle period
+                    debug_assert!(
+                        epoch.since(state.last_read) >= self.config.compression.idle_epochs
+                    );
+                    if let Belief::Active(f) = &state.belief {
+                        let cloud = f.weighted_cloud(reader);
+                        let mut compressed = false;
+                        if let Some(c) = CompressedBelief::compress(&cloud, epoch) {
+                            if c.loss <= self.config.compression.max_cross_entropy {
+                                state.last_estimate = c.estimate();
+                                state.belief = Belief::Compressed(c);
+                                self.stats.compressions += 1;
+                                shard.compressed += 1;
+                                compressed = true;
+                            }
+                        }
+                        if !compressed {
+                            // the belief has not converged enough yet
+                            // (loss above threshold): retry one idle
+                            // period later — a bounded cadence keeps the
+                            // one-entry-per-tag invariant without
+                            // dropping the object forever
+                            let retry = epoch.0 + self.config.compression.idle_epochs.max(1);
+                            state.compression_due = retry;
+                            shard.cooldown.entry(retry).or_default().push(tag);
+                            shard.cooldown_len += 1;
+                        }
                     }
                 }
             }
@@ -816,18 +933,33 @@ fn step_one<P: LocationPrior, S: ReadRateModel>(
 }
 
 /// Convenience driver: runs the engine over a full batch sequence and
-/// returns every emitted event (including the final flush).
+/// returns every emitted event (including the final flush). This is
+/// the *legacy batch path*, kept as the reference the streaming
+/// [`rfid_stream::pipeline::Pipeline`] is pinned against
+/// (`crates/core/tests/determinism.rs`).
 pub fn run_engine<P: LocationPrior, S: ReadRateModel>(
     engine: &mut InferenceEngine<P, S>,
     batches: &[EpochBatch],
 ) -> Vec<LocationEvent> {
     let mut events = Vec::new();
     for b in batches {
-        events.extend(engine.process_batch(b));
+        engine.process_batch_into(b, &mut events);
     }
     let last = batches.last().map(|b| b.epoch).unwrap_or(Epoch(0));
-    events.extend(engine.finalize(last));
+    engine.finalize_into(last, &mut events);
     events
+}
+
+impl<P: LocationPrior, S: ReadRateModel> rfid_stream::pipeline::InferenceStage
+    for InferenceEngine<P, S>
+{
+    fn process_batch_into(&mut self, batch: &EpochBatch, out: &mut Vec<LocationEvent>) {
+        InferenceEngine::process_batch_into(self, batch, out);
+    }
+
+    fn finalize_into(&mut self, last_epoch: Epoch, out: &mut Vec<LocationEvent>) {
+        InferenceEngine::finalize_into(self, last_epoch, out);
+    }
 }
 
 #[cfg(test)]
@@ -1019,13 +1151,14 @@ mod tests {
             e.process_batch(&batch(t, y, &tags));
         }
         assert!(e.stats().decompressions >= 1, "stats: {:?}", e.stats());
+        assert_eq!(e.num_compressed(), 0, "counter must track decompression");
     }
 
     #[test]
     fn failed_compression_retries_with_bounded_queue() {
         // an unpassable loss threshold: every compression attempt fails,
-        // and each failure must schedule a retry (the seed code retried
-        // every active epoch) while the queue stays at one entry per tag
+        // and each failure must schedule a retry while the queue stays
+        // at one entry per tag
         let mut cfg = FilterConfig::full_default();
         cfg.particles_per_object = 200;
         cfg.reader_particles = 30;
@@ -1131,5 +1264,79 @@ mod tests {
             ec.memory_bytes(),
             ea.memory_bytes()
         );
+    }
+
+    #[test]
+    fn sharded_engine_matches_single_shard() {
+        // the core of the sharding determinism contract, at unit scale:
+        // identical event streams (bitwise) for 1, 2, and 8 shards
+        use rand::{Rng, SeedableRng};
+        let run = |num_shards: usize| -> Vec<LocationEvent> {
+            let mut cfg = FilterConfig::full_default();
+            cfg.particles_per_object = 150;
+            cfg.reader_particles = 30;
+            cfg.report_delay_epochs = 10;
+            cfg.compression.idle_epochs = 6;
+            cfg.num_shards = num_shards;
+            let mut e = engine(cfg);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+            let model = JointModel::new(ModelParams::default_warehouse());
+            let mut events = Vec::new();
+            // five objects spread along the aisle
+            let objs: Vec<(u64, Point3)> = (0..5)
+                .map(|i| (i, Point3::new(2.0, 1.0 + i as f64 * 1.5, 0.0)))
+                .collect();
+            for t in 0..90u64 {
+                let y = t as f64 * 0.1;
+                let pose = Pose::new(Point3::new(0.0, y, 0.0), 0.0);
+                let mut tags = Vec::new();
+                for (tag, loc) in &objs {
+                    if rng.gen::<f64>() < model.sensor.p_read(&pose, loc) {
+                        tags.push(*tag);
+                    }
+                }
+                events.extend(e.process_batch(&batch(t, y, &tags)));
+            }
+            events.extend(e.finalize(Epoch(90)));
+            events
+        };
+        let one = run(1);
+        assert!(!one.is_empty());
+        for shards in [2usize, 8] {
+            let multi = run(shards);
+            assert_eq!(one.len(), multi.len(), "shards={shards}");
+            for (a, b) in one.iter().zip(&multi) {
+                assert_eq!(a.epoch, b.epoch);
+                assert_eq!(a.tag, b.tag);
+                assert_eq!(a.location.x.to_bits(), b.location.x.to_bits());
+                assert_eq!(a.location.y.to_bits(), b.location.y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn per_shard_counts_cover_all_objects() {
+        let mut cfg = FilterConfig::full_default();
+        cfg.particles_per_object = 100;
+        cfg.reader_particles = 20;
+        cfg.num_shards = 4;
+        cfg.compression.idle_epochs = 5;
+        let mut e = engine(cfg);
+        for t in 0..40u64 {
+            let y = t as f64 * 0.1;
+            let tags: Vec<u64> = if y < 2.0 { vec![1, 2, 3, 6] } else { vec![] };
+            e.process_batch(&batch(t, y, &tags));
+        }
+        let per_shard = &e.stats().per_shard;
+        assert_eq!(per_shard.len(), 4);
+        let objects: usize = per_shard.iter().map(|c| c.objects).sum();
+        assert_eq!(objects, 4);
+        // tags 1, 2, 3, 6 land in shards 1, 2, 3, 2 (mod 4)
+        assert_eq!(per_shard[0].objects, 0);
+        assert_eq!(per_shard[2].objects, 2);
+        let compressed: usize = per_shard.iter().map(|c| c.compressed).sum();
+        assert_eq!(compressed, e.num_compressed());
+        let cooldown: usize = per_shard.iter().map(|c| c.cooldown_entries).sum();
+        assert_eq!(cooldown, e.cooldown_entries());
     }
 }

@@ -34,9 +34,11 @@ pub mod exec;
 pub mod factored;
 pub mod output;
 pub mod particle;
+pub mod shard;
 pub mod spatial_hook;
 
 pub use basic::BasicParticleFilter;
 pub use config::{CompressionPolicy, FilterConfig, ReaderMode};
 pub use engine::{EngineStats, InferenceEngine};
 pub use error::ConfigError;
+pub use shard::ShardCounts;

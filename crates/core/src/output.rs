@@ -76,6 +76,14 @@ impl OutputPolicy {
     /// them reported.
     pub fn due(&mut self, epoch: Epoch) -> Vec<TagId> {
         let mut out = Vec::new();
+        self.due_into(epoch, &mut out);
+        out
+    }
+
+    /// [`OutputPolicy::due`] into a caller-owned buffer (cleared first),
+    /// sorted by tag.
+    pub fn due_into(&mut self, epoch: Epoch, out: &mut Vec<TagId>) {
+        out.clear();
         for (tag, s) in self.states.iter_mut() {
             if !s.reported && epoch.since(s.entered) >= self.report_delay {
                 s.reported = true;
@@ -83,13 +91,20 @@ impl OutputPolicy {
             }
         }
         out.sort_unstable();
-        out
     }
 
     /// Objects still unreported (end-of-trace flush). Marks them
     /// reported.
     pub fn flush(&mut self) -> Vec<TagId> {
         let mut out = Vec::new();
+        self.flush_into(&mut out);
+        out
+    }
+
+    /// [`OutputPolicy::flush`] into a caller-owned buffer (cleared
+    /// first), sorted by tag.
+    pub fn flush_into(&mut self, out: &mut Vec<TagId>) {
+        out.clear();
         for (tag, s) in self.states.iter_mut() {
             if !s.reported {
                 s.reported = true;
@@ -97,7 +112,6 @@ impl OutputPolicy {
             }
         }
         out.sort_unstable();
-        out
     }
 
     /// Number of objects ever seen.

@@ -1,0 +1,213 @@
+//! Object-state shards: the unit of state ownership in the engine.
+//!
+//! The engine partitions object state by `tag % num_shards`. Each shard
+//! owns everything whose lifetime follows its objects — the belief map,
+//! the per-epoch read/active scratch sets, the output policy, and the
+//! compression cooldown queue — so a shard is self-contained and can
+//! later be moved behind a channel or onto another node without
+//! touching the others.
+//!
+//! # Determinism rule (extends the PR 2 contract)
+//!
+//! Sharding must never change the emitted event stream: results are
+//! **bit-identical for every `(worker_threads, num_shards)`
+//! combination**. Two properties make that hold:
+//!
+//! 1. per-object work only depends on `(seed, tag, epoch)` RNG streams
+//!    and the frozen reader — *where* an object's state lives cannot
+//!    matter;
+//! 2. every cross-shard side effect (reader support merges, reader
+//!    remap draws, event emission) is staged per shard and merged in
+//!    **global tag order**: the per-shard sorted tag lists are disjoint
+//!    residue classes, so a k-way merge reproduces exactly the order a
+//!    single shard would have produced.
+//!
+//! Rule 2 is what future scaling work must preserve: never fold
+//! shard-staged floating-point effects in shard order (that order
+//! changes with `num_shards`); always merge through [`merge_by_tag`].
+
+use crate::compression::CompressedBelief;
+use crate::factored::ObjectFilter;
+use crate::output::OutputPolicy;
+use rfid_geom::Point3;
+use rfid_stream::{Epoch, TagId};
+use std::collections::{BTreeMap, HashMap};
+
+/// One object's belief representation.
+// Compressed is the larger variant but keeps dormant objects heap-free;
+// Active dominates during tracking and already owns a particle Vec.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub(crate) enum Belief {
+    Active(ObjectFilter),
+    Compressed(CompressedBelief),
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct ObjectState {
+    pub belief: Belief,
+    pub last_estimate: (Point3, [f64; 3]),
+    pub last_read: Epoch,
+    /// Epoch at which the compression sweep should next consider this
+    /// object (0 = no check queued). Bumped on every *read* epoch
+    /// (Case-2 activity does not reset the clock) and on failed
+    /// compression attempts, so the cooldown queue holds at most one
+    /// live entry per tag instead of one per active epoch.
+    pub compression_due: u64,
+}
+
+/// Current-state counters of one shard, refreshed after every batch and
+/// exposed through [`crate::EngineStats::per_shard`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardCounts {
+    /// Objects tracked by this shard.
+    pub objects: usize,
+    /// Objects currently in compressed representation.
+    pub compressed: usize,
+    /// Live entries in this shard's compression cooldown queue.
+    pub cooldown_entries: usize,
+}
+
+/// One shard: the object states of a `tag % num_shards` residue class
+/// plus every per-object structure that follows them.
+#[derive(Debug)]
+pub(crate) struct Shard {
+    pub objects: HashMap<TagId, ObjectState>,
+    /// Emission policy for this shard's objects.
+    pub policy: OutputPolicy,
+    /// Compression schedule: epoch -> objects to check (at most one
+    /// live entry per tag; see `ObjectState::compression_due`).
+    pub cooldown: BTreeMap<u64, Vec<TagId>>,
+    /// Live entries across `cooldown` (maintained incrementally so the
+    /// per-epoch stats refresh is O(1)).
+    pub cooldown_len: usize,
+    /// Objects currently compressed (maintained incrementally).
+    pub compressed: usize,
+    // --- reusable per-epoch scratch ---
+    /// Sorted object tags of this shard read this epoch.
+    pub object_read: Vec<TagId>,
+    /// Sorted active set (Cases 1–2) of this shard this epoch.
+    pub active: Vec<TagId>,
+    /// Due-tag scratch for the emission merge.
+    pub due: Vec<TagId>,
+}
+
+impl Shard {
+    pub fn new(policy: OutputPolicy) -> Self {
+        Self {
+            objects: HashMap::new(),
+            policy,
+            cooldown: BTreeMap::new(),
+            cooldown_len: 0,
+            compressed: 0,
+            object_read: Vec::new(),
+            active: Vec::new(),
+            due: Vec::new(),
+        }
+    }
+
+    pub fn counts(&self) -> ShardCounts {
+        ShardCounts {
+            objects: self.objects.len(),
+            compressed: self.compressed,
+            cooldown_entries: self.cooldown_len,
+        }
+    }
+}
+
+/// The shard owning `tag` under `num_shards`-way partitioning.
+#[inline]
+pub(crate) fn shard_index(num_shards: u64, tag: TagId) -> usize {
+    (tag.0 % num_shards) as usize
+}
+
+/// Merges per-shard sorted, disjoint tag lists (selected by `select`)
+/// into `out` in **global tag order** — the canonical merge order every
+/// cross-shard effect must use (see the module docs). `pos` is reusable
+/// cursor scratch.
+pub(crate) fn merge_by_tag<F>(
+    shards: &[Shard],
+    select: F,
+    pos: &mut Vec<usize>,
+    out: &mut Vec<TagId>,
+) where
+    F: Fn(&Shard) -> &[TagId],
+{
+    out.clear();
+    if shards.len() == 1 {
+        out.extend_from_slice(select(&shards[0]));
+        return;
+    }
+    pos.clear();
+    pos.resize(shards.len(), 0);
+    let total: usize = shards.iter().map(|s| select(s).len()).sum();
+    for _ in 0..total {
+        let mut best: Option<(TagId, usize)> = None;
+        for (i, s) in shards.iter().enumerate() {
+            if let Some(&t) = select(s).get(pos[i]) {
+                if best.is_none_or(|(bt, _)| t < bt) {
+                    best = Some((t, i));
+                }
+            }
+        }
+        let (_, i) = best.expect("total items counted above");
+        out.push(select(&shards[i])[pos[i]]);
+        pos[i] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard_with_active(tags: &[u64]) -> Shard {
+        let mut s = Shard::new(OutputPolicy::new(1, 2));
+        s.active = tags.iter().map(|t| TagId(*t)).collect();
+        s
+    }
+
+    #[test]
+    fn merge_by_tag_reproduces_global_sort() {
+        // residue classes mod 3, each sorted
+        let shards = vec![
+            shard_with_active(&[0, 3, 9]),
+            shard_with_active(&[1, 4, 7]),
+            shard_with_active(&[2, 5]),
+        ];
+        let mut pos = Vec::new();
+        let mut out = Vec::new();
+        merge_by_tag(&shards, |s| &s.active, &mut pos, &mut out);
+        let got: Vec<u64> = out.iter().map(|t| t.0).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5, 7, 9]);
+    }
+
+    #[test]
+    fn merge_by_tag_single_shard_is_identity() {
+        let shards = vec![shard_with_active(&[2, 5, 8])];
+        let mut pos = Vec::new();
+        let mut out = vec![TagId(99)];
+        merge_by_tag(&shards, |s| &s.active, &mut pos, &mut out);
+        let got: Vec<u64> = out.iter().map(|t| t.0).collect();
+        assert_eq!(got, vec![2, 5, 8]);
+    }
+
+    #[test]
+    fn merge_by_tag_handles_empty_shards() {
+        let shards = vec![
+            shard_with_active(&[]),
+            shard_with_active(&[1]),
+            shard_with_active(&[]),
+        ];
+        let mut pos = Vec::new();
+        let mut out = Vec::new();
+        merge_by_tag(&shards, |s| &s.active, &mut pos, &mut out);
+        assert_eq!(out, vec![TagId(1)]);
+    }
+
+    #[test]
+    fn shard_index_partitions_by_residue() {
+        assert_eq!(shard_index(1, TagId(17)), 0);
+        assert_eq!(shard_index(4, TagId(17)), 1);
+        assert_eq!(shard_index(4, TagId(16)), 0);
+    }
+}

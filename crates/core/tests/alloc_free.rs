@@ -80,29 +80,41 @@ fn steady_state_object_step_allocates_nothing() {
     // criterion is about the active, non-resampling steady state;
     // resampling itself is also in-place and allocation-free, but the
     // post-resample estimate recompute is exercised above instead).
-    let before = ALLOCATIONS.load(Ordering::SeqCst);
-    for stamp in 2..12u64 {
-        let read = stamp % 2 == 0;
-        filter.refresh_pointers_with(&reader, &cdf, stamp, &mut rng);
-        filter.predict(&model, &prior, read, &mut rng);
-        support.fill(0.0);
-        let out = filter.step_fused(
-            &model,
-            &reader,
-            read,
-            0.0,
-            &mut scratch,
-            &mut support,
-            &mut rng,
-        );
-        assert!(!out.resampled);
-        assert!(out.estimate.0.x.is_finite());
+    //
+    // The counter is process-global, and the libtest harness thread may
+    // allocate concurrently (it is idle while a test runs, but not
+    // provably silent under machine load). A real hot-path allocation
+    // fires on *every* attempt, so retry a few times and require one
+    // clean pass.
+    let mut best = usize::MAX;
+    for attempt in 0..3 {
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        for stamp in 2..12u64 {
+            let stamp = stamp + attempt * 100;
+            let read = stamp % 2 == 0;
+            filter.refresh_pointers_with(&reader, &cdf, stamp, &mut rng);
+            filter.predict(&model, &prior, read, &mut rng);
+            support.fill(0.0);
+            let out = filter.step_fused(
+                &model,
+                &reader,
+                read,
+                0.0,
+                &mut scratch,
+                &mut support,
+                &mut rng,
+            );
+            assert!(!out.resampled);
+            assert!(out.estimate.0.x.is_finite());
+        }
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        best = best.min(after - before);
+        if best == 0 {
+            break;
+        }
     }
-    let after = ALLOCATIONS.load(Ordering::SeqCst);
     assert_eq!(
-        after - before,
-        0,
-        "steady-state step_object hot path allocated {} times",
-        after - before
+        best, 0,
+        "steady-state step_object hot path allocated {best} times on every attempt"
     );
 }

@@ -1,35 +1,57 @@
-//! Determinism of the parallel execution model: the engine's emitted
-//! event stream must be **bit-identical** for every `worker_threads`
-//! value, because each object step draws from its own
+//! Determinism of the execution model: the engine's emitted event
+//! stream must be **bit-identical** for every
+//! `(worker_threads, num_shards)` combination *and* between the legacy
+//! batch path (`run_engine` over `Vec<EpochBatch>`) and the streaming
+//! pipeline, because each object step draws from its own
 //! `(seed, tag, epoch)` RNG stream and all cross-object side effects
-//! (reader support, statistics) merge in active-set order on the
-//! calling thread.
+//! (reader support, remap draws, event order) merge in global tag
+//! order on the calling thread.
 
 use rfid_core::engine::run_engine;
 use rfid_core::{FilterConfig, InferenceEngine};
 use rfid_model::sensor::ConeSensor;
 use rfid_model::{JointModel, ModelParams};
 use rfid_sim::scenario;
-use rfid_stream::LocationEvent;
+use rfid_stream::{LocationEvent, Pipeline};
+
+fn engine_for(
+    sc: &scenario::Scenario,
+    cfg: FilterConfig,
+) -> InferenceEngine<rfid_sim::WarehouseLayout, ConeSensor> {
+    let model = JointModel::with_sensor(
+        ConeSensor::paper_default(),
+        ModelParams::default_warehouse(),
+    );
+    InferenceEngine::new(model, sc.layout.clone(), sc.trace.shelf_tags.clone(), cfg)
+        .expect("valid config")
+}
 
 fn run_with_threads(cfg_base: FilterConfig, workers: usize) -> (Vec<LocationEvent>, u64, u64) {
     let sc = scenario::scalability_trace(60, 4242);
     let batches = sc.trace.epoch_batches();
     let mut cfg = cfg_base;
     cfg.worker_threads = workers;
-    let model = JointModel::with_sensor(
-        ConeSensor::paper_default(),
-        ModelParams::default_warehouse(),
-    );
-    let mut engine =
-        InferenceEngine::new(model, sc.layout.clone(), sc.trace.shelf_tags.clone(), cfg)
-            .expect("valid config");
+    let mut engine = engine_for(&sc, cfg);
     let events = run_engine(&mut engine, &batches);
     (
         events,
         engine.stats().object_resamples,
         engine.stats().object_updates,
     )
+}
+
+/// The same trace, but pulled incrementally through the streaming
+/// pipeline (source → synchronizer → sharded engine → sink).
+fn run_pipeline_with(cfg_base: FilterConfig, workers: usize, shards: usize) -> Vec<LocationEvent> {
+    let sc = scenario::scalability_trace(60, 4242);
+    let mut cfg = cfg_base;
+    cfg.worker_threads = workers;
+    cfg.num_shards = shards;
+    let engine = engine_for(&sc, cfg);
+    let mut pipeline = Pipeline::new(sc.trace.epoch_len, engine, Vec::new());
+    pipeline.run_to_completion(&mut sc.trace.stream());
+    let (_, events, _) = pipeline.into_parts();
+    events
 }
 
 fn assert_identical(a: &[LocationEvent], b: &[LocationEvent], label: &str) {
@@ -100,6 +122,42 @@ fn full_variant_bit_identical_across_worker_threads() {
     let (one, ..) = run_with_threads(cfg, 1);
     let (four, ..) = run_with_threads(cfg, 4);
     assert_identical(&one, &four, "full workers=4");
+}
+
+#[test]
+fn pipeline_bit_identical_to_legacy_for_every_worker_shard_combination() {
+    // the PR 3 acceptance matrix: the streaming pipeline must emit the
+    // exact bits of the legacy batch path for worker_threads x
+    // num_shards in {1,2,4} x {1,2,8}
+    let mut cfg = FilterConfig::indexed_default();
+    cfg.particles_per_object = 150;
+    cfg.reader_particles = 50;
+    cfg.report_delay_epochs = 40;
+    let (legacy, ..) = run_with_threads(cfg, 1);
+    assert!(!legacy.is_empty(), "trace produced no events");
+    for workers in [1usize, 2, 4] {
+        for shards in [1usize, 2, 8] {
+            let piped = run_pipeline_with(cfg, workers, shards);
+            assert_identical(
+                &legacy,
+                &piped,
+                &format!("pipeline workers={workers} shards={shards}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn full_variant_pipeline_bit_identical_with_shards() {
+    // compression + decompression + cooldown scheduling run per shard
+    let mut cfg = FilterConfig::full_default();
+    cfg.particles_per_object = 120;
+    cfg.reader_particles = 40;
+    cfg.report_delay_epochs = 40;
+    cfg.compression.idle_epochs = 8;
+    let (legacy, ..) = run_with_threads(cfg, 1);
+    let piped = run_pipeline_with(cfg, 4, 8);
+    assert_identical(&legacy, &piped, "full pipeline workers=4 shards=8");
 }
 
 #[test]

@@ -10,6 +10,7 @@
 
 use crate::layout::WarehouseLayout;
 use crate::noise::{ReportNoise, Reporter};
+use crate::source::TraceStream;
 use crate::trajectory::Trajectory;
 use crate::truth::GroundTruth;
 use rand::Rng;
@@ -48,9 +49,17 @@ pub struct SimTrace {
 
 impl SimTrace {
     /// Synchronizes the raw streams into epoch batches (what the
-    /// inference engine consumes).
+    /// inference engine's *batch* API consumes). The streaming pipeline
+    /// does not need this materialized `Vec`; use
+    /// [`SimTrace::stream`] instead.
     pub fn epoch_batches(&self) -> Vec<EpochBatch> {
         synchronize_traces(&self.readings, &self.reports, self.epoch_len)
+    }
+
+    /// The trace as an incremental [`rfid_stream::ReadingSource`]: the
+    /// two raw streams merged in time order, one item at a time.
+    pub fn stream(&self) -> TraceStream<'_> {
+        TraceStream::new(&self.readings, &self.reports)
     }
 
     /// Total number of raw RFID readings in the trace.
@@ -119,7 +128,9 @@ impl<S: ReadRateModel> TraceGenerator<S> {
         }
     }
 
-    /// Runs the generative process.
+    /// Runs the generative process to completion, materializing the
+    /// whole trace. Incremental alternative:
+    /// [`TraceGenerator::stream`] / [`EpochSim`].
     ///
     /// * `layout` supplies shelf geometry (used only for bookkeeping
     ///   here; the tag positions passed in are authoritative),
@@ -135,120 +146,254 @@ impl<S: ReadRateModel> TraceGenerator<S> {
         shelf_tags: &[(TagId, Point3)],
         movements: &[MovementEvent],
         rng: &mut R,
-    ) -> SimTrace {
+    ) -> SimTrace
+    where
+        S: Clone,
+    {
         let _ = layout; // geometry is already baked into tag positions
-        let mut truth = GroundTruth::new();
-        let mut object_locs: Vec<(TagId, Point3)> = objects.to_vec();
-        for (tag, loc) in &object_locs {
-            truth.set_object(*tag, Epoch(0), *loc);
-        }
-
-        let mut reporter = Reporter::new(self.report_noise);
+        let mut sim = EpochSim::new(
+            self.clone(),
+            trajectory,
+            objects,
+            shelf_tags,
+            movements,
+            rng,
+        );
         let mut readings = Vec::new();
         let mut reports = Vec::new();
-        let read_seed: u64 = rng.gen();
-
-        let mut pose = Pose::new(trajectory.start_pos, trajectory.start_phi);
-        let mut movements: Vec<MovementEvent> = movements.to_vec();
-        movements.sort_by_key(|m| m.epoch);
-        let mut next_move = 0usize;
-
-        // Sorted-by-y view of all tags for windowed read attempts;
-        // rebuilt on (rare) object movements.
-        let build_sorted = |objs: &[(TagId, Point3)]| -> Vec<(f64, TagId, Point3)> {
-            let mut v: Vec<(f64, TagId, Point3)> = objs
-                .iter()
-                .chain(shelf_tags.iter())
-                .map(|(t, p)| (p.y, *t, *p))
-                .collect();
-            v.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
-            v
-        };
-        let mut sorted_tags = self.culling_range.map(|_| build_sorted(&object_locs));
-
-        let num_epochs = trajectory.num_steps() + 1;
-        for (t, step) in std::iter::once(None)
-            .chain(trajectory.steps().iter().map(Some))
-            .enumerate()
-        {
-            let epoch = Epoch(t as u64);
-            // 1. advance the reader (epoch 0 is the start pose)
-            if let Some(s) = step {
-                let noise = Vec3::new(
-                    self.motion_sigma.x * standard_normal(rng),
-                    self.motion_sigma.y * standard_normal(rng),
-                    self.motion_sigma.z * standard_normal(rng),
-                );
-                pose = Pose::new(pose.pos + s.delta + noise, pose.phi + s.dphi);
-            }
-            truth.push_reader(epoch, pose);
-
-            // 2. apply scheduled object movements effective this epoch
-            let mut moved = false;
-            while next_move < movements.len() && movements[next_move].epoch <= epoch {
-                let m = movements[next_move];
-                if let Some(slot) = object_locs.iter_mut().find(|(tag, _)| *tag == m.tag) {
-                    slot.1 = m.new_location;
-                    truth.set_object(m.tag, epoch, m.new_location);
-                    moved = true;
-                }
-                next_move += 1;
-            }
-            if moved {
-                if let Some(s) = sorted_tags.as_mut() {
-                    *s = build_sorted(&object_locs);
-                }
-            }
-
-            // 3. report the sensed reader location
-            let reported = reporter.report(&pose, rng);
-            let t_sec = epoch.0 as f64 * self.epoch_len;
-            reports.push(ReaderLocationReport {
-                time: t_sec,
-                pose: reported,
-            });
-
-            // 4. read tags (objects and shelves alike)
-            let attempt = |tag: TagId, loc: &Point3, k: u32, readings: &mut Vec<RfidReading>| {
-                let p = self.sensor.p_read(&pose, loc);
-                if p > 0.0 && hash_uniform(read_seed, epoch.0, tag.0, k) < p {
-                    readings.push(RfidReading {
-                        time: t_sec + 0.5 * self.epoch_len,
-                        tag,
-                    });
-                }
-            };
-            for k in 0..self.reads_per_epoch {
-                match (&sorted_tags, self.culling_range) {
-                    (Some(sorted), Some(range)) => {
-                        // |y_tag - y_reader| > range implies distance >
-                        // range, so the skipped tags are unreadable.
-                        let lo = sorted.partition_point(|(y, _, _)| *y < pose.pos.y - range);
-                        for (_, tag, loc) in sorted[lo..]
-                            .iter()
-                            .take_while(|(y, _, _)| *y <= pose.pos.y + range)
-                        {
-                            attempt(*tag, loc, k, &mut readings);
-                        }
-                    }
-                    _ => {
-                        for (tag, loc) in object_locs.iter().chain(shelf_tags.iter()) {
-                            attempt(*tag, loc, k, &mut readings);
-                        }
-                    }
-                }
-            }
+        while let Some(out) = sim.next_epoch() {
+            reports.push(out.report);
+            readings.extend_from_slice(out.readings);
         }
-        debug_assert_eq!(truth.num_epochs(), num_epochs);
-
+        debug_assert_eq!(sim.truth().num_epochs(), trajectory.num_steps() + 1);
+        let epoch_len = self.epoch_len;
         SimTrace {
             readings,
             reports,
-            truth,
+            truth: sim.into_truth(),
             shelf_tags: shelf_tags.to_vec(),
             object_tags: objects.iter().map(|(t, _)| *t).collect(),
-            epoch_len: self.epoch_len,
+            epoch_len,
         }
+    }
+
+    /// The generative process as an incremental
+    /// [`rfid_stream::ReadingSource`]: raw items are produced epoch by
+    /// epoch on demand — no whole-trace `Vec` is ever built. Ground
+    /// truth accumulates inside the source for post-run scoring.
+    pub fn stream<R: Rng>(
+        &self,
+        trajectory: &Trajectory,
+        objects: &[(TagId, Point3)],
+        shelf_tags: &[(TagId, Point3)],
+        movements: &[MovementEvent],
+        rng: R,
+    ) -> crate::source::EpochStreamSource<S, R>
+    where
+        S: Clone,
+    {
+        crate::source::EpochStreamSource::new(EpochSim::new(
+            self.clone(),
+            trajectory,
+            objects,
+            shelf_tags,
+            movements,
+            rng,
+        ))
+    }
+}
+
+/// One generated epoch: the averaged-out report plus this epoch's raw
+/// readings (borrowed from the simulator's reusable buffer).
+#[derive(Debug)]
+pub struct EpochOutput<'a> {
+    pub epoch: Epoch,
+    pub report: ReaderLocationReport,
+    pub readings: &'a [RfidReading],
+}
+
+/// The generative process, one epoch at a time. Owns every input it
+/// needs, so it can back a long-lived streaming source; draws random
+/// numbers in exactly the order [`TraceGenerator::generate`] does, so
+/// streamed and materialized traces are identical for the same seed.
+#[derive(Debug)]
+pub struct EpochSim<S: ReadRateModel, R: Rng> {
+    gen: TraceGenerator<S>,
+    steps: Vec<crate::trajectory::Step>,
+    object_locs: Vec<(TagId, Point3)>,
+    shelf_tags: Vec<(TagId, Point3)>,
+    movements: Vec<MovementEvent>,
+    next_move: usize,
+    /// Sorted-by-y view of all tags for windowed read attempts;
+    /// rebuilt on (rare) object movements.
+    sorted_tags: Option<Vec<(f64, TagId, Point3)>>,
+    reporter: Reporter,
+    truth: GroundTruth,
+    pose: Pose,
+    read_seed: u64,
+    /// Next epoch to generate; `steps.len() + 1` when exhausted.
+    t: usize,
+    readings_buf: Vec<RfidReading>,
+    rng: R,
+}
+
+impl<S: ReadRateModel, R: Rng> EpochSim<S, R> {
+    /// Sets up the simulation (this draws the read seed from `rng`).
+    pub fn new(
+        gen: TraceGenerator<S>,
+        trajectory: &Trajectory,
+        objects: &[(TagId, Point3)],
+        shelf_tags: &[(TagId, Point3)],
+        movements: &[MovementEvent],
+        mut rng: R,
+    ) -> Self {
+        let mut truth = GroundTruth::new();
+        let object_locs: Vec<(TagId, Point3)> = objects.to_vec();
+        for (tag, loc) in &object_locs {
+            truth.set_object(*tag, Epoch(0), *loc);
+        }
+        let reporter = Reporter::new(gen.report_noise);
+        let read_seed: u64 = rng.gen();
+        let pose = Pose::new(trajectory.start_pos, trajectory.start_phi);
+        let mut movements: Vec<MovementEvent> = movements.to_vec();
+        movements.sort_by_key(|m| m.epoch);
+        let sorted_tags = gen
+            .culling_range
+            .map(|_| Self::build_sorted(&object_locs, shelf_tags));
+        Self {
+            gen,
+            steps: trajectory.steps().to_vec(),
+            object_locs,
+            shelf_tags: shelf_tags.to_vec(),
+            movements,
+            next_move: 0,
+            sorted_tags,
+            reporter,
+            truth,
+            pose,
+            read_seed,
+            t: 0,
+            readings_buf: Vec::new(),
+            rng,
+        }
+    }
+
+    fn build_sorted(
+        objs: &[(TagId, Point3)],
+        shelf_tags: &[(TagId, Point3)],
+    ) -> Vec<(f64, TagId, Point3)> {
+        let mut v: Vec<(f64, TagId, Point3)> = objs
+            .iter()
+            .chain(shelf_tags.iter())
+            .map(|(t, p)| (p.y, *t, *p))
+            .collect();
+        v.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        v
+    }
+
+    /// Ground truth accumulated so far (complete once the simulation is
+    /// exhausted).
+    pub fn truth(&self) -> &GroundTruth {
+        &self.truth
+    }
+
+    /// Consumes the simulator, returning the accumulated ground truth.
+    pub fn into_truth(self) -> GroundTruth {
+        self.truth
+    }
+
+    /// The epoch length of the generated streams, in seconds.
+    pub fn epoch_len(&self) -> f64 {
+        self.gen.epoch_len
+    }
+
+    /// Generates the next epoch, or `None` when the trajectory is
+    /// exhausted.
+    pub fn next_epoch(&mut self) -> Option<EpochOutput<'_>> {
+        if self.t > self.steps.len() {
+            return None;
+        }
+        let epoch = Epoch(self.t as u64);
+        // 1. advance the reader (epoch 0 is the start pose)
+        if let Some(s) = (self.t > 0).then(|| self.steps[self.t - 1]) {
+            let noise = Vec3::new(
+                self.gen.motion_sigma.x * standard_normal(&mut self.rng),
+                self.gen.motion_sigma.y * standard_normal(&mut self.rng),
+                self.gen.motion_sigma.z * standard_normal(&mut self.rng),
+            );
+            self.pose = Pose::new(self.pose.pos + s.delta + noise, self.pose.phi + s.dphi);
+        }
+        self.t += 1;
+        let pose = self.pose;
+        self.truth.push_reader(epoch, pose);
+
+        // 2. apply scheduled object movements effective this epoch
+        let mut moved = false;
+        while self.next_move < self.movements.len() && self.movements[self.next_move].epoch <= epoch
+        {
+            let m = self.movements[self.next_move];
+            if let Some(slot) = self.object_locs.iter_mut().find(|(tag, _)| *tag == m.tag) {
+                slot.1 = m.new_location;
+                self.truth.set_object(m.tag, epoch, m.new_location);
+                moved = true;
+            }
+            self.next_move += 1;
+        }
+        if moved {
+            if let Some(s) = self.sorted_tags.as_mut() {
+                *s = Self::build_sorted(&self.object_locs, &self.shelf_tags);
+            }
+        }
+
+        // 3. report the sensed reader location
+        let reported = self.reporter.report(&pose, &mut self.rng);
+        let t_sec = epoch.0 as f64 * self.gen.epoch_len;
+        let report = ReaderLocationReport {
+            time: t_sec,
+            pose: reported,
+        };
+
+        // 4. read tags (objects and shelves alike)
+        self.readings_buf.clear();
+        let sensor = &self.gen.sensor;
+        let read_seed = self.read_seed;
+        let read_time = t_sec + 0.5 * self.gen.epoch_len;
+        let readings = &mut self.readings_buf;
+        let attempt = |tag: TagId, loc: &Point3, k: u32, readings: &mut Vec<RfidReading>| {
+            let p = sensor.p_read(&pose, loc);
+            if p > 0.0 && hash_uniform(read_seed, epoch.0, tag.0, k) < p {
+                readings.push(RfidReading {
+                    time: read_time,
+                    tag,
+                });
+            }
+        };
+        for k in 0..self.gen.reads_per_epoch {
+            match (&self.sorted_tags, self.gen.culling_range) {
+                (Some(sorted), Some(range)) => {
+                    // |y_tag - y_reader| > range implies distance >
+                    // range, so the skipped tags are unreadable.
+                    let lo = sorted.partition_point(|(y, _, _)| *y < pose.pos.y - range);
+                    for (_, tag, loc) in sorted[lo..]
+                        .iter()
+                        .take_while(|(y, _, _)| *y <= pose.pos.y + range)
+                    {
+                        attempt(*tag, loc, k, readings);
+                    }
+                }
+                _ => {
+                    for (tag, loc) in self.object_locs.iter().chain(self.shelf_tags.iter()) {
+                        attempt(*tag, loc, k, readings);
+                    }
+                }
+            }
+        }
+
+        Some(EpochOutput {
+            epoch,
+            report,
+            readings: &self.readings_buf,
+        })
     }
 }
 

@@ -28,11 +28,13 @@ pub mod lab;
 pub mod layout;
 pub mod noise;
 pub mod scenario;
+pub mod source;
 pub mod trajectory;
 pub mod truth;
 
-pub use generator::{MovementEvent, SimTrace, TraceGenerator};
+pub use generator::{EpochSim, MovementEvent, SimTrace, TraceGenerator};
 pub use layout::{ShelfSpace, WarehouseLayout};
 pub use noise::{DeadReckoning, ReportNoise};
+pub use source::{EpochStreamSource, TraceStream};
 pub use trajectory::Trajectory;
 pub use truth::GroundTruth;

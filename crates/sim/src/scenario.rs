@@ -117,11 +117,20 @@ pub fn moving_object_trace(distance: f64, move_after: u64, seed: u64) -> Scenari
 /// run stays tractable; tags are spaced 0.5 ft apart, and one shelf tag
 /// is placed every 20 ft.
 pub fn scalability_trace(num_objects: usize, seed: u64) -> Scenario {
+    endurance_trace(num_objects, 2, seed)
+}
+
+/// The scalability workload with a configurable number of scan rounds:
+/// same warehouse, same reader speed, `rounds`× the epochs (and
+/// readings). Used to demonstrate that the streaming pipeline's buffer
+/// high-water marks are flat in trace *length* — a 10× longer run must
+/// not buffer more.
+pub fn endurance_trace(num_objects: usize, rounds: usize, seed: u64) -> Scenario {
     let layout = WarehouseLayout::for_objects(num_objects, OBJECT_SPACING);
     let objects = objects_on(&layout, num_objects);
     let per_shelf = 2usize;
     let shelf_tags = layout.shelf_tags(per_shelf);
-    let traj = Trajectory::rounds_scan(layout.total_length(), 0.5, 2);
+    let traj = Trajectory::rounds_scan(layout.total_length(), 0.5, rounds);
     let gen = TraceGenerator {
         culling_range: Some(6.0),
         ..TraceGenerator::new(ConeSensor::paper_default())
@@ -187,6 +196,19 @@ mod tests {
             }
         }
         assert_eq!(moved, 1);
+    }
+
+    #[test]
+    fn endurance_trace_scales_epochs_with_rounds() {
+        let short = endurance_trace(20, 2, 6);
+        let long = endurance_trace(20, 20, 6);
+        let se = short.trace.truth.num_epochs();
+        let le = long.trace.truth.num_epochs();
+        assert!(
+            le > 9 * se && le < 11 * se,
+            "10x rounds should give ~10x epochs: {se} vs {le}"
+        );
+        assert!(long.trace.num_readings() > 5 * short.trace.num_readings());
     }
 
     #[test]

@@ -16,13 +16,20 @@
 //! implements a small CQL-like operator algebra ([`operators`]) and the
 //! paper's two example queries ([`queries`]) — the location-change query
 //! and the fire-code (weight per square foot) query.
+//!
+//! [`pipeline`] wires the layers into one incremental streaming run —
+//! `ReadingSource` → [`StreamSynchronizer`] → `InferenceStage` →
+//! composable `EventSink`s — with measured, bounded buffering
+//! (`PipelineStats`).
 
 pub mod epoch;
 pub mod event;
 pub mod operators;
+pub mod pipeline;
 pub mod queries;
 pub mod sync;
 
 pub use epoch::Epoch;
 pub use event::{EventStats, LocationEvent, ReaderLocationReport, RfidReading, TagId};
+pub use pipeline::{EventSink, InferenceStage, Pipeline, PipelineStats, ReadingSource, StreamItem};
 pub use sync::{EpochBatch, StreamSynchronizer};

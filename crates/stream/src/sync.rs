@@ -61,6 +61,16 @@ impl PendingEpoch {
 /// Streaming epoch synchronizer. An epoch is considered *complete* once
 /// both input streams have advanced past its end (watermark semantics),
 /// or when [`StreamSynchronizer::flush`] is called at end of trace.
+///
+/// Pure min-watermark semantics buffer without bound while one stream
+/// goes silent (e.g. a reader crossing a tag-free stretch produces
+/// reports but no readings). [`StreamSynchronizer::with_max_skew`]
+/// bounds that: an epoch also completes once the *faster* stream has
+/// advanced more than `max_skew` epochs past it. For sources whose
+/// merged items arrive in time order (every trace source here), a skew
+/// bound never changes the emitted batches — an epoch's items all
+/// arrive before either watermark passes the epoch — it only caps the
+/// buffer at O(`max_skew`) epochs.
 #[derive(Debug)]
 pub struct StreamSynchronizer {
     epoch_len: f64,
@@ -70,11 +80,17 @@ pub struct StreamSynchronizer {
     report_watermark: f64,
     /// Epochs strictly below this have been emitted.
     emitted_below: u64,
+    /// Allowed inter-stream lag in epochs (`None` = unbounded, pure
+    /// min-watermark semantics).
+    max_skew_epochs: Option<u64>,
+    /// Items that arrived for an already-emitted epoch and were
+    /// dropped.
+    late_dropped: u64,
 }
 
 impl StreamSynchronizer {
     /// Creates a synchronizer with the given epoch length in seconds
-    /// (the paper default is 1.0).
+    /// (the paper default is 1.0) and pure min-watermark semantics.
     pub fn new(epoch_len: f64) -> Self {
         assert!(epoch_len > 0.0, "epoch length must be positive");
         Self {
@@ -83,7 +99,19 @@ impl StreamSynchronizer {
             reading_watermark: 0.0,
             report_watermark: 0.0,
             emitted_below: 0,
+            max_skew_epochs: None,
+            late_dropped: 0,
         }
+    }
+
+    /// Bounds the buffer: epochs more than `epochs` behind the faster
+    /// stream's watermark are emitted without waiting for the slower
+    /// stream. Items for an already-emitted epoch are dropped, so pick
+    /// a bound above the real inter-stream skew (the paper's streams
+    /// are "slightly out-of-sync" within an epoch or two).
+    pub fn with_max_skew(mut self, epochs: u64) -> Self {
+        self.max_skew_epochs = Some(epochs);
+        self
     }
 
     /// The configured epoch length in seconds.
@@ -91,13 +119,37 @@ impl StreamSynchronizer {
         self.epoch_len
     }
 
+    /// Number of epochs currently buffered (open, not yet emitted).
+    /// Under watermark semantics this is bounded by the stream skew in
+    /// epochs, independent of how long the streams run — the pipeline
+    /// records its high-water mark as the bounded-memory evidence.
+    pub fn pending_epochs(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Raw readings currently buffered across all open epochs.
+    pub fn pending_readings(&self) -> usize {
+        self.pending.values().map(|p| p.readings.len()).sum()
+    }
+
+    /// Items dropped because they arrived for an already-emitted epoch
+    /// (late data beyond the skew bound, or malformed traces). A
+    /// nonzero count means the stream skew exceeded
+    /// [`StreamSynchronizer::with_max_skew`]'s bound — data loss is
+    /// observable, never silent.
+    pub fn late_dropped(&self) -> u64 {
+        self.late_dropped
+    }
+
     /// Pushes one raw RFID reading.
     pub fn push_reading(&mut self, r: RfidReading) {
         let e = Epoch::from_seconds(r.time, self.epoch_len).0;
         if e < self.emitted_below {
-            // Late data for an already-emitted epoch is dropped; the
-            // paper's epochs are coarse enough that this only happens
-            // with malformed traces.
+            // Late data for an already-emitted epoch is dropped (and
+            // counted); the paper's epochs are coarse enough that this
+            // only happens with malformed traces or skew beyond the
+            // configured bound.
+            self.late_dropped += 1;
             return;
         }
         self.pending.entry(e).or_default().readings.push(r.tag);
@@ -108,6 +160,7 @@ impl StreamSynchronizer {
     pub fn push_report(&mut self, r: ReaderLocationReport) {
         let e = Epoch::from_seconds(r.time, self.epoch_len).0;
         if e < self.emitted_below {
+            self.late_dropped += 1;
             return;
         }
         let p = self.pending.entry(e).or_default();
@@ -123,9 +176,26 @@ impl StreamSynchronizer {
     /// Pops every epoch that both watermarks have passed, in order.
     /// Epochs with no data at all are skipped (not fabricated).
     pub fn drain_ready(&mut self) -> Vec<EpochBatch> {
-        let watermark = self.reading_watermark.min(self.report_watermark);
-        let ready_below = Epoch::from_seconds(watermark, self.epoch_len).0;
         let mut out = Vec::new();
+        self.drain_ready_into(&mut out);
+        out
+    }
+
+    /// [`StreamSynchronizer::drain_ready`] into a caller-owned buffer,
+    /// so a long-running pipeline reuses one allocation. **Appends** to
+    /// `out` (does not clear it) — unlike the policy-layer `*_into`
+    /// methods, ready batches accumulate across calls until the caller
+    /// consumes them.
+    pub fn drain_ready_into(&mut self, out: &mut Vec<EpochBatch>) {
+        let watermark = self.reading_watermark.min(self.report_watermark);
+        let mut ready_below = Epoch::from_seconds(watermark, self.epoch_len).0;
+        if let Some(skew) = self.max_skew_epochs {
+            let fast = self.reading_watermark.max(self.report_watermark);
+            let by_skew = Epoch::from_seconds(fast, self.epoch_len)
+                .0
+                .saturating_sub(skew);
+            ready_below = ready_below.max(by_skew);
+        }
         while let Some((&e, _)) = self.pending.iter().next() {
             if e >= ready_below {
                 break;
@@ -134,18 +204,24 @@ impl StreamSynchronizer {
             out.push(p.finish(Epoch(e)));
         }
         self.emitted_below = self.emitted_below.max(ready_below);
-        out
     }
 
     /// Emits every remaining epoch (end of trace).
     pub fn flush(&mut self) -> Vec<EpochBatch> {
         let mut out = Vec::new();
+        self.flush_into(&mut out);
+        out
+    }
+
+    /// [`StreamSynchronizer::flush`] into a caller-owned buffer.
+    /// **Appends** to `out` (does not clear it), like
+    /// [`StreamSynchronizer::drain_ready_into`].
+    pub fn flush_into(&mut self, out: &mut Vec<EpochBatch>) {
         let pending = std::mem::take(&mut self.pending);
         for (e, p) in pending {
             self.emitted_below = self.emitted_below.max(e + 1);
             out.push(p.finish(Epoch(e)));
         }
-        out
     }
 }
 
@@ -259,7 +335,7 @@ mod tests {
     }
 
     #[test]
-    fn late_data_for_emitted_epoch_dropped() {
+    fn late_data_for_emitted_epoch_dropped_and_counted() {
         let mut sync = StreamSynchronizer::new(1.0);
         sync.push_reading(reading(0.5, 1));
         sync.push_report(report(0.5, 0.0, 0.0));
@@ -267,10 +343,60 @@ mod tests {
         sync.push_report(report(2.1, 0.0, 0.0));
         let first = sync.drain_ready();
         assert_eq!(first.len(), 1);
+        assert_eq!(sync.late_dropped(), 0);
         // now a reading arrives for the already-emitted epoch 0
         sync.push_reading(reading(0.9, 9));
+        assert_eq!(sync.late_dropped(), 1, "the drop must be observable");
         let rest = sync.flush();
         assert!(rest.iter().all(|b| !b.readings.contains(&TagId(9))));
+    }
+
+    #[test]
+    fn skew_bound_emits_past_a_silent_stream() {
+        // reports flow every epoch; readings go silent after epoch 0.
+        // Pure min-watermark semantics would buffer forever; the skew
+        // bound caps the buffer and emits.
+        let mut sync = StreamSynchronizer::new(1.0).with_max_skew(3);
+        sync.push_reading(reading(0.5, 1));
+        for t in 0..10 {
+            sync.push_report(report(t as f64 + 0.1, 0.0, t as f64));
+            sync.drain_ready();
+            assert!(
+                sync.pending_epochs() <= 4,
+                "buffer must stay within skew+1: {} at t={t}",
+                sync.pending_epochs()
+            );
+        }
+        let rest = sync.flush();
+        // every report-bearing epoch was eventually emitted exactly once
+        assert!(rest.len() <= 4);
+    }
+
+    #[test]
+    fn skew_bound_preserves_batches_for_time_ordered_input() {
+        // merged-in-time-order input: the bounded synchronizer must
+        // produce exactly the batches of the unbounded one-shot helper
+        let readings: Vec<_> = (0..20).map(|t| reading(t as f64 + 0.5, t)).collect();
+        let reports: Vec<_> = (0..20).map(|t| report(t as f64, 0.0, t as f64)).collect();
+        let expect = synchronize_traces(&readings, &reports, 1.0);
+
+        let mut sync = StreamSynchronizer::new(1.0).with_max_skew(2);
+        let mut got = Vec::new();
+        let (mut ri, mut pi) = (0usize, 0usize);
+        while ri < readings.len() || pi < reports.len() {
+            let tr = readings.get(ri).map(|r| r.time).unwrap_or(f64::INFINITY);
+            let tp = reports.get(pi).map(|r| r.time).unwrap_or(f64::INFINITY);
+            if tr <= tp {
+                sync.push_reading(readings[ri]);
+                ri += 1;
+            } else {
+                sync.push_report(reports[pi]);
+                pi += 1;
+            }
+            got.extend(sync.drain_ready());
+        }
+        got.extend(sync.flush());
+        assert_eq!(expect, got);
     }
 
     #[test]

@@ -1,16 +1,18 @@
 //! The (simulated) §V-C lab deployment: self-calibrate from reference
 //! tags, then compare our system against the SMURF and uniform
-//! baselines on a robot trace with dead-reckoning drift.
+//! baselines on a robot trace with dead-reckoning drift — every system
+//! driven through the same streaming pipeline.
 //!
 //! ```text
 //! cargo run --release --example lab_deployment
 //! ```
 
 use rfid_repro::baselines::{Smurf, SmurfConfig, UniformBaseline};
-use rfid_repro::core::engine::run_engine;
 use rfid_repro::prelude::*;
 use rfid_repro::sim::lab::LabDeployment;
-use rfid_repro::stream::Epoch;
+use rfid_repro::sim::SimTrace;
+use rfid_repro::stream::pipeline::InferenceStage;
+use rfid_repro::stream::Pipeline;
 
 fn mean_xy_error(events: &[LocationEvent], truth: &rfid_repro::sim::GroundTruth) -> f64 {
     let mut sum = 0.0;
@@ -22,6 +24,14 @@ fn mean_xy_error(events: &[LocationEvent], truth: &rfid_repro::sim::GroundTruth)
         }
     }
     sum / n.max(1) as f64
+}
+
+/// Streams the trace through any inference stage and collects events.
+fn run_stage<St: InferenceStage>(trace: &SimTrace, stage: St) -> Vec<LocationEvent> {
+    let mut pipeline = Pipeline::new(trace.epoch_len, stage, Vec::new());
+    pipeline.run_to_completion(&mut trace.stream());
+    let (_, events, _) = pipeline.into_parts();
+    events
 }
 
 fn main() {
@@ -56,46 +66,40 @@ fn main() {
 
     // --- the comparison trace --------------------------------------
     let trace = lab.generate(500, 2);
-    let batches = trace.epoch_batches();
-    let last = batches.last().map(|b| b.epoch).unwrap_or(Epoch(0));
     let read_range = LogisticSensorModel::new(learned.sensor).detection_range(0.2);
     let shelves = vec![lab.imagined_shelf(0, true), lab.imagined_shelf(1, true)];
 
     // our system
     let mut cfg = FilterConfig::factored_default();
     cfg.particles_per_object = 1000;
-    let mut engine = InferenceEngine::new(
+    let engine = InferenceEngine::new(
         JointModel::new(learned),
         lab.prior(),
         trace.shelf_tags.clone(),
         cfg,
     )
     .expect("valid configuration");
-    let ours = run_engine(&mut engine, &batches);
+    let ours = run_stage(&trace, engine);
 
     // SMURF (augmented with location sampling, §V-C)
-    let mut smurf = Smurf::new(
-        SmurfConfig::new(read_range, shelves.clone()),
-        trace.shelf_tags.iter().map(|(t, _)| *t),
+    let smurf_events = run_stage(
+        &trace,
+        Smurf::new(
+            SmurfConfig::new(read_range, shelves.clone()),
+            trace.shelf_tags.iter().map(|(t, _)| *t),
+        ),
     );
-    let mut smurf_events = Vec::new();
-    for b in &batches {
-        smurf_events.extend(smurf.process_batch(b));
-    }
-    smurf_events.extend(smurf.finalize(last));
 
     // uniform worst-case bound
-    let mut uni = UniformBaseline::new(
-        read_range,
-        shelves,
-        trace.shelf_tags.iter().map(|(t, _)| *t),
-        3,
+    let uni_events = run_stage(
+        &trace,
+        UniformBaseline::new(
+            read_range,
+            shelves,
+            trace.shelf_tags.iter().map(|(t, _)| *t),
+            3,
+        ),
     );
-    let mut uni_events = Vec::new();
-    for b in &batches {
-        uni_events.extend(uni.process_batch(b));
-    }
-    uni_events.extend(uni.finalize(last));
 
     // --- results ----------------------------------------------------
     let e_ours = mean_xy_error(&ours, &trace.truth);

@@ -1,14 +1,14 @@
-//! Quickstart: simulate a small warehouse scan, clean the raw streams
-//! with the inference engine, and print the resulting location events
-//! next to the ground truth.
+//! Quickstart: simulate a small warehouse scan, stream the raw streams
+//! through the inference pipeline, and print the resulting location
+//! events next to the ground truth.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use rfid_repro::core::engine::run_engine;
 use rfid_repro::prelude::*;
 use rfid_repro::sim::scenario;
+use rfid_repro::stream::Pipeline;
 
 fn main() {
     // A 10-object aisle with 4 reference (shelf) tags, scanned once by
@@ -29,11 +29,14 @@ fn main() {
     let model = JointModel::new(ModelParams::default_warehouse());
     let mut cfg = FilterConfig::full_default();
     cfg.particles_per_object = 1000;
-    let mut engine =
-        InferenceEngine::new(model, sc.layout.clone(), sc.trace.shelf_tags.clone(), cfg)
-            .expect("valid configuration");
+    let engine = InferenceEngine::new(model, sc.layout.clone(), sc.trace.shelf_tags.clone(), cfg)
+        .expect("valid configuration");
 
-    let events = run_engine(&mut engine, &sc.trace.epoch_batches());
+    // Stream the raw items through source → synchronizer → engine →
+    // sink; nothing is batched up front.
+    let mut pipeline = Pipeline::new(sc.trace.epoch_len, engine, Vec::new());
+    let stats = pipeline.run_to_completion(&mut sc.trace.stream());
+    let (engine, events, _) = pipeline.into_parts();
 
     println!("cleaned location events (paper format: time, tag, (x, y, z), stats):");
     let mut total_err = 0.0;
@@ -57,4 +60,8 @@ fn main() {
         events.len()
     );
     println!("engine stats: {:?}", engine.stats());
+    println!(
+        "pipeline: {} epochs streamed, synchronizer buffer high-water {} epochs",
+        stats.epochs, stats.sync_pending_high_water
+    );
 }

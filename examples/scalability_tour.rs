@@ -1,26 +1,26 @@
-//! A tour of the three scalability enhancements of §IV: run the same
-//! warehouse trace through the basic filter, the factored filter, the
-//! factored+indexed filter, and the full system, and watch the cost
-//! per reading collapse while accuracy holds.
+//! A tour of the three scalability enhancements of §IV: stream the
+//! same warehouse trace through the basic filter, the factored filter,
+//! the factored+indexed filter, and the full system — all via the
+//! streaming pipeline — and watch the cost per reading collapse while
+//! accuracy holds.
 //!
 //! ```text
 //! cargo run --release --example scalability_tour
 //! ```
 
-use rfid_repro::core::engine::run_engine;
 use rfid_repro::core::BasicParticleFilter;
 use rfid_repro::prelude::*;
 use rfid_repro::sim::scenario;
+use rfid_repro::stream::Pipeline;
 use std::time::Instant;
 
 fn main() {
     let num_objects = 200;
     let sc = scenario::scalability_trace(num_objects, 4242);
-    let batches = sc.trace.epoch_batches();
-    let readings: usize = batches.iter().map(|b| b.readings.len()).sum();
+    let readings = sc.trace.num_readings();
     println!(
         "warehouse: {num_objects} objects, {} epochs, {readings} raw readings\n",
-        batches.len()
+        sc.trace.truth.num_epochs()
     );
 
     let score = |events: &[LocationEvent]| -> f64 {
@@ -48,7 +48,7 @@ fn main() {
             ConeSensor::paper_default(),
             ModelParams::default_warehouse(),
         );
-        let mut f = BasicParticleFilter::new(
+        let filter = BasicParticleFilter::new(
             model,
             sc.layout.clone(),
             sc.trace.shelf_tags.clone(),
@@ -56,13 +56,11 @@ fn main() {
             20_000,
         )
         .expect("valid configuration");
+        let mut pipeline = Pipeline::new(sc.trace.epoch_len, filter, Vec::new());
         let start = Instant::now();
-        let mut events = Vec::new();
-        for b in &batches {
-            events.extend(f.process_batch(b));
-        }
-        events.extend(f.finalize(batches.last().unwrap().epoch));
-        let ms = start.elapsed().as_secs_f64() * 1e3 / readings as f64;
+        let pstats = pipeline.run_to_completion(&mut sc.trace.stream());
+        let ms = start.elapsed().as_secs_f64() * 1e3 / pstats.batch_readings as f64;
+        let (_, events, _) = pipeline.into_parts();
         println!(
             "{:<34} {:>9.2} {:>12.3} {:>10}",
             "Unfactorized (20k joint particles)",
@@ -84,12 +82,14 @@ fn main() {
             ConeSensor::paper_default(),
             ModelParams::default_warehouse(),
         );
-        let mut engine =
+        let engine =
             InferenceEngine::new(model, sc.layout.clone(), sc.trace.shelf_tags.clone(), cfg)
                 .expect("valid configuration");
+        let mut pipeline = Pipeline::new(sc.trace.epoch_len, engine, Vec::new());
         let start = Instant::now();
-        let events = run_engine(&mut engine, &batches);
-        let ms = start.elapsed().as_secs_f64() * 1e3 / readings as f64;
+        let pstats = pipeline.run_to_completion(&mut sc.trace.stream());
+        let ms = start.elapsed().as_secs_f64() * 1e3 / pstats.batch_readings as f64;
+        let (engine, events, _) = pipeline.into_parts();
         println!(
             "{:<34} {:>9.2} {:>12.3} {:>10.1}",
             name,

@@ -1,12 +1,14 @@
-//! Warehouse monitoring: the paper's §II-B motivation end to end.
+//! Warehouse monitoring: the paper's §II-B motivation end to end, as
+//! one streaming pipeline.
 //!
-//! The cleaned event stream feeds the two CQL example queries:
+//! The cleaned event stream fans out into the two CQL example queries,
+//! running *inside* the pipeline as composed sinks:
 //!
 //! 1. the **location-update query** — report each object's new location
-//!    when it changes;
+//!    when it changes (`Istream` over a row-1 partition);
 //! 2. the **fire-code query** — alert when the summed weight of objects
 //!    in any square foot of shelf exceeds 200 pounds within a 5-second
-//!    window.
+//!    window (`Rstream` of a windowed `Group By ... Having`).
 //!
 //! Neither query is answerable from the raw tag-id streams — that is
 //! the point of the cleaning/transformation stage.
@@ -15,10 +17,10 @@
 //! cargo run --release --example warehouse_monitoring
 //! ```
 
-use rfid_repro::core::engine::run_engine;
 use rfid_repro::prelude::*;
 use rfid_repro::sim::scenario;
-use rfid_repro::stream::queries::{FireCodeQuery, LocationChangeQuery};
+use rfid_repro::stream::pipeline::sinks::{FireCodeSink, LocationChangeSink};
+use rfid_repro::stream::Pipeline;
 
 fn main() {
     // Densely packed objects: several share each square foot of shelf.
@@ -27,46 +29,55 @@ fn main() {
     let model = JointModel::new(ModelParams::default_warehouse());
     let mut cfg = FilterConfig::full_default();
     cfg.particles_per_object = 600;
-    let mut engine =
-        InferenceEngine::new(model, sc.layout.clone(), sc.trace.shelf_tags.clone(), cfg)
-            .expect("valid configuration");
-    let events = run_engine(&mut engine, &sc.trace.epoch_batches());
-    println!("cleaned event stream: {} events\n", events.len());
+    let engine = InferenceEngine::new(model, sc.layout.clone(), sc.trace.shelf_tags.clone(), cfg)
+        .expect("valid configuration");
+
+    // Every object weighs 120 lb here, so any square foot holding two
+    // or more objects violates the 200 lb code.
+    let weight_of = |_tag: TagId| 120.0;
+    let sinks = (
+        Vec::new(), // collector, for the summary line
+        (
+            LocationChangeSink::new(0.1),
+            FireCodeSink::new(sc.trace.epoch_len, 5.0, weight_of, 200.0),
+        ),
+    );
+
+    // source → synchronizer → engine → (collector | query 1 | query 2)
+    let mut pipeline = Pipeline::new(sc.trace.epoch_len, engine, sinks);
+    let stats = pipeline.run_to_completion(&mut sc.trace.stream());
+    let (_, (events, (location_query, fire_query)), _) = pipeline.into_parts();
+    println!(
+        "cleaned event stream: {} events over {} epochs (synchronizer high-water {} epochs)\n",
+        events.len(),
+        stats.epochs,
+        stats.sync_pending_high_water
+    );
 
     // --- Query 1: Istream(E.tag_id, E.(x,y,z)) --------------------
     //     From EventStream E [Partition By tag_id Row 1]
-    let mut location_query = LocationChangeQuery::new(0.1);
     println!("location updates (movement threshold 0.1 ft):");
-    for e in &events {
-        if let Some((tag, loc)) = location_query.push(e) {
-            println!("  {} moved to ({:.2}, {:.2})", tag, loc.x, loc.y);
-        }
+    for u in location_query.updates() {
+        println!(
+            "  {} moved to ({:.2}, {:.2})",
+            u.tag, u.location.x, u.location.y
+        );
     }
 
     // --- Query 2: fire-code violations ----------------------------
     //     Group By square-foot area Having sum(weight) > 200 lb
-    // Every object weighs 120 lb here, so any square foot holding two
-    // or more objects violates the code.
-    let weight_of = |_tag: TagId| 120.0;
-    let mut fire_query = FireCodeQuery::new(5.0, weight_of, 200.0);
     println!("\nfire-code check (200 lb per square foot):");
-    let mut any = false;
-    for e in &events {
-        let t = e.epoch.0 as f64;
-        fire_query.push(t, e);
-        for (area, total) in fire_query.evaluate(t) {
-            any = true;
-            println!(
-                "  VIOLATION at square ({}, {}): {total:.0} lb on the shelf",
-                area.x, area.y
-            );
-        }
-    }
-    if !any {
+    if fire_query.violations().is_empty() {
         println!("  no violations detected");
+    }
+    for (time, area, total) in fire_query.violations() {
+        println!(
+            "  VIOLATION at t={time:.0}s, square ({}, {}): {total:.0} lb on the shelf",
+            area.x, area.y
+        );
     }
     println!(
         "\n(fire-code query evaluated {} instants)",
-        fire_query.emissions().len()
+        fire_query.query().emissions().len()
     );
 }

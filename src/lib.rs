@@ -64,5 +64,8 @@ pub mod prelude {
     pub use rfid_model::sensor::{ConeSensor, LogisticSensorModel, ReadRateModel};
     pub use rfid_model::{JointModel, ModelParams, SensorParams};
     pub use rfid_sim::{GroundTruth, SimTrace, TraceGenerator, Trajectory, WarehouseLayout};
-    pub use rfid_stream::{Epoch, EpochBatch, LocationEvent, RfidReading, TagId};
+    pub use rfid_stream::{
+        Epoch, EpochBatch, EventSink, InferenceStage, LocationEvent, Pipeline, PipelineStats,
+        ReadingSource, RfidReading, StreamItem, TagId,
+    };
 }
