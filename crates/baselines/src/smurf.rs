@@ -23,7 +23,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rfid_geom::{Aabb, Pose};
 use rfid_stream::{Epoch, EpochBatch, EventStats, LocationEvent, TagId};
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// SMURF tuning knobs.
 #[derive(Debug, Clone, PartialEq)]
@@ -94,7 +94,11 @@ impl TagState {
 /// The SMURF cleaning baseline.
 pub struct Smurf {
     config: SmurfConfig,
-    tags: HashMap<TagId, TagState>,
+    /// Ordered by tag so the per-epoch location-sampling RNG draws are
+    /// assigned to tags deterministically: with a hash map here, the
+    /// iteration (and thus draw) order changed per process, and two
+    /// identical runs scored differently against ground truth.
+    tags: BTreeMap<TagId, TagState>,
     rng: StdRng,
     /// Set of tag ids to ignore (shelf/reference tags).
     ignored: BTreeSet<TagId>,
@@ -107,7 +111,7 @@ impl Smurf {
         let seed = config.seed;
         Self {
             config,
-            tags: HashMap::new(),
+            tags: BTreeMap::new(),
             rng: StdRng::seed_from_u64(seed),
             ignored: ignored.into_iter().collect(),
         }

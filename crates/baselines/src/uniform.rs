@@ -15,7 +15,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rfid_geom::{Aabb, Point3};
 use rfid_stream::{Epoch, EpochBatch, EventStats, LocationEvent, TagId};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The uniform-sampling baseline.
 pub struct UniformBaseline {
@@ -23,7 +23,7 @@ pub struct UniformBaseline {
     shelves: Vec<Aabb>,
     scope_gap: u64,
     /// Per tag: (reservoir sample, #readings seen, last read, in scope).
-    tags: HashMap<TagId, (Point3, usize, Epoch, bool)>,
+    tags: BTreeMap<TagId, (Point3, usize, Epoch, bool)>,
     ignored: BTreeSet<TagId>,
     rng: StdRng,
 }
@@ -42,7 +42,7 @@ impl UniformBaseline {
             read_range,
             shelves,
             scope_gap: 20,
-            tags: HashMap::new(),
+            tags: BTreeMap::new(),
             ignored: ignored.into_iter().collect(),
             rng: StdRng::seed_from_u64(seed),
         }

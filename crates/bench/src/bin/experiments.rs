@@ -56,6 +56,7 @@ fn main() {
         }
         "fig6b-lab-table" => fig6b_lab_table(opts),
         "throughput" => throughput(opts, args.iter().any(|a| a == "--json")),
+        "accuracy" => accuracy(opts, args.iter().any(|a| a == "--json")),
         "ablation-init" => ablation_init(opts),
         "ablation-particles" => ablation_particles(opts),
         "ablation-resample" => ablation_resample(opts),
@@ -87,6 +88,9 @@ fn main() {
                  \x20 fig6b-lab-table        lab comparison vs SMURF and uniform (Fig 6b)\n\
                  \x20 throughput             whole-trace engine throughput (--json writes\n\
                  \x20                        BENCH_throughput.json at the repo root)\n\
+                 \x20 accuracy               event-level accuracy matrix: engine vs SMURF vs\n\
+                 \x20                        uniform over the adversarial scenario library\n\
+                 \x20                        (--json writes BENCH_accuracy.json)\n\
                  \x20 ablation-init          initialization-cone overestimate sweep\n\
                  \x20 ablation-particles     particles-per-object accuracy/cost frontier\n\
                  \x20 ablation-resample      resampling-threshold policy sweep\n\
@@ -866,6 +870,109 @@ fn throughput(opts: Opts, json: bool) {
         s.push_str("  ]\n}\n");
         std::fs::write("BENCH_throughput.json", &s).expect("write BENCH_throughput.json");
         eprintln!("  wrote BENCH_throughput.json");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Accuracy matrix: event-level scores over the adversarial library
+// ---------------------------------------------------------------------
+
+/// Runs the accuracy matrix (engine vs SMURF vs uniform over the
+/// adversarial scenario library × read-rate sweep) and, with `--json`,
+/// seeds `BENCH_accuracy.json` — the quality trajectory future PRs are
+/// judged against, mirroring how `BENCH_throughput.json` gates perf.
+fn accuracy(opts: Opts, json: bool) {
+    use rfid_bench::accuracy::{run_matrix, to_json, AccuracyConfig, READ_RATE_SWEEP};
+
+    let mut r = Report::new(
+        "accuracy",
+        "Event-level accuracy matrix: engine vs SMURF vs uniform per scenario",
+    );
+    let cfg = AccuracyConfig::standard(opts.quick);
+    let rows = run_matrix(&cfg, opts.quick);
+
+    let mut t = Table::new(vec![
+        "scenario",
+        "system",
+        "events",
+        "precision",
+        "recall",
+        "F1",
+        "mean XY (ft)",
+        "containment",
+        "moves det.",
+        "delay (ep)",
+    ]);
+    for row in &rows {
+        let e = &row.score.events;
+        let c = &row.score.change;
+        t.row(vec![
+            row.scenario.to_string(),
+            row.system.to_string(),
+            e.events.to_string(),
+            f3(e.precision),
+            f3(e.recall),
+            f3(e.f1),
+            f2(row.score.error.mean_xy),
+            if row.score.containment.is_finite() {
+                f3(row.score.containment)
+            } else {
+                "-".to_string()
+            },
+            format!("{}/{}", c.moves_detected, c.moves_total),
+            f2(c.mean_delay_epochs),
+        ]);
+    }
+    r.table(&t);
+
+    // the paper's headline ordering, as event-level F1 on the sweep
+    let f1_of = |scenario: &str, system: &str| {
+        rows.iter()
+            .find(|r| r.scenario == scenario && r.system == system)
+            .map(|r| r.score.events.f1)
+    };
+    let mut ordering_holds = true;
+    let mut checked = 0usize;
+    for sweep in READ_RATE_SWEEP {
+        let (Some(eng), Some(smf), Some(uni)) = (
+            f1_of(sweep, "engine"),
+            f1_of(sweep, "smurf"),
+            f1_of(sweep, "uniform"),
+        ) else {
+            // a missing point must be reported, never silently counted
+            // as passing (quick mode runs a sweep subset)
+            r.line(&format!("{sweep}: not in this run — skipped"));
+            continue;
+        };
+        checked += 1;
+        let ok = eng > smf && eng > uni;
+        ordering_holds &= ok;
+        r.line(&format!(
+            "{sweep}: engine F1 {eng:.3} vs smurf {smf:.3} / uniform {uni:.3} — {}",
+            if ok {
+                "engine strictly ahead"
+            } else {
+                "ORDERING VIOLATED"
+            }
+        ));
+    }
+    r.line(&if checked == 0 {
+        "# WARNING: no read-rate sweep point was run — ordering unchecked.".to_string()
+    } else if ordering_holds {
+        format!(
+            "# paper ordering holds: factored filter > SMURF, uniform on all {checked}/{} sweep \
+             points run.",
+            READ_RATE_SWEEP.len()
+        )
+    } else {
+        "# WARNING: the paper's headline ordering failed on the read-rate sweep.".to_string()
+    });
+    r.finish();
+
+    if json {
+        std::fs::write("BENCH_accuracy.json", to_json(&rows, &cfg))
+            .expect("write BENCH_accuracy.json");
+        eprintln!("  wrote BENCH_accuracy.json");
     }
 }
 

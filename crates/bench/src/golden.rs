@@ -1,0 +1,129 @@
+//! Golden-trace digests: a compact, bit-exact fingerprint of an event
+//! stream, committed under `tests/golden/` and checked by the root
+//! `golden_trace` suite. Any unintended change to the inference math —
+//! a constant, an RNG draw, a merge order — flips the digest and fails
+//! tier-1 instead of passing silently.
+//!
+//! A digest file carries the FNV-1a hash of *every* event's full bit
+//! pattern plus the first few events spelled out, so a mismatch shows
+//! where the stream diverged, not just that it did. Regenerate with
+//! the bless path:
+//!
+//! ```text
+//! RFID_GOLDEN_BLESS=1 cargo test --test golden_trace
+//! ```
+
+use rfid_stream::LocationEvent;
+use std::fmt::Write as _;
+
+/// Events spelled out at the head of a digest file.
+pub const DIGEST_HEAD_EVENTS: usize = 8;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// FNV-1a hash over the full bit pattern of every event: epoch, tag,
+/// location bits, and (when present) the statistics bits. Bit-exact —
+/// two streams hash equal iff a bit-level comparison would pass.
+pub fn event_digest(events: &[LocationEvent]) -> u64 {
+    let mut h = FNV_OFFSET;
+    h = fnv1a(h, &(events.len() as u64).to_le_bytes());
+    for e in events {
+        h = fnv1a(h, &e.epoch.0.to_le_bytes());
+        h = fnv1a(h, &e.tag.0.to_le_bytes());
+        for v in [e.location.x, e.location.y, e.location.z] {
+            h = fnv1a(h, &v.to_bits().to_le_bytes());
+        }
+        match e.stats {
+            None => h = fnv1a(h, &[0u8]),
+            Some(s) => {
+                h = fnv1a(h, &[1u8]);
+                h = fnv1a(h, &s.support.to_bits().to_le_bytes());
+                for v in s.var {
+                    h = fnv1a(h, &v.to_bits().to_le_bytes());
+                }
+            }
+        }
+    }
+    h
+}
+
+/// Renders the committed digest-file content for one scenario:
+/// header, whole-stream hash, and the first [`DIGEST_HEAD_EVENTS`]
+/// events with their float payloads as raw bits (display rounding must
+/// never mask a drift).
+pub fn render_digest(scenario: &str, config: &str, events: &[LocationEvent]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# golden event-stream digest — regenerate with:\n\
+         #   RFID_GOLDEN_BLESS=1 cargo test --test golden_trace"
+    );
+    let _ = writeln!(out, "scenario: {scenario}");
+    let _ = writeln!(out, "config: {config}");
+    let _ = writeln!(out, "events: {}", events.len());
+    let _ = writeln!(out, "hash: {:#018x}", event_digest(events));
+    for (i, e) in events.iter().take(DIGEST_HEAD_EVENTS).enumerate() {
+        let _ = writeln!(
+            out,
+            "event {i}: epoch={} tag={} x={:#018x} y={:#018x} z={:#018x}",
+            e.epoch.0,
+            e.tag.0,
+            e.location.x.to_bits(),
+            e.location.y.to_bits(),
+            e.location.z.to_bits(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_geom::Point3;
+    use rfid_stream::{Epoch, EventStats, TagId};
+
+    fn ev(epoch: u64, tag: u64, y: f64) -> LocationEvent {
+        LocationEvent::new(Epoch(epoch), TagId(tag), Point3::new(2.0, y, 0.0))
+    }
+
+    #[test]
+    fn digest_is_bit_sensitive() {
+        let a = vec![ev(1, 1, 3.0), ev(2, 2, 4.0)];
+        let base = event_digest(&a);
+        // any single-field change moves the hash
+        let mut b = a.clone();
+        b[1].location.y = f64::from_bits(b[1].location.y.to_bits() ^ 1);
+        assert_ne!(base, event_digest(&b), "last-ulp drift must be caught");
+        let mut c = a.clone();
+        c[0].epoch = Epoch(7);
+        assert_ne!(base, event_digest(&c));
+        let mut d = a.clone();
+        d[0].stats = Some(EventStats::default());
+        assert_ne!(base, event_digest(&d));
+        // order matters: the stream is an ordered contract
+        let e = vec![a[1], a[0]];
+        assert_ne!(base, event_digest(&e));
+        // and equality holds for equal streams
+        assert_eq!(base, event_digest(&a.clone()));
+    }
+
+    #[test]
+    fn render_contains_hash_and_head() {
+        let events = vec![ev(1, 1, 3.0); 12];
+        let s = render_digest("test_scenario", "cfg", &events);
+        assert!(s.contains("scenario: test_scenario"));
+        assert!(s.contains("events: 12"));
+        assert!(s.contains("hash: 0x"));
+        assert_eq!(s.matches("event ").count(), DIGEST_HEAD_EVENTS);
+    }
+}

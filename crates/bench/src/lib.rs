@@ -1,7 +1,13 @@
 //! Experiment harness regenerating every table and figure of §V.
 //!
-//! * [`metrics`] — inference-error scoring of event streams against
-//!   ground truth (the paper's "Inference Error in XY Plane (ft)").
+//! * [`metrics`] — scoring of event streams against ground truth: the
+//!   paper's continuous "Inference Error in XY Plane (ft)" plus
+//!   event-level precision/recall/F1, change-detection delay, and
+//!   shelf containment.
+//! * [`accuracy`] — the accuracy matrix (every system over the
+//!   adversarial scenario library), seeding `BENCH_accuracy.json`.
+//! * [`golden`] — bit-exact event-stream digests backing the
+//!   `tests/golden/` regression harness.
 //! * [`runner`] — drives each system (our engine in its four variants,
 //!   SMURF, uniform) over a scenario and collects events, wall-clock
 //!   cost, and engine statistics.
@@ -11,9 +17,14 @@
 //! The `experiments` binary exposes one subcommand per figure/table;
 //! see `cargo run -p rfid-bench --release --bin experiments -- help`.
 
+pub mod accuracy;
+pub mod golden;
 pub mod metrics;
 pub mod report;
 pub mod runner;
 
-pub use metrics::ErrorStats;
+pub use metrics::{
+    containment_accuracy, score_scenario, ChangeDetection, Confusion, ErrorStats, EventScore,
+    EventScoreConfig, ScenarioScore,
+};
 pub use runner::{run_baseline_smurf, run_baseline_uniform, run_engine_variant, EngineVariant};

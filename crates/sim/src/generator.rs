@@ -29,6 +29,30 @@ pub struct MovementEvent {
     pub new_location: Point3,
 }
 
+/// A scheduled population change: a tag arriving in (or departing from)
+/// the warehouse mid-trace. Unlike [`MovementEvent`], churn changes
+/// *which* tags exist: an arrived tag starts being read and enters the
+/// ground truth at its epoch; a departed tag stops being read and its
+/// truth records a tombstone (so post-departure events score as
+/// phantoms).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnEvent {
+    /// Epoch at which the change takes effect.
+    pub epoch: Epoch,
+    pub tag: TagId,
+    pub kind: ChurnKind,
+}
+
+/// What a [`ChurnEvent`] does.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChurnKind {
+    /// The tag appears at this location (relocates it if already
+    /// present).
+    Arrive(Point3),
+    /// The tag leaves the warehouse (no-op if absent).
+    Depart,
+}
+
 /// A complete generated trace: the two raw streams plus everything an
 /// experiment needs to score inference output against.
 #[derive(Debug, Clone)]
@@ -70,7 +94,7 @@ impl SimTrace {
 
 /// SplitMix64 finalizer: a high-quality 64-bit mixing function.
 #[inline]
-fn mix64(mut x: u64) -> u64 {
+pub(crate) fn mix64(mut x: u64) -> u64 {
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     x ^ (x >> 31)
@@ -150,6 +174,26 @@ impl<S: ReadRateModel> TraceGenerator<S> {
     where
         S: Clone,
     {
+        self.generate_with_churn(layout, trajectory, objects, shelf_tags, movements, &[], rng)
+    }
+
+    /// [`TraceGenerator::generate`] with scheduled population churn:
+    /// `churn` arrivals join the world (and the ground truth) at their
+    /// epoch, departures leave a truth tombstone and stop being read.
+    #[allow(clippy::too_many_arguments)] // flat generator knobs, mirrors `generate`
+    pub fn generate_with_churn<R: Rng + ?Sized>(
+        &self,
+        layout: &WarehouseLayout,
+        trajectory: &Trajectory,
+        objects: &[(TagId, Point3)],
+        shelf_tags: &[(TagId, Point3)],
+        movements: &[MovementEvent],
+        churn: &[ChurnEvent],
+        rng: &mut R,
+    ) -> SimTrace
+    where
+        S: Clone,
+    {
         let _ = layout; // geometry is already baked into tag positions
         let mut sim = EpochSim::new(
             self.clone(),
@@ -158,7 +202,8 @@ impl<S: ReadRateModel> TraceGenerator<S> {
             shelf_tags,
             movements,
             rng,
-        );
+        )
+        .with_churn(churn);
         let mut readings = Vec::new();
         let mut reports = Vec::new();
         while let Some(out) = sim.next_epoch() {
@@ -167,12 +212,20 @@ impl<S: ReadRateModel> TraceGenerator<S> {
         }
         debug_assert_eq!(sim.truth().num_epochs(), trajectory.num_steps() + 1);
         let epoch_len = self.epoch_len;
+        // object_tags covers everything that ever existed: the initial
+        // population plus churn arrivals
+        let mut object_tags: Vec<TagId> = objects.iter().map(|(t, _)| *t).collect();
+        for c in churn {
+            if matches!(c.kind, ChurnKind::Arrive(_)) && !object_tags.contains(&c.tag) {
+                object_tags.push(c.tag);
+            }
+        }
         SimTrace {
             readings,
             reports,
             truth: sim.into_truth(),
             shelf_tags: shelf_tags.to_vec(),
-            object_tags: objects.iter().map(|(t, _)| *t).collect(),
+            object_tags,
             epoch_len,
         }
     }
@@ -224,6 +277,8 @@ pub struct EpochSim<S: ReadRateModel, R: Rng> {
     shelf_tags: Vec<(TagId, Point3)>,
     movements: Vec<MovementEvent>,
     next_move: usize,
+    churn: Vec<ChurnEvent>,
+    next_churn: usize,
     /// Sorted-by-y view of all tags for windowed read attempts;
     /// rebuilt on (rare) object movements.
     sorted_tags: Option<Vec<(f64, TagId, Point3)>>,
@@ -267,6 +322,8 @@ impl<S: ReadRateModel, R: Rng> EpochSim<S, R> {
             shelf_tags: shelf_tags.to_vec(),
             movements,
             next_move: 0,
+            churn: Vec::new(),
+            next_churn: 0,
             sorted_tags,
             reporter,
             truth,
@@ -276,6 +333,15 @@ impl<S: ReadRateModel, R: Rng> EpochSim<S, R> {
             readings_buf: Vec::new(),
             rng,
         }
+    }
+
+    /// Attaches scheduled population churn (sorted by epoch). Must be
+    /// called before the first [`EpochSim::next_epoch`].
+    pub fn with_churn(mut self, churn: &[ChurnEvent]) -> Self {
+        debug_assert_eq!(self.t, 0, "churn must be attached before simulation starts");
+        self.churn = churn.to_vec();
+        self.churn.sort_by_key(|c| c.epoch);
+        self
     }
 
     fn build_sorted(
@@ -338,6 +404,29 @@ impl<S: ReadRateModel, R: Rng> EpochSim<S, R> {
                 moved = true;
             }
             self.next_move += 1;
+        }
+        // 2b. apply scheduled population churn effective this epoch
+        while self.next_churn < self.churn.len() && self.churn[self.next_churn].epoch <= epoch {
+            let c = self.churn[self.next_churn];
+            match c.kind {
+                ChurnKind::Arrive(loc) => {
+                    match self.object_locs.iter_mut().find(|(tag, _)| *tag == c.tag) {
+                        Some(slot) => slot.1 = loc,
+                        None => self.object_locs.push((c.tag, loc)),
+                    }
+                    self.truth.set_object(c.tag, epoch, loc);
+                    moved = true;
+                }
+                ChurnKind::Depart => {
+                    let before = self.object_locs.len();
+                    self.object_locs.retain(|(tag, _)| *tag != c.tag);
+                    if self.object_locs.len() != before {
+                        self.truth.remove_object(c.tag, epoch);
+                        moved = true;
+                    }
+                }
+            }
+            self.next_churn += 1;
         }
         if moved {
             if let Some(s) = self.sorted_tags.as_mut() {
@@ -542,6 +631,94 @@ mod tests {
         }
         .generate(&layout, &traj, &objects, &shelves, &[], &mut rng);
         // same multiset of readings (ordering within an epoch may differ)
+        let norm = |t: &SimTrace| {
+            let mut v: Vec<(u64, u64)> = t
+                .readings
+                .iter()
+                .map(|r| ((r.time * 1000.0) as u64, r.tag.0))
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(norm(&full), norm(&culled));
+    }
+
+    #[test]
+    fn churn_controls_readability_and_truth() {
+        let (layout, traj, objects, shelves) = setup();
+        let gen = TraceGenerator {
+            report_noise: ReportNoise::None,
+            ..TraceGenerator::new(ConeSensor::paper_default())
+        };
+        let mut rng = StdRng::seed_from_u64(8);
+        // tag 0 departs early; tag 50 arrives mid-scan near the far end
+        let churn = [
+            ChurnEvent {
+                epoch: Epoch(3),
+                tag: TagId(0),
+                kind: ChurnKind::Depart,
+            },
+            ChurnEvent {
+                epoch: Epoch(40),
+                tag: TagId(50),
+                kind: ChurnKind::Arrive(Point3::new(2.0, 9.0, 0.0)),
+            },
+        ];
+        let trace =
+            gen.generate_with_churn(&layout, &traj, &objects, &shelves, &[], &churn, &mut rng);
+        // departed tag: truth absent after the tombstone, no late reads
+        assert!(trace.truth.object_at(TagId(0), Epoch(2)).is_some());
+        assert!(trace.truth.object_at(TagId(0), Epoch(3)).is_none());
+        let epoch_of = |t: f64| Epoch::from_seconds(t, trace.epoch_len);
+        assert!(trace
+            .readings
+            .iter()
+            .all(|r| r.tag != TagId(0) || epoch_of(r.time) < Epoch(3)));
+        // arrived tag: in truth from epoch 40, read only afterwards
+        assert!(trace.truth.object_at(TagId(50), Epoch(39)).is_none());
+        assert_eq!(trace.truth.object_at(TagId(50), Epoch(40)).unwrap().y, 9.0);
+        let arrived_reads = trace.readings.iter().filter(|r| r.tag == TagId(50)).count();
+        assert!(arrived_reads > 0, "arrival was never read");
+        assert!(trace
+            .readings
+            .iter()
+            .all(|r| r.tag != TagId(50) || epoch_of(r.time) >= Epoch(40)));
+        // the arrival joins object_tags
+        assert!(trace.object_tags.contains(&TagId(50)));
+        assert_eq!(trace.object_tags.len(), 11);
+    }
+
+    #[test]
+    fn churn_with_culling_matches_unculled() {
+        let (layout, traj, objects, shelves) = setup();
+        let churn = [
+            ChurnEvent {
+                epoch: Epoch(10),
+                tag: TagId(2),
+                kind: ChurnKind::Depart,
+            },
+            ChurnEvent {
+                epoch: Epoch(30),
+                tag: TagId(60),
+                kind: ChurnKind::Arrive(Point3::new(2.0, 7.5, 0.0)),
+            },
+        ];
+        let mut rng = StdRng::seed_from_u64(10);
+        let full = TraceGenerator::new(ConeSensor::paper_default()).generate_with_churn(
+            &layout,
+            &traj,
+            &objects,
+            &shelves,
+            &[],
+            &churn,
+            &mut rng,
+        );
+        let mut rng = StdRng::seed_from_u64(10);
+        let culled = TraceGenerator {
+            culling_range: Some(5.0),
+            ..TraceGenerator::new(ConeSensor::paper_default())
+        }
+        .generate_with_churn(&layout, &traj, &objects, &shelves, &[], &churn, &mut rng);
         let norm = |t: &SimTrace| {
             let mut v: Vec<(u64, u64)> = t
                 .readings

@@ -81,6 +81,40 @@ impl WarehouseLayout {
         Self::linear(num_shelves, shelf_len, 0.5, 2.0, 0.0)
     }
 
+    /// A warehouse of disjoint *rooms*: one shelf per `(y_start, len)`
+    /// entry, separated by shelf-free aisle stretches. Unlike
+    /// [`WarehouseLayout::linear`], consecutive shelves need not touch —
+    /// a reader scanning the full extent goes silent on the reading
+    /// stream while it crosses a gap, which is exactly the adversarial
+    /// condition the multi-room scenarios probe. Entries must be
+    /// ascending and non-overlapping.
+    pub fn rooms(rooms: &[(f64, f64)], depth: f64, standoff: f64, tag_z: f64) -> Self {
+        assert!(!rooms.is_empty() && depth > 0.0);
+        let shelves = rooms
+            .iter()
+            .map(|&(y0, len)| {
+                assert!(len > 0.0);
+                Shelf {
+                    bbox: Aabb::new(
+                        Point3::new(standoff, y0, tag_z),
+                        Point3::new(standoff + depth, y0 + len, tag_z),
+                    ),
+                }
+            })
+            .collect::<Vec<_>>();
+        for w in shelves.windows(2) {
+            assert!(
+                w[1].bbox.min.y >= w[0].bbox.max.y,
+                "rooms must be ascending and non-overlapping"
+            );
+        }
+        Self {
+            shelves,
+            standoff,
+            tag_z,
+        }
+    }
+
     /// The shelves.
     pub fn shelves(&self) -> &[Shelf] {
         &self.shelves
@@ -118,6 +152,25 @@ impl WarehouseLayout {
                 )
             })
             .collect()
+    }
+
+    /// `per_shelf` evenly spaced object locations on each shelf face.
+    /// Unlike [`WarehouseLayout::object_slots`] this respects gaps
+    /// between shelves (rooms), so no slot lands in an aisle stretch.
+    pub fn object_slots_per_shelf(&self, per_shelf: usize) -> Vec<Point3> {
+        let mut out = Vec::with_capacity(per_shelf * self.shelves.len());
+        for s in &self.shelves {
+            let y0 = s.bbox.min.y;
+            let len = s.bbox.max.y - s.bbox.min.y;
+            for i in 0..per_shelf {
+                out.push(Point3::new(
+                    s.face_x(),
+                    y0 + (i as f64 + 0.5) * len / per_shelf as f64,
+                    self.tag_z,
+                ));
+            }
+        }
+        out
     }
 
     /// `per_shelf` evenly spaced reference (shelf) tags on each shelf
@@ -251,6 +304,26 @@ mod tests {
         assert!((w.total_length() - 50.0).abs() < 1e-9);
         let slots = w.object_slots(100);
         assert!((slots[1].y - slots[0].y - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rooms_layout_keeps_gaps_shelf_free() {
+        let w = WarehouseLayout::rooms(&[(0.0, 8.0), (20.0, 8.0)], 0.5, 2.0, 0.0);
+        assert_eq!(w.shelves().len(), 2);
+        // total_length counts shelf run only, not the gap
+        assert!((w.total_length() - 16.0).abs() < 1e-12);
+        // the prior is zero in the gap, positive in both rooms
+        assert_eq!(w.pdf(&Point3::new(2.0, 14.0, 0.0)), 0.0);
+        assert!(w.pdf(&Point3::new(2.0, 4.0, 0.0)) > 0.0);
+        assert!(w.pdf(&Point3::new(2.0, 24.0, 0.0)) > 0.0);
+        // per-shelf slots never land in the gap
+        let slots = w.object_slots_per_shelf(4);
+        assert_eq!(slots.len(), 8);
+        assert!(slots.iter().all(|p| w.pdf(p) > 0.0));
+        // shelf tags cover both rooms with distinct ids
+        let tags = w.shelf_tags(2);
+        assert_eq!(tags.len(), 4);
+        assert!(tags.iter().any(|(_, p)| p.y > 20.0));
     }
 
     #[test]

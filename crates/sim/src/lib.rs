@@ -32,7 +32,7 @@ pub mod source;
 pub mod trajectory;
 pub mod truth;
 
-pub use generator::{EpochSim, MovementEvent, SimTrace, TraceGenerator};
+pub use generator::{ChurnEvent, ChurnKind, EpochSim, MovementEvent, SimTrace, TraceGenerator};
 pub use layout::{ShelfSpace, WarehouseLayout};
 pub use noise::{DeadReckoning, ReportNoise};
 pub use source::{EpochStreamSource, TraceStream};
