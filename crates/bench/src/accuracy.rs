@@ -148,10 +148,29 @@ pub fn score_entry(entry: &LibraryEntry, cfg: &AccuracyConfig) -> Vec<AccuracyRo
         .collect()
 }
 
+/// The scenario names of the library (`--list`, filter validation).
+pub fn scenario_names(quick: bool) -> Vec<&'static str> {
+    library(quick).iter().map(|e| e.name).collect()
+}
+
 /// Runs the full matrix.
 pub fn run_matrix(cfg: &AccuracyConfig, quick: bool) -> Vec<AccuracyRow> {
+    run_matrix_filtered(cfg, quick, None)
+}
+
+/// Runs the matrix restricted to scenarios whose name contains
+/// `filter` (all of them when `None`) — single-scenario debugging
+/// without a full matrix run.
+pub fn run_matrix_filtered(
+    cfg: &AccuracyConfig,
+    quick: bool,
+    filter: Option<&str>,
+) -> Vec<AccuracyRow> {
     let mut rows = Vec::new();
     for entry in library(quick) {
+        if filter.is_some_and(|f| !entry.name.contains(f)) {
+            continue;
+        }
         let triplet = score_entry(&entry, cfg);
         for r in &triplet {
             eprintln!(
@@ -242,6 +261,20 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), full.len());
+    }
+
+    #[test]
+    fn scenario_filter_selects_by_substring() {
+        let names = scenario_names(false);
+        assert!(names.contains(&"churn"));
+        // a filter matching nothing runs nothing (and is cheap enough
+        // to call here — no engine run happens)
+        let rows = run_matrix_filtered(
+            &AccuracyConfig::standard(true),
+            true,
+            Some("no_such_scenario"),
+        );
+        assert!(rows.is_empty());
     }
 
     #[test]

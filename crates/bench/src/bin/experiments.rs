@@ -37,11 +37,28 @@ struct Opts {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let cmd = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .unwrap_or("help");
+    // positional parsing that knows `--scenario` takes a value, so
+    // `accuracy --scenario churn` does not mistake "churn" for a
+    // subcommand
+    let mut scenario_filter: Option<String> = None;
+    let mut positional: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scenario" => {
+                scenario_filter = it.next().cloned();
+                if scenario_filter.is_none() {
+                    // a forgotten value must not silently run (and with
+                    // --json, overwrite) the full matrix
+                    eprintln!("--scenario requires a value; see `accuracy --list`");
+                    std::process::exit(2);
+                }
+            }
+            s if s.starts_with("--") => {}
+            s => positional.push(s),
+        }
+    }
+    let cmd = positional.first().copied().unwrap_or("help");
     let opts = Opts { quick };
 
     match cmd {
@@ -56,7 +73,14 @@ fn main() {
         }
         "fig6b-lab-table" => fig6b_lab_table(opts),
         "throughput" => throughput(opts, args.iter().any(|a| a == "--json")),
-        "accuracy" => accuracy(opts, args.iter().any(|a| a == "--json")),
+        "accuracy" => accuracy(
+            opts,
+            args.iter().any(|a| a == "--json"),
+            scenario_filter.as_deref(),
+            args.iter().any(|a| a == "--list"),
+        ),
+        "serving" => serving(opts, args.iter().any(|a| a == "--json")),
+        "report" => report(),
         "ablation-init" => ablation_init(opts),
         "ablation-particles" => ablation_particles(opts),
         "ablation-resample" => ablation_resample(opts),
@@ -90,7 +114,14 @@ fn main() {
                  \x20                        BENCH_throughput.json at the repo root)\n\
                  \x20 accuracy               event-level accuracy matrix: engine vs SMURF vs\n\
                  \x20                        uniform over the adversarial scenario library\n\
-                 \x20                        (--json writes BENCH_accuracy.json)\n\
+                 \x20                        (--json writes BENCH_accuracy.json;\n\
+                 \x20                        --scenario <name> runs one scenario;\n\
+                 \x20                        --list enumerates the library)\n\
+                 \x20 serving                query-serving load test: live pipeline ingestion\n\
+                 \x20                        + N TCP client threads, latency percentiles\n\
+                 \x20                        (--json writes BENCH_serving.json)\n\
+                 \x20 report                 render the committed BENCH_*.json trajectories\n\
+                 \x20                        as markdown tables (for EXPERIMENTS.md)\n\
                  \x20 ablation-init          initialization-cone overestimate sweep\n\
                  \x20 ablation-particles     particles-per-object accuracy/cost frontier\n\
                  \x20 ablation-resample      resampling-threshold policy sweep\n\
@@ -881,15 +912,41 @@ fn throughput(opts: Opts, json: bool) {
 /// adversarial scenario library × read-rate sweep) and, with `--json`,
 /// seeds `BENCH_accuracy.json` — the quality trajectory future PRs are
 /// judged against, mirroring how `BENCH_throughput.json` gates perf.
-fn accuracy(opts: Opts, json: bool) {
-    use rfid_bench::accuracy::{run_matrix, to_json, AccuracyConfig, READ_RATE_SWEEP};
+/// `--scenario <name>` restricts the run to matching scenarios (for
+/// debugging one workload without the full matrix); `--list` only
+/// enumerates the library.
+fn accuracy(opts: Opts, json: bool, scenario_filter: Option<&str>, list: bool) {
+    use rfid_bench::accuracy::{
+        run_matrix_filtered, scenario_names, to_json, AccuracyConfig, READ_RATE_SWEEP,
+    };
+
+    if list {
+        println!("accuracy scenario library (full / [quick subset]):");
+        let quick = scenario_names(true);
+        for name in scenario_names(false) {
+            let marker = if quick.contains(&name) {
+                " [quick]"
+            } else {
+                ""
+            };
+            println!("  {name}{marker}");
+        }
+        return;
+    }
+    if let Some(f) = scenario_filter {
+        let names = scenario_names(opts.quick);
+        if !names.iter().any(|n| n.contains(f)) {
+            eprintln!("--scenario {f:?} matches nothing; available: {names:?}");
+            std::process::exit(2);
+        }
+    }
 
     let mut r = Report::new(
         "accuracy",
         "Event-level accuracy matrix: engine vs SMURF vs uniform per scenario",
     );
     let cfg = AccuracyConfig::standard(opts.quick);
-    let rows = run_matrix(&cfg, opts.quick);
+    let rows = run_matrix_filtered(&cfg, opts.quick, scenario_filter);
 
     let mut t = Table::new(vec![
         "scenario",
@@ -970,10 +1027,186 @@ fn accuracy(opts: Opts, json: bool) {
     r.finish();
 
     if json {
-        std::fs::write("BENCH_accuracy.json", to_json(&rows, &cfg))
-            .expect("write BENCH_accuracy.json");
-        eprintln!("  wrote BENCH_accuracy.json");
+        if scenario_filter.is_some() {
+            // a filtered run must never overwrite the committed
+            // full-matrix trajectory
+            eprintln!("  --scenario is set: refusing to write a partial BENCH_accuracy.json");
+        } else {
+            std::fs::write("BENCH_accuracy.json", to_json(&rows, &cfg))
+                .expect("write BENCH_accuracy.json");
+            eprintln!("  wrote BENCH_accuracy.json");
+        }
     }
+}
+
+// ---------------------------------------------------------------------
+// Serving: load-tested query latency over the live TCP server
+// ---------------------------------------------------------------------
+
+/// Runs the serving load test (live pipeline ingestion into the shared
+/// `EventStore` + a client-thread sweep of mixed TCP queries) and,
+/// with `--json`, seeds `BENCH_serving.json` — the third benchmark
+/// trajectory next to throughput and accuracy.
+fn serving(opts: Opts, json: bool) {
+    use rfid_bench::serving::{run_serving, to_json, ServingConfig};
+
+    let mut r = Report::new(
+        "serving",
+        "Query serving under load: live ingestion + N TCP clients, mixed query workload",
+    );
+    let cfg = ServingConfig::standard(opts.quick);
+    r.line(&format!(
+        "scenario endurance_trace({}, {}, 99), {} particles/object; every client issues >= {} \
+         mixed queries (current/snapshot/trail/containment) while ingestion streams",
+        cfg.objects, cfg.rounds, cfg.particles, cfg.min_queries_per_client,
+    ));
+    let rows = run_serving(&cfg);
+
+    let mut t = Table::new(vec![
+        "clients",
+        "queries",
+        "errors",
+        "queries/s",
+        "p50 (us)",
+        "p95 (us)",
+        "p99 (us)",
+        "max (us)",
+        "ingest epochs",
+        "ingest readings/s",
+    ]);
+    for row in &rows {
+        t.row(vec![
+            row.clients.to_string(),
+            row.queries.to_string(),
+            row.errors.to_string(),
+            format!("{:.0}", row.queries_per_sec),
+            format!("{:.0}", row.p50_us),
+            format!("{:.0}", row.p95_us),
+            format!("{:.0}", row.p99_us),
+            format!("{:.0}", row.max_us),
+            row.ingest_epochs.to_string(),
+            format!("{:.0}", row.ingest_readings_per_sec),
+        ]);
+    }
+    r.table(&t);
+    r.line("# queries run against the store *while* the pipeline writes it; latency");
+    r.line("# is measured end-to-end over the wire (connect once, then frame per query).");
+    r.finish();
+
+    if json {
+        std::fs::write("BENCH_serving.json", to_json(&rows, &cfg))
+            .expect("write BENCH_serving.json");
+        eprintln!("  wrote BENCH_serving.json");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Report: the committed BENCH_*.json trajectories as markdown
+// ---------------------------------------------------------------------
+
+/// Renders a `rows` array of a parsed BENCH document as a markdown
+/// table using `(header, key, decimals)` column specs.
+fn md_table_from(doc: &rfid_bench::json::Json, spec: &[(&str, &str, usize)]) -> Option<Table> {
+    let rows = doc.get("rows")?.as_arr()?;
+    let mut t = Table::new(spec.iter().map(|(h, _, _)| h.to_string()).collect());
+    for row in rows {
+        t.row(
+            spec.iter()
+                .map(|(_, key, decimals)| {
+                    row.get(key)
+                        .map(|v| v.cell(*decimals))
+                        .unwrap_or_else(|| "-".to_string())
+                })
+                .collect(),
+        );
+    }
+    Some(t)
+}
+
+/// Renders every committed `BENCH_*.json` as a markdown table — the
+/// single source for the tables pasted into EXPERIMENTS.md (ROADMAP
+/// open item: port bench numbers into tables via the experiments bin).
+fn report() {
+    use rfid_bench::json::Json;
+
+    let mut r = Report::new("report", "Committed benchmark trajectories (markdown)");
+    let mut render = |path: &str, title: &str, spec: &[(&str, &str, usize)]| {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                r.line(&format!(
+                    "### {title}\n\n`{path}` not found ({e}) — skipped.\n"
+                ));
+                return;
+            }
+        };
+        let doc = match Json::parse(&text) {
+            Ok(d) => d,
+            Err(e) => {
+                r.line(&format!("### {title}\n\n`{path}` failed to parse: {e}\n"));
+                return;
+            }
+        };
+        match md_table_from(&doc, spec) {
+            Some(t) => {
+                r.line(&format!("### {title} (`{path}`)\n"));
+                r.line(&t.render_markdown());
+            }
+            None => r.line(&format!("### {title}\n\n`{path}` has no rows array.\n")),
+        }
+    };
+
+    render(
+        "BENCH_throughput.json",
+        "Throughput",
+        &[
+            ("variant", "variant", 0),
+            ("objects", "objects", 0),
+            ("workers", "worker_threads", 0),
+            ("shards", "num_shards", 0),
+            ("rounds", "rounds", 0),
+            ("epochs", "epochs", 0),
+            ("readings/s", "readings_per_sec", 1),
+            ("ms/reading", "ms_per_reading", 4),
+            ("memory (MB)", "memory_mb", 2),
+            ("sync hw", "sync_pending_high_water", 0),
+            ("batch hw", "batch_buffer_high_water", 0),
+        ],
+    );
+    render(
+        "BENCH_accuracy.json",
+        "Accuracy",
+        &[
+            ("scenario", "scenario", 0),
+            ("system", "system", 0),
+            ("events", "events", 0),
+            ("precision", "precision", 3),
+            ("recall", "recall", 3),
+            ("F1", "f1", 3),
+            ("mean XY (ft)", "mean_xy_ft", 2),
+            ("containment", "containment", 3),
+            ("moves det.", "moves_detected", 0),
+            ("moves total", "moves_total", 0),
+            ("delay (ep)", "mean_change_delay_epochs", 2),
+        ],
+    );
+    render(
+        "BENCH_serving.json",
+        "Serving",
+        &[
+            ("clients", "clients", 0),
+            ("queries", "queries", 0),
+            ("errors", "errors", 0),
+            ("queries/s", "queries_per_sec", 0),
+            ("p50 (us)", "p50_us", 0),
+            ("p95 (us)", "p95_us", 0),
+            ("p99 (us)", "p99_us", 0),
+            ("max (us)", "max_us", 0),
+            ("ingest epochs", "ingest_epochs", 0),
+            ("ingest readings/s", "ingest_readings_per_sec", 0),
+        ],
+    );
+    r.finish();
 }
 
 // ---------------------------------------------------------------------

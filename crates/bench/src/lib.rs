@@ -11,17 +11,23 @@
 //! * [`runner`] — drives each system (our engine in its four variants,
 //!   SMURF, uniform) over a scenario and collects events, wall-clock
 //!   cost, and engine statistics.
+//! * [`serving`] — the query-serving load generator (live ingestion +
+//!   N TCP client threads), seeding `BENCH_serving.json`.
 //! * [`report`] — plain-text tables written to stdout and to
 //!   `results/<experiment>.txt`.
+//! * [`json`] — a minimal JSON reader so `experiments -- report` can
+//!   render the committed `BENCH_*.json` files as markdown tables.
 //!
 //! The `experiments` binary exposes one subcommand per figure/table;
 //! see `cargo run -p rfid-bench --release --bin experiments -- help`.
 
 pub mod accuracy;
 pub mod golden;
+pub mod json;
 pub mod metrics;
 pub mod report;
 pub mod runner;
+pub mod serving;
 
 pub use metrics::{
     containment_accuracy, score_scenario, ChangeDetection, Confusion, ErrorStats, EventScore,

@@ -56,6 +56,29 @@ impl Table {
         }
         out
     }
+
+    /// Renders the table as GitHub-flavored markdown (the form
+    /// `experiments -- report` pastes into EXPERIMENTS.md).
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        let row_line = |cells: &[String], out: &mut String| {
+            out.push('|');
+            for c in cells {
+                let _ = write!(out, " {} |", c.replace('|', "\\|"));
+            }
+            out.push('\n');
+        };
+        row_line(&self.header, &mut out);
+        out.push('|');
+        for _ in &self.header {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            row_line(row, &mut out);
+        }
+        out
+    }
 }
 
 /// A report: a titled text document printed to stdout and mirrored to
@@ -145,6 +168,17 @@ mod tests {
         assert!(!lines[0].trim_end().is_empty());
         assert!(lines[2].starts_with("1"));
         assert!(lines[3].starts_with("wide-cell"));
+    }
+
+    #[test]
+    fn markdown_table_has_separator_and_escapes_pipes() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1", "x|y"]);
+        let md = t.render_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines[0], "| a | b |");
+        assert_eq!(lines[1], "|---|---|");
+        assert_eq!(lines[2], "| 1 | x\\|y |");
     }
 
     #[test]

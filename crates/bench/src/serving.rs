@@ -1,0 +1,362 @@
+//! The serving load generator: replays a scenario through the engine
+//! pipeline into a shared `EventStore` **while** N client threads
+//! hammer the TCP query server with a mixed query workload, measuring
+//! end-to-end (over-the-wire) latency percentiles and throughput —
+//! the third benchmark trajectory next to throughput and accuracy.
+//!
+//! `experiments -- serving --json` writes the committed
+//! `BENCH_serving.json`; each row is one client-count sweep point.
+
+use crate::runner::RunOpts;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use rfid_core::{FilterConfig, InferenceEngine};
+use rfid_model::sensor::ConeSensor;
+use rfid_model::{JointModel, ModelParams};
+use rfid_serve::store::{EventStore, StoreConfig};
+use rfid_serve::{serve, Query, QueryClient, QueryResponse};
+use rfid_sim::scenario;
+use rfid_stream::pipeline::sinks::StoreSink;
+use rfid_stream::pipeline::PipelineStats;
+use rfid_stream::{Epoch, Pipeline, StreamItem, TagId};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+/// Load-test knobs.
+#[derive(Debug, Clone)]
+pub struct ServingConfig {
+    /// Client-thread counts to sweep (one result row each).
+    pub clients_sweep: Vec<usize>,
+    /// Objects in the ingested warehouse scenario.
+    pub objects: usize,
+    /// Scan rounds of the ingested trace (ingestion wall time scales
+    /// with this, and clients keep querying as long as it runs).
+    pub rounds: usize,
+    /// Engine particles per object.
+    pub particles: usize,
+    /// Every client issues at least this many queries, even if
+    /// ingestion finishes first.
+    pub min_queries_per_client: usize,
+    /// Execution knobs for the ingestion engine.
+    pub opts: RunOpts,
+}
+
+impl ServingConfig {
+    /// The committed-baseline operating point (`quick` shrinks it for
+    /// CI smoke).
+    pub fn standard(quick: bool) -> Self {
+        Self {
+            clients_sweep: if quick { vec![1, 2] } else { vec![1, 2, 4] },
+            objects: if quick { 60 } else { 100 },
+            rounds: if quick { 2 } else { 4 },
+            particles: if quick { 100 } else { 200 },
+            min_queries_per_client: if quick { 200 } else { 1000 },
+            opts: RunOpts::new(if quick { 100 } else { 200 }, 60),
+        }
+    }
+}
+
+/// One sweep row: `clients` threads of mixed queries against the live
+/// server.
+#[derive(Debug, Clone)]
+pub struct ServingRow {
+    pub clients: usize,
+    /// Total queries answered across all client threads.
+    pub queries: u64,
+    /// `ERR` responses (0 expected with unlimited retention).
+    pub errors: u64,
+    /// Wall time of the query phase (first connect to last response).
+    pub elapsed_s: f64,
+    pub queries_per_sec: f64,
+    pub p50_us: f64,
+    pub p95_us: f64,
+    pub p99_us: f64,
+    pub max_us: f64,
+    /// Ingestion-side counters of the same run.
+    pub ingest_epochs: u64,
+    pub ingest_events: u64,
+    pub ingest_elapsed_s: f64,
+    pub ingest_readings_per_sec: f64,
+    /// Store size at the end of the run.
+    pub store_events: u64,
+    pub store_segments: usize,
+}
+
+fn percentile(sorted_us: &[f64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * q).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+/// The mixed query workload: an even rotation over the four kinds,
+/// with parameters drawn from a per-client deterministic RNG.
+fn nth_query(rng: &mut StdRng, i: u64, objects: usize, max_epoch: u64) -> Query {
+    let tag = TagId(rng.gen_range(0..objects as u64));
+    let epoch = Epoch(rng.gen_range(0..max_epoch.max(1)));
+    match i % 4 {
+        0 => Query::CurrentLocation(tag),
+        1 => Query::SnapshotAt(epoch),
+        2 => Query::Trail {
+            tag,
+            from: Epoch(epoch.0.saturating_sub(100)),
+            to: epoch,
+        },
+        _ => {
+            let x0 = rng.gen_range(-2.0..30.0);
+            let y0 = rng.gen_range(-2.0..4.0);
+            Query::Containment {
+                x0,
+                y0,
+                x1: x0 + 8.0,
+                y1: y0 + 4.0,
+                epoch,
+            }
+        }
+    }
+}
+
+/// Runs one sweep row: spin up store + server, ingest the scenario on
+/// a pipeline thread, query it from `clients` threads.
+fn run_row(cfg: &ServingConfig, clients: usize) -> ServingRow {
+    let sc = scenario::endurance_trace(cfg.objects, cfg.rounds, 99);
+    let items: Vec<StreamItem> = sc.trace.stream().collect();
+    let epoch_len = sc.trace.epoch_len;
+    let max_epoch = items
+        .iter()
+        .map(|it| match it {
+            StreamItem::Reading(r) => r.time,
+            StreamItem::Report(r) => r.time,
+        })
+        .fold(0.0f64, f64::max)
+        / epoch_len;
+    let max_epoch = max_epoch as u64;
+    let readings = items
+        .iter()
+        .filter(|it| matches!(it, StreamItem::Reading(_)))
+        .count();
+
+    let mut fcfg = FilterConfig::full_default();
+    fcfg.particles_per_object = cfg.particles;
+    fcfg.report_delay_epochs = cfg.opts.report_delay;
+    fcfg.worker_threads = cfg.opts.worker_threads;
+    fcfg.num_shards = cfg.opts.num_shards;
+    let model = JointModel::with_sensor(
+        ConeSensor::paper_default(),
+        ModelParams::default_warehouse(),
+    );
+    let engine = InferenceEngine::new(model, sc.layout.clone(), sc.trace.shelf_tags.clone(), fcfg)
+        .expect("valid engine config");
+
+    let store = Arc::new(RwLock::new(EventStore::new(StoreConfig::default())));
+    let server = serve("127.0.0.1:0", Arc::clone(&store)).expect("bind query server");
+    let addr = server.addr();
+    let done = Arc::new(AtomicBool::new(false));
+
+    // ingestion: the live pipeline writing through the shared lock
+    let ingest = {
+        let done = Arc::clone(&done);
+        let sink = StoreSink::new(Arc::clone(&store));
+        std::thread::spawn(move || {
+            let mut pipeline = Pipeline::new(epoch_len, engine, sink);
+            let start = Instant::now();
+            let stats: PipelineStats = pipeline.run_to_completion(&mut items.into_iter());
+            let elapsed = start.elapsed();
+            done.store(true, Ordering::SeqCst);
+            (stats, elapsed)
+        })
+    };
+
+    let min_q = cfg.min_queries_per_client as u64;
+    let objects = cfg.objects;
+    let query_start = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0x5E21E + c as u64);
+                let mut client = QueryClient::connect(addr).expect("connect to query server");
+                let mut latencies_us: Vec<f64> = Vec::new();
+                let mut errors = 0u64;
+                let mut i = 0u64;
+                while !done.load(Ordering::SeqCst) || i < min_q {
+                    let q = nth_query(&mut rng, i, objects, max_epoch);
+                    let t0 = Instant::now();
+                    let resp = client.query(&q).expect("query round trip");
+                    let dt = t0.elapsed();
+                    latencies_us.push(dt.as_secs_f64() * 1e6);
+                    if matches!(resp, QueryResponse::Error(_)) {
+                        errors += 1;
+                    }
+                    i += 1;
+                }
+                (latencies_us, errors)
+            })
+        })
+        .collect();
+
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut errors = 0u64;
+    for w in workers {
+        let (lat, err) = w.join().expect("client thread");
+        latencies.extend(lat);
+        errors += err;
+    }
+    let elapsed = query_start.elapsed();
+    let (ingest_stats, ingest_elapsed) = ingest.join().expect("ingestion thread");
+    server.shutdown();
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let queries = latencies.len() as u64;
+    let elapsed_s = elapsed.as_secs_f64().max(1e-9);
+    let store = store.read().expect("store lock");
+    let sstats = store.stats();
+    ServingRow {
+        clients,
+        queries,
+        errors,
+        elapsed_s,
+        queries_per_sec: queries as f64 / elapsed_s,
+        p50_us: percentile(&latencies, 0.50),
+        p95_us: percentile(&latencies, 0.95),
+        p99_us: percentile(&latencies, 0.99),
+        max_us: latencies.last().copied().unwrap_or(0.0),
+        ingest_epochs: ingest_stats.epochs,
+        ingest_events: ingest_stats.events,
+        ingest_elapsed_s: ingest_elapsed.as_secs_f64(),
+        ingest_readings_per_sec: readings as f64 / ingest_elapsed.as_secs_f64().max(1e-9),
+        store_events: sstats.events_live + sstats.events_compacted,
+        store_segments: sstats.segments,
+    }
+}
+
+/// Runs the client-count sweep.
+pub fn run_serving(cfg: &ServingConfig) -> Vec<ServingRow> {
+    cfg.clients_sweep
+        .iter()
+        .map(|&clients| {
+            let row = run_row(cfg, clients);
+            eprintln!(
+                "  [serving c={clients}] {} queries, {:.0} q/s, p50 {:.0} us, p95 {:.0} us, \
+                 p99 {:.0} us (ingest: {} epochs in {:.2} s)",
+                row.queries,
+                row.queries_per_sec,
+                row.p50_us,
+                row.p95_us,
+                row.p99_us,
+                row.ingest_epochs,
+                row.ingest_elapsed_s,
+            );
+            row
+        })
+        .collect()
+}
+
+/// Serializes sweep rows as the `BENCH_serving.json` document.
+pub fn to_json(rows: &[ServingRow], cfg: &ServingConfig) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!(
+        "  \"scenario\": \"endurance_trace({}, {}, 99)\",\n  \"particles_per_object\": {},\n  \
+         \"protocol\": \"length-prefixed text over TCP, thread-per-connection\",\n  \
+         \"query_mix\": \"current/snapshot/trail/containment rotation\",\n  \
+         \"min_queries_per_client\": {},\n",
+        cfg.objects, cfg.rounds, cfg.particles, cfg.min_queries_per_client,
+    ));
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"clients\": {}, \"queries\": {}, \"errors\": {}, \"elapsed_s\": {:.3}, \
+             \"queries_per_sec\": {:.1}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \
+             \"p99_us\": {:.1}, \"max_us\": {:.1}, \"ingest_epochs\": {}, \
+             \"ingest_events\": {}, \"ingest_elapsed_s\": {:.3}, \
+             \"ingest_readings_per_sec\": {:.1}, \"store_events\": {}, \
+             \"store_segments\": {}}}{}\n",
+            r.clients,
+            r.queries,
+            r.errors,
+            r.elapsed_s,
+            r.queries_per_sec,
+            r.p50_us,
+            r.p95_us,
+            r.p99_us,
+            r.max_us,
+            r.ingest_epochs,
+            r.ingest_events,
+            r.ingest_elapsed_s,
+            r.ingest_readings_per_sec,
+            r.store_events,
+            r.store_segments,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_pick_sorted_positions() {
+        let lat: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&lat, 0.50), 51.0);
+        assert_eq!(percentile(&lat, 0.99), 99.0);
+        assert_eq!(percentile(&lat, 1.0), 100.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn query_mix_rotates_all_kinds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let kinds: Vec<u8> = (0..8u64)
+            .map(|i| match nth_query(&mut rng, i, 10, 100) {
+                Query::CurrentLocation(_) => 0,
+                Query::SnapshotAt(_) => 1,
+                Query::Trail { .. } => 2,
+                Query::Containment { .. } => 3,
+            })
+            .collect();
+        assert_eq!(kinds, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn json_document_has_the_gated_fields() {
+        let rows = vec![ServingRow {
+            clients: 2,
+            queries: 100,
+            errors: 0,
+            elapsed_s: 1.0,
+            queries_per_sec: 100.0,
+            p50_us: 50.0,
+            p95_us: 95.0,
+            p99_us: 99.0,
+            max_us: 120.0,
+            ingest_epochs: 10,
+            ingest_events: 20,
+            ingest_elapsed_s: 0.5,
+            ingest_readings_per_sec: 1000.0,
+            store_events: 20,
+            store_segments: 1,
+        }];
+        let doc = to_json(&rows, &ServingConfig::standard(true));
+        for field in [
+            "\"queries_per_sec\"",
+            "\"p50_us\"",
+            "\"p95_us\"",
+            "\"p99_us\"",
+        ] {
+            assert!(doc.contains(field), "missing {field}");
+        }
+        // the document parses with the in-tree reader
+        let parsed = crate::json::Json::parse(&doc).unwrap();
+        assert_eq!(
+            parsed.get("rows").unwrap().as_arr().unwrap()[0]
+                .get("p99_us")
+                .unwrap()
+                .as_f64(),
+            Some(99.0)
+        );
+    }
+}

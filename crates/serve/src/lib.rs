@@ -1,0 +1,37 @@
+//! # rfid-serve — the query-serving subsystem
+//!
+//! Everything upstream of this crate produces one thing: the cleaned
+//! location-event stream. This crate makes that stream *queryable* —
+//! while it is still being produced:
+//!
+//! ```text
+//! pipeline ─► StoreSink ─► Arc<RwLock<EventStore>> ◄─ TCP server ◄─ clients
+//!  (writer, live ingestion)      (shared)           (readers, thread per
+//!                                                    connection)
+//! ```
+//!
+//! * [`store::EventStore`] — a segmented in-memory log of the event
+//!   stream with a per-epoch snapshot index, configurable retention +
+//!   compaction, and per-tag trail lookup;
+//! * [`query::Query`] / [`query::QueryResponse`] — the four query
+//!   kinds and their length-prefixed text wire form;
+//! * [`server`] — a `std::net` thread-per-connection query server plus
+//!   a blocking [`server::QueryClient`].
+//!
+//! The contract that keeps serving honest: with the default store
+//! configuration, `Trail` and `SnapshotAt` answers are **bit-identical**
+//! to what the in-process [`TrailSink`]/[`SnapshotSink`] compute on the
+//! same stream (pinned by `tests/store_pin_sinks.rs` and the root
+//! `tests/serving_queries.rs`), and the wire encoding round-trips every
+//! `f64` exactly.
+//!
+//! [`TrailSink`]: rfid_stream::pipeline::sinks::TrailSink
+//! [`SnapshotSink`]: rfid_stream::pipeline::sinks::SnapshotSink
+
+pub mod query;
+pub mod server;
+pub mod store;
+
+pub use query::{answer, Query, QueryResponse};
+pub use server::{serve, QueryClient, ServerHandle};
+pub use store::{EventStore, LocationRow, StoreConfig, StoreError, StoreStats, StoredEvent};

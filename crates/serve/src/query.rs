@@ -1,0 +1,343 @@
+//! The query API and its wire form.
+//!
+//! Four query kinds cover the paper's serving questions — where is
+//! object X now, what trail did it take, what was the full picture at
+//! epoch E, and what is inside this shelf region:
+//!
+//! * [`Query::CurrentLocation`] — latest known location of one tag;
+//! * [`Query::Trail`] — a tag's retained events over an epoch range;
+//! * [`Query::SnapshotAt`] — the latest-location relation as known
+//!   when an epoch completed;
+//! * [`Query::Containment`] — the snapshot filtered to an XY region.
+//!
+//! ## Wire grammar
+//!
+//! The TCP protocol is length-prefixed text: every frame is a 4-byte
+//! big-endian payload length followed by that many bytes of UTF-8 (no
+//! serde is available offline, and text keeps the protocol inspectable
+//! with three lines of any language). Requests are a single line:
+//!
+//! ```text
+//! request     = current | trail | snapshot | contain
+//! current     = "CURRENT"  SP tag
+//! trail       = "TRAIL"    SP tag SP from-epoch SP to-epoch
+//! snapshot    = "SNAPSHOT" SP epoch
+//! contain     = "CONTAIN"  SP x0 SP y0 SP x1 SP y1 SP epoch
+//! tag, epoch  = u64 decimal
+//! x0..y1      = f64 decimal (Rust round-trip formatting)
+//! ```
+//!
+//! Responses are `"OK" SP row-count` followed by one
+//! `tag SP epoch SP x SP y SP z` line per row, or `"ERR" SP message`.
+//! Floats are formatted with Rust's shortest round-trip `Display`, so
+//! a parsed response reproduces the server's `f64`s **bit-for-bit** —
+//! the bit-identical-to-sinks contract survives the wire.
+
+use crate::store::{EventStore, LocationRow, StoreError};
+use rfid_geom::Point3;
+use rfid_stream::{Epoch, TagId};
+
+/// One query against the event store.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Query {
+    /// Latest known location of a tag (0 or 1 row).
+    CurrentLocation(TagId),
+    /// A tag's retained events with event epoch in `[from, to]`.
+    Trail { tag: TagId, from: Epoch, to: Epoch },
+    /// The latest-location relation as known when `epoch` completed.
+    SnapshotAt(Epoch),
+    /// Snapshot rows inside the XY region `[x0, x1] × [y0, y1]`.
+    Containment {
+        x0: f64,
+        y0: f64,
+        x1: f64,
+        y1: f64,
+        epoch: Epoch,
+    },
+}
+
+impl Query {
+    /// The request line (without the length prefix).
+    pub fn encode(&self) -> String {
+        match self {
+            Query::CurrentLocation(tag) => format!("CURRENT {}", tag.0),
+            Query::Trail { tag, from, to } => format!("TRAIL {} {} {}", tag.0, from.0, to.0),
+            Query::SnapshotAt(epoch) => format!("SNAPSHOT {}", epoch.0),
+            Query::Containment {
+                x0,
+                y0,
+                x1,
+                y1,
+                epoch,
+            } => format!("CONTAIN {x0} {y0} {x1} {y1} {}", epoch.0),
+        }
+    }
+
+    /// Parses a request line.
+    pub fn parse(line: &str) -> Result<Query, String> {
+        let mut parts = line.split_ascii_whitespace();
+        let op = parts.next().ok_or_else(|| "empty request".to_string())?;
+        let mut u64s = |n: usize| -> Result<Vec<u64>, String> {
+            (0..n)
+                .map(|i| {
+                    parts
+                        .next()
+                        .ok_or_else(|| format!("{op}: missing argument {}", i + 1))?
+                        .parse::<u64>()
+                        .map_err(|e| format!("{op}: bad integer: {e}"))
+                })
+                .collect()
+        };
+        let q = match op {
+            "CURRENT" => Query::CurrentLocation(TagId(u64s(1)?[0])),
+            "TRAIL" => {
+                let v = u64s(3)?;
+                Query::Trail {
+                    tag: TagId(v[0]),
+                    from: Epoch(v[1]),
+                    to: Epoch(v[2]),
+                }
+            }
+            "SNAPSHOT" => Query::SnapshotAt(Epoch(u64s(1)?[0])),
+            "CONTAIN" => {
+                let mut f64s = |name: &str| -> Result<f64, String> {
+                    parts
+                        .next()
+                        .ok_or_else(|| format!("CONTAIN: missing {name}"))?
+                        .parse::<f64>()
+                        .map_err(|e| format!("CONTAIN: bad float {name}: {e}"))
+                };
+                let (x0, y0, x1, y1) = (f64s("x0")?, f64s("y0")?, f64s("x1")?, f64s("y1")?);
+                let epoch = parts
+                    .next()
+                    .ok_or_else(|| "CONTAIN: missing epoch".to_string())?
+                    .parse::<u64>()
+                    .map_err(|e| format!("CONTAIN: bad epoch: {e}"))?;
+                Query::Containment {
+                    x0,
+                    y0,
+                    x1,
+                    y1,
+                    epoch: Epoch(epoch),
+                }
+            }
+            other => return Err(format!("unknown request {other:?}")),
+        };
+        if parts.next().is_some() {
+            return Err(format!("{op}: trailing arguments"));
+        }
+        Ok(q)
+    }
+}
+
+/// The answer to a [`Query`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResponse {
+    /// Matched rows (possibly empty), sorted as the store answers
+    /// them: snapshot/containment by tag, trail in arrival order.
+    Rows(Vec<LocationRow>),
+    /// The query could not be answered.
+    Error(String),
+}
+
+impl QueryResponse {
+    /// The response payload (without the length prefix).
+    pub fn encode(&self) -> String {
+        match self {
+            QueryResponse::Rows(rows) => {
+                let mut s = format!("OK {}", rows.len());
+                for r in rows {
+                    s.push('\n');
+                    // `{}` on f64 is the shortest string that parses
+                    // back to the same bits — exact over the wire
+                    s.push_str(&format!(
+                        "{} {} {} {} {}",
+                        r.tag.0, r.epoch.0, r.location.x, r.location.y, r.location.z
+                    ));
+                }
+                s
+            }
+            QueryResponse::Error(msg) => format!("ERR {}", msg.replace('\n', " ")),
+        }
+    }
+
+    /// Parses a response payload.
+    pub fn parse(payload: &str) -> Result<QueryResponse, String> {
+        let mut lines = payload.lines();
+        let head = lines.next().ok_or_else(|| "empty response".to_string())?;
+        if let Some(msg) = head.strip_prefix("ERR ") {
+            return Ok(QueryResponse::Error(msg.to_string()));
+        }
+        let n: usize = head
+            .strip_prefix("OK ")
+            .ok_or_else(|| format!("bad response head {head:?}"))?
+            .parse()
+            .map_err(|e| format!("bad row count: {e}"))?;
+        let mut rows = Vec::with_capacity(n);
+        for _ in 0..n {
+            let line = lines
+                .next()
+                .ok_or_else(|| "truncated response".to_string())?;
+            let mut p = line.split_ascii_whitespace();
+            let mut next = || p.next().ok_or_else(|| format!("short row {line:?}"));
+            let tag: u64 = next()?.parse().map_err(|e| format!("bad tag: {e}"))?;
+            let epoch: u64 = next()?.parse().map_err(|e| format!("bad epoch: {e}"))?;
+            let x: f64 = next()?.parse().map_err(|e| format!("bad x: {e}"))?;
+            let y: f64 = next()?.parse().map_err(|e| format!("bad y: {e}"))?;
+            let z: f64 = next()?.parse().map_err(|e| format!("bad z: {e}"))?;
+            rows.push(LocationRow {
+                tag: TagId(tag),
+                epoch: Epoch(epoch),
+                location: Point3::new(x, y, z),
+            });
+        }
+        if lines.next().is_some() {
+            return Err("trailing response lines".to_string());
+        }
+        Ok(QueryResponse::Rows(rows))
+    }
+}
+
+/// Answers a query against a store — the single evaluation path shared
+/// by the TCP server and in-process callers.
+pub fn answer(store: &EventStore, query: &Query) -> QueryResponse {
+    let result = match *query {
+        Query::CurrentLocation(tag) => Ok(store.current_location(tag).into_iter().collect()),
+        Query::Trail { tag, from, to } => Ok(store
+            .trail(tag, from, to)
+            .into_iter()
+            .map(|s| LocationRow {
+                tag: s.event.tag,
+                epoch: s.event.epoch,
+                location: s.event.location,
+            })
+            .collect()),
+        Query::SnapshotAt(epoch) => store.snapshot_at(epoch),
+        Query::Containment {
+            x0,
+            y0,
+            x1,
+            y1,
+            epoch,
+        } => store.containment_at(x0, y0, x1, y1, epoch),
+    };
+    match result {
+        Ok(rows) => QueryResponse::Rows(rows),
+        Err(e @ StoreError::BeyondRetention { .. }) => QueryResponse::Error(e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_stream::LocationEvent;
+
+    #[test]
+    fn queries_round_trip_the_wire_text() {
+        let queries = [
+            Query::CurrentLocation(TagId(7)),
+            Query::Trail {
+                tag: TagId(3),
+                from: Epoch(10),
+                to: Epoch(99),
+            },
+            Query::SnapshotAt(Epoch(42)),
+            Query::Containment {
+                x0: -1.5,
+                y0: 0.25,
+                x1: 3.0,
+                y1: 4.125,
+                epoch: Epoch(17),
+            },
+        ];
+        for q in queries {
+            assert_eq!(Query::parse(&q.encode()), Ok(q));
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        for bad in [
+            "",
+            "FROB 1",
+            "CURRENT",
+            "CURRENT x",
+            "CURRENT 1 2",
+            "TRAIL 1 2",
+            "SNAPSHOT -3",
+            "CONTAIN 0 0 1 1",
+            "CONTAIN 0 0 1 one 5",
+        ] {
+            assert!(Query::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_floats_bit_for_bit() {
+        // awkward floats: shortest-repr Display must reproduce bits
+        let rows = vec![
+            LocationRow {
+                tag: TagId(1),
+                epoch: Epoch(3),
+                location: Point3::new(0.1 + 0.2, -1.0 / 3.0, f64::MIN_POSITIVE),
+            },
+            LocationRow {
+                tag: TagId(2),
+                epoch: Epoch(4),
+                location: Point3::new(1e300, -0.0, 2.0_f64.powi(-40)),
+            },
+        ];
+        let resp = QueryResponse::Rows(rows.clone());
+        let parsed = QueryResponse::parse(&resp.encode()).unwrap();
+        let QueryResponse::Rows(got) = parsed else {
+            panic!("expected rows");
+        };
+        for (a, b) in rows.iter().zip(&got) {
+            assert_eq!(a.tag, b.tag);
+            assert_eq!(a.epoch, b.epoch);
+            assert_eq!(a.location.x.to_bits(), b.location.x.to_bits());
+            assert_eq!(a.location.y.to_bits(), b.location.y.to_bits());
+            assert_eq!(a.location.z.to_bits(), b.location.z.to_bits());
+        }
+        let err = QueryResponse::Error("beyond retention".into());
+        assert_eq!(QueryResponse::parse(&err.encode()).unwrap(), err);
+    }
+
+    #[test]
+    fn answer_evaluates_each_kind() {
+        let mut store = EventStore::new(crate::store::StoreConfig::default());
+        store.push(&LocationEvent::new(
+            Epoch(0),
+            TagId(1),
+            Point3::new(1.0, 2.0, 0.0),
+        ));
+        store.complete_epoch(Epoch(0));
+        let rows = |q: &Query| match answer(&store, q) {
+            QueryResponse::Rows(r) => r,
+            QueryResponse::Error(e) => panic!("unexpected error: {e}"),
+        };
+        assert_eq!(rows(&Query::CurrentLocation(TagId(1))).len(), 1);
+        assert_eq!(rows(&Query::CurrentLocation(TagId(9))).len(), 0);
+        assert_eq!(rows(&Query::SnapshotAt(Epoch(0))).len(), 1);
+        assert_eq!(
+            rows(&Query::Trail {
+                tag: TagId(1),
+                from: Epoch(0),
+                to: Epoch(5),
+            })
+            .len(),
+            1
+        );
+        assert_eq!(
+            rows(&Query::Containment {
+                x0: 0.0,
+                y0: 0.0,
+                x1: 2.0,
+                y1: 3.0,
+                epoch: Epoch(0),
+            })
+            .len(),
+            1
+        );
+    }
+}

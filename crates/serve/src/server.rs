@@ -1,0 +1,319 @@
+//! The concurrent TCP query server and its blocking client.
+//!
+//! Thread-per-connection over `std::net::TcpListener`: the accept loop
+//! runs on one thread and every connection gets its own handler
+//! thread. All handlers share the store behind `Arc<RwLock<_>>` and
+//! take only **read** locks, so any number of queries proceed in
+//! parallel with each other and interleave with the single writer (the
+//! live ingestion pipeline holding the same `Arc` through a
+//! `StoreSink`). Framing is the 4-byte big-endian length prefix from
+//! [`crate::query`]; one frame in, one frame out, many frames per
+//! connection.
+
+use crate::query::{answer, Query, QueryResponse};
+use crate::store::EventStore;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Upper bound on a single frame's payload (a request line or a
+/// response document). Guards the server against garbage prefixes.
+pub const MAX_FRAME_BYTES: u32 = 4 << 20;
+
+/// How often a blocked connection handler re-checks the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Writes one length-prefixed frame.
+pub fn write_frame<W: Write>(w: &mut W, payload: &str) -> io::Result<()> {
+    let bytes = payload.as_bytes();
+    let len = u32::try_from(bytes.len())
+        .ok()
+        .filter(|&l| l <= MAX_FRAME_BYTES)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame; `Ok(None)` on a clean EOF at a
+/// frame boundary.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<String>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// A running query server. Dropping the handle without calling
+/// [`ServerHandle::shutdown`] leaves the threads running for the
+/// process lifetime.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (use port 0 to let the OS pick).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, wakes the accept loop, and joins it (handler
+    /// threads poll the same flag and exit within [`POLL_INTERVAL`] of
+    /// their client going quiet).
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // unblock the accept loop with a throwaway connection
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds `addr` and serves queries against `store` until
+/// [`ServerHandle::shutdown`]. `addr` is typically
+/// `"127.0.0.1:0"` (tests, benches) or a fixed port (deployments).
+pub fn serve(addr: &str, store: Arc<RwLock<EventStore>>) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_stop = Arc::clone(&stop);
+    let accept_thread = std::thread::Builder::new()
+        .name("rfid-serve-accept".into())
+        .spawn(move || accept_loop(listener, store, accept_stop))?;
+    Ok(ServerHandle {
+        addr: local,
+        stop,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn accept_loop(listener: TcpListener, store: Arc<RwLock<EventStore>>, stop: Arc<AtomicBool>) {
+    // handler threads are tracked so shutdown cannot leak a thread
+    // holding the store lock mid-answer
+    let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let store = Arc::clone(&store);
+        let conn_stop = Arc::clone(&stop);
+        let spawned = std::thread::Builder::new()
+            .name("rfid-serve-conn".into())
+            .spawn(move || {
+                let _ = handle_connection(stream, &store, &conn_stop);
+            });
+        if let Ok(h) = spawned {
+            let mut guard = handlers.lock().expect("handler registry poisoned");
+            // opportunistically reap finished handlers
+            guard.retain(|h| !h.is_finished());
+            guard.push(h);
+        }
+    }
+    let drained = std::mem::take(&mut *handlers.lock().expect("handler registry poisoned"));
+    for h in drained {
+        let _ = h.join();
+    }
+}
+
+/// How long a response write may block before the connection is
+/// dropped (a client that stops reading must not pin a handler —
+/// shutdown joins every handler thread).
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Outcome of one polled frame read.
+enum PolledFrame {
+    Payload(String),
+    /// The client closed the connection at a frame boundary.
+    Eof,
+    /// The server is shutting down.
+    Stopped,
+}
+
+/// Outcome of one polled exact read.
+enum Progress {
+    Complete,
+    CleanEof,
+    Stopped,
+}
+
+/// `read_exact` that survives read-timeout ticks *without losing
+/// partial progress* (a slow client splitting a frame across ticks
+/// must not desync the framing) and polls the shutdown flag while
+/// waiting. A clean EOF is only legal before the first byte
+/// (`eof_ok_at_start`); mid-buffer EOF is an error.
+fn read_exact_polling(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    stop: &AtomicBool,
+    eof_ok_at_start: bool,
+) -> io::Result<Progress> {
+    let mut got = 0usize;
+    while got < buf.len() {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(Progress::Stopped);
+        }
+        match stream.read(&mut buf[got..]) {
+            Ok(0) => {
+                return if got == 0 && eof_ok_at_start {
+                    Ok(Progress::CleanEof)
+                } else {
+                    Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-frame",
+                    ))
+                };
+            }
+            Ok(n) => got += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                continue; // poll tick — `got` bytes stay consumed
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Progress::Complete)
+}
+
+/// Reads one length-prefixed frame with shutdown polling and
+/// partial-progress preservation (see [`read_exact_polling`]).
+fn read_frame_polling(stream: &mut TcpStream, stop: &AtomicBool) -> io::Result<PolledFrame> {
+    let mut len_buf = [0u8; 4];
+    match read_exact_polling(stream, &mut len_buf, stop, true)? {
+        Progress::Complete => {}
+        Progress::CleanEof => return Ok(PolledFrame::Eof),
+        Progress::Stopped => return Ok(PolledFrame::Stopped),
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    match read_exact_polling(stream, &mut payload, stop, false)? {
+        Progress::Complete => {}
+        // eof_ok_at_start = false: an EOF here surfaced as Err above
+        Progress::CleanEof => unreachable!("mid-frame EOF is an error"),
+        Progress::Stopped => return Ok(PolledFrame::Stopped),
+    }
+    String::from_utf8(payload)
+        .map(PolledFrame::Payload)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    store: &RwLock<EventStore>,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    // short read timeouts let the handler notice shutdown while its
+    // client idles between queries; the write timeout bounds how long
+    // a client that stops reading can pin this thread
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+    stream.set_nodelay(true)?;
+    loop {
+        let request = match read_frame_polling(&mut stream, stop)? {
+            PolledFrame::Payload(line) => line,
+            PolledFrame::Eof | PolledFrame::Stopped => return Ok(()),
+        };
+        let response = match Query::parse(&request) {
+            Ok(query) => {
+                let guard = store.read().expect("event store lock poisoned");
+                answer(&guard, &query)
+            }
+            Err(msg) => QueryResponse::Error(msg),
+        };
+        write_frame(&mut stream, &response.encode())?;
+    }
+}
+
+/// A blocking client speaking the framed text protocol.
+#[derive(Debug)]
+pub struct QueryClient {
+    stream: TcpStream,
+}
+
+impl QueryClient {
+    /// Connects to a server.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Sends one query and waits for its response.
+    pub fn query(&mut self, query: &Query) -> io::Result<QueryResponse> {
+        write_frame(&mut self.stream, &query.encode())?;
+        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed mid-query")
+        })?;
+        QueryResponse::parse(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Sends a raw request line (protocol tests).
+    pub fn query_raw(&mut self, line: &str) -> io::Result<String> {
+        write_frame(&mut self.stream, line)?;
+        read_frame(&mut self.stream)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed mid-query"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "SNAPSHOT 7").unwrap();
+        write_frame(&mut buf, "").unwrap();
+        let mut r = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("SNAPSHOT 7"));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(""));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_frames_are_refused() {
+        let mut r = io::Cursor::new((MAX_FRAME_BYTES + 1).to_be_bytes().to_vec());
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error_not_a_hang() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "CURRENT 1").unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut r = io::Cursor::new(buf);
+        assert!(read_frame(&mut r).is_err());
+    }
+}

@@ -1,0 +1,666 @@
+//! The embedded event store: a segmented, per-tag-indexed in-memory
+//! log of the pipeline's cleaned event stream, answering historical
+//! trail and point-in-time snapshot queries.
+//!
+//! ## Time model
+//!
+//! The store indexes by **arrival epoch**: the epoch whose completion
+//! delivered the event to the sinks. An event pushed between the
+//! completions of epochs `E-1` and `E` carries arrival `E`; events
+//! delivered by the end-of-stream flush arrive *after* the last
+//! completed epoch and carry arrival `last + 1`. Snapshot queries are
+//! therefore "what did the system know when epoch `E` completed" —
+//! exactly the relation [`SnapshotSink`] emits at its evaluation
+//! instants, which is what makes the bit-identical-to-sinks contract
+//! (pinned in `tests/store_pin_sinks.rs` and the root
+//! `tests/serving_queries.rs`) possible even though the engine emits
+//! delayed reports whose *own* epoch lags the delivery epoch.
+//!
+//! ## Layout
+//!
+//! Events land in fixed-width **segments** of `segment_epochs` arrival
+//! epochs. Each segment keeps its events in arrival order plus a
+//! per-tag index; a segment is sealed when arrivals pass its end, at
+//! which point it records the cumulative latest-location-per-tag
+//! relation as of its last epoch — the **snapshot index**. A snapshot
+//! query binary-searches the sealed segments (O(log segments)), takes
+//! the preceding cumulative snapshot, and replays at most one
+//! segment's events, instead of walking the whole history.
+//!
+//! ## Retention and compaction
+//!
+//! With a `retention_epochs` window, segments whose arrival range falls
+//! behind `latest − retention` are **compacted**: their per-event log
+//! is dropped, but their cumulative snapshot is folded into the
+//! compacted base, so every superseded location event disappears while
+//! `SnapshotAt`/`CurrentLocation` for retained epochs stay exact.
+//! Trails are fully answerable within retention; ranges older than the
+//! horizon return only what is retained, and snapshots older than the
+//! horizon are refused ([`StoreError::BeyondRetention`]) rather than
+//! silently answered with later state.
+//!
+//! [`SnapshotSink`]: rfid_stream::pipeline::sinks::SnapshotSink
+
+use rfid_geom::Point3;
+use rfid_stream::{Epoch, EventSink, LocationEvent, TagId};
+use std::collections::BTreeMap;
+
+/// Store knobs. The defaults (64-epoch segments, unlimited retention,
+/// unlimited snapshot staleness) make every query bit-identical to the
+/// in-process sinks; serving deployments bound memory with
+/// [`StoreConfig::retention_epochs`] and make churned tags age out of
+/// snapshots with [`StoreConfig::snapshot_staleness`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoreConfig {
+    /// Arrival-epoch width of one segment (>= 1). Smaller segments
+    /// mean finer-grained snapshot indexing and compaction, at one
+    /// cumulative relation clone per segment.
+    pub segment_epochs: u64,
+    /// Keep full event history for at most this many arrival epochs
+    /// behind the newest; older segments are compacted to their
+    /// cumulative snapshot. `None` keeps everything.
+    pub retention_epochs: Option<u64>,
+    /// A tag appears in `SnapshotAt(e)` only if its latest event (as
+    /// of `e`) has an event epoch within this many epochs of `e`.
+    /// `None` reports last-known-location forever — the
+    /// [`SnapshotSink`]-identical semantics. Finite staleness is the
+    /// churn fix: a departed tag stops producing events, so it drops
+    /// out of later snapshots while staying answerable via `Trail`.
+    ///
+    /// [`SnapshotSink`]: rfid_stream::pipeline::sinks::SnapshotSink
+    pub snapshot_staleness: Option<u64>,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self {
+            segment_epochs: 64,
+            retention_epochs: None,
+            snapshot_staleness: None,
+        }
+    }
+}
+
+impl StoreConfig {
+    /// Default config with a segment width (>= 1).
+    pub fn with_segment_epochs(mut self, width: u64) -> Self {
+        assert!(width >= 1, "segment width must be >= 1 epoch");
+        self.segment_epochs = width;
+        self
+    }
+
+    /// Bounds full-history retention to `epochs` arrival epochs.
+    pub fn with_retention(mut self, epochs: u64) -> Self {
+        self.retention_epochs = Some(epochs);
+        self
+    }
+
+    /// Ages tags out of snapshots `epochs` after their last event.
+    pub fn with_snapshot_staleness(mut self, epochs: u64) -> Self {
+        self.snapshot_staleness = Some(epochs);
+        self
+    }
+}
+
+/// One event as stored: the pipeline event plus its global arrival
+/// sequence number and arrival epoch (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoredEvent {
+    /// Global arrival sequence number (0-based, gap-free).
+    pub seq: u64,
+    /// Arrival epoch: the completed epoch that delivered this event.
+    pub arrival: u64,
+    /// The event itself (its `epoch` field may lag `arrival` — the
+    /// engine emits delayed reports).
+    pub event: LocationEvent,
+}
+
+/// One row of a snapshot/containment/current-location answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocationRow {
+    pub tag: TagId,
+    /// The epoch of the event backing this row (not the query epoch).
+    pub epoch: Epoch,
+    pub location: Point3,
+}
+
+/// Why a query could not be answered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The requested epoch precedes the retention horizon; the exact
+    /// relation at that instant has been compacted away.
+    BeyondRetention { requested: u64, horizon: u64 },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::BeyondRetention { requested, horizon } => write!(
+                f,
+                "epoch {requested} is beyond the retention horizon (oldest exact snapshot: \
+                 {horizon})"
+            ),
+        }
+    }
+}
+
+/// Counters exposed for benchmarks and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Events currently held in full (uncompacted) segments.
+    pub events_live: u64,
+    /// Events dropped by retention compaction so far.
+    pub events_compacted: u64,
+    /// Uncompacted segments (including the open tail).
+    pub segments: usize,
+    /// Distinct tags ever seen.
+    pub tags: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Segment {
+    /// First arrival epoch covered (inclusive), aligned to the width.
+    start: u64,
+    /// Last arrival epoch covered (inclusive).
+    end: u64,
+    /// Events in arrival order.
+    events: Vec<StoredEvent>,
+    /// Per-tag index into `events` (positions are ascending, so a
+    /// tag's history inside one segment stays in arrival order).
+    by_tag: BTreeMap<TagId, Vec<u32>>,
+    /// Cumulative latest-event-per-tag relation as of `end`; present
+    /// once the segment is sealed.
+    snapshot: Option<BTreeMap<TagId, StoredEvent>>,
+}
+
+impl Segment {
+    fn new(start: u64, width: u64) -> Self {
+        Self {
+            start,
+            end: start + (width - 1),
+            events: Vec::new(),
+            by_tag: BTreeMap::new(),
+            snapshot: None,
+        }
+    }
+
+    fn push(&mut self, stored: StoredEvent) {
+        debug_assert!(stored.arrival >= self.start && stored.arrival <= self.end);
+        let idx = self.events.len() as u32;
+        self.by_tag.entry(stored.event.tag).or_default().push(idx);
+        self.events.push(stored);
+    }
+}
+
+/// The embedded event store (see the module docs). Feed it from a
+/// pipeline via `rfid_stream::pipeline::sinks::StoreSink`, or push
+/// events directly through its [`EventSink`] impl.
+#[derive(Debug, Clone, Default)]
+pub struct EventStore {
+    cfg: StoreConfig,
+    /// Closed + open segments, ascending by `start`. The back segment
+    /// is the open tail (unsealed).
+    segments: Vec<Segment>,
+    /// Latest event per tag over the whole stream (survives
+    /// compaction).
+    current: BTreeMap<TagId, StoredEvent>,
+    /// Cumulative snapshot at the compaction horizon: state as of
+    /// arrival epoch `.0` (the last epoch of the newest compacted
+    /// segment).
+    compacted: Option<(u64, BTreeMap<TagId, StoredEvent>)>,
+    next_seq: u64,
+    /// Highest completed epoch seen (`None` before the first).
+    last_completed: Option<u64>,
+    events_compacted: u64,
+    finished: bool,
+}
+
+impl EventStore {
+    /// An empty store.
+    pub fn new(cfg: StoreConfig) -> Self {
+        assert!(cfg.segment_epochs >= 1, "segment width must be >= 1");
+        Self {
+            cfg,
+            ..Self::default()
+        }
+    }
+
+    /// The configuration the store was built with.
+    pub fn config(&self) -> &StoreConfig {
+        &self.cfg
+    }
+
+    /// The arrival epoch the next pushed event would be stamped with.
+    fn next_arrival(&self) -> u64 {
+        match self.last_completed {
+            // between completions of E-1 and E, deliveries belong to E;
+            // after the final completion, flush deliveries get last + 1
+            Some(e) => e + 1,
+            None => 0,
+        }
+    }
+
+    /// Highest epoch the store has completed (0 before the first).
+    pub fn latest_epoch(&self) -> u64 {
+        self.last_completed.unwrap_or(0)
+    }
+
+    /// True once the feeding stream signalled end-of-stream.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Store counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            events_live: self.segments.iter().map(|s| s.events.len() as u64).sum(),
+            events_compacted: self.events_compacted,
+            segments: self.segments.len(),
+            tags: self.current.len(),
+        }
+    }
+
+    /// Ingests one event (the [`EventSink::on_event`] body).
+    pub fn push(&mut self, event: &LocationEvent) {
+        let arrival = self.next_arrival();
+        let stored = StoredEvent {
+            seq: self.next_seq,
+            arrival,
+            event: *event,
+        };
+        self.next_seq += 1;
+        let width = self.cfg.segment_epochs;
+        let needs_new = match self.segments.last() {
+            Some(tail) => arrival > tail.end,
+            None => true,
+        };
+        if needs_new {
+            self.seal_tail();
+            let start = (arrival / width) * width;
+            self.segments.push(Segment::new(start, width));
+        }
+        self.segments
+            .last_mut()
+            .expect("tail segment exists")
+            .push(stored);
+        self.current.insert(event.tag, stored);
+    }
+
+    /// Marks epoch `epoch` complete (the
+    /// [`EventSink::on_epoch_complete`] body): advances the arrival
+    /// clock, seals the tail segment once arrivals pass it, and
+    /// applies retention.
+    pub fn complete_epoch(&mut self, epoch: Epoch) {
+        let e = match self.last_completed {
+            Some(prev) => prev.max(epoch.0),
+            None => epoch.0,
+        };
+        self.last_completed = Some(e);
+        if self.segments.last().is_some_and(|tail| e >= tail.end) {
+            self.seal_tail();
+        }
+        self.compact();
+    }
+
+    /// Marks end of stream.
+    pub fn finish(&mut self) {
+        self.finished = true;
+        self.seal_tail();
+        self.compact();
+    }
+
+    fn seal_tail(&mut self) {
+        if let Some(tail) = self.segments.last_mut() {
+            if tail.snapshot.is_none() {
+                tail.snapshot = Some(self.current.clone());
+            }
+        }
+    }
+
+    fn compact(&mut self) {
+        let Some(retention) = self.cfg.retention_epochs else {
+            return;
+        };
+        let horizon = self.next_arrival().saturating_sub(retention);
+        let mut drop_upto = 0usize;
+        for (i, seg) in self.segments.iter().enumerate() {
+            // the tail (last, unsealed) segment is never compacted
+            if i + 1 == self.segments.len() || seg.snapshot.is_none() || seg.end >= horizon {
+                break;
+            }
+            drop_upto = i + 1;
+        }
+        if drop_upto == 0 {
+            return;
+        }
+        for seg in self.segments.drain(..drop_upto) {
+            self.events_compacted += seg.events.len() as u64;
+            let snap = seg.snapshot.expect("only sealed segments compact");
+            self.compacted = Some((seg.end, snap));
+        }
+    }
+
+    /// Oldest arrival epoch with an exact snapshot (the retention
+    /// horizon). 0 when nothing was compacted.
+    pub fn retention_horizon(&self) -> u64 {
+        self.compacted.as_ref().map(|(end, _)| *end).unwrap_or(0)
+    }
+
+    /// The latest-location relation as the system knew it when `epoch`
+    /// completed, sorted by tag — the historical twin of
+    /// `SnapshotSink`'s emissions. Epochs at or past the newest data
+    /// answer with the current relation; epochs behind the retention
+    /// horizon are refused.
+    pub fn snapshot_at(&self, epoch: Epoch) -> Result<Vec<LocationRow>, StoreError> {
+        let e = epoch.0;
+        if let Some((end, snap)) = &self.compacted {
+            if e < *end {
+                return Err(StoreError::BeyondRetention {
+                    requested: e,
+                    horizon: *end,
+                });
+            }
+            if e == *end {
+                return Ok(self.relation_rows(snap, e));
+            }
+        }
+        // the last segment whose range starts at or before e
+        let idx = self.segments.partition_point(|s| s.start <= e);
+        if idx == 0 {
+            // before any retained segment: the compacted base (if its
+            // horizon passed) or the empty pre-stream relation
+            return Ok(match &self.compacted {
+                Some((end, snap)) if e >= *end => self.relation_rows(snap, e),
+                _ => Vec::new(),
+            });
+        }
+        let seg = &self.segments[idx - 1];
+        if e >= seg.end {
+            if let Some(snap) = &seg.snapshot {
+                return Ok(self.relation_rows(snap, e));
+            }
+            // open tail and e at/past its end: everything so far
+            return Ok(self.relation_rows(&self.current, e));
+        }
+        // inside `seg`: previous cumulative state + this segment's
+        // arrivals up to e
+        let mut state: BTreeMap<TagId, StoredEvent> = if idx >= 2 {
+            self.segments[idx - 2]
+                .snapshot
+                .clone()
+                .expect("non-tail segments are sealed")
+        } else {
+            self.compacted
+                .as_ref()
+                .map(|(_, snap)| snap.clone())
+                .unwrap_or_default()
+        };
+        for stored in &seg.events {
+            if stored.arrival > e {
+                break;
+            }
+            state.insert(stored.event.tag, *stored);
+        }
+        Ok(self.relation_rows(&state, e))
+    }
+
+    fn relation_rows(&self, state: &BTreeMap<TagId, StoredEvent>, at: u64) -> Vec<LocationRow> {
+        // clamp the staleness reference so querying far past the end
+        // of data does not age every tag out
+        let at = at.min(self.next_arrival());
+        state
+            .values()
+            .filter(|s| {
+                self.cfg
+                    .snapshot_staleness
+                    .is_none_or(|k| s.event.epoch.0.saturating_add(k) >= at)
+            })
+            .map(|s| LocationRow {
+                tag: s.event.tag,
+                epoch: s.event.epoch,
+                location: s.event.location,
+            })
+            .collect()
+    }
+
+    /// Every retained event of `tag` whose **event epoch** lies in
+    /// `[from, to]`, in arrival order — the historical twin of
+    /// `TrailSink`. Events compacted away by retention are not
+    /// resurrected.
+    pub fn trail(&self, tag: TagId, from: Epoch, to: Epoch) -> Vec<StoredEvent> {
+        let mut out = Vec::new();
+        for seg in &self.segments {
+            if let Some(idxs) = seg.by_tag.get(&tag) {
+                for &i in idxs {
+                    let stored = seg.events[i as usize];
+                    if stored.event.epoch >= from && stored.event.epoch <= to {
+                        out.push(stored);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The last known location of `tag` (regardless of staleness —
+    /// the caller sees the backing epoch and judges freshness).
+    pub fn current_location(&self, tag: TagId) -> Option<LocationRow> {
+        self.current.get(&tag).map(|s| LocationRow {
+            tag: s.event.tag,
+            epoch: s.event.epoch,
+            location: s.event.location,
+        })
+    }
+
+    /// Snapshot rows at `epoch` whose XY location falls inside the
+    /// axis-aligned region `[x0, x1] × [y0, y1]` — "what is in this
+    /// shelf region", historically.
+    pub fn containment_at(
+        &self,
+        x0: f64,
+        y0: f64,
+        x1: f64,
+        y1: f64,
+        epoch: Epoch,
+    ) -> Result<Vec<LocationRow>, StoreError> {
+        let mut rows = self.snapshot_at(epoch)?;
+        rows.retain(|r| {
+            r.location.x >= x0 && r.location.x <= x1 && r.location.y >= y0 && r.location.y <= y1
+        });
+        Ok(rows)
+    }
+}
+
+impl EventSink for EventStore {
+    fn on_event(&mut self, event: &LocationEvent) {
+        self.push(event);
+    }
+
+    fn on_epoch_complete(&mut self, epoch: Epoch) {
+        self.complete_epoch(epoch);
+    }
+
+    fn on_finish(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(epoch: u64, tag: u64, x: f64) -> LocationEvent {
+        LocationEvent::new(Epoch(epoch), TagId(tag), Point3::new(x, 0.0, 0.0))
+    }
+
+    /// Replays `n` epochs; tag 1 reports every epoch, tag 2 only on
+    /// even epochs.
+    fn feed(store: &mut EventStore, n: u64) {
+        for e in 0..n {
+            store.push(&ev(e, 1, e as f64));
+            if e % 2 == 0 {
+                store.push(&ev(e, 2, -(e as f64)));
+            }
+            store.complete_epoch(Epoch(e));
+        }
+        store.finish();
+    }
+
+    #[test]
+    fn snapshot_tracks_history_point_in_time() {
+        let mut store = EventStore::new(StoreConfig::default().with_segment_epochs(4));
+        feed(&mut store, 20);
+        let rows = store.snapshot_at(Epoch(7)).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].tag, TagId(1));
+        assert_eq!(rows[0].epoch, Epoch(7));
+        assert_eq!(rows[0].location.x, 7.0);
+        assert_eq!(rows[1].tag, TagId(2));
+        assert_eq!(rows[1].epoch, Epoch(6), "tag 2 reports on even epochs");
+        // far-future query answers with the current relation
+        let now = store.snapshot_at(Epoch(1_000)).unwrap();
+        assert_eq!(now[0].epoch, Epoch(19));
+        assert_eq!(now[1].epoch, Epoch(18));
+        // an epoch completed before anything arrived answers empty
+        let mut empty_q = EventStore::new(StoreConfig::default());
+        empty_q.complete_epoch(Epoch(0));
+        empty_q.push(&ev(1, 1, 0.0)); // arrives during epoch 1
+        empty_q.complete_epoch(Epoch(1));
+        assert!(empty_q.snapshot_at(Epoch(0)).unwrap().is_empty());
+        assert_eq!(empty_q.snapshot_at(Epoch(1)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn snapshot_uses_arrival_not_event_epoch() {
+        let mut store = EventStore::new(StoreConfig::default().with_segment_epochs(4));
+        store.push(&ev(0, 1, 1.0));
+        store.complete_epoch(Epoch(0));
+        // a delayed report: event epoch 0, delivered during epoch 9
+        for e in 1..9 {
+            store.complete_epoch(Epoch(e));
+        }
+        store.push(&ev(0, 1, 42.0));
+        store.complete_epoch(Epoch(9));
+        store.finish();
+        // at epoch 5 the delayed report had not arrived yet
+        assert_eq!(store.snapshot_at(Epoch(5)).unwrap()[0].location.x, 1.0);
+        // once it arrives it supersedes, even with an older event epoch
+        assert_eq!(store.snapshot_at(Epoch(9)).unwrap()[0].location.x, 42.0);
+    }
+
+    #[test]
+    fn trail_filters_by_event_epoch_range() {
+        let mut store = EventStore::new(StoreConfig::default().with_segment_epochs(4));
+        feed(&mut store, 20);
+        let t = store.trail(TagId(2), Epoch(4), Epoch(9));
+        let epochs: Vec<u64> = t.iter().map(|s| s.event.epoch.0).collect();
+        assert_eq!(epochs, vec![4, 6, 8]);
+        assert!(store.trail(TagId(9), Epoch(0), Epoch(100)).is_empty());
+        // arrival order within an epoch is preserved (duplicates)
+        let mut dup = EventStore::new(StoreConfig::default());
+        dup.push(&ev(0, 7, 1.0));
+        dup.push(&ev(0, 7, 2.0));
+        dup.complete_epoch(Epoch(0));
+        let t = dup.trail(TagId(7), Epoch(0), Epoch(0));
+        assert_eq!(t.len(), 2);
+        assert_eq!((t[0].event.location.x, t[1].event.location.x), (1.0, 2.0));
+        assert!(t[0].seq < t[1].seq);
+    }
+
+    #[test]
+    fn retention_compacts_but_keeps_snapshots_exact() {
+        let cfg = StoreConfig::default()
+            .with_segment_epochs(4)
+            .with_retention(8);
+        let mut store = EventStore::new(cfg);
+        feed(&mut store, 40);
+        let stats = store.stats();
+        assert!(
+            stats.events_compacted > 0,
+            "old segments must compact: {stats:?}"
+        );
+        assert!(stats.segments <= 4, "retained segments: {}", stats.segments);
+        let horizon = store.retention_horizon();
+        assert!(horizon > 0);
+        // at the horizon and after: exact answers survive compaction
+        let rows = store.snapshot_at(Epoch(horizon)).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].epoch.0, horizon);
+        // before the horizon: refused, not silently wrong
+        assert_eq!(
+            store.snapshot_at(Epoch(horizon - 1)),
+            Err(StoreError::BeyondRetention {
+                requested: horizon - 1,
+                horizon,
+            })
+        );
+        // current location survives compaction
+        assert_eq!(store.current_location(TagId(1)).unwrap().epoch, Epoch(39));
+        // trails answer within retention only
+        assert!(store.trail(TagId(1), Epoch(0), Epoch(5)).is_empty());
+        assert!(!store.trail(TagId(1), Epoch(38), Epoch(39)).is_empty());
+    }
+
+    #[test]
+    fn staleness_drops_silent_tags_from_snapshots() {
+        let cfg = StoreConfig::default()
+            .with_segment_epochs(4)
+            .with_snapshot_staleness(3);
+        let mut store = EventStore::new(cfg);
+        // tag 2 departs after epoch 5; tag 1 keeps reporting
+        for e in 0..20u64 {
+            store.push(&ev(e, 1, e as f64));
+            if e <= 5 {
+                store.push(&ev(e, 2, 9.0));
+            }
+            store.complete_epoch(Epoch(e));
+        }
+        store.finish();
+        // while fresh, tag 2 is present…
+        let early: Vec<_> = store
+            .snapshot_at(Epoch(6))
+            .unwrap()
+            .iter()
+            .map(|r| r.tag)
+            .collect();
+        assert_eq!(early, vec![TagId(1), TagId(2)]);
+        // …later it ages out of the snapshot…
+        let late: Vec<_> = store
+            .snapshot_at(Epoch(12))
+            .unwrap()
+            .iter()
+            .map(|r| r.tag)
+            .collect();
+        assert_eq!(late, vec![TagId(1)]);
+        // …but stays fully answerable via trail and current-location
+        assert_eq!(store.trail(TagId(2), Epoch(0), Epoch(20)).len(), 6);
+        assert_eq!(store.current_location(TagId(2)).unwrap().epoch, Epoch(5));
+    }
+
+    #[test]
+    fn containment_filters_by_region() {
+        let mut store = EventStore::new(StoreConfig::default());
+        store.push(&ev(0, 1, 1.0));
+        store.push(&ev(0, 2, 5.0));
+        store.complete_epoch(Epoch(0));
+        let rows = store.containment_at(0.0, -1.0, 2.0, 1.0, Epoch(0)).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].tag, TagId(1));
+    }
+
+    #[test]
+    fn flush_events_arrive_after_the_last_epoch() {
+        let mut store = EventStore::new(StoreConfig::default());
+        store.push(&ev(0, 1, 1.0));
+        store.complete_epoch(Epoch(0));
+        // end-of-stream flush delivers a delayed report
+        store.push(&ev(0, 2, 2.0));
+        store.finish();
+        // the epoch-0 snapshot does not see the flush event…
+        assert_eq!(store.snapshot_at(Epoch(0)).unwrap().len(), 1);
+        // …the post-stream relation does
+        assert_eq!(store.snapshot_at(Epoch(1)).unwrap().len(), 2);
+        assert_eq!(store.current_location(TagId(2)).unwrap().location.x, 2.0);
+        assert!(store.is_finished());
+    }
+}

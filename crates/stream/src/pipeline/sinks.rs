@@ -8,7 +8,10 @@
 //! * [`LocationChangeSink`] — query 1, `Istream` over a row-1 partition
 //!   ([`LocationChangeQuery`]);
 //! * [`FireCodeSink`] — query 2, windowed `Group By ... Having`
-//!   ([`FireCodeQuery`]), evaluated at every completed epoch.
+//!   ([`FireCodeQuery`]), evaluated at every completed epoch;
+//! * [`StoreSink`] — shares any sink behind `Arc<RwLock<_>>` so a
+//!   serving layer (e.g. `rfid_serve`'s `EventStore`) can answer
+//!   queries concurrently with live ingestion.
 //!
 //! Fan one stream into several sinks with the tuple impl:
 //! `(collector, (LocationChangeSink::new(..), FireCodeSink::new(..)))`.
@@ -19,6 +22,7 @@ use crate::event::{LocationEvent, TagId};
 use crate::operators::{PartitionedRowWindow, Rstream};
 use crate::queries::{FireCodeQuery, LocationChangeQuery, SquareFtArea};
 use rfid_geom::Point3;
+use std::sync::{Arc, RwLock};
 
 /// Wraps a closure as an event sink (the blanket impl a plain `FnMut`
 /// cannot have without conflicting with other sink impls).
@@ -132,6 +136,59 @@ impl EventSink for SnapshotSink {
             let time = self.last_epoch.map(|e| e.0 as f64).unwrap_or(0.0);
             self.snapshot(time);
         }
+    }
+}
+
+/// Adapts a shared `Arc<RwLock<S>>` sink so the pipeline can feed a
+/// store that other threads query concurrently: the pipeline thread
+/// takes the write lock per delivery, readers (e.g. a TCP query
+/// server) take read locks between deliveries. The adapter is the
+/// bridge between live ingestion and the serving layer —
+/// `rfid_serve::EventStore` implements [`EventSink`] exactly so it can
+/// sit behind this.
+#[derive(Debug)]
+pub struct StoreSink<S> {
+    shared: Arc<RwLock<S>>,
+}
+
+impl<S> StoreSink<S> {
+    /// Wraps a shared sink.
+    pub fn new(shared: Arc<RwLock<S>>) -> Self {
+        Self { shared }
+    }
+
+    /// Another handle to the shared sink (for query threads).
+    pub fn handle(&self) -> Arc<RwLock<S>> {
+        Arc::clone(&self.shared)
+    }
+}
+
+impl<S> Clone for StoreSink<S> {
+    fn clone(&self) -> Self {
+        Self::new(self.handle())
+    }
+}
+
+impl<S: EventSink> EventSink for StoreSink<S> {
+    fn on_event(&mut self, event: &LocationEvent) {
+        self.shared
+            .write()
+            .expect("shared sink lock poisoned")
+            .on_event(event);
+    }
+
+    fn on_epoch_complete(&mut self, epoch: Epoch) {
+        self.shared
+            .write()
+            .expect("shared sink lock poisoned")
+            .on_epoch_complete(epoch);
+    }
+
+    fn on_finish(&mut self) {
+        self.shared
+            .write()
+            .expect("shared sink lock poisoned")
+            .on_finish();
     }
 }
 
@@ -264,6 +321,19 @@ mod tests {
 
     fn event(epoch: u64, tag: u64, x: f64, y: f64) -> LocationEvent {
         LocationEvent::new(Epoch(epoch), TagId(tag), Point3::new(x, y, 0.0))
+    }
+
+    #[test]
+    fn store_sink_shares_a_locked_sink() {
+        let shared = Arc::new(RwLock::new(Vec::<LocationEvent>::new()));
+        let mut sink = StoreSink::new(Arc::clone(&shared));
+        sink.on_event(&event(0, 1, 1.0, 2.0));
+        sink.on_epoch_complete(Epoch(0));
+        sink.on_finish();
+        // a reader on another handle sees the delivery
+        let handle = sink.handle();
+        assert_eq!(handle.read().unwrap().len(), 1);
+        assert_eq!(shared.read().unwrap()[0].tag, TagId(1));
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Serving queries: the full serving stack end to end —
+//!
+//! ```text
+//! pipeline ─► StoreSink ─► EventStore ◄─ TCP server ◄─ query clients
+//! ```
+//!
+//! A warehouse scan streams through the inference engine into a shared
+//! `EventStore` while a TCP query server answers clients over the
+//! length-prefixed text protocol: where is object X now, what trail
+//! did it take, what did the warehouse look like at epoch E, and what
+//! sits inside this shelf region.
+//!
+//! ```text
+//! cargo run --release --example serving
+//! ```
+
+use rfid_repro::prelude::*;
+use rfid_repro::sim::scenario;
+use rfid_repro::stream::pipeline::sinks::StoreSink;
+use rfid_serve::store::{EventStore, StoreConfig};
+use rfid_serve::{serve, Query, QueryClient, QueryResponse};
+use std::sync::{Arc, RwLock};
+
+fn print_rows(label: &str, resp: QueryResponse) {
+    match resp {
+        QueryResponse::Rows(rows) => {
+            println!("{label}: {} row(s)", rows.len());
+            for r in rows.iter().take(6) {
+                println!(
+                    "  {} @ epoch {:>4}  ({:6.2}, {:5.2}, {:4.2}) ft",
+                    r.tag, r.epoch.0, r.location.x, r.location.y, r.location.z
+                );
+            }
+            if rows.len() > 6 {
+                println!("  … {} more", rows.len() - 6);
+            }
+        }
+        QueryResponse::Error(e) => println!("{label}: ERR {e}"),
+    }
+}
+
+fn main() {
+    // a 24-object warehouse scan, cleaned by the full engine
+    let sc = scenario::small_trace(24, 4, 2025);
+    let model = JointModel::new(ModelParams::default_warehouse());
+    let mut cfg = FilterConfig::full_default();
+    cfg.particles_per_object = 400;
+    cfg.report_delay_epochs = 30;
+    let engine = InferenceEngine::new(model, sc.layout.clone(), sc.trace.shelf_tags.clone(), cfg)
+        .expect("valid configuration");
+
+    // the shared store: the pipeline writes it, the server reads it.
+    // 32-epoch segments; snapshots age a tag out 60 epochs after its
+    // last event (the churn semantics — departed objects leave the
+    // relation but keep their trail)
+    let store = Arc::new(RwLock::new(EventStore::new(
+        StoreConfig::default()
+            .with_segment_epochs(32)
+            .with_snapshot_staleness(60),
+    )));
+    let server = serve("127.0.0.1:0", Arc::clone(&store)).expect("bind query server");
+    println!("query server listening on {}\n", server.addr());
+
+    // ingest the scan through the streaming pipeline — in a deployment
+    // this thread runs forever on the live reader streams
+    let mut pipeline = Pipeline::new(
+        sc.trace.epoch_len,
+        engine,
+        StoreSink::new(Arc::clone(&store)),
+    );
+    let stats = pipeline.run_to_completion(&mut sc.trace.stream());
+    {
+        let s = store.read().unwrap();
+        let st = s.stats();
+        println!(
+            "ingested {} events over {} epochs into {} segment(s), {} tag(s)\n",
+            stats.events, stats.epochs, st.segments, st.tags
+        );
+    }
+
+    // a client asks the four serving questions over real TCP
+    let mut client = QueryClient::connect(server.addr()).expect("connect");
+    let last = store.read().unwrap().latest_epoch();
+
+    print_rows(
+        "CURRENT tag 3",
+        client.query(&Query::CurrentLocation(TagId(3))).unwrap(),
+    );
+    print_rows(
+        &format!("TRAIL tag 3, epochs 0..={last}"),
+        client
+            .query(&Query::Trail {
+                tag: TagId(3),
+                from: Epoch(0),
+                to: Epoch(last),
+            })
+            .unwrap(),
+    );
+    print_rows(
+        &format!("SNAPSHOT at epoch {}", last / 2),
+        client.query(&Query::SnapshotAt(Epoch(last / 2))).unwrap(),
+    );
+    // query at the scan midpoint: with staleness 60 configured, a
+    // single-scan trace has aged most tags out of the *final* epoch's
+    // relation — historical containment is the interesting question
+    print_rows(
+        &format!("CONTAIN x in [0, 6], y in [-1, 3] at epoch {}", last / 2),
+        client
+            .query(&Query::Containment {
+                x0: 0.0,
+                y0: -1.0,
+                x1: 6.0,
+                y1: 3.0,
+                epoch: Epoch(last / 2),
+            })
+            .unwrap(),
+    );
+
+    server.shutdown();
+    println!("\nserver stopped.");
+}

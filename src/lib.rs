@@ -19,6 +19,7 @@
 //! | [`learn`] | Monte-Carlo EM self-calibration (§III-C) |
 //! | [`core`] | the particle-filter inference engine (§IV) |
 //! | [`baselines`] | SMURF and uniform-sampling baselines (§V) |
+//! | [`serve`] | query serving: embedded event store + TCP query server |
 //!
 //! ## Quickstart
 //!
@@ -50,6 +51,7 @@ pub use rfid_core as core;
 pub use rfid_geom as geom;
 pub use rfid_learn as learn;
 pub use rfid_model as model;
+pub use rfid_serve as serve;
 pub use rfid_sim as sim;
 pub use rfid_spatial as spatial;
 pub use rfid_stream as stream;
