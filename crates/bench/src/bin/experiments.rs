@@ -1056,41 +1056,60 @@ fn serving(opts: Opts, json: bool) {
     );
     let cfg = ServingConfig::standard(opts.quick);
     r.line(&format!(
-        "scenario endurance_trace({}, {}, 99), {} particles/object; every client issues >= {} \
-         mixed queries (current/snapshot/trail/containment) while ingestion streams",
-        cfg.objects, cfg.rounds, cfg.particles, cfg.min_queries_per_client,
+        "scenario endurance_trace({}, {}, 99), {} particles/object; pull clients issue >= {} \
+         mixed queries (current/snapshot/trail/containment/delta) while ingestion streams; \
+         mixed rows hold SUBSCRIBE ALL on {:.0}% of connections",
+        cfg.objects,
+        cfg.rounds,
+        cfg.particles,
+        cfg.min_queries_per_client,
+        cfg.subscriber_share * 100.0,
     ));
     let rows = run_serving(&cfg);
 
     let mut t = Table::new(vec![
+        "mode",
         "clients",
+        "subs",
         "queries",
         "errors",
         "queries/s",
         "p50 (us)",
         "p95 (us)",
         "p99 (us)",
-        "max (us)",
+        "push p50 (us)",
+        "push p95 (us)",
+        "push p99 (us)",
+        "pushes",
+        "lagged",
         "ingest epochs",
         "ingest readings/s",
     ]);
     for row in &rows {
         t.row(vec![
+            row.mode.to_string(),
             row.clients.to_string(),
+            row.subscribers.to_string(),
             row.queries.to_string(),
             row.errors.to_string(),
             format!("{:.0}", row.queries_per_sec),
             format!("{:.0}", row.p50_us),
             format!("{:.0}", row.p95_us),
             format!("{:.0}", row.p99_us),
-            format!("{:.0}", row.max_us),
+            format!("{:.0}", row.push_p50_us),
+            format!("{:.0}", row.push_p95_us),
+            format!("{:.0}", row.push_p99_us),
+            row.push_frames.to_string(),
+            row.lagged_frames.to_string(),
             row.ingest_epochs.to_string(),
             format!("{:.0}", row.ingest_readings_per_sec),
         ]);
     }
     r.table(&t);
-    r.line("# queries run against the store *while* the pipeline writes it; latency");
+    r.line("# queries run against the store *while* the pipeline writes it; pull latency");
     r.line("# is measured end-to-end over the wire (connect once, then frame per query).");
+    r.line("# push latency joins subscriber receive instants against the hub commit log");
+    r.line("# on the arrival epoch: location-change commit -> subscriber socket read.");
     r.finish();
 
     if json {
@@ -1194,14 +1213,20 @@ fn report() {
         "BENCH_serving.json",
         "Serving",
         &[
+            ("mode", "mode", 0),
             ("clients", "clients", 0),
+            ("subs", "subscribers", 0),
             ("queries", "queries", 0),
             ("errors", "errors", 0),
             ("queries/s", "queries_per_sec", 0),
             ("p50 (us)", "p50_us", 0),
             ("p95 (us)", "p95_us", 0),
             ("p99 (us)", "p99_us", 0),
-            ("max (us)", "max_us", 0),
+            ("push p50 (us)", "push_p50_us", 0),
+            ("push p95 (us)", "push_p95_us", 0),
+            ("push p99 (us)", "push_p99_us", 0),
+            ("pushes", "push_frames", 0),
+            ("lagged", "lagged_frames", 0),
             ("ingest epochs", "ingest_epochs", 0),
             ("ingest readings/s", "ingest_readings_per_sec", 0),
         ],

@@ -1,0 +1,491 @@
+//! The subscription hub: fan-out of committed location changes to
+//! push subscribers.
+//!
+//! The hub sits beside the [`EventStore`] on the ingestion path. The
+//! pipeline fans its event stream into both via the sink tuple —
+//!
+//! ```text
+//! pipeline ─► (StoreSink(store), hub.sink()) ─► per-subscription queues
+//! ```
+//!
+//! [`HubSink`] runs a [`LocationChangeQuery`] (threshold 0.0 by
+//! default — the exact `Istream` semantics of `LocationChangeSink`)
+//! over the stream and, at every completed epoch, commits the fired
+//! changes as one delta per subscription whose
+//! [`SubscriptionFilter`] matches. Deltas are stamped with the
+//! **arrival epoch** under the same convention as the store (events
+//! delivered between the completions of `E-1` and `E` arrive at `E`;
+//! end-of-stream flush events arrive at `last + 1`), so a `PUSH`
+//! frame's epoch names exactly the store state that contains its rows.
+//!
+//! ## Backpressure
+//!
+//! Every subscription owns a **bounded** queue of pending frames. A
+//! subscriber that stops draining (slow socket, stalled client) gets
+//! its oldest pending frames dropped — never an unbounded buffer —
+//! and the dropped row count accumulates into a lag counter. The next
+//! successful poll delivers exactly one [`Frame::Lagged`] carrying the
+//! count before any newer frames: one notice per overflow run, in the
+//! stream position where the gap actually is.
+//!
+//! [`EventStore`]: crate::store::EventStore
+//! [`LocationChangeQuery`]: rfid_stream::queries::LocationChangeQuery
+
+use crate::query::{Frame, SubscriptionFilter};
+use crate::store::LocationRow;
+use rfid_stream::pipeline::sinks::LocationUpdate;
+use rfid_stream::queries::LocationChangeQuery;
+use rfid_stream::{Epoch, EventSink, LocationEvent};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Hub knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HubConfig {
+    /// Movement threshold in feet for the change query; 0.0 fires on
+    /// every reported movement (and the first report of each tag) —
+    /// identical to `LocationChangeSink::new(0.0)`.
+    pub threshold: f64,
+    /// Per-subscription queue capacity in frames (>= 1). When a
+    /// subscriber falls this many committed deltas behind, its oldest
+    /// frames are dropped and counted into a `LAGGED` notice.
+    pub queue_frames: usize,
+    /// Record an `(arrival epoch, Instant)` entry per non-empty
+    /// committed delta — the join key load generators use to measure
+    /// push fan-out latency. Off by default (serving does not need it).
+    pub record_commits: bool,
+}
+
+impl Default for HubConfig {
+    fn default() -> Self {
+        Self {
+            threshold: 0.0,
+            queue_frames: 64,
+            record_commits: false,
+        }
+    }
+}
+
+impl HubConfig {
+    /// Default config with a queue capacity (>= 1 frame).
+    pub fn with_queue_frames(mut self, frames: usize) -> Self {
+        assert!(frames >= 1, "subscription queues hold at least 1 frame");
+        self.queue_frames = frames;
+        self
+    }
+
+    /// Default config with a movement threshold.
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    /// Enables the commit log.
+    pub fn with_commit_log(mut self) -> Self {
+        self.record_commits = true;
+        self
+    }
+}
+
+/// One committed delta pending delivery to one subscription.
+#[derive(Debug, Clone, PartialEq)]
+struct PendingPush {
+    epoch: u64,
+    rows: Vec<LocationRow>,
+}
+
+#[derive(Debug)]
+struct SubQueue {
+    frames: VecDeque<PendingPush>,
+    /// Rows dropped since the last delivered frame; reported as one
+    /// `LAGGED` on the next poll.
+    pending_lagged: u64,
+    /// Total rows ever dropped (observability).
+    dropped_total: u64,
+    closed: bool,
+}
+
+#[derive(Debug)]
+struct SubEntry {
+    filter: SubscriptionFilter,
+    queue: Arc<Mutex<SubQueue>>,
+}
+
+#[derive(Debug, Default)]
+struct HubShared {
+    subs: Mutex<Vec<SubEntry>>,
+    commits: Mutex<Vec<(u64, Instant)>>,
+}
+
+/// The shared hub: subscriptions register here, [`HubSink`] commits
+/// deltas into it. Cheap to clone (an `Arc` handle).
+#[derive(Debug, Clone, Default)]
+pub struct SubscriptionHub {
+    cfg: HubConfig,
+    shared: Arc<HubShared>,
+}
+
+impl SubscriptionHub {
+    /// A hub with the given knobs.
+    pub fn new(cfg: HubConfig) -> Self {
+        assert!(cfg.queue_frames >= 1);
+        Self {
+            cfg,
+            shared: Arc::default(),
+        }
+    }
+
+    /// The configuration the hub was built with.
+    pub fn config(&self) -> &HubConfig {
+        &self.cfg
+    }
+
+    /// The ingestion-side sink. Compose it into the pipeline's sink
+    /// tuple next to the store, e.g.
+    /// `(StoreSink::new(store), hub.sink())`.
+    pub fn sink(&self) -> HubSink {
+        HubSink {
+            query: LocationChangeQuery::new(self.cfg.threshold),
+            pending: Vec::new(),
+            last_completed: None,
+            hub: self.clone(),
+        }
+    }
+
+    /// Registers a subscription under `id` (in the wire protocol: the
+    /// id of the `SUBSCRIBE` request). The handle is the consumption
+    /// side; dropping it without [`SubscriptionHandle::cancel`] leaks
+    /// the registration until the hub prunes it on a later commit.
+    pub fn subscribe(&self, id: u64, filter: SubscriptionFilter) -> SubscriptionHandle {
+        let queue = Arc::new(Mutex::new(SubQueue {
+            frames: VecDeque::with_capacity(self.cfg.queue_frames),
+            pending_lagged: 0,
+            dropped_total: 0,
+            closed: false,
+        }));
+        self.shared.subs.lock().expect("hub lock").push(SubEntry {
+            filter,
+            queue: Arc::clone(&queue),
+        });
+        SubscriptionHandle { id, queue }
+    }
+
+    /// Live subscriptions (cancelled ones disappear after the next
+    /// commit prunes them).
+    pub fn subscriber_count(&self) -> usize {
+        self.shared.subs.lock().expect("hub lock").len()
+    }
+
+    /// The commit log: one `(arrival epoch, commit Instant)` per
+    /// non-empty committed delta, when enabled via
+    /// [`HubConfig::record_commits`].
+    pub fn commit_log(&self) -> Vec<(u64, Instant)> {
+        self.shared.commits.lock().expect("hub lock").clone()
+    }
+
+    /// Fans one committed delta out to every matching subscription and
+    /// prunes cancelled ones.
+    fn commit(&self, epoch: u64, updates: &[LocationUpdate]) {
+        if updates.is_empty() {
+            return;
+        }
+        let mut delivered = false;
+        let mut subs = self.shared.subs.lock().expect("hub lock");
+        subs.retain(|sub| {
+            let mut q = sub.queue.lock().expect("subscription queue lock");
+            if q.closed {
+                return false;
+            }
+            let rows: Vec<LocationRow> = updates
+                .iter()
+                .filter(|u| sub.filter.matches(u))
+                .map(|u| LocationRow {
+                    tag: u.tag,
+                    epoch: u.epoch,
+                    location: u.location,
+                })
+                .collect();
+            if rows.is_empty() {
+                return true;
+            }
+            while q.frames.len() >= self.cfg.queue_frames {
+                let dropped = q.frames.pop_front().expect("non-empty queue");
+                q.pending_lagged += dropped.rows.len() as u64;
+                q.dropped_total += dropped.rows.len() as u64;
+            }
+            q.frames.push_back(PendingPush { epoch, rows });
+            delivered = true;
+            true
+        });
+        drop(subs);
+        if delivered && self.cfg.record_commits {
+            self.shared
+                .commits
+                .lock()
+                .expect("hub lock")
+                .push((epoch, Instant::now()));
+        }
+    }
+}
+
+/// The consumption side of one subscription: the connection (or an
+/// in-process consumer) polls it for the next outbound frame.
+#[derive(Debug, Clone)]
+pub struct SubscriptionHandle {
+    id: u64,
+    queue: Arc<Mutex<SubQueue>>,
+}
+
+impl SubscriptionHandle {
+    /// The subscription id (echoed on every frame).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The next outbound frame, if any: exactly one
+    /// [`Frame::Lagged`] per overflow run (delivered before the frames
+    /// that survived the drops), otherwise the oldest pending
+    /// [`Frame::Push`].
+    pub fn poll(&self) -> Option<Frame> {
+        let mut q = self.queue.lock().expect("subscription queue lock");
+        if q.pending_lagged > 0 {
+            let dropped = std::mem::take(&mut q.pending_lagged);
+            return Some(Frame::Lagged {
+                id: self.id,
+                dropped,
+            });
+        }
+        q.frames.pop_front().map(|p| Frame::Push {
+            id: self.id,
+            epoch: p.epoch,
+            rows: p.rows,
+        })
+    }
+
+    /// Frames currently queued (not counting a pending lag notice).
+    pub fn pending_frames(&self) -> usize {
+        self.queue
+            .lock()
+            .expect("subscription queue lock")
+            .frames
+            .len()
+    }
+
+    /// Total rows dropped over the subscription's lifetime.
+    pub fn dropped_rows(&self) -> u64 {
+        self.queue
+            .lock()
+            .expect("subscription queue lock")
+            .dropped_total
+    }
+
+    /// Cancels the subscription: no further frames are queued and the
+    /// hub forgets it on its next commit.
+    pub fn cancel(&self) {
+        let mut q = self.queue.lock().expect("subscription queue lock");
+        q.closed = true;
+        q.frames.clear();
+        q.pending_lagged = 0;
+    }
+}
+
+/// The hub's [`EventSink`]: runs the change query on the ingestion
+/// thread and commits fired updates at every epoch completion, stamped
+/// with the store's arrival-epoch convention.
+#[derive(Debug)]
+pub struct HubSink {
+    query: LocationChangeQuery,
+    /// Updates fired since the last commit; all share the same arrival
+    /// stamp (the arrival clock only advances on completion).
+    pending: Vec<LocationUpdate>,
+    last_completed: Option<u64>,
+    hub: SubscriptionHub,
+}
+
+impl HubSink {
+    /// Arrival epoch the next delivered event would be stamped with
+    /// (mirrors `EventStore::next_arrival`).
+    fn next_arrival(&self) -> u64 {
+        match self.last_completed {
+            Some(e) => e + 1,
+            None => 0,
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let arrival = self.next_arrival();
+        let pending = std::mem::take(&mut self.pending);
+        self.hub.commit(arrival, &pending);
+    }
+}
+
+impl EventSink for HubSink {
+    fn on_event(&mut self, event: &LocationEvent) {
+        if let Some((tag, location)) = self.query.push(event) {
+            self.pending.push(LocationUpdate {
+                epoch: event.epoch,
+                tag,
+                location,
+            });
+        }
+    }
+
+    fn on_epoch_complete(&mut self, epoch: Epoch) {
+        self.flush();
+        self.last_completed = Some(match self.last_completed {
+            Some(prev) => prev.max(epoch.0),
+            None => epoch.0,
+        });
+    }
+
+    fn on_finish(&mut self) {
+        // flush-time updates arrive after the last completed epoch
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_geom::Point3;
+    use rfid_stream::TagId;
+
+    fn ev(epoch: u64, tag: u64, x: f64) -> LocationEvent {
+        LocationEvent::new(Epoch(epoch), TagId(tag), Point3::new(x, 0.0, 0.0))
+    }
+
+    #[test]
+    fn push_frames_carry_arrival_epochs_and_match_filters() {
+        let hub = SubscriptionHub::new(HubConfig::default());
+        let all = hub.subscribe(1, SubscriptionFilter::All);
+        let tag2 = hub.subscribe(2, SubscriptionFilter::Tags(vec![TagId(2)]));
+        let west = hub.subscribe(
+            3,
+            SubscriptionFilter::Region {
+                x0: 0.0,
+                y0: -1.0,
+                x1: 2.0,
+                y1: 1.0,
+            },
+        );
+        let mut sink = hub.sink();
+        sink.on_event(&ev(0, 1, 1.0));
+        sink.on_event(&ev(0, 2, 5.0));
+        sink.on_epoch_complete(Epoch(0));
+        sink.on_event(&ev(1, 2, 6.0));
+        sink.on_epoch_complete(Epoch(1));
+
+        // ALL: one frame per committed epoch, arrival-stamped
+        let Some(Frame::Push {
+            id: 1,
+            epoch: 0,
+            rows,
+        }) = all.poll()
+        else {
+            panic!("expected epoch-0 push");
+        };
+        assert_eq!(rows.len(), 2);
+        let Some(Frame::Push { epoch: 1, rows, .. }) = all.poll() else {
+            panic!("expected epoch-1 push");
+        };
+        assert_eq!(rows.len(), 1);
+        assert!(all.poll().is_none());
+
+        // tag filter sees only tag 2's changes
+        let Some(Frame::Push { id: 2, rows, .. }) = tag2.poll() else {
+            panic!("expected tag-2 push");
+        };
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].tag, TagId(2));
+        assert!(tag2.poll().is_some(), "tag 2 moved again in epoch 1");
+
+        // region filter sees only the in-region change
+        let Some(Frame::Push { id: 3, rows, .. }) = west.poll() else {
+            panic!("expected region push");
+        };
+        assert_eq!(rows[0].tag, TagId(1));
+        assert!(west.poll().is_none());
+    }
+
+    #[test]
+    fn flush_updates_arrive_after_the_last_epoch() {
+        let hub = SubscriptionHub::new(HubConfig::default());
+        let sub = hub.subscribe(1, SubscriptionFilter::All);
+        let mut sink = hub.sink();
+        sink.on_event(&ev(0, 1, 1.0));
+        sink.on_epoch_complete(Epoch(0));
+        sink.on_event(&ev(0, 2, 2.0)); // end-of-stream flush delivery
+        sink.on_finish();
+        assert!(matches!(sub.poll(), Some(Frame::Push { epoch: 0, .. })));
+        // the flush delta is stamped last + 1, like the store
+        assert!(matches!(sub.poll(), Some(Frame::Push { epoch: 1, .. })));
+    }
+
+    #[test]
+    fn lagged_fires_exactly_once_per_overflow_run() {
+        let hub = SubscriptionHub::new(HubConfig::default().with_queue_frames(2));
+        let sub = hub.subscribe(7, SubscriptionFilter::All);
+        let mut sink = hub.sink();
+        // 5 committed single-row deltas into a 2-frame queue: the
+        // oldest 3 drop
+        for e in 0..5u64 {
+            sink.on_event(&ev(e, 1, e as f64 * 10.0));
+            sink.on_epoch_complete(Epoch(e));
+        }
+        assert_eq!(
+            sub.poll(),
+            Some(Frame::Lagged { id: 7, dropped: 3 }),
+            "one LAGGED for the whole run, before surviving frames"
+        );
+        assert!(matches!(sub.poll(), Some(Frame::Push { epoch: 3, .. })));
+        assert!(matches!(sub.poll(), Some(Frame::Push { epoch: 4, .. })));
+        assert!(sub.poll().is_none());
+        assert_eq!(sub.dropped_rows(), 3);
+
+        // a second overflow run gets its own single notice
+        for e in 5..10u64 {
+            sink.on_event(&ev(e, 1, e as f64 * 10.0));
+            sink.on_epoch_complete(Epoch(e));
+        }
+        assert_eq!(sub.poll(), Some(Frame::Lagged { id: 7, dropped: 3 }));
+        // draining in time produces no further notices
+        assert!(matches!(sub.poll(), Some(Frame::Push { .. })));
+        assert!(matches!(sub.poll(), Some(Frame::Push { .. })));
+        assert!(sub.poll().is_none());
+    }
+
+    #[test]
+    fn cancel_stops_delivery_and_hub_prunes() {
+        let hub = SubscriptionHub::new(HubConfig::default());
+        let sub = hub.subscribe(1, SubscriptionFilter::All);
+        let mut sink = hub.sink();
+        sink.on_event(&ev(0, 1, 1.0));
+        sink.on_epoch_complete(Epoch(0));
+        assert_eq!(hub.subscriber_count(), 1);
+        sub.cancel();
+        assert!(sub.poll().is_none(), "cancel clears pending frames");
+        sink.on_event(&ev(1, 1, 9.0));
+        sink.on_epoch_complete(Epoch(1));
+        assert!(sub.poll().is_none());
+        assert_eq!(hub.subscriber_count(), 0, "pruned on commit");
+    }
+
+    #[test]
+    fn commit_log_records_nonempty_deltas() {
+        let hub = SubscriptionHub::new(HubConfig::default().with_commit_log());
+        let _sub = hub.subscribe(1, SubscriptionFilter::All);
+        let mut sink = hub.sink();
+        sink.on_event(&ev(0, 1, 1.0));
+        sink.on_epoch_complete(Epoch(0));
+        sink.on_epoch_complete(Epoch(1)); // empty delta: no record
+        sink.on_event(&ev(2, 1, 9.0));
+        sink.on_epoch_complete(Epoch(2));
+        let log = hub.commit_log();
+        let epochs: Vec<u64> = log.iter().map(|(e, _)| *e).collect();
+        assert_eq!(epochs, vec![0, 2]);
+    }
+}

@@ -2,36 +2,53 @@
 //!
 //! Everything upstream of this crate produces one thing: the cleaned
 //! location-event stream. This crate makes that stream *queryable* —
-//! while it is still being produced:
+//! while it is still being produced — by pull **and** by push:
 //!
 //! ```text
-//! pipeline ─► StoreSink ─► Arc<RwLock<EventStore>> ◄─ TCP server ◄─ clients
-//!  (writer, live ingestion)      (shared)           (readers, thread per
-//!                                                    connection)
+//!           ┌─► StoreSink ─► Arc<RwLock<EventStore>> ◄─┐
+//! pipeline ─┤                                          ├─ TCP server ◄─► clients
+//!           └─► hub.sink() ─► SubscriptionHub ─────────┘   (worker pool)
+//!  (writer, live ingestion)    (per-subscription queues)
 //! ```
 //!
 //! * [`store::EventStore`] — a segmented in-memory log of the event
 //!   stream with a per-epoch snapshot index, configurable retention +
-//!   compaction, and per-tag trail lookup;
-//! * [`query::Query`] / [`query::QueryResponse`] — the four query
-//!   kinds and their length-prefixed text wire form;
-//! * [`server`] — a `std::net` thread-per-connection query server plus
-//!   a blocking [`server::QueryClient`].
+//!   compaction, per-tag trail lookup, and epoch-delta snapshots;
+//! * [`query`] — the query kinds, the versioned length-prefixed text
+//!   wire protocol (v1 bare queries, v2 `HELLO`-negotiated request-id
+//!   envelopes with `SUBSCRIBE` push frames), and typed
+//!   [`query::WireError`] codes;
+//! * [`hub::SubscriptionHub`] — fan-out of committed location changes
+//!   into bounded per-subscription queues (slow subscribers lag, they
+//!   never buffer unboundedly);
+//! * [`server`] — a `std::net` non-blocking sharded worker-pool query
+//!   server plus the blocking builder-configured
+//!   [`server::QueryClient`].
 //!
 //! The contract that keeps serving honest: with the default store
 //! configuration, `Trail` and `SnapshotAt` answers are **bit-identical**
 //! to what the in-process [`TrailSink`]/[`SnapshotSink`] compute on the
-//! same stream (pinned by `tests/store_pin_sinks.rs` and the root
-//! `tests/serving_queries.rs`), and the wire encoding round-trips every
-//! `f64` exactly.
+//! same stream, push subscriptions deliver exactly the
+//! [`LocationChangeSink`] delta stream (pinned by
+//! `tests/store_pin_sinks.rs`, root `tests/serving_queries.rs`, and
+//! root `tests/serving_push.rs`), and the wire encoding round-trips
+//! every `f64` exactly.
 //!
 //! [`TrailSink`]: rfid_stream::pipeline::sinks::TrailSink
 //! [`SnapshotSink`]: rfid_stream::pipeline::sinks::SnapshotSink
+//! [`LocationChangeSink`]: rfid_stream::pipeline::sinks::LocationChangeSink
 
+pub mod hub;
 pub mod query;
 pub mod server;
 pub mod store;
 
-pub use query::{answer, Query, QueryResponse};
-pub use server::{serve, QueryClient, ServerHandle};
+pub use hub::{HubConfig, SubscriptionHandle, SubscriptionHub};
+pub use query::{
+    answer, ErrorCode, Frame, Query, QueryResponse, Request, RequestKind, SubscriptionFilter,
+    WireError, PROTOCOL_VERSION,
+};
+pub use server::{
+    serve, serve_with, ClientBuilder, QueryClient, ServerConfig, ServerHandle, MIN_PROTOCOL_VERSION,
+};
 pub use store::{EventStore, LocationRow, StoreConfig, StoreError, StoreStats, StoredEvent};

@@ -1,43 +1,215 @@
-//! The query API and its wire form.
+//! The query API and its versioned wire form.
 //!
-//! Four query kinds cover the paper's serving questions — where is
+//! Five pull-query kinds cover the paper's serving questions — where is
 //! object X now, what trail did it take, what was the full picture at
-//! epoch E, and what is inside this shelf region:
+//! epoch E (optionally only what *changed* since an earlier epoch), and
+//! what is inside this shelf region — plus a push kind:
 //!
 //! * [`Query::CurrentLocation`] — latest known location of one tag;
 //! * [`Query::Trail`] — a tag's retained events over an epoch range;
 //! * [`Query::SnapshotAt`] — the latest-location relation as known
 //!   when an epoch completed;
-//! * [`Query::Containment`] — the snapshot filtered to an XY region.
+//! * [`Query::SnapshotDelta`] — the same relation restricted to rows
+//!   whose backing event *arrived* after an earlier epoch (the cheap
+//!   way for a dashboard to refresh: full snapshot once, deltas after);
+//! * [`Query::Containment`] — the snapshot filtered to an XY region;
+//! * [`RequestKind::Subscribe`] — server push: location *changes*
+//!   streamed as they commit, filtered by region, tag set, or none.
 //!
 //! ## Wire grammar
 //!
 //! The TCP protocol is length-prefixed text: every frame is a 4-byte
 //! big-endian payload length followed by that many bytes of UTF-8 (no
 //! serde is available offline, and text keeps the protocol inspectable
-//! with three lines of any language). Requests are a single line:
+//! with three lines of any language). The framing is the stable
+//! surface shared by both protocol versions.
+//!
+//! **Version 1** (legacy, still served): each request frame is a bare
+//! query line, answered by exactly one response frame:
 //!
 //! ```text
-//! request     = current | trail | snapshot | contain
+//! request-v1  = query
+//! query       = current | trail | snapshot | contain
 //! current     = "CURRENT"  SP tag
 //! trail       = "TRAIL"    SP tag SP from-epoch SP to-epoch
-//! snapshot    = "SNAPSHOT" SP epoch
+//! snapshot    = "SNAPSHOT" SP epoch ["SINCE" SP since-epoch]
 //! contain     = "CONTAIN"  SP x0 SP y0 SP x1 SP y1 SP epoch
+//! response-v1 = "OK" SP row-count *(LF row) | "ERR" SP code SP message
+//! row         = tag SP epoch SP x SP y SP z
 //! tag, epoch  = u64 decimal
 //! x0..y1      = f64 decimal (Rust round-trip formatting)
 //! ```
 //!
-//! Responses are `"OK" SP row-count` followed by one
-//! `tag SP epoch SP x SP y SP z` line per row, or `"ERR" SP message`.
+//! **Version 2** (the envelope): a connection upgrades by sending
+//! `HELLO <version>` as a frame; the server answers `HELLO <negotiated>`
+//! (its highest common version) and from then on every request carries
+//! a client-chosen **request id**, every response echoes it, and
+//! server-push frames for subscriptions interleave with responses on
+//! the same connection — the id is what keeps them apart:
+//!
+//! ```text
+//! hello       = "HELLO" SP version
+//! request-v2  = id SP (query | subscribe | unsubscribe)
+//! subscribe   = "SUBSCRIBE" SP filter
+//! filter      = "ALL" | "REGION" SP x0 SP y0 SP x1 SP y1
+//!             | "TAGS" 1*(SP tag)
+//! unsubscribe = "UNSUBSCRIBE" SP subscription-id
+//! frame-v2    = "HELLO" SP version
+//!             | "OK"     SP id SP row-count *(LF row)
+//!             | "ERR"    SP id SP code SP message
+//!             | "PUSH"   SP sub-id SP arrival-epoch SP row-count *(LF row)
+//!             | "LAGGED" SP sub-id SP dropped-row-count
+//! ```
+//!
+//! A subscription's id is the id of the `SUBSCRIBE` request that
+//! created it (`OK id 0` acknowledges it). `PUSH` frames carry the
+//! arrival epoch whose completion committed the delta; their rows are
+//! location *changes* ([`LocationChangeSink`] semantics — one row per
+//! tag whose location moved). A subscriber that falls behind gets its
+//! oldest pending frames dropped (bounded queues, never unbounded
+//! buffering) and exactly one `LAGGED` frame per overflow run counting
+//! the dropped rows.
+//!
+//! ## Error codes
+//!
+//! `ERR` frames carry a machine-readable [`ErrorCode`] token that
+//! round-trips the wire, mapping [`StoreError`] variants one-to-one
+//! (plus request-level codes). For compatibility, decoders accept
+//! legacy codeless `ERR <message>` frames as [`ErrorCode::Unknown`].
+//!
 //! Floats are formatted with Rust's shortest round-trip `Display`, so
 //! a parsed response reproduces the server's `f64`s **bit-for-bit** —
 //! the bit-identical-to-sinks contract survives the wire.
+//!
+//! [`LocationChangeSink`]: rfid_stream::pipeline::sinks::LocationChangeSink
 
 use crate::store::{EventStore, LocationRow, StoreError};
 use rfid_geom::Point3;
+use rfid_stream::pipeline::sinks::LocationUpdate;
 use rfid_stream::{Epoch, TagId};
 
-/// One query against the event store.
+/// The newest protocol version this crate speaks.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+// ---------------------------------------------------------------------
+// typed wire errors
+// ---------------------------------------------------------------------
+
+/// Machine-readable error codes; the token after `ERR` on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request line did not parse (missing/trailing/bad arguments).
+    BadRequest,
+    /// The request verb is not part of the protocol.
+    UnknownVerb,
+    /// The operation needs a protocol version this connection does not
+    /// speak (e.g. `SUBSCRIBE` before a `HELLO` upgrade).
+    UnsupportedVersion,
+    /// [`StoreError::BeyondRetention`]: the epoch precedes the
+    /// retention horizon.
+    BeyondRetention,
+    /// `UNSUBSCRIBE` named a subscription this connection does not own.
+    UnknownSubscription,
+    /// A legacy or unrecognized code (decode side only: v1 peers sent
+    /// `ERR <message>` with no code at all).
+    Unknown,
+}
+
+impl ErrorCode {
+    /// The wire token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "BAD_REQUEST",
+            ErrorCode::UnknownVerb => "UNKNOWN_VERB",
+            ErrorCode::UnsupportedVersion => "UNSUPPORTED_VERSION",
+            ErrorCode::BeyondRetention => "BEYOND_RETENTION",
+            ErrorCode::UnknownSubscription => "UNKNOWN_SUBSCRIPTION",
+            ErrorCode::Unknown => "UNKNOWN",
+        }
+    }
+
+    /// Parses a wire token.
+    pub fn from_token(token: &str) -> Option<ErrorCode> {
+        Some(match token {
+            "BAD_REQUEST" => ErrorCode::BadRequest,
+            "UNKNOWN_VERB" => ErrorCode::UnknownVerb,
+            "UNSUPPORTED_VERSION" => ErrorCode::UnsupportedVersion,
+            "BEYOND_RETENTION" => ErrorCode::BeyondRetention,
+            "UNKNOWN_SUBSCRIPTION" => ErrorCode::UnknownSubscription,
+            "UNKNOWN" => ErrorCode::Unknown,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A typed wire error: a round-tripping code plus a human message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    pub code: ErrorCode,
+    pub message: String,
+}
+
+impl WireError {
+    /// An error with a code and message.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// A `BAD_REQUEST` error.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::BadRequest, message)
+    }
+
+    /// Encodes the text after `"ERR "` (and after the id in v2).
+    pub fn encode(&self) -> String {
+        format!("{} {}", self.code, self.message.replace('\n', " "))
+    }
+
+    /// Decodes the text after `"ERR "`. A leading known code token is
+    /// split off; anything else (legacy codeless errors) becomes the
+    /// whole message under [`ErrorCode::Unknown`].
+    pub fn decode(text: &str) -> WireError {
+        let mut parts = text.splitn(2, ' ');
+        let head = parts.next().unwrap_or("");
+        match ErrorCode::from_token(head) {
+            Some(code) => WireError::new(code, parts.next().unwrap_or("").to_string()),
+            None => WireError::new(ErrorCode::Unknown, text.to_string()),
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<StoreError> for WireError {
+    fn from(e: StoreError) -> Self {
+        match e {
+            StoreError::BeyondRetention { .. } => {
+                WireError::new(ErrorCode::BeyondRetention, e.to_string())
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// queries, subscriptions, request envelopes
+// ---------------------------------------------------------------------
+
+/// One pull query against the event store.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Query {
     /// Latest known location of a tag (0 or 1 row).
@@ -46,6 +218,10 @@ pub enum Query {
     Trail { tag: TagId, from: Epoch, to: Epoch },
     /// The latest-location relation as known when `epoch` completed.
     SnapshotAt(Epoch),
+    /// The rows of `SnapshotAt(at)` whose backing event **arrived**
+    /// after `since` completed — an incremental refresh for a client
+    /// that already holds the snapshot at `since`.
+    SnapshotDelta { at: Epoch, since: Epoch },
     /// Snapshot rows inside the XY region `[x0, x1] × [y0, y1]`.
     Containment {
         x0: f64,
@@ -56,13 +232,117 @@ pub enum Query {
     },
 }
 
+/// What a subscription wants pushed: every location change, changes
+/// inside a region, or changes of an explicit tag set.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubscriptionFilter {
+    /// Every location change.
+    All,
+    /// Changes whose new XY location lies in `[x0, x1] × [y0, y1]`.
+    Region { x0: f64, y0: f64, x1: f64, y1: f64 },
+    /// Changes of these tags.
+    Tags(Vec<TagId>),
+}
+
+impl SubscriptionFilter {
+    /// Whether a fired location change matches this filter.
+    pub fn matches(&self, update: &LocationUpdate) -> bool {
+        match self {
+            SubscriptionFilter::All => true,
+            SubscriptionFilter::Region { x0, y0, x1, y1 } => {
+                let p = &update.location;
+                p.x >= *x0 && p.x <= *x1 && p.y >= *y0 && p.y <= *y1
+            }
+            SubscriptionFilter::Tags(tags) => tags.contains(&update.tag),
+        }
+    }
+
+    /// The filter's wire text (after `"SUBSCRIBE "`).
+    pub fn encode(&self) -> String {
+        match self {
+            SubscriptionFilter::All => "ALL".to_string(),
+            SubscriptionFilter::Region { x0, y0, x1, y1 } => {
+                format!("REGION {x0} {y0} {x1} {y1}")
+            }
+            SubscriptionFilter::Tags(tags) => {
+                let mut s = String::from("TAGS");
+                for t in tags {
+                    s.push(' ');
+                    s.push_str(&t.0.to_string());
+                }
+                s
+            }
+        }
+    }
+}
+
+/// A v2 request: a client-chosen id plus what to do. Responses echo
+/// the id, which is what lets pull responses and push frames share one
+/// connection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen; echoed on the response (and on every `PUSH` of a
+    /// subscription this request created).
+    pub id: u64,
+    pub kind: RequestKind,
+}
+
+/// The operations a v2 request can carry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestKind {
+    /// A pull query, answered with one `OK`/`ERR` frame.
+    Query(Query),
+    /// Registers a push subscription under this request's id.
+    Subscribe(SubscriptionFilter),
+    /// Cancels the subscription created by request `.0`.
+    Unsubscribe(u64),
+}
+
+/// A whitespace-token cursor with typed argument accessors — the one
+/// parsing path for every verb.
+struct Args<'a> {
+    op: &'a str,
+    parts: std::str::SplitAsciiWhitespace<'a>,
+}
+
+impl<'a> Args<'a> {
+    fn u64(&mut self, name: &str) -> Result<u64, WireError> {
+        let op = self.op;
+        self.parts
+            .next()
+            .ok_or_else(|| WireError::bad_request(format!("{op}: missing {name}")))?
+            .parse::<u64>()
+            .map_err(|e| WireError::bad_request(format!("{op}: bad {name}: {e}")))
+    }
+
+    fn f64(&mut self, name: &str) -> Result<f64, WireError> {
+        let op = self.op;
+        self.parts
+            .next()
+            .ok_or_else(|| WireError::bad_request(format!("{op}: missing {name}")))?
+            .parse::<f64>()
+            .map_err(|e| WireError::bad_request(format!("{op}: bad {name}: {e}")))
+    }
+
+    fn end(mut self) -> Result<(), WireError> {
+        match self.parts.next() {
+            Some(_) => Err(WireError::bad_request(format!(
+                "{}: trailing arguments",
+                self.op
+            ))),
+            None => Ok(()),
+        }
+    }
+}
+
 impl Query {
-    /// The request line (without the length prefix).
+    /// The request line (without envelope or length prefix).
     pub fn encode(&self) -> String {
         match self {
             Query::CurrentLocation(tag) => format!("CURRENT {}", tag.0),
             Query::Trail { tag, from, to } => format!("TRAIL {} {} {}", tag.0, from.0, to.0),
             Query::SnapshotAt(epoch) => format!("SNAPSHOT {}", epoch.0),
+            Query::SnapshotDelta { at, since } => format!("SNAPSHOT {} SINCE {}", at.0, since.0),
             Query::Containment {
                 x0,
                 y0,
@@ -73,133 +353,382 @@ impl Query {
         }
     }
 
-    /// Parses a request line.
-    pub fn parse(line: &str) -> Result<Query, String> {
+    /// Parses a bare query line (a v1 request, or the payload of a v2
+    /// envelope after the id).
+    pub fn parse(line: &str) -> Result<Query, WireError> {
         let mut parts = line.split_ascii_whitespace();
-        let op = parts.next().ok_or_else(|| "empty request".to_string())?;
-        let mut u64s = |n: usize| -> Result<Vec<u64>, String> {
-            (0..n)
-                .map(|i| {
-                    parts
-                        .next()
-                        .ok_or_else(|| format!("{op}: missing argument {}", i + 1))?
-                        .parse::<u64>()
-                        .map_err(|e| format!("{op}: bad integer: {e}"))
-                })
-                .collect()
-        };
+        let op = parts
+            .next()
+            .ok_or_else(|| WireError::bad_request("empty request"))?;
+        let mut args = Args { op, parts };
         let q = match op {
-            "CURRENT" => Query::CurrentLocation(TagId(u64s(1)?[0])),
-            "TRAIL" => {
-                let v = u64s(3)?;
-                Query::Trail {
-                    tag: TagId(v[0]),
-                    from: Epoch(v[1]),
-                    to: Epoch(v[2]),
+            "CURRENT" => Query::CurrentLocation(TagId(args.u64("tag")?)),
+            "TRAIL" => Query::Trail {
+                tag: TagId(args.u64("tag")?),
+                from: Epoch(args.u64("from-epoch")?),
+                to: Epoch(args.u64("to-epoch")?),
+            },
+            "SNAPSHOT" => {
+                let at = Epoch(args.u64("epoch")?);
+                match args.parts.next() {
+                    None => return Ok(Query::SnapshotAt(at)),
+                    Some("SINCE") => Query::SnapshotDelta {
+                        at,
+                        since: Epoch(args.u64("since-epoch")?),
+                    },
+                    Some(other) => {
+                        return Err(WireError::bad_request(format!(
+                            "SNAPSHOT: expected SINCE, got {other:?}"
+                        )))
+                    }
                 }
             }
-            "SNAPSHOT" => Query::SnapshotAt(Epoch(u64s(1)?[0])),
-            "CONTAIN" => {
-                let mut f64s = |name: &str| -> Result<f64, String> {
-                    parts
-                        .next()
-                        .ok_or_else(|| format!("CONTAIN: missing {name}"))?
-                        .parse::<f64>()
-                        .map_err(|e| format!("CONTAIN: bad float {name}: {e}"))
-                };
-                let (x0, y0, x1, y1) = (f64s("x0")?, f64s("y0")?, f64s("x1")?, f64s("y1")?);
-                let epoch = parts
-                    .next()
-                    .ok_or_else(|| "CONTAIN: missing epoch".to_string())?
-                    .parse::<u64>()
-                    .map_err(|e| format!("CONTAIN: bad epoch: {e}"))?;
-                Query::Containment {
-                    x0,
-                    y0,
-                    x1,
-                    y1,
-                    epoch: Epoch(epoch),
-                }
+            "CONTAIN" => Query::Containment {
+                x0: args.f64("x0")?,
+                y0: args.f64("y0")?,
+                x1: args.f64("x1")?,
+                y1: args.f64("y1")?,
+                epoch: Epoch(args.u64("epoch")?),
+            },
+            other => {
+                return Err(WireError::new(
+                    ErrorCode::UnknownVerb,
+                    format!("unknown request {other:?}"),
+                ))
             }
-            other => return Err(format!("unknown request {other:?}")),
         };
-        if parts.next().is_some() {
-            return Err(format!("{op}: trailing arguments"));
-        }
+        args.end()?;
         Ok(q)
     }
 }
 
-/// The answer to a [`Query`].
+impl RequestKind {
+    /// The line after the id (a query, `SUBSCRIBE ...`, or
+    /// `UNSUBSCRIBE ...`).
+    pub fn encode(&self) -> String {
+        match self {
+            RequestKind::Query(q) => q.encode(),
+            RequestKind::Subscribe(f) => format!("SUBSCRIBE {}", f.encode()),
+            RequestKind::Unsubscribe(sub) => format!("UNSUBSCRIBE {sub}"),
+        }
+    }
+
+    /// Parses the line after the id.
+    pub fn parse(line: &str) -> Result<RequestKind, WireError> {
+        let mut parts = line.split_ascii_whitespace();
+        let op = parts
+            .next()
+            .ok_or_else(|| WireError::bad_request("empty request"))?;
+        match op {
+            "SUBSCRIBE" => {
+                let mut args = Args { op, parts };
+                let filter = match args.parts.next() {
+                    Some("ALL") => SubscriptionFilter::All,
+                    Some("REGION") => SubscriptionFilter::Region {
+                        x0: args.f64("x0")?,
+                        y0: args.f64("y0")?,
+                        x1: args.f64("x1")?,
+                        y1: args.f64("y1")?,
+                    },
+                    Some("TAGS") => {
+                        let mut tags = Vec::new();
+                        for t in args.parts.by_ref() {
+                            tags.push(TagId(t.parse::<u64>().map_err(|e| {
+                                WireError::bad_request(format!("SUBSCRIBE: bad tag: {e}"))
+                            })?));
+                        }
+                        if tags.is_empty() {
+                            return Err(WireError::bad_request("SUBSCRIBE TAGS: no tags"));
+                        }
+                        return Ok(RequestKind::Subscribe(SubscriptionFilter::Tags(tags)));
+                    }
+                    other => {
+                        return Err(WireError::bad_request(format!(
+                            "SUBSCRIBE: expected ALL/REGION/TAGS, got {other:?}"
+                        )))
+                    }
+                };
+                args.end()?;
+                Ok(RequestKind::Subscribe(filter))
+            }
+            "UNSUBSCRIBE" => {
+                let mut args = Args { op, parts };
+                let sub = args.u64("subscription-id")?;
+                args.end()?;
+                Ok(RequestKind::Unsubscribe(sub))
+            }
+            _ => Query::parse(line).map(RequestKind::Query),
+        }
+    }
+}
+
+impl Request {
+    /// The v2 request line: `id SP kind`.
+    pub fn encode(&self) -> String {
+        format!("{} {}", self.id, self.kind.encode())
+    }
+
+    /// Parses a v2 request line. On failure, the error carries the
+    /// request id when one could be read (0 otherwise) so the server
+    /// can still address its `ERR` frame.
+    pub fn parse(line: &str) -> Result<Request, (u64, WireError)> {
+        let trimmed = line.trim_start();
+        let (head, rest) = trimmed.split_once(' ').unwrap_or((trimmed, ""));
+        let id = head
+            .parse::<u64>()
+            .map_err(|_| (0, WireError::bad_request("request must start with an id")))?;
+        let kind = RequestKind::parse(rest).map_err(|e| (id, e))?;
+        Ok(Request { id, kind })
+    }
+}
+
+// ---------------------------------------------------------------------
+// row codec (shared by v1 responses and v2 frames)
+// ---------------------------------------------------------------------
+
+/// Appends one `tag SP epoch SP x SP y SP z` row line. `{}` on f64 is
+/// the shortest string that parses back to the same bits — exact over
+/// the wire.
+pub(crate) fn encode_row(s: &mut String, row: &LocationRow) {
+    s.push('\n');
+    s.push_str(&format!(
+        "{} {} {} {} {}",
+        row.tag.0, row.epoch.0, row.location.x, row.location.y, row.location.z
+    ));
+}
+
+fn decode_rows<'a>(
+    mut lines: impl Iterator<Item = &'a str>,
+    n: usize,
+) -> Result<Vec<LocationRow>, WireError> {
+    let mut rows = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let line = lines
+            .next()
+            .ok_or_else(|| WireError::bad_request("truncated response"))?;
+        let mut p = line.split_ascii_whitespace();
+        let mut next = |name: &str| {
+            p.next()
+                .ok_or_else(|| WireError::bad_request(format!("row missing {name}: {line:?}")))
+        };
+        let tag: u64 = next("tag")?
+            .parse()
+            .map_err(|e| WireError::bad_request(format!("bad tag: {e}")))?;
+        let epoch: u64 = next("epoch")?
+            .parse()
+            .map_err(|e| WireError::bad_request(format!("bad epoch: {e}")))?;
+        let x: f64 = next("x")?
+            .parse()
+            .map_err(|e| WireError::bad_request(format!("bad x: {e}")))?;
+        let y: f64 = next("y")?
+            .parse()
+            .map_err(|e| WireError::bad_request(format!("bad y: {e}")))?;
+        let z: f64 = next("z")?
+            .parse()
+            .map_err(|e| WireError::bad_request(format!("bad z: {e}")))?;
+        rows.push(LocationRow {
+            tag: TagId(tag),
+            epoch: Epoch(epoch),
+            location: Point3::new(x, y, z),
+        });
+    }
+    if lines.next().is_some() {
+        return Err(WireError::bad_request("trailing response lines"));
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------
+// v1 responses
+// ---------------------------------------------------------------------
+
+/// The answer to a [`Query`] — the v1 response form, and the payload
+/// the v2 `OK`/`ERR` frames wrap with an id.
 #[derive(Debug, Clone, PartialEq)]
 pub enum QueryResponse {
     /// Matched rows (possibly empty), sorted as the store answers
     /// them: snapshot/containment by tag, trail in arrival order.
     Rows(Vec<LocationRow>),
     /// The query could not be answered.
-    Error(String),
+    Error(WireError),
 }
 
 impl QueryResponse {
-    /// The response payload (without the length prefix).
+    /// The rows, or `None` for an error response.
+    pub fn rows(&self) -> Option<&[LocationRow]> {
+        match self {
+            QueryResponse::Rows(rows) => Some(rows),
+            QueryResponse::Error(_) => None,
+        }
+    }
+
+    /// The rows, or the typed error.
+    pub fn into_rows(self) -> Result<Vec<LocationRow>, WireError> {
+        match self {
+            QueryResponse::Rows(rows) => Ok(rows),
+            QueryResponse::Error(e) => Err(e),
+        }
+    }
+
+    /// The typed error, or `None` for a row response.
+    pub fn error(&self) -> Option<&WireError> {
+        match self {
+            QueryResponse::Rows(_) => None,
+            QueryResponse::Error(e) => Some(e),
+        }
+    }
+
+    /// The response payload (v1: no id; without the length prefix).
     pub fn encode(&self) -> String {
         match self {
             QueryResponse::Rows(rows) => {
                 let mut s = format!("OK {}", rows.len());
                 for r in rows {
-                    s.push('\n');
-                    // `{}` on f64 is the shortest string that parses
-                    // back to the same bits — exact over the wire
-                    s.push_str(&format!(
-                        "{} {} {} {} {}",
-                        r.tag.0, r.epoch.0, r.location.x, r.location.y, r.location.z
-                    ));
+                    encode_row(&mut s, r);
                 }
                 s
             }
-            QueryResponse::Error(msg) => format!("ERR {}", msg.replace('\n', " ")),
+            QueryResponse::Error(e) => format!("ERR {}", e.encode()),
         }
     }
 
-    /// Parses a response payload.
-    pub fn parse(payload: &str) -> Result<QueryResponse, String> {
+    /// Parses a v1 response payload. Legacy `ERR <message>` frames
+    /// (no code token) decode as [`ErrorCode::Unknown`].
+    pub fn parse(payload: &str) -> Result<QueryResponse, WireError> {
         let mut lines = payload.lines();
-        let head = lines.next().ok_or_else(|| "empty response".to_string())?;
-        if let Some(msg) = head.strip_prefix("ERR ") {
-            return Ok(QueryResponse::Error(msg.to_string()));
+        let head = lines
+            .next()
+            .ok_or_else(|| WireError::bad_request("empty response"))?;
+        if let Some(rest) = head.strip_prefix("ERR ") {
+            return Ok(QueryResponse::Error(WireError::decode(rest)));
         }
         let n: usize = head
             .strip_prefix("OK ")
-            .ok_or_else(|| format!("bad response head {head:?}"))?
+            .ok_or_else(|| WireError::bad_request(format!("bad response head {head:?}")))?
             .parse()
-            .map_err(|e| format!("bad row count: {e}"))?;
-        let mut rows = Vec::with_capacity(n);
-        for _ in 0..n {
-            let line = lines
-                .next()
-                .ok_or_else(|| "truncated response".to_string())?;
-            let mut p = line.split_ascii_whitespace();
-            let mut next = || p.next().ok_or_else(|| format!("short row {line:?}"));
-            let tag: u64 = next()?.parse().map_err(|e| format!("bad tag: {e}"))?;
-            let epoch: u64 = next()?.parse().map_err(|e| format!("bad epoch: {e}"))?;
-            let x: f64 = next()?.parse().map_err(|e| format!("bad x: {e}"))?;
-            let y: f64 = next()?.parse().map_err(|e| format!("bad y: {e}"))?;
-            let z: f64 = next()?.parse().map_err(|e| format!("bad z: {e}"))?;
-            rows.push(LocationRow {
-                tag: TagId(tag),
-                epoch: Epoch(epoch),
-                location: Point3::new(x, y, z),
-            });
-        }
-        if lines.next().is_some() {
-            return Err("trailing response lines".to_string());
-        }
-        Ok(QueryResponse::Rows(rows))
+            .map_err(|e| WireError::bad_request(format!("bad row count: {e}")))?;
+        Ok(QueryResponse::Rows(decode_rows(lines, n)?))
     }
 }
 
-/// Answers a query against a store — the single evaluation path shared
-/// by the TCP server and in-process callers.
+// ---------------------------------------------------------------------
+// v2 frames
+// ---------------------------------------------------------------------
+
+/// One server→client frame of the v2 protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Handshake reply: the negotiated protocol version.
+    Hello { version: u32 },
+    /// Response to request `id`.
+    Ok { id: u64, rows: Vec<LocationRow> },
+    /// Typed failure of request `id` (`id` 0 when the envelope itself
+    /// did not parse).
+    Err { id: u64, error: WireError },
+    /// A committed delta for subscription `id`: the location changes
+    /// delivered by the completion of arrival `epoch`.
+    Push {
+        id: u64,
+        epoch: u64,
+        rows: Vec<LocationRow>,
+    },
+    /// Subscription `id` overflowed its queue; `dropped` rows were
+    /// discarded since its last delivered frame.
+    Lagged { id: u64, dropped: u64 },
+}
+
+impl Frame {
+    /// The frame payload (without the length prefix).
+    pub fn encode(&self) -> String {
+        match self {
+            Frame::Hello { version } => format!("HELLO {version}"),
+            Frame::Ok { id, rows } => {
+                let mut s = format!("OK {id} {}", rows.len());
+                for r in rows {
+                    encode_row(&mut s, r);
+                }
+                s
+            }
+            Frame::Err { id, error } => format!("ERR {id} {}", error.encode()),
+            Frame::Push { id, epoch, rows } => {
+                let mut s = format!("PUSH {id} {epoch} {}", rows.len());
+                for r in rows {
+                    encode_row(&mut s, r);
+                }
+                s
+            }
+            Frame::Lagged { id, dropped } => format!("LAGGED {id} {dropped}"),
+        }
+    }
+
+    /// Parses a v2 server frame.
+    pub fn parse(payload: &str) -> Result<Frame, WireError> {
+        let mut lines = payload.lines();
+        let head = lines
+            .next()
+            .ok_or_else(|| WireError::bad_request("empty frame"))?;
+        let mut parts = head.split_ascii_whitespace();
+        let verb = parts
+            .next()
+            .ok_or_else(|| WireError::bad_request("blank frame head"))?;
+        let mut u64_arg = |name: &str| -> Result<u64, WireError> {
+            parts
+                .next()
+                .ok_or_else(|| WireError::bad_request(format!("{verb}: missing {name}")))?
+                .parse::<u64>()
+                .map_err(|e| WireError::bad_request(format!("{verb}: bad {name}: {e}")))
+        };
+        match verb {
+            "HELLO" => Ok(Frame::Hello {
+                version: u64_arg("version")? as u32,
+            }),
+            "OK" => {
+                let id = u64_arg("id")?;
+                let n = u64_arg("row-count")? as usize;
+                Ok(Frame::Ok {
+                    id,
+                    rows: decode_rows(lines, n)?,
+                })
+            }
+            "ERR" => {
+                let id = u64_arg("id")?;
+                let rest = head
+                    .splitn(3, ' ')
+                    .nth(2)
+                    .ok_or_else(|| WireError::bad_request("ERR: missing error"))?;
+                Ok(Frame::Err {
+                    id,
+                    error: WireError::decode(rest),
+                })
+            }
+            "PUSH" => {
+                let id = u64_arg("id")?;
+                let epoch = u64_arg("arrival-epoch")?;
+                let n = u64_arg("row-count")? as usize;
+                Ok(Frame::Push {
+                    id,
+                    epoch,
+                    rows: decode_rows(lines, n)?,
+                })
+            }
+            "LAGGED" => Ok(Frame::Lagged {
+                id: u64_arg("id")?,
+                dropped: u64_arg("dropped")?,
+            }),
+            other => Err(WireError::bad_request(format!(
+                "unknown frame verb {other:?}"
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// evaluation
+// ---------------------------------------------------------------------
+
+/// Answers a pull query against a store — the single evaluation path
+/// shared by the TCP server (both protocol versions) and in-process
+/// callers.
 pub fn answer(store: &EventStore, query: &Query) -> QueryResponse {
     let result = match *query {
         Query::CurrentLocation(tag) => Ok(store.current_location(tag).into_iter().collect()),
@@ -213,6 +742,7 @@ pub fn answer(store: &EventStore, query: &Query) -> QueryResponse {
             })
             .collect()),
         Query::SnapshotAt(epoch) => store.snapshot_at(epoch),
+        Query::SnapshotDelta { at, since } => store.snapshot_delta(at, since),
         Query::Containment {
             x0,
             y0,
@@ -223,7 +753,7 @@ pub fn answer(store: &EventStore, query: &Query) -> QueryResponse {
     };
     match result {
         Ok(rows) => QueryResponse::Rows(rows),
-        Err(e @ StoreError::BeyondRetention { .. }) => QueryResponse::Error(e.to_string()),
+        Err(e) => QueryResponse::Error(e.into()),
     }
 }
 
@@ -242,6 +772,10 @@ mod tests {
                 to: Epoch(99),
             },
             Query::SnapshotAt(Epoch(42)),
+            Query::SnapshotDelta {
+                at: Epoch(42),
+                since: Epoch(17),
+            },
             Query::Containment {
                 x0: -1.5,
                 y0: 0.25,
@@ -256,20 +790,81 @@ mod tests {
     }
 
     #[test]
-    fn malformed_requests_are_rejected() {
+    fn requests_round_trip_the_envelope() {
+        let requests = [
+            Request {
+                id: 9,
+                kind: RequestKind::Query(Query::CurrentLocation(TagId(1))),
+            },
+            Request {
+                id: 0,
+                kind: RequestKind::Subscribe(SubscriptionFilter::All),
+            },
+            Request {
+                id: 3,
+                kind: RequestKind::Subscribe(SubscriptionFilter::Region {
+                    x0: -1.0,
+                    y0: 0.5,
+                    x1: 2.0,
+                    y1: 3.5,
+                }),
+            },
+            Request {
+                id: 4,
+                kind: RequestKind::Subscribe(SubscriptionFilter::Tags(vec![
+                    TagId(1),
+                    TagId(5),
+                    TagId(9),
+                ])),
+            },
+            Request {
+                id: 5,
+                kind: RequestKind::Unsubscribe(3),
+            },
+        ];
+        for r in requests {
+            assert_eq!(Request::parse(&r.encode()), Ok(r));
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_codes() {
         for bad in [
             "",
-            "FROB 1",
             "CURRENT",
             "CURRENT x",
             "CURRENT 1 2",
             "TRAIL 1 2",
             "SNAPSHOT -3",
+            "SNAPSHOT 5 UNTIL 9",
+            "SNAPSHOT 5 SINCE",
             "CONTAIN 0 0 1 1",
             "CONTAIN 0 0 1 one 5",
         ] {
-            assert!(Query::parse(bad).is_err(), "accepted {bad:?}");
+            let err = Query::parse(bad).expect_err(&format!("accepted {bad:?}"));
+            assert_eq!(err.code, ErrorCode::BadRequest, "{bad:?}");
         }
+        assert_eq!(
+            Query::parse("FROB 1").unwrap_err().code,
+            ErrorCode::UnknownVerb
+        );
+        for bad in [
+            "SUBSCRIBE",
+            "SUBSCRIBE NONE",
+            "SUBSCRIBE REGION 0 0 1",
+            "SUBSCRIBE TAGS",
+            "SUBSCRIBE TAGS x",
+            "UNSUBSCRIBE",
+            "UNSUBSCRIBE x",
+        ] {
+            let err = RequestKind::parse(bad).expect_err(&format!("accepted {bad:?}"));
+            assert_eq!(err.code, ErrorCode::BadRequest, "{bad:?}");
+        }
+        // an envelope whose id is unreadable reports id 0
+        assert_eq!(Request::parse("nope CURRENT 1").unwrap_err().0, 0);
+        // a readable id survives a bad body
+        let (id, err) = Request::parse("7 FROB 1").unwrap_err();
+        assert_eq!((id, err.code), (7, ErrorCode::UnknownVerb));
     }
 
     #[test]
@@ -299,8 +894,79 @@ mod tests {
             assert_eq!(a.location.y.to_bits(), b.location.y.to_bits());
             assert_eq!(a.location.z.to_bits(), b.location.z.to_bits());
         }
-        let err = QueryResponse::Error("beyond retention".into());
-        assert_eq!(QueryResponse::parse(&err.encode()).unwrap(), err);
+        // and the same rows survive a v2 PUSH frame
+        let push = Frame::Push {
+            id: 6,
+            epoch: 11,
+            rows: rows.clone(),
+        };
+        let Frame::Push {
+            id: 6,
+            epoch: 11,
+            rows: got,
+        } = Frame::parse(&push.encode()).unwrap()
+        else {
+            panic!("expected the same push frame back");
+        };
+        assert_eq!(got[0].location.x.to_bits(), rows[0].location.x.to_bits());
+    }
+
+    #[test]
+    fn error_codes_round_trip_and_legacy_errors_decode() {
+        let err = QueryResponse::Error(WireError::new(
+            ErrorCode::BeyondRetention,
+            "epoch 3 is beyond the retention horizon (oldest exact snapshot: 8)",
+        ));
+        let encoded = err.encode();
+        assert!(encoded.starts_with("ERR BEYOND_RETENTION "), "{encoded}");
+        assert_eq!(QueryResponse::parse(&encoded).unwrap(), err);
+
+        // v1 peers sent codeless messages: still accepted on decode
+        let legacy = QueryResponse::parse("ERR something went wrong").unwrap();
+        assert_eq!(
+            legacy.error().map(|e| (e.code, e.message.as_str())),
+            Some((ErrorCode::Unknown, "something went wrong"))
+        );
+
+        // StoreError maps one-to-one
+        let mapped: WireError = StoreError::BeyondRetention {
+            requested: 3,
+            horizon: 8,
+        }
+        .into();
+        assert_eq!(mapped.code, ErrorCode::BeyondRetention);
+    }
+
+    #[test]
+    fn v2_frames_round_trip() {
+        let frames = [
+            Frame::Hello { version: 2 },
+            Frame::Ok {
+                id: 7,
+                rows: vec![],
+            },
+            Frame::Err {
+                id: 9,
+                error: WireError::new(ErrorCode::UnknownVerb, "unknown request \"FROB\""),
+            },
+            Frame::Push {
+                id: 1,
+                epoch: 44,
+                rows: vec![LocationRow {
+                    tag: TagId(3),
+                    epoch: Epoch(40),
+                    location: Point3::new(1.5, -2.25, 0.0),
+                }],
+            },
+            Frame::Lagged {
+                id: 1,
+                dropped: 321,
+            },
+        ];
+        for f in frames {
+            assert_eq!(Frame::parse(&f.encode()), Ok(f));
+        }
+        assert!(Frame::parse("WHAT 1 2").is_err());
     }
 
     #[test]
@@ -312,13 +978,26 @@ mod tests {
             Point3::new(1.0, 2.0, 0.0),
         ));
         store.complete_epoch(Epoch(0));
+        store.push(&LocationEvent::new(
+            Epoch(1),
+            TagId(2),
+            Point3::new(4.0, 2.0, 0.0),
+        ));
+        store.complete_epoch(Epoch(1));
         let rows = |q: &Query| match answer(&store, q) {
             QueryResponse::Rows(r) => r,
             QueryResponse::Error(e) => panic!("unexpected error: {e}"),
         };
         assert_eq!(rows(&Query::CurrentLocation(TagId(1))).len(), 1);
         assert_eq!(rows(&Query::CurrentLocation(TagId(9))).len(), 0);
-        assert_eq!(rows(&Query::SnapshotAt(Epoch(0))).len(), 1);
+        assert_eq!(rows(&Query::SnapshotAt(Epoch(1))).len(), 2);
+        // the delta since epoch 0 contains only tag 2's arrival
+        let delta = rows(&Query::SnapshotDelta {
+            at: Epoch(1),
+            since: Epoch(0),
+        });
+        assert_eq!(delta.len(), 1);
+        assert_eq!(delta[0].tag, TagId(2));
         assert_eq!(
             rows(&Query::Trail {
                 tag: TagId(1),

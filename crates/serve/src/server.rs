@@ -1,21 +1,51 @@
-//! The concurrent TCP query server and its blocking client.
+//! The event-driven TCP query server and its blocking client.
 //!
-//! Thread-per-connection over `std::net::TcpListener`: the accept loop
-//! runs on one thread and every connection gets its own handler
-//! thread. All handlers share the store behind `Arc<RwLock<_>>` and
-//! take only **read** locks, so any number of queries proceed in
-//! parallel with each other and interleave with the single writer (the
-//! live ingestion pipeline holding the same `Arc` through a
-//! `StoreSink`). Framing is the 4-byte big-endian length prefix from
-//! [`crate::query`]; one frame in, one frame out, many frames per
-//! connection.
+//! ## Connection layer
+//!
+//! A **sharded, non-blocking worker pool** (std-only): one accept
+//! thread runs a non-blocking accept loop (waking on the stop flag
+//! directly — no self-connect tricks) and deals connections round-robin
+//! to `ServerConfig::workers` worker threads. Each worker owns its
+//! connections outright and multiplexes them with
+//! `TcpStream::set_nonblocking`: per iteration it flushes pending
+//! output, reads whatever bytes are available, processes every
+//! complete frame, and drains subscription queues into connections
+//! with room. Workers spin-yield briefly when idle and then sleep a
+//! short interval, so quiet servers cost ~0 CPU while busy ones never
+//! sleep.
+//!
+//! All query evaluation takes only **read** locks on the store, so any
+//! number of pulls proceed in parallel with each other and interleave
+//! with the single writer (the ingestion pipeline holding the same
+//! `Arc` through a `StoreSink`).
+//!
+//! ## Backpressure
+//!
+//! Each connection buffers outbound bytes in an outbox. When the
+//! outbox passes `ServerConfig::outbox_high_water` the worker stops
+//! reading new requests from that connection *and* stops appending
+//! push frames to it — pushes then pool in the subscription's bounded
+//! queue, whose overflow policy (drop oldest, one `LAGGED` notice per
+//! run) is the hub's. A slow subscriber costs a bounded queue, never
+//! an unbounded buffer or a desynced frame.
+//!
+//! Framing is the 4-byte big-endian length prefix from
+//! [`crate::query`] — one frame per request, one frame per response or
+//! push, many frames per connection. The framing is the stable
+//! surface across protocol versions.
 
-use crate::query::{answer, Query, QueryResponse};
-use crate::store::EventStore;
+use crate::hub::{SubscriptionHandle, SubscriptionHub};
+use crate::query::{
+    answer, ErrorCode, Frame, Query, QueryResponse, Request, RequestKind, SubscriptionFilter,
+    WireError, PROTOCOL_VERSION,
+};
+use crate::store::{EventStore, LocationRow};
+use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::mpsc;
+use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -23,8 +53,57 @@ use std::time::Duration;
 /// response document). Guards the server against garbage prefixes.
 pub const MAX_FRAME_BYTES: u32 = 4 << 20;
 
-/// How often a blocked connection handler re-checks the shutdown flag.
-const POLL_INTERVAL: Duration = Duration::from_millis(100);
+/// Oldest protocol version the server still speaks.
+pub const MIN_PROTOCOL_VERSION: u32 = 1;
+
+/// How often the accept loop re-checks the stop flag while no
+/// connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(1);
+
+/// Idle iterations a worker spin-yields before sleeping.
+const IDLE_SPINS: u32 = 64;
+
+/// Server knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Worker threads sharing the connections (>= 1).
+    pub workers: usize,
+    /// Outbox size (bytes) past which a connection stops being read
+    /// and stops receiving push frames until it drains.
+    pub outbox_high_water: usize,
+    /// How long an idle worker sleeps between polls once spinning has
+    /// not produced work. Bounds worst-case added latency on an
+    /// otherwise idle server.
+    pub idle_sleep: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+                .clamp(1, 4),
+            outbox_high_water: 256 << 10,
+            idle_sleep: Duration::from_micros(100),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Default config with a worker count (>= 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(workers >= 1, "at least one worker");
+        self.workers = workers;
+        self
+    }
+
+    /// Default config with an outbox high-water mark in bytes.
+    pub fn with_outbox_high_water(mut self, bytes: usize) -> Self {
+        self.outbox_high_water = bytes;
+        self
+    }
+}
 
 /// Writes one length-prefixed frame.
 pub fn write_frame<W: Write>(w: &mut W, payload: &str) -> io::Result<()> {
@@ -61,13 +140,67 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<String>> {
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
+/// An incremental frame decoder: bytes go in as they arrive (partial
+/// frames survive between reads — a slow peer must never desync the
+/// framing), complete frames come out.
+#[derive(Debug, Default)]
+struct FrameBuf {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameBuf {
+    fn extend(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// The next complete frame, if the buffer holds one.
+    fn next_frame(&mut self) -> io::Result<Option<String>> {
+        let avail = self.buf.len() - self.pos;
+        if avail < 4 {
+            self.compact();
+            return Ok(None);
+        }
+        let len_bytes: [u8; 4] = self.buf[self.pos..self.pos + 4]
+            .try_into()
+            .expect("4 bytes checked");
+        let len = u32::from_be_bytes(len_bytes);
+        if len > MAX_FRAME_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"),
+            ));
+        }
+        let total = 4 + len as usize;
+        if avail < total {
+            self.compact();
+            return Ok(None);
+        }
+        let payload = std::str::from_utf8(&self.buf[self.pos + 4..self.pos + total])
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
+            .to_string();
+        self.pos += total;
+        self.compact();
+        Ok(Some(payload))
+    }
+
+    fn compact(&mut self) {
+        // reclaim consumed prefix once it dominates the buffer
+        if self.pos > 0 && (self.pos == self.buf.len() || self.pos >= 16 << 10) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+}
+
 /// A running query server. Dropping the handle without calling
 /// [`ServerHandle::shutdown`] leaves the threads running for the
 /// process lifetime.
 pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    hub: SubscriptionHub,
+    threads: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -76,214 +209,625 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stops accepting, wakes the accept loop, and joins it (handler
-    /// threads poll the same flag and exit within [`POLL_INTERVAL`] of
-    /// their client going quiet).
+    /// The hub feeding this server's push subscriptions. Compose its
+    /// [`SubscriptionHub::sink`] into the ingestion pipeline next to
+    /// the store's `StoreSink`.
+    pub fn hub(&self) -> &SubscriptionHub {
+        &self.hub
+    }
+
+    /// Stops the server and joins every thread. The non-blocking
+    /// accept loop and the workers observe the flag within their poll
+    /// interval — no wake-up connection needed. In-flight responses
+    /// already in an outbox are not flushed further; clients see EOF.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        // unblock the accept loop with a throwaway connection
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
+        for t in self.threads.drain(..) {
             let _ = t.join();
         }
     }
 }
 
-/// Binds `addr` and serves queries against `store` until
-/// [`ServerHandle::shutdown`]. `addr` is typically
-/// `"127.0.0.1:0"` (tests, benches) or a fixed port (deployments).
+/// Binds `addr` and serves queries against `store` with default
+/// config and a private hub (reachable via [`ServerHandle::hub`]).
+/// `addr` is typically `"127.0.0.1:0"` (tests, benches) or a fixed
+/// port (deployments).
 pub fn serve(addr: &str, store: Arc<RwLock<EventStore>>) -> io::Result<ServerHandle> {
+    serve_with(
+        addr,
+        store,
+        SubscriptionHub::default(),
+        ServerConfig::default(),
+    )
+}
+
+/// [`serve`] with an explicit hub (shared with the ingestion side)
+/// and config.
+pub fn serve_with(
+    addr: &str,
+    store: Arc<RwLock<EventStore>>,
+    hub: SubscriptionHub,
+    cfg: ServerConfig,
+) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
     let local = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
+    let mut threads = Vec::with_capacity(cfg.workers + 1);
+    let mut senders = Vec::with_capacity(cfg.workers);
+    for w in 0..cfg.workers {
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        senders.push(tx);
+        let store = Arc::clone(&store);
+        let hub = hub.clone();
+        let stop = Arc::clone(&stop);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("rfid-serve-worker-{w}"))
+                .spawn(move || worker_loop(rx, store, hub, stop, cfg))?,
+        );
+    }
     let accept_stop = Arc::clone(&stop);
-    let accept_thread = std::thread::Builder::new()
-        .name("rfid-serve-accept".into())
-        .spawn(move || accept_loop(listener, store, accept_stop))?;
+    threads.insert(
+        0,
+        std::thread::Builder::new()
+            .name("rfid-serve-accept".into())
+            .spawn(move || accept_loop(listener, senders, accept_stop))?,
+    );
     Ok(ServerHandle {
         addr: local,
         stop,
-        accept_thread: Some(accept_thread),
+        hub,
+        threads,
     })
 }
 
-fn accept_loop(listener: TcpListener, store: Arc<RwLock<EventStore>>, stop: Arc<AtomicBool>) {
-    // handler threads are tracked so shutdown cannot leak a thread
-    // holding the store lock mid-answer
-    let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-    for conn in listener.incoming() {
-        if stop.load(Ordering::SeqCst) {
+/// Non-blocking accept loop: deals connections round-robin to the
+/// workers, sleeping [`ACCEPT_POLL`] when none are pending so the stop
+/// flag is observed directly.
+fn accept_loop(
+    listener: TcpListener,
+    senders: Vec<mpsc::Sender<TcpStream>>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut next = 0usize;
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                // a worker that exited (only at shutdown) drops its
+                // receiver; the send error is then irrelevant
+                let _ = senders[next % senders.len()].send(stream);
+                next = next.wrapping_add(1);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// One multiplexed connection owned by a worker.
+struct Conn {
+    stream: TcpStream,
+    inbuf: FrameBuf,
+    outbuf: VecDeque<u8>,
+    /// Negotiated protocol version (1 until a `HELLO` upgrade).
+    version: u32,
+    subs: Vec<SubscriptionHandle>,
+    closed: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            inbuf: FrameBuf::default(),
+            outbuf: VecDeque::new(),
+            version: 1,
+            subs: Vec::new(),
+            closed: false,
+        }
+    }
+
+    fn enqueue(&mut self, payload: &str) {
+        let bytes = payload.as_bytes();
+        debug_assert!(bytes.len() as u64 <= MAX_FRAME_BYTES as u64);
+        self.outbuf
+            .extend((bytes.len() as u32).to_be_bytes().iter().copied());
+        self.outbuf.extend(bytes.iter().copied());
+    }
+
+    /// Writes as much buffered output as the socket accepts.
+    fn flush(&mut self) -> io::Result<usize> {
+        let mut written = 0usize;
+        while !self.outbuf.is_empty() {
+            let (front, _) = self.outbuf.as_slices();
+            match self.stream.write(front) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket accepted 0 bytes",
+                    ))
+                }
+                Ok(n) => {
+                    self.outbuf.drain(..n);
+                    written += n;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(written)
+    }
+}
+
+fn worker_loop(
+    incoming: mpsc::Receiver<TcpStream>,
+    store: Arc<RwLock<EventStore>>,
+    hub: SubscriptionHub,
+    stop: Arc<AtomicBool>,
+    cfg: ServerConfig,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut scratch = vec![0u8; 64 << 10];
+    let mut spins = 0u32;
+    while !stop.load(Ordering::SeqCst) {
+        let mut progressed = false;
+        while let Ok(stream) = incoming.try_recv() {
+            conns.push(Conn::new(stream));
+            progressed = true;
+        }
+        for conn in conns.iter_mut() {
+            match pump(conn, &store, &hub, &cfg, &mut scratch) {
+                Ok(p) => progressed |= p,
+                Err(_) => conn.closed = true,
+            }
+        }
+        conns.retain_mut(|c| {
+            if c.closed {
+                for sub in &c.subs {
+                    sub.cancel();
+                }
+                false
+            } else {
+                true
+            }
+        });
+        if progressed {
+            spins = 0;
+        } else if spins < IDLE_SPINS {
+            spins += 1;
+            std::thread::yield_now();
+        } else {
+            std::thread::sleep(cfg.idle_sleep);
+        }
+    }
+    // shutdown: cancel subscriptions so the hub prunes them
+    for conn in &conns {
+        for sub in &conn.subs {
+            sub.cancel();
+        }
+    }
+}
+
+/// One service iteration of one connection: flush, read + process,
+/// drain subscriptions, flush. Returns whether any progress happened.
+fn pump(
+    conn: &mut Conn,
+    store: &RwLock<EventStore>,
+    hub: &SubscriptionHub,
+    cfg: &ServerConfig,
+    scratch: &mut [u8],
+) -> io::Result<bool> {
+    let mut progressed = conn.flush()? > 0;
+
+    // process buffered requests and read new ones, but only while the
+    // peer drains its responses — a pipelining client cannot grow the
+    // outbox past the high-water mark plus one response
+    loop {
+        while conn.outbuf.len() < cfg.outbox_high_water {
+            match conn.inbuf.next_frame()? {
+                Some(payload) => {
+                    process_frame(conn, store, hub, &payload);
+                    progressed = true;
+                }
+                None => break,
+            }
+        }
+        if conn.outbuf.len() >= cfg.outbox_high_water {
             break;
         }
-        let Ok(stream) = conn else { continue };
-        let store = Arc::clone(&store);
-        let conn_stop = Arc::clone(&stop);
-        let spawned = std::thread::Builder::new()
-            .name("rfid-serve-conn".into())
-            .spawn(move || {
-                let _ = handle_connection(stream, &store, &conn_stop);
-            });
-        if let Ok(h) = spawned {
-            let mut guard = handlers.lock().expect("handler registry poisoned");
-            // opportunistically reap finished handlers
-            guard.retain(|h| !h.is_finished());
-            guard.push(h);
-        }
-    }
-    let drained = std::mem::take(&mut *handlers.lock().expect("handler registry poisoned"));
-    for h in drained {
-        let _ = h.join();
-    }
-}
-
-/// How long a response write may block before the connection is
-/// dropped (a client that stops reading must not pin a handler —
-/// shutdown joins every handler thread).
-const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
-
-/// Outcome of one polled frame read.
-enum PolledFrame {
-    Payload(String),
-    /// The client closed the connection at a frame boundary.
-    Eof,
-    /// The server is shutting down.
-    Stopped,
-}
-
-/// Outcome of one polled exact read.
-enum Progress {
-    Complete,
-    CleanEof,
-    Stopped,
-}
-
-/// `read_exact` that survives read-timeout ticks *without losing
-/// partial progress* (a slow client splitting a frame across ticks
-/// must not desync the framing) and polls the shutdown flag while
-/// waiting. A clean EOF is only legal before the first byte
-/// (`eof_ok_at_start`); mid-buffer EOF is an error.
-fn read_exact_polling(
-    stream: &mut TcpStream,
-    buf: &mut [u8],
-    stop: &AtomicBool,
-    eof_ok_at_start: bool,
-) -> io::Result<Progress> {
-    let mut got = 0usize;
-    while got < buf.len() {
-        if stop.load(Ordering::SeqCst) {
-            return Ok(Progress::Stopped);
-        }
-        match stream.read(&mut buf[got..]) {
+        match conn.stream.read(scratch) {
             Ok(0) => {
-                return if got == 0 && eof_ok_at_start {
-                    Ok(Progress::CleanEof)
-                } else {
-                    Err(io::Error::new(
-                        io::ErrorKind::UnexpectedEof,
-                        "connection closed mid-frame",
-                    ))
-                };
+                conn.closed = true;
+                return Ok(true);
             }
-            Ok(n) => got += n,
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock
-                        | io::ErrorKind::TimedOut
-                        | io::ErrorKind::Interrupted
-                ) =>
-            {
-                continue; // poll tick — `got` bytes stay consumed
+            Ok(n) => {
+                conn.inbuf.extend(&scratch[..n]);
+                progressed = true;
             }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(e) => return Err(e),
         }
     }
-    Ok(Progress::Complete)
+
+    // drain subscription queues into the outbox while there is room
+    let mut i = 0;
+    while i < conn.subs.len() && conn.outbuf.len() < cfg.outbox_high_water {
+        if let Some(frame) = conn.subs[i].poll() {
+            conn.enqueue(&frame.encode());
+            progressed = true;
+        } else {
+            i += 1;
+        }
+    }
+
+    progressed |= conn.flush()? > 0;
+    Ok(progressed)
 }
 
-/// Reads one length-prefixed frame with shutdown polling and
-/// partial-progress preservation (see [`read_exact_polling`]).
-fn read_frame_polling(stream: &mut TcpStream, stop: &AtomicBool) -> io::Result<PolledFrame> {
-    let mut len_buf = [0u8; 4];
-    match read_exact_polling(stream, &mut len_buf, stop, true)? {
-        Progress::Complete => {}
-        Progress::CleanEof => return Ok(PolledFrame::Eof),
-        Progress::Stopped => return Ok(PolledFrame::Stopped),
-    }
-    let len = u32::from_be_bytes(len_buf);
-    if len > MAX_FRAME_BYTES {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"),
-        ));
-    }
-    let mut payload = vec![0u8; len as usize];
-    match read_exact_polling(stream, &mut payload, stop, false)? {
-        Progress::Complete => {}
-        // eof_ok_at_start = false: an EOF here surfaced as Err above
-        Progress::CleanEof => unreachable!("mid-frame EOF is an error"),
-        Progress::Stopped => return Ok(PolledFrame::Stopped),
-    }
-    String::from_utf8(payload)
-        .map(PolledFrame::Payload)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
-}
-
-fn handle_connection(
-    mut stream: TcpStream,
+/// Handles one request frame, appending whatever response frames it
+/// produces to the connection's outbox.
+fn process_frame(
+    conn: &mut Conn,
     store: &RwLock<EventStore>,
-    stop: &AtomicBool,
-) -> io::Result<()> {
-    // short read timeouts let the handler notice shutdown while its
-    // client idles between queries; the write timeout bounds how long
-    // a client that stops reading can pin this thread
-    stream.set_read_timeout(Some(POLL_INTERVAL))?;
-    stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
-    stream.set_nodelay(true)?;
-    loop {
-        let request = match read_frame_polling(&mut stream, stop)? {
-            PolledFrame::Payload(line) => line,
-            PolledFrame::Eof | PolledFrame::Stopped => return Ok(()),
-        };
-        let response = match Query::parse(&request) {
-            Ok(query) => {
-                let guard = store.read().expect("event store lock poisoned");
-                answer(&guard, &query)
+    hub: &SubscriptionHub,
+    payload: &str,
+) {
+    // HELLO is version-independent: it is what *sets* the version
+    if let Some(rest) = payload.strip_prefix("HELLO") {
+        let reply = match rest.trim().parse::<u32>() {
+            Ok(v) if v >= MIN_PROTOCOL_VERSION => {
+                let negotiated = v.min(PROTOCOL_VERSION);
+                conn.version = negotiated;
+                Frame::Hello {
+                    version: negotiated,
+                }
             }
-            Err(msg) => QueryResponse::Error(msg),
+            Ok(v) => Frame::Err {
+                id: 0,
+                error: WireError::new(
+                    ErrorCode::UnsupportedVersion,
+                    format!(
+                        "version {v} not supported (server speaks \
+                         {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION})"
+                    ),
+                ),
+            },
+            Err(e) => Frame::Err {
+                id: 0,
+                error: WireError::bad_request(format!("HELLO: bad version: {e}")),
+            },
         };
-        write_frame(&mut stream, &response.encode())?;
+        conn.enqueue(&reply.encode());
+        return;
+    }
+    if conn.version >= 2 {
+        let frame = match Request::parse(payload) {
+            Ok(req) => process_request(conn, store, hub, req),
+            Err((id, error)) => Frame::Err { id, error },
+        };
+        conn.enqueue(&frame.encode());
+        return;
+    }
+    // v1: a bare query line, one codeless envelope per response
+    let response = match RequestKind::parse(payload) {
+        Ok(RequestKind::Query(q)) => {
+            let guard = store.read().expect("event store lock poisoned");
+            answer(&guard, &q)
+        }
+        Ok(RequestKind::Subscribe(_)) | Ok(RequestKind::Unsubscribe(_)) => {
+            QueryResponse::Error(WireError::new(
+                ErrorCode::UnsupportedVersion,
+                "subscriptions need protocol version >= 2 (send HELLO 2 first)",
+            ))
+        }
+        Err(error) => QueryResponse::Error(error),
+    };
+    conn.enqueue(&response.encode());
+}
+
+/// Evaluates one parsed v2 request into its response frame.
+fn process_request(
+    conn: &mut Conn,
+    store: &RwLock<EventStore>,
+    hub: &SubscriptionHub,
+    req: Request,
+) -> Frame {
+    let id = req.id;
+    match req.kind {
+        RequestKind::Query(q) => {
+            let guard = store.read().expect("event store lock poisoned");
+            match answer(&guard, &q) {
+                QueryResponse::Rows(rows) => Frame::Ok { id, rows },
+                QueryResponse::Error(error) => Frame::Err { id, error },
+            }
+        }
+        RequestKind::Subscribe(filter) => {
+            if conn.subs.iter().any(|s| s.id() == id) {
+                return Frame::Err {
+                    id,
+                    error: WireError::bad_request(format!("subscription id {id} already in use")),
+                };
+            }
+            conn.subs.push(hub.subscribe(id, filter));
+            Frame::Ok { id, rows: vec![] }
+        }
+        RequestKind::Unsubscribe(sub_id) => match conn.subs.iter().position(|s| s.id() == sub_id) {
+            Some(i) => {
+                conn.subs.remove(i).cancel();
+                Frame::Ok { id, rows: vec![] }
+            }
+            None => Frame::Err {
+                id,
+                error: WireError::new(
+                    ErrorCode::UnknownSubscription,
+                    format!("no subscription {sub_id} on this connection"),
+                ),
+            },
+        },
     }
 }
 
-/// A blocking client speaking the framed text protocol.
+// ---------------------------------------------------------------------
+// client
+// ---------------------------------------------------------------------
+
+/// Configures a [`QueryClient`] before the TCP connect + handshake.
+/// Obtained from [`QueryClient::connect`]; finished with
+/// [`ClientBuilder::establish`].
+#[derive(Debug, Clone)]
+pub struct ClientBuilder {
+    addr: SocketAddr,
+    timeout: Option<Duration>,
+    protocol_version: u32,
+}
+
+impl ClientBuilder {
+    /// Read/write timeout for every socket operation. Reads that time
+    /// out mid-frame keep their partial progress — the next call
+    /// resumes the same frame, never desyncing the framing.
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Protocol version to request (default: [`PROTOCOL_VERSION`]).
+    /// `1` skips the `HELLO` handshake entirely — the legacy wire
+    /// dialect. The server may negotiate downward; see
+    /// [`QueryClient::version`].
+    pub fn protocol_version(mut self, version: u32) -> Self {
+        assert!(version >= 1, "protocol versions start at 1");
+        self.protocol_version = version;
+        self
+    }
+
+    /// Connects and (for versions >= 2) performs the `HELLO`
+    /// handshake.
+    pub fn establish(self) -> io::Result<QueryClient> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(self.timeout)?;
+        stream.set_write_timeout(self.timeout)?;
+        let mut client = QueryClient {
+            stream,
+            version: 1,
+            next_id: 1,
+            inbuf: FrameBuf::default(),
+            pending_pushes: VecDeque::new(),
+        };
+        if self.protocol_version >= 2 {
+            write_frame(
+                &mut client.stream,
+                &format!("HELLO {}", self.protocol_version),
+            )?;
+            match Frame::parse(&client.read_frame_buffered()?) {
+                Ok(Frame::Hello { version }) => client.version = version,
+                Ok(Frame::Err { error, .. }) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("server refused handshake: {error}"),
+                    ))
+                }
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected handshake reply: {other:?}"),
+                    ))
+                }
+            }
+        }
+        Ok(client)
+    }
+}
+
+/// A blocking client speaking the framed text protocol (both
+/// versions).
+///
+/// ```no_run
+/// # use rfid_serve::{Query, QueryClient};
+/// # use std::time::Duration;
+/// # let addr: std::net::SocketAddr = "127.0.0.1:4000".parse().unwrap();
+/// let mut client = QueryClient::connect(addr)
+///     .timeout(Duration::from_secs(2))
+///     .establish()?;
+/// let rows = client.query(&Query::SnapshotAt(rfid_stream::Epoch(40)))?.into_rows();
+/// # std::io::Result::Ok(())
+/// ```
 #[derive(Debug)]
 pub struct QueryClient {
     stream: TcpStream,
+    version: u32,
+    next_id: u64,
+    inbuf: FrameBuf,
+    /// Push/lag frames that arrived while waiting for a pull response.
+    pending_pushes: VecDeque<Frame>,
 }
 
 impl QueryClient {
-    /// Connects to a server.
-    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        Ok(Self { stream })
+    /// Starts building a connection to a server. The builder's
+    /// [`ClientBuilder::establish`] performs the TCP connect and
+    /// handshake.
+    pub fn connect(addr: SocketAddr) -> ClientBuilder {
+        ClientBuilder {
+            addr,
+            timeout: None,
+            protocol_version: PROTOCOL_VERSION,
+        }
     }
 
-    /// Sends one query and waits for its response.
+    /// The negotiated protocol version.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Reads one frame, buffering partial progress across timeouts so
+    /// an expired [`ClientBuilder::timeout`] never desyncs framing.
+    fn read_frame_buffered(&mut self) -> io::Result<String> {
+        loop {
+            if let Some(frame) = self.inbuf.next_frame()? {
+                return Ok(frame);
+            }
+            let mut chunk = [0u8; 16 << 10];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    ))
+                }
+                Ok(n) => self.inbuf.extend(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Sends one query and waits for its response; push frames that
+    /// arrive in between are retained for [`QueryClient::next_push`].
     pub fn query(&mut self, query: &Query) -> io::Result<QueryResponse> {
-        write_frame(&mut self.stream, &query.encode())?;
-        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
-            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed mid-query")
-        })?;
-        QueryResponse::parse(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        if self.version < 2 {
+            write_frame(&mut self.stream, &query.encode())?;
+            let payload = self.read_frame_buffered()?;
+            return QueryResponse::parse(&payload)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e));
+        }
+        let id = self.fresh_id();
+        let request = Request {
+            id,
+            kind: RequestKind::Query(*query),
+        };
+        write_frame(&mut self.stream, &request.encode())?;
+        match self.await_response(id)? {
+            Ok(rows) => Ok(QueryResponse::Rows(rows)),
+            Err(error) => Ok(QueryResponse::Error(error)),
+        }
     }
 
-    /// Sends a raw request line (protocol tests).
+    /// Registers a push subscription and returns its id (protocol
+    /// version >= 2 only). Frames then arrive via
+    /// [`QueryClient::next_push`].
+    pub fn subscribe(&mut self, filter: &SubscriptionFilter) -> io::Result<u64> {
+        if self.version < 2 {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "subscriptions need protocol version >= 2",
+            ));
+        }
+        let id = self.fresh_id();
+        let request = Request {
+            id,
+            kind: RequestKind::Subscribe(filter.clone()),
+        };
+        write_frame(&mut self.stream, &request.encode())?;
+        self.await_response(id)?
+            .map(|_| id)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Cancels a subscription made on this connection. Already-queued
+    /// push frames may still arrive before the acknowledgement.
+    pub fn unsubscribe(&mut self, subscription: u64) -> io::Result<()> {
+        let id = self.fresh_id();
+        let request = Request {
+            id,
+            kind: RequestKind::Unsubscribe(subscription),
+        };
+        write_frame(&mut self.stream, &request.encode())?;
+        self.await_response(id)?
+            .map(|_| ())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// The next push or lag frame: [`Frame::Push`] or
+    /// [`Frame::Lagged`]. Blocks until one arrives (or the configured
+    /// timeout expires — partial frames survive the timeout).
+    pub fn next_push(&mut self) -> io::Result<Frame> {
+        if let Some(frame) = self.pending_pushes.pop_front() {
+            return Ok(frame);
+        }
+        let payload = self.read_frame_buffered()?;
+        match Frame::parse(&payload) {
+            Ok(frame @ (Frame::Push { .. } | Frame::Lagged { .. })) => Ok(frame),
+            Ok(other) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected a push frame, got {other:?}"),
+            )),
+            Err(e) => Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+        }
+    }
+
+    /// Sends a raw request line and returns the next non-push frame's
+    /// payload (protocol tests).
     pub fn query_raw(&mut self, line: &str) -> io::Result<String> {
         write_frame(&mut self.stream, line)?;
-        read_frame(&mut self.stream)?
-            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed mid-query"))
+        loop {
+            let payload = self.read_frame_buffered()?;
+            if self.version >= 2 {
+                if let Ok(Frame::Push { .. } | Frame::Lagged { .. }) = Frame::parse(&payload) {
+                    self.pending_pushes
+                        .push_back(Frame::parse(&payload).expect("just parsed"));
+                    continue;
+                }
+            }
+            return Ok(payload);
+        }
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Reads frames until the response for `id`, stashing push frames
+    /// that interleave.
+    fn await_response(&mut self, id: u64) -> io::Result<Result<Vec<LocationRow>, WireError>> {
+        loop {
+            let payload = self.read_frame_buffered()?;
+            match Frame::parse(&payload)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
+            {
+                Frame::Ok { id: got, rows } if got == id => return Ok(Ok(rows)),
+                Frame::Err { id: got, error } if got == id => return Ok(Err(error)),
+                frame @ (Frame::Push { .. } | Frame::Lagged { .. }) => {
+                    self.pending_pushes.push_back(frame);
+                }
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("response for unexpected request: {other:?}"),
+                    ))
+                }
+            }
+        }
     }
 }
 
@@ -306,6 +850,9 @@ mod tests {
     fn oversized_frames_are_refused() {
         let mut r = io::Cursor::new((MAX_FRAME_BYTES + 1).to_be_bytes().to_vec());
         assert!(read_frame(&mut r).is_err());
+        let mut fb = FrameBuf::default();
+        fb.extend(&(MAX_FRAME_BYTES + 1).to_be_bytes());
+        assert!(fb.next_frame().is_err());
     }
 
     #[test]
@@ -315,5 +862,21 @@ mod tests {
         buf.truncate(buf.len() - 3);
         let mut r = io::Cursor::new(buf);
         assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn frame_buf_reassembles_byte_dribbles() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, "CURRENT 1").unwrap();
+        write_frame(&mut wire, "SNAPSHOT 9 SINCE 4").unwrap();
+        let mut fb = FrameBuf::default();
+        let mut got = Vec::new();
+        for b in wire {
+            fb.extend(&[b]);
+            while let Some(f) = fb.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, vec!["CURRENT 1", "SNAPSHOT 9 SINCE 4"]);
     }
 }

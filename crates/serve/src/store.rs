@@ -352,6 +352,31 @@ impl EventStore {
     /// answer with the current relation; epochs behind the retention
     /// horizon are refused.
     pub fn snapshot_at(&self, epoch: Epoch) -> Result<Vec<LocationRow>, StoreError> {
+        Ok(self
+            .snapshot_events(epoch)?
+            .into_iter()
+            .map(row_of)
+            .collect())
+    }
+
+    /// The rows of [`EventStore::snapshot_at`]`(at)` whose backing
+    /// event **arrived** after epoch `since` completed — the
+    /// incremental refresh for a client already holding the snapshot
+    /// at `since`. Exact even when `since` predates the retention
+    /// horizon: compacted snapshots preserve each event's arrival
+    /// stamp, so the filter never guesses.
+    pub fn snapshot_delta(&self, at: Epoch, since: Epoch) -> Result<Vec<LocationRow>, StoreError> {
+        Ok(self
+            .snapshot_events(at)?
+            .into_iter()
+            .filter(|s| s.arrival > since.0)
+            .map(row_of)
+            .collect())
+    }
+
+    /// The stored events backing the snapshot relation at `epoch`
+    /// (staleness applied), sorted by tag.
+    fn snapshot_events(&self, epoch: Epoch) -> Result<Vec<StoredEvent>, StoreError> {
         let e = epoch.0;
         if let Some((end, snap)) = &self.compacted {
             if e < *end {
@@ -361,7 +386,7 @@ impl EventStore {
                 });
             }
             if e == *end {
-                return Ok(self.relation_rows(snap, e));
+                return Ok(self.relation_events(snap, e));
             }
         }
         // the last segment whose range starts at or before e
@@ -370,17 +395,17 @@ impl EventStore {
             // before any retained segment: the compacted base (if its
             // horizon passed) or the empty pre-stream relation
             return Ok(match &self.compacted {
-                Some((end, snap)) if e >= *end => self.relation_rows(snap, e),
+                Some((end, snap)) if e >= *end => self.relation_events(snap, e),
                 _ => Vec::new(),
             });
         }
         let seg = &self.segments[idx - 1];
         if e >= seg.end {
             if let Some(snap) = &seg.snapshot {
-                return Ok(self.relation_rows(snap, e));
+                return Ok(self.relation_events(snap, e));
             }
             // open tail and e at/past its end: everything so far
-            return Ok(self.relation_rows(&self.current, e));
+            return Ok(self.relation_events(&self.current, e));
         }
         // inside `seg`: previous cumulative state + this segment's
         // arrivals up to e
@@ -401,10 +426,10 @@ impl EventStore {
             }
             state.insert(stored.event.tag, *stored);
         }
-        Ok(self.relation_rows(&state, e))
+        Ok(self.relation_events(&state, e))
     }
 
-    fn relation_rows(&self, state: &BTreeMap<TagId, StoredEvent>, at: u64) -> Vec<LocationRow> {
+    fn relation_events(&self, state: &BTreeMap<TagId, StoredEvent>, at: u64) -> Vec<StoredEvent> {
         // clamp the staleness reference so querying far past the end
         // of data does not age every tag out
         let at = at.min(self.next_arrival());
@@ -415,11 +440,7 @@ impl EventStore {
                     .snapshot_staleness
                     .is_none_or(|k| s.event.epoch.0.saturating_add(k) >= at)
             })
-            .map(|s| LocationRow {
-                tag: s.event.tag,
-                epoch: s.event.epoch,
-                location: s.event.location,
-            })
+            .copied()
             .collect()
     }
 
@@ -468,6 +489,14 @@ impl EventStore {
             r.location.x >= x0 && r.location.x <= x1 && r.location.y >= y0 && r.location.y <= y1
         });
         Ok(rows)
+    }
+}
+
+fn row_of(s: StoredEvent) -> LocationRow {
+    LocationRow {
+        tag: s.event.tag,
+        epoch: s.event.epoch,
+        location: s.event.location,
     }
 }
 
@@ -635,6 +664,48 @@ mod tests {
         // …but stays fully answerable via trail and current-location
         assert_eq!(store.trail(TagId(2), Epoch(0), Epoch(20)).len(), 6);
         assert_eq!(store.current_location(TagId(2)).unwrap().epoch, Epoch(5));
+    }
+
+    #[test]
+    fn snapshot_delta_returns_only_newer_arrivals() {
+        let mut store = EventStore::new(StoreConfig::default().with_segment_epochs(4));
+        feed(&mut store, 20);
+        // between epochs 7 and 11: tag 1 re-reported (epoch 11), tag 2
+        // re-reported (epoch 10) — both arrive after 7
+        let delta = store.snapshot_delta(Epoch(11), Epoch(7)).unwrap();
+        assert_eq!(delta.len(), 2);
+        // between 10 and 11 only tag 1 moved (tag 2 reports on evens)
+        let delta = store.snapshot_delta(Epoch(11), Epoch(10)).unwrap();
+        assert_eq!(delta.len(), 1);
+        assert_eq!(delta[0].tag, TagId(1));
+        assert_eq!(delta[0].epoch, Epoch(11));
+        // since == at: nothing changed
+        assert!(store
+            .snapshot_delta(Epoch(11), Epoch(11))
+            .unwrap()
+            .is_empty());
+        // delta ∪ unchanged rows reconstructs the full snapshot
+        let full = store.snapshot_at(Epoch(11)).unwrap();
+        let delta = store.snapshot_delta(Epoch(11), Epoch(7)).unwrap();
+        assert!(delta.iter().all(|d| full.contains(d)));
+    }
+
+    #[test]
+    fn snapshot_delta_is_exact_past_the_retention_horizon() {
+        let cfg = StoreConfig::default()
+            .with_segment_epochs(4)
+            .with_retention(8);
+        let mut store = EventStore::new(cfg);
+        feed(&mut store, 40);
+        let horizon = store.retention_horizon();
+        assert!(horizon > 0);
+        // `since` far behind the horizon is fine: arrival stamps
+        // survive compaction, so the filter stays exact
+        let delta = store.snapshot_delta(Epoch(39), Epoch(1)).unwrap();
+        let full = store.snapshot_at(Epoch(39)).unwrap();
+        assert_eq!(delta, full, "everything arrived after epoch 1");
+        // but `at` behind the horizon is still refused
+        assert!(store.snapshot_delta(Epoch(horizon - 1), Epoch(0)).is_err());
     }
 
     #[test]

@@ -1,0 +1,381 @@
+//! Protocol-evolution integration tests over real TCP: HELLO
+//! negotiation, typed errors that never cost the connection,
+//! interleaved push + pull frames on one connection, v1 compatibility,
+//! subscriber lag, and shutdown under load.
+
+use rfid_geom::Point3;
+use rfid_serve::server::{read_frame, write_frame};
+use rfid_serve::store::{EventStore, StoreConfig};
+use rfid_serve::{
+    serve, serve_with, Frame, HubConfig, Query, QueryClient, ServerConfig, SubscriptionFilter,
+    SubscriptionHub, PROTOCOL_VERSION,
+};
+use rfid_stream::{Epoch, EventSink, LocationEvent, TagId};
+use std::net::TcpStream;
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+fn seeded_store(tags: u64, epochs: u64) -> EventStore {
+    let mut store = EventStore::new(StoreConfig::default().with_segment_epochs(8));
+    for e in 0..epochs {
+        for t in 0..tags {
+            store.push(&LocationEvent::new(
+                Epoch(e),
+                TagId(t),
+                Point3::new(t as f64 * 0.25, e as f64 * 0.5, 0.0),
+            ));
+        }
+        store.complete_epoch(Epoch(e));
+    }
+    store
+}
+
+fn v2_client(addr: std::net::SocketAddr) -> QueryClient {
+    QueryClient::connect(addr)
+        .timeout(Duration::from_secs(10))
+        .establish()
+        .expect("connect v2")
+}
+
+#[test]
+fn hello_negotiates_and_rejects_with_typed_errors() {
+    let store = Arc::new(RwLock::new(seeded_store(2, 4)));
+    let handle = serve("127.0.0.1:0", store).expect("bind");
+
+    // raw handshakes, one connection each
+    let cases: &[(&str, &str)] = &[
+        ("HELLO 2", "HELLO 2"),
+        ("HELLO 1", "HELLO 1"),
+        // a future client is negotiated down to what the server speaks
+        ("HELLO 99", "HELLO 2"),
+        ("HELLO 0", "ERR 0 UNSUPPORTED_VERSION"),
+        ("HELLO two", "ERR 0 BAD_REQUEST"),
+    ];
+    for (req, want_prefix) in cases {
+        let mut raw = TcpStream::connect(handle.addr()).expect("connect");
+        write_frame(&mut raw, req).unwrap();
+        let resp = read_frame(&mut raw).unwrap().expect("handshake reply");
+        assert!(
+            resp.starts_with(want_prefix),
+            "{req:?} answered {resp:?}, wanted prefix {want_prefix:?}"
+        );
+    }
+
+    // the builder surfaces the negotiated version
+    let client = QueryClient::connect(handle.addr())
+        .timeout(Duration::from_secs(10))
+        .protocol_version(PROTOCOL_VERSION + 7)
+        .establish()
+        .expect("future version negotiates down");
+    assert_eq!(client.version(), PROTOCOL_VERSION);
+
+    // a rejected handshake is an error at establish time
+    let refused = QueryClient::connect(handle.addr())
+        .timeout(Duration::from_secs(10))
+        .protocol_version(1)
+        .establish()
+        .expect("v1 needs no handshake");
+    assert_eq!(refused.version(), 1);
+    handle.shutdown();
+}
+
+#[test]
+fn unknown_verb_is_a_typed_err_not_a_disconnect() {
+    let store = Arc::new(RwLock::new(seeded_store(2, 4)));
+    let handle = serve("127.0.0.1:0", store).expect("bind");
+
+    // v2: the ERR frame echoes the request id and carries the code
+    let mut client = v2_client(handle.addr());
+    let raw = client.query_raw("7 FROB 1").unwrap();
+    assert!(raw.starts_with("ERR 7 UNKNOWN_VERB"), "got {raw:?}");
+    // an envelope with an unreadable id still gets an addressable ERR
+    let raw = client.query_raw("FROB 1").unwrap();
+    assert!(raw.starts_with("ERR 0 BAD_REQUEST"), "got {raw:?}");
+    // the connection survives both
+    let resp = client.query(&Query::SnapshotAt(Epoch(3))).unwrap();
+    assert_eq!(resp.rows().map(<[_]>::len), Some(2));
+
+    // v1 (no handshake): codeless envelope, code token leads the message
+    let mut legacy = QueryClient::connect(handle.addr())
+        .timeout(Duration::from_secs(10))
+        .protocol_version(1)
+        .establish()
+        .expect("connect v1");
+    let raw = legacy.query_raw("FROB 1 2 3").unwrap();
+    assert!(raw.starts_with("ERR UNKNOWN_VERB"), "got {raw:?}");
+    // v1 connections are told how to get subscriptions
+    let raw = legacy.query_raw("SUBSCRIBE ALL").unwrap();
+    assert!(raw.starts_with("ERR UNSUPPORTED_VERSION"), "got {raw:?}");
+    let resp = legacy.query(&Query::CurrentLocation(TagId(1))).unwrap();
+    assert_eq!(resp.rows().map(<[_]>::len), Some(1));
+    handle.shutdown();
+}
+
+#[test]
+fn typed_errors_round_trip_store_failures() {
+    // a store with bounded retention refuses pre-horizon snapshots
+    let mut store = EventStore::new(
+        StoreConfig::default()
+            .with_segment_epochs(4)
+            .with_retention(8),
+    );
+    for e in 0..40u64 {
+        store.push(&LocationEvent::new(
+            Epoch(e),
+            TagId(1),
+            Point3::new(1.0, 1.0, 0.0),
+        ));
+        store.complete_epoch(Epoch(e));
+    }
+    let horizon = store.retention_horizon();
+    assert!(horizon > 0);
+    let handle = serve("127.0.0.1:0", Arc::new(RwLock::new(store))).expect("bind");
+    let mut client = v2_client(handle.addr());
+    let resp = client
+        .query(&Query::SnapshotAt(Epoch(horizon - 1)))
+        .unwrap();
+    let err = resp.error().expect("beyond retention must be an error");
+    assert_eq!(err.code, rfid_serve::ErrorCode::BeyondRetention);
+    assert!(
+        err.message.contains("retention"),
+        "message: {}",
+        err.message
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn push_and_pull_interleave_on_one_connection() {
+    let store = Arc::new(RwLock::new(seeded_store(4, 4)));
+    let hub = SubscriptionHub::new(HubConfig::default());
+    let handle = serve_with(
+        "127.0.0.1:0",
+        Arc::clone(&store),
+        hub.clone(),
+        ServerConfig::default(),
+    )
+    .expect("bind");
+    let mut client = v2_client(handle.addr());
+
+    let sub_id = client
+        .subscribe(&SubscriptionFilter::All)
+        .expect("subscribe");
+
+    // feed committed deltas while pull queries run on the same
+    // connection: every pull response must carry its own id even with
+    // push frames in flight
+    let mut sink = hub.sink();
+    for round in 0..20u64 {
+        let e = 4 + round;
+        sink.on_event(&LocationEvent::new(
+            Epoch(e),
+            TagId(round % 4),
+            Point3::new(round as f64, -1.0, 0.0),
+        ));
+        sink.on_epoch_complete(Epoch(e));
+        let resp = client.query(&Query::CurrentLocation(TagId(1))).unwrap();
+        assert!(resp.rows().is_some(), "pull answered mid-push");
+    }
+
+    // all 20 single-row pushes arrive, in commit order, id-tagged
+    let mut seen = 0u64;
+    let mut last_epoch = None;
+    while seen < 20 {
+        match client.next_push().expect("push frame") {
+            Frame::Push { id, epoch, rows } => {
+                assert_eq!(id, sub_id);
+                assert!(
+                    last_epoch.is_none_or(|prev| epoch > prev),
+                    "commit order preserved ({last_epoch:?} then {epoch})"
+                );
+                last_epoch = Some(epoch);
+                assert_eq!(rows.len(), 1);
+                assert_eq!(rows[0].location.x, seen as f64);
+                seen += 1;
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn unsubscribe_stops_delivery() {
+    let store = Arc::new(RwLock::new(seeded_store(2, 2)));
+    let hub = SubscriptionHub::new(HubConfig::default());
+    let handle = serve_with(
+        "127.0.0.1:0",
+        Arc::clone(&store),
+        hub.clone(),
+        ServerConfig::default(),
+    )
+    .expect("bind");
+    let mut client = v2_client(handle.addr());
+
+    let sub = client
+        .subscribe(&SubscriptionFilter::Tags(vec![TagId(0)]))
+        .unwrap();
+    let mut sink = hub.sink();
+    sink.on_event(&LocationEvent::new(
+        Epoch(2),
+        TagId(0),
+        Point3::new(5.0, 0.0, 0.0),
+    ));
+    sink.on_epoch_complete(Epoch(2));
+    assert!(matches!(client.next_push().unwrap(), Frame::Push { .. }));
+
+    client.unsubscribe(sub).expect("unsubscribe");
+    // cancelling an unknown subscription is a typed error
+    let err = client.unsubscribe(999).expect_err("unknown subscription");
+    assert!(err.to_string().contains("UNKNOWN_SUBSCRIPTION"), "{err}");
+
+    // further commits produce nothing for this connection: the next
+    // frame after a follow-up pull is that pull's response, with no
+    // push frame sneaking in ahead of it
+    sink.on_event(&LocationEvent::new(
+        Epoch(3),
+        TagId(0),
+        Point3::new(9.0, 0.0, 0.0),
+    ));
+    sink.on_epoch_complete(Epoch(3));
+    std::thread::sleep(Duration::from_millis(50)); // give fan-out a chance to leak
+    let got = client.query_raw("55 CURRENT 0").unwrap();
+    assert!(
+        got.starts_with("OK 55"),
+        "push leaked after unsubscribe: {got:?}"
+    );
+    // the hub pruned the cancelled registration on that commit
+    assert_eq!(hub.subscriber_count(), 0);
+    handle.shutdown();
+}
+
+#[test]
+fn lagged_subscriber_gets_counted_notice_over_tcp() {
+    // tiny outbox + tiny queue: once the non-reading subscriber jams
+    // its socket, commits overflow the bounded queue and drop
+    let store = Arc::new(RwLock::new(seeded_store(2, 2)));
+    let hub = SubscriptionHub::new(HubConfig::default().with_queue_frames(8));
+    let handle = serve_with(
+        "127.0.0.1:0",
+        Arc::clone(&store),
+        hub.clone(),
+        ServerConfig::default()
+            .with_workers(1)
+            .with_outbox_high_water(4 << 10),
+    )
+    .expect("bind");
+    let mut client = QueryClient::connect(handle.addr())
+        .timeout(Duration::from_secs(30))
+        .establish()
+        .expect("connect");
+    let sub_id = client
+        .subscribe(&SubscriptionFilter::All)
+        .expect("subscribe");
+
+    // ~8 MB of push volume while the client reads nothing: far past
+    // what the outbox high-water plus kernel socket buffers absorb
+    let mut sink = hub.sink();
+    let (epochs, rows_per_epoch) = (4_000u64, 80u64);
+    for e in 0..epochs {
+        for t in 0..rows_per_epoch {
+            sink.on_event(&LocationEvent::new(
+                Epoch(2 + e),
+                TagId(t),
+                // move every tag every epoch so threshold 0 fires
+                Point3::new(e as f64, t as f64, 0.0),
+            ));
+        }
+        sink.on_epoch_complete(Epoch(2 + e));
+    }
+    let total_rows = epochs * rows_per_epoch;
+
+    // now drain: every row is either delivered or counted in a LAGGED
+    let mut delivered = 0u64;
+    let mut dropped = 0u64;
+    let mut lagged_frames = 0u64;
+    let mut last_was_lagged = false;
+    while delivered + dropped < total_rows {
+        match client.next_push().expect("drain") {
+            Frame::Push { id, rows, .. } => {
+                assert_eq!(id, sub_id);
+                delivered += rows.len() as u64;
+                last_was_lagged = false;
+            }
+            Frame::Lagged { id, dropped: d } => {
+                assert_eq!(id, sub_id);
+                assert!(d > 0, "a LAGGED notice always counts something");
+                assert!(
+                    !last_was_lagged,
+                    "two LAGGED notices with no frame between them"
+                );
+                dropped += d;
+                lagged_frames += 1;
+                last_was_lagged = true;
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    assert_eq!(delivered + dropped, total_rows, "every row accounted for");
+    assert!(lagged_frames >= 1, "the jammed subscriber must have lagged");
+    assert!(
+        dropped >= total_rows / 2,
+        "most of the run overflowed: {dropped}/{total_rows}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_joins_cleanly_under_load() {
+    let store = Arc::new(RwLock::new(seeded_store(8, 16)));
+    let hub = SubscriptionHub::new(HubConfig::default());
+    let handle = serve_with(
+        "127.0.0.1:0",
+        Arc::clone(&store),
+        hub.clone(),
+        ServerConfig::default(),
+    )
+    .expect("bind");
+    let addr = handle.addr();
+
+    // clients hammer pulls and hold subscriptions while we shut down
+    let clients: Vec<_> = (0..4)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let Ok(mut client) = QueryClient::connect(addr)
+                    .timeout(Duration::from_secs(5))
+                    .establish()
+                else {
+                    return;
+                };
+                let _ = client.subscribe(&SubscriptionFilter::All);
+                for i in 0..10_000u64 {
+                    let q = match (c + i) % 2 {
+                        0 => Query::SnapshotAt(Epoch(i % 16)),
+                        _ => Query::CurrentLocation(TagId(i % 8)),
+                    };
+                    if client.query(&q).is_err() {
+                        return; // server went away mid-load: expected
+                    }
+                }
+            })
+        })
+        .collect();
+    // let the load build, then stop; shutdown must join every server
+    // thread without a wake-up connection
+    std::thread::sleep(Duration::from_millis(100));
+    let begun = std::time::Instant::now();
+    handle.shutdown();
+    assert!(
+        begun.elapsed() < Duration::from_secs(5),
+        "shutdown took {:?}",
+        begun.elapsed()
+    );
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    // the listener is gone
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "accepting after shutdown"
+    );
+}

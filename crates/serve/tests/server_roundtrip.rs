@@ -7,6 +7,14 @@ use rfid_serve::store::{EventStore, StoreConfig};
 use rfid_serve::{serve, Query, QueryClient, QueryResponse};
 use rfid_stream::{Epoch, LocationEvent, TagId};
 use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+fn connect(addr: std::net::SocketAddr) -> QueryClient {
+    QueryClient::connect(addr)
+        .timeout(Duration::from_secs(10))
+        .establish()
+        .expect("connect")
+}
 
 fn seeded_store() -> EventStore {
     let mut store = EventStore::new(StoreConfig::default().with_segment_epochs(4));
@@ -39,7 +47,7 @@ fn rows(resp: QueryResponse) -> Vec<rfid_serve::LocationRow> {
 fn one_of_each_query_kind_over_tcp() {
     let store = Arc::new(RwLock::new(seeded_store()));
     let handle = serve("127.0.0.1:0", Arc::clone(&store)).expect("bind ephemeral port");
-    let mut client = QueryClient::connect(handle.addr()).expect("connect");
+    let mut client = connect(handle.addr());
 
     // CURRENT: the latest event of tag 1
     let current = rows(client.query(&Query::CurrentLocation(TagId(1))).unwrap());
@@ -120,7 +128,7 @@ fn concurrent_clients_and_writer() {
     let clients: Vec<_> = (0..3)
         .map(|c| {
             std::thread::spawn(move || {
-                let mut client = QueryClient::connect(addr).expect("connect");
+                let mut client = connect(addr);
                 for i in 0..50u64 {
                     let q = match (c + i) % 3 {
                         0 => Query::CurrentLocation(TagId(1)),
@@ -145,7 +153,7 @@ fn concurrent_clients_and_writer() {
     writer.join().expect("writer thread");
 
     // after the writer finished, the served answer reflects it
-    let mut client = QueryClient::connect(addr).unwrap();
+    let mut client = connect(addr);
     let current = rows(client.query(&Query::CurrentLocation(TagId(1))).unwrap());
     assert_eq!(current[0].epoch, Epoch(199));
     handle.shutdown();
@@ -194,7 +202,9 @@ fn shutdown_then_connect_fails() {
     handle.shutdown();
     // the listener is gone: a fresh connect (or the first query on a
     // racy accept) must fail rather than hang
-    let attempt =
-        QueryClient::connect(addr).and_then(|mut c| c.query(&Query::CurrentLocation(TagId(0))));
+    let attempt = QueryClient::connect(addr)
+        .timeout(Duration::from_secs(2))
+        .establish()
+        .and_then(|mut c| c.query(&Query::CurrentLocation(TagId(0))));
     assert!(attempt.is_err(), "server accepted after shutdown");
 }

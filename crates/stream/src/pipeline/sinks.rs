@@ -222,6 +222,14 @@ impl LocationChangeSink {
         &self.updates
     }
 
+    /// Takes every update fired since the last drain, in stream order
+    /// — the consumption API for fan-out layers (e.g. `rfid_serve`'s
+    /// subscription hub) that forward fired changes instead of
+    /// accumulating them.
+    pub fn drain_updates(&mut self) -> Vec<LocationUpdate> {
+        std::mem::take(&mut self.updates)
+    }
+
     /// The underlying query (last locations, tag count).
     pub fn query(&self) -> &LocationChangeQuery {
         &self.query
@@ -390,6 +398,12 @@ mod tests {
         assert_eq!(s.updates().len(), 2);
         assert_eq!(s.updates()[1].epoch, Epoch(2));
         assert_eq!(s.query().num_tags(), 1);
+        // draining empties the log but keeps the query state: the next
+        // jitter is still suppressed against the drained location
+        assert_eq!(s.drain_updates().len(), 2);
+        assert!(s.updates().is_empty());
+        s.on_event(&event(3, 1, 0.0, 1.04));
+        assert!(s.drain_updates().is_empty(), "jitter after drain");
     }
 
     #[test]

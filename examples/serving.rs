@@ -1,14 +1,18 @@
 //! Serving queries: the full serving stack end to end —
 //!
 //! ```text
-//! pipeline ─► StoreSink ─► EventStore ◄─ TCP server ◄─ query clients
+//! pipeline ─► (StoreSink, hub.sink()) ─► EventStore + SubscriptionHub
+//!                                            ▲
+//!                          TCP server ◄──────┘◄─ pull + push clients
 //! ```
 //!
 //! A warehouse scan streams through the inference engine into a shared
 //! `EventStore` while a TCP query server answers clients over the
-//! length-prefixed text protocol: where is object X now, what trail
-//! did it take, what did the warehouse look like at epoch E, and what
-//! sits inside this shelf region.
+//! length-prefixed text protocol (v2: `HELLO` handshake + request
+//! envelopes): where is object X now, what trail did it take, what did
+//! the warehouse look like at epoch E, what changed since epoch S —
+//! and, live, a subscribed client receives every location change as
+//! the pipeline commits it.
 //!
 //! ```text
 //! cargo run --release --example serving
@@ -18,8 +22,13 @@ use rfid_repro::prelude::*;
 use rfid_repro::sim::scenario;
 use rfid_repro::stream::pipeline::sinks::StoreSink;
 use rfid_serve::store::{EventStore, StoreConfig};
-use rfid_serve::{serve, Query, QueryClient, QueryResponse};
+use rfid_serve::{
+    serve_with, Frame, HubConfig, Query, QueryClient, QueryResponse, ServerConfig,
+    SubscriptionFilter, SubscriptionHub,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
+use std::time::Duration;
 
 fn print_rows(label: &str, resp: QueryResponse) {
     match resp {
@@ -58,28 +67,99 @@ fn main() {
             .with_segment_epochs(32)
             .with_snapshot_staleness(60),
     )));
-    let server = serve("127.0.0.1:0", Arc::clone(&store)).expect("bind query server");
-    println!("query server listening on {}\n", server.addr());
+    let hub = SubscriptionHub::new(HubConfig::default());
+    let server = serve_with(
+        "127.0.0.1:0",
+        Arc::clone(&store),
+        hub.clone(),
+        ServerConfig::default(),
+    )
+    .expect("bind query server");
+    println!(
+        "query server listening on {} (protocol v2)\n",
+        server.addr()
+    );
 
-    // ingest the scan through the streaming pipeline — in a deployment
-    // this thread runs forever on the live reader streams
+    // a push client subscribes *before* ingestion and watches the
+    // stream live from its own thread
+    let done = Arc::new(AtomicBool::new(false));
+    let watcher = {
+        let done = Arc::clone(&done);
+        let addr = server.addr();
+        std::thread::spawn(move || {
+            let mut client = QueryClient::connect(addr)
+                .timeout(Duration::from_millis(200))
+                .establish()
+                .expect("connect subscriber");
+            let sub = client
+                .subscribe(&SubscriptionFilter::All)
+                .expect("subscribe");
+            let (mut frames, mut rows, mut shown) = (0u64, 0u64, 0);
+            loop {
+                match client.next_push() {
+                    Ok(Frame::Push { epoch, rows: r, .. }) => {
+                        frames += 1;
+                        rows += r.len() as u64;
+                        if shown < 3 {
+                            shown += 1;
+                            println!(
+                                "PUSH @ epoch {:>4}: {} change(s), first {} -> ({:.2}, {:.2})",
+                                epoch,
+                                r.len(),
+                                r[0].tag,
+                                r[0].location.x,
+                                r[0].location.y
+                            );
+                        }
+                    }
+                    Ok(Frame::Lagged { dropped, .. }) => {
+                        println!("LAGGED: {dropped} change rows dropped");
+                    }
+                    Ok(other) => panic!("unexpected frame {other:?}"),
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                        ) =>
+                    {
+                        if done.load(Ordering::SeqCst) {
+                            break;
+                        }
+                    }
+                    Err(e) => panic!("subscriber read failed: {e}"),
+                }
+            }
+            client.unsubscribe(sub).expect("unsubscribe");
+            (frames, rows)
+        })
+    };
+
+    // ingest the scan through the streaming pipeline, fanning events
+    // into the store AND the hub — in a deployment this thread runs
+    // forever on the live reader streams
     let mut pipeline = Pipeline::new(
         sc.trace.epoch_len,
         engine,
-        StoreSink::new(Arc::clone(&store)),
+        (StoreSink::new(Arc::clone(&store)), hub.sink()),
     );
     let stats = pipeline.run_to_completion(&mut sc.trace.stream());
+    done.store(true, Ordering::SeqCst);
     {
         let s = store.read().unwrap();
         let st = s.stats();
         println!(
-            "ingested {} events over {} epochs into {} segment(s), {} tag(s)\n",
+            "\ningested {} events over {} epochs into {} segment(s), {} tag(s)",
             stats.events, stats.epochs, st.segments, st.tags
         );
     }
+    let (push_frames, push_rows) = watcher.join().expect("watcher thread");
+    println!("subscriber saw {push_frames} PUSH frame(s) carrying {push_rows} change row(s)\n");
 
-    // a client asks the four serving questions over real TCP
-    let mut client = QueryClient::connect(server.addr()).expect("connect");
+    // a pull client asks the five serving questions over real TCP
+    let mut client = QueryClient::connect(server.addr())
+        .timeout(Duration::from_secs(10))
+        .establish()
+        .expect("connect");
     let last = store.read().unwrap().latest_epoch();
 
     print_rows(
@@ -99,6 +179,17 @@ fn main() {
     print_rows(
         &format!("SNAPSHOT at epoch {}", last / 2),
         client.query(&Query::SnapshotAt(Epoch(last / 2))).unwrap(),
+    );
+    // the epoch-delta form: only what changed in the second quarter of
+    // the scan — the incremental-refresh primitive behind dashboards
+    print_rows(
+        &format!("SNAPSHOT at {} SINCE {}", last / 2, last / 4),
+        client
+            .query(&Query::SnapshotDelta {
+                at: Epoch(last / 2),
+                since: Epoch(last / 4),
+            })
+            .unwrap(),
     );
     // query at the scan midpoint: with staleness 60 configured, a
     // single-scan trace has aged most tags out of the *final* epoch's
