@@ -80,6 +80,7 @@ fn main() {
             args.iter().any(|a| a == "--list"),
         ),
         "serving" => serving(opts, args.iter().any(|a| a == "--json")),
+        "recovery" => recovery(opts, args.iter().any(|a| a == "--json")),
         "report" => report(),
         "ablation-init" => ablation_init(opts),
         "ablation-particles" => ablation_particles(opts),
@@ -120,6 +121,9 @@ fn main() {
                  \x20 serving                query-serving load test: live pipeline ingestion\n\
                  \x20                        + N TCP client threads, latency percentiles\n\
                  \x20                        (--json writes BENCH_serving.json)\n\
+                 \x20 recovery               crash-recovery timings: kill each canonical\n\
+                 \x20                        scenario mid-trace, recover, resume to digest\n\
+                 \x20                        equality (--json writes BENCH_recovery.json)\n\
                  \x20 report                 render the committed BENCH_*.json trajectories\n\
                  \x20                        as markdown tables (for EXPERIMENTS.md)\n\
                  \x20 ablation-init          initialization-cone overestimate sweep\n\
@@ -1120,6 +1124,174 @@ fn serving(opts: Opts, json: bool) {
 }
 
 // ---------------------------------------------------------------------
+// Recovery: crash-recovery timings on the canonical scenarios
+// ---------------------------------------------------------------------
+
+/// Kills each canonical scenario's durable run mid-trace (in-process),
+/// recovers it, and reports what recovery cost and that the resumed
+/// event stream is bit-identical to an uninterrupted run. With
+/// `--json`, seeds `BENCH_recovery.json` — the durability trajectory
+/// next to throughput, accuracy, and serving.
+fn recovery(opts: Opts, json: bool) {
+    use rfid_bench::fault::FaultPlan;
+    use rfid_bench::recovery::{
+        canonical_scenario, reference_digest, resume, run_fresh, DurableRunOpts,
+    };
+
+    let mut r = Report::new(
+        "recovery",
+        "Crash recovery: kill mid-trace, recover from checkpoint + log, resume to digest equality",
+    );
+    let scenarios: &[&str] = if opts.quick {
+        &["tiny", "small_warehouse"]
+    } else {
+        &["small_warehouse", "low_read_rate", "moving_object"]
+    };
+
+    struct Row {
+        scenario: String,
+        epochs: u64,
+        crash_epoch: u64,
+        checkpoint_every: u64,
+        resumed_from: Option<u64>,
+        replayed_events: usize,
+        recover_ms: f64,
+        resume_ms: f64,
+        full_ms: f64,
+        digest_match: bool,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+
+    for name in scenarios {
+        let (sc, cfg) = canonical_scenario(name).expect("canonical scenario");
+        let golden = reference_digest(&sc, &cfg);
+        let last = sc
+            .trace
+            .epoch_batches()
+            .last()
+            .expect("non-empty trace")
+            .epoch
+            .0;
+        let run_opts = DurableRunOpts {
+            // several checkpoints per trace regardless of its length
+            checkpoint_every: (last / 8).max(1),
+            ..DurableRunOpts::default()
+        };
+        let base =
+            std::env::temp_dir().join(format!("rfid-recovery-bench-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+
+        // the uninterrupted durable run: the wall-clock baseline
+        let full = run_fresh(&sc, &cfg, &base.join("full"), &run_opts, None).expect("full run");
+
+        // the kill-and-restart cycle
+        let crash_epoch = last / 2;
+        let dir = base.join("crash");
+        let crashed = run_fresh(
+            &sc,
+            &cfg,
+            &dir,
+            &run_opts,
+            Some(FaultPlan::KillAtEpoch(crash_epoch)),
+        )
+        .expect("crashed run");
+        assert!(!crashed.completed, "kill epoch must be inside the trace");
+        let rec = resume(&sc, &cfg, &dir, &run_opts, None).expect("recovery");
+
+        let digest_match = rec.run.completed && rec.run.digest == golden && full.digest == golden;
+        eprintln!(
+            "  [{name}] crash at {crash_epoch}/{last}: recovered in {:.1} ms \
+             (from {:?}, {} events replayed), resumed in {:.1} ms — digest {}",
+            rec.recover_elapsed.as_secs_f64() * 1e3,
+            rec.resumed_from,
+            rec.replayed_events,
+            rec.run.drive_elapsed.as_secs_f64() * 1e3,
+            if digest_match { "MATCH" } else { "MISMATCH" },
+        );
+        rows.push(Row {
+            scenario: name.to_string(),
+            epochs: last + 1,
+            crash_epoch,
+            checkpoint_every: run_opts.checkpoint_every,
+            resumed_from: rec.resumed_from,
+            replayed_events: rec.replayed_events,
+            recover_ms: rec.recover_elapsed.as_secs_f64() * 1e3,
+            resume_ms: rec.run.drive_elapsed.as_secs_f64() * 1e3,
+            full_ms: full.drive_elapsed.as_secs_f64() * 1e3,
+            digest_match,
+        });
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    let mut t = Table::new(vec![
+        "scenario",
+        "epochs",
+        "crash epoch",
+        "ckpt every",
+        "resumed from",
+        "replayed events",
+        "recover (ms)",
+        "resume (ms)",
+        "full run (ms)",
+        "digest",
+    ]);
+    for row in &rows {
+        t.row(vec![
+            row.scenario.clone(),
+            row.epochs.to_string(),
+            row.crash_epoch.to_string(),
+            row.checkpoint_every.to_string(),
+            row.resumed_from
+                .map_or_else(|| "-".to_string(), |e| e.to_string()),
+            row.replayed_events.to_string(),
+            f2(row.recover_ms),
+            f2(row.resume_ms),
+            f2(row.full_ms),
+            if row.digest_match {
+                "match"
+            } else {
+                "MISMATCH"
+            }
+            .to_string(),
+        ]);
+    }
+    r.table(&t);
+    r.line("# recover = segment-log open + truncation + replay + checkpoint load;");
+    r.line("# resume = re-processing the batches after the checkpoint. Digest 'match'");
+    r.line("# asserts the recovered event stream is bit-identical to an uninterrupted");
+    r.line("# run (the determinism contract is what makes replay-from-checkpoint safe).");
+    r.finish();
+
+    if json {
+        let mut s = String::from("{\n  \"crash\": \"kill at last_epoch/2, in-process\",\n");
+        s.push_str("  \"rows\": [\n");
+        for (i, row) in rows.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"scenario\": \"{}\", \"epochs\": {}, \"crash_epoch\": {}, \
+                 \"checkpoint_every\": {}, \"resumed_from\": {}, \"replayed_events\": {}, \
+                 \"recover_ms\": {:.3}, \"resume_ms\": {:.3}, \"full_ms\": {:.3}, \
+                 \"digest_match\": {}}}{}\n",
+                row.scenario,
+                row.epochs,
+                row.crash_epoch,
+                row.checkpoint_every,
+                row.resumed_from
+                    .map_or_else(|| "null".to_string(), |e| e.to_string()),
+                row.replayed_events,
+                row.recover_ms,
+                row.resume_ms,
+                row.full_ms,
+                row.digest_match,
+                if i + 1 == rows.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        std::fs::write("BENCH_recovery.json", &s).expect("write BENCH_recovery.json");
+        eprintln!("  wrote BENCH_recovery.json");
+    }
+}
+
+// ---------------------------------------------------------------------
 // Report: the committed BENCH_*.json trajectories as markdown
 // ---------------------------------------------------------------------
 
@@ -1229,6 +1401,22 @@ fn report() {
             ("lagged", "lagged_frames", 0),
             ("ingest epochs", "ingest_epochs", 0),
             ("ingest readings/s", "ingest_readings_per_sec", 0),
+        ],
+    );
+    render(
+        "BENCH_recovery.json",
+        "Recovery",
+        &[
+            ("scenario", "scenario", 0),
+            ("epochs", "epochs", 0),
+            ("crash epoch", "crash_epoch", 0),
+            ("ckpt every", "checkpoint_every", 0),
+            ("resumed from", "resumed_from", 0),
+            ("replayed events", "replayed_events", 0),
+            ("recover (ms)", "recover_ms", 2),
+            ("resume (ms)", "resume_ms", 2),
+            ("full run (ms)", "full_ms", 2),
+            ("digest match", "digest_match", 0),
         ],
     );
     r.finish();

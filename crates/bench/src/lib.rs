@@ -22,9 +22,11 @@
 //! see `cargo run -p rfid-bench --release --bin experiments -- help`.
 
 pub mod accuracy;
+pub mod fault;
 pub mod golden;
 pub mod json;
 pub mod metrics;
+pub mod recovery;
 pub mod report;
 pub mod runner;
 pub mod serving;

@@ -1,0 +1,132 @@
+//! Kill-and-restart, for real: a child `recovery_harness` process is
+//! driven into each canonical scenario, **aborted** at a planned crash
+//! point (`SIGABRT`, no destructors, no flushes beyond what the
+//! durability layer fsynced itself), restarted — possibly crashed
+//! again — and the finally-completed run's event-stream digest must
+//! equal the digest of an uninterrupted in-memory run.
+//!
+//! Crash points are derived from each scenario's own epoch range, so
+//! the sweep tracks the traces instead of hardcoding epochs.
+
+use rfid_bench::fault::FaultPlan;
+use rfid_bench::recovery::{canonical_scenario, reference_digest};
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const HARNESS: &str = env!("CARGO_BIN_EXE_recovery_harness");
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "rfid-kill-restart-{name}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Runs the child once; returns (exited cleanly, stdout).
+fn child(scenario: &str, dir: &PathBuf, fault: Option<&FaultPlan>) -> (bool, String) {
+    let mut cmd = Command::new(HARNESS);
+    cmd.arg("run").arg(scenario).arg(dir).arg("10");
+    if let Some(plan) = fault {
+        cmd.arg(plan.to_string());
+    }
+    let out = cmd.output().expect("spawn recovery_harness");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+fn parse_digest(stdout: &str) -> u64 {
+    let hex = stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("digest "))
+        .unwrap_or_else(|| panic!("no digest line in output:\n{stdout}"));
+    u64::from_str_radix(hex.trim(), 16).expect("hex digest")
+}
+
+/// Crashes the child at every plan in order, then restarts it once
+/// more without a fault and checks the digest against the
+/// uninterrupted reference.
+fn converges(scenario: &str, plans: &[FaultPlan]) -> String {
+    let (sc, cfg) = canonical_scenario(scenario).expect("known scenario");
+    let golden = reference_digest(&sc, &cfg);
+    let dir = temp_dir(scenario);
+    for plan in plans {
+        let (ok, out) = child(scenario, &dir, Some(plan));
+        assert!(!ok, "{scenario}: child must die at {plan}, got:\n{out}");
+    }
+    let (ok, out) = child(scenario, &dir, None);
+    assert!(ok, "{scenario}: final restart must complete:\n{out}");
+    assert_eq!(
+        parse_digest(&out),
+        golden,
+        "{scenario}: recovered digest diverged from the uninterrupted \
+         run; harness output:\n{out}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    out
+}
+
+fn last_epoch(scenario: &str) -> u64 {
+    let (sc, _) = canonical_scenario(scenario).unwrap();
+    sc.trace
+        .epoch_batches()
+        .last()
+        .expect("non-empty trace")
+        .epoch
+        .0
+}
+
+#[test]
+fn small_warehouse_survives_kill_then_torn_write() {
+    let last = last_epoch("small_warehouse");
+    let out = converges(
+        "small_warehouse",
+        &[
+            FaultPlan::KillAtEpoch(last / 2),
+            // the restart dies again, mid-record this time (each
+            // resumed epoch logs >= 21 bytes, so this fires well
+            // before completion)
+            FaultPlan::TornWrite(last * 5),
+        ],
+    );
+    // the torn tail must have been truncated on the final recovery
+    assert!(
+        out.contains("truncated-bytes"),
+        "expected a torn-tail truncation, got:\n{out}"
+    );
+}
+
+#[test]
+fn low_read_rate_survives_a_checkpoint_rotation_crash() {
+    let last = last_epoch("low_read_rate");
+    assert!(last > 30, "scenario long enough for two checkpoints");
+    // dies with the old checkpoint demoted and the new one unwritten;
+    // recovery must fall back to engine.prev.ckpt
+    let out = converges("low_read_rate", &[FaultPlan::CheckpointRotationCrash(30)]);
+    assert!(
+        out.contains("resumed-from 20"),
+        "expected fallback to the epoch-20 checkpoint, got:\n{out}"
+    );
+}
+
+#[test]
+fn moving_object_survives_chained_byte_and_epoch_kills() {
+    let last = last_epoch("moving_object");
+    converges(
+        "moving_object",
+        &[
+            // clean abort at a record boundary, early in the log
+            FaultPlan::KillAfterBytes(last * 10),
+            // then die again right at the final epoch: everything is
+            // durable but FINISH — recovery regenerates the flush
+            FaultPlan::KillAtEpoch(last),
+        ],
+    );
+}

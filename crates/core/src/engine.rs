@@ -33,6 +33,8 @@
 //!   staged per shard/task and merged in **global tag order** on the
 //!   calling thread (see [`crate::shard`] for the rule).
 
+pub mod checkpoint;
+
 use crate::compression::CompressedBelief;
 use crate::config::{FilterConfig, ReaderMode};
 use crate::error::ConfigError;

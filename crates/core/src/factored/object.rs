@@ -155,9 +155,27 @@ impl ObjectFilter {
         }
     }
 
+    /// Rebuilds a filter from checkpointed parts, preserving the
+    /// pointer stamp and resample counter exactly — unlike
+    /// [`from_particles`](Self::from_particles), which is a fresh
+    /// start for decompression.
+    pub fn from_parts(particles: Vec<ObjectParticle>, pointer_stamp: u64, resamples: u64) -> Self {
+        debug_assert!(!particles.is_empty(), "object filters are never empty");
+        Self {
+            particles,
+            pointer_stamp,
+            resample_count: resamples,
+        }
+    }
+
     /// The particles.
     pub fn particles(&self) -> &[ObjectParticle] {
         &self.particles
+    }
+
+    /// Epoch stamp of the last pointer refresh (checkpointing).
+    pub fn pointer_stamp(&self) -> u64 {
+        self.pointer_stamp
     }
 
     /// Number of particles.

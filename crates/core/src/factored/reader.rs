@@ -74,9 +74,27 @@ impl ReaderFilter {
         }
     }
 
+    /// Rebuilds a filter from checkpointed parts, preserving the
+    /// accumulated support and resample counter exactly.
+    pub fn from_parts(particles: Vec<ReaderParticle>, support: Vec<f64>, resamples: u64) -> Self {
+        debug_assert!(!particles.is_empty(), "reader filters are never empty");
+        debug_assert_eq!(particles.len(), support.len());
+        Self {
+            particles,
+            support,
+            resample_count: resamples,
+        }
+    }
+
     /// The particles (log weights normalized).
     pub fn particles(&self) -> &[ReaderParticle] {
         &self.particles
+    }
+
+    /// The per-particle object support accumulated since the last
+    /// resample (checkpointing).
+    pub fn support(&self) -> &[f64] {
+        &self.support
     }
 
     /// Number of particles.

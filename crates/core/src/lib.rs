@@ -39,6 +39,7 @@ pub mod spatial_hook;
 
 pub use basic::BasicParticleFilter;
 pub use config::{CompressionPolicy, FilterConfig, ReaderMode};
+pub use engine::checkpoint::{self, CheckpointError};
 pub use engine::{EngineStats, InferenceEngine};
 pub use error::ConfigError;
 pub use shard::ShardCounts;

@@ -119,6 +119,37 @@ impl OutputPolicy {
         self.states.len()
     }
 
+    /// Checkpoint view of the per-object scope states as
+    /// `(tag, entered, last_read, reported)` rows, sorted by tag.
+    pub fn snapshot_states(&self) -> Vec<(TagId, Epoch, Epoch, bool)> {
+        let mut rows: Vec<_> = self
+            .states
+            .iter()
+            .map(|(tag, s)| (*tag, s.entered, s.last_read, s.reported))
+            .collect();
+        rows.sort_unstable_by_key(|r| r.0);
+        rows
+    }
+
+    /// Replaces the per-object scope states with checkpointed rows
+    /// (the inverse of [`snapshot_states`](Self::snapshot_states)).
+    pub fn restore_states<I>(&mut self, rows: I)
+    where
+        I: IntoIterator<Item = (TagId, Epoch, Epoch, bool)>,
+    {
+        self.states.clear();
+        for (tag, entered, last_read, reported) in rows {
+            self.states.insert(
+                tag,
+                ScopeState {
+                    entered,
+                    last_read,
+                    reported,
+                },
+            );
+        }
+    }
+
     /// Epoch at which `tag` last entered scope.
     pub fn entered_at(&self, tag: TagId) -> Option<Epoch> {
         self.states.get(&tag).map(|s| s.entered)

@@ -100,6 +100,19 @@ impl SpatialHook {
     pub fn num_regions(&self) -> usize {
         self.index.num_regions()
     }
+
+    /// The bounding box of recorded region `id` (region ids are dense:
+    /// `0..num_regions()`, in insertion order) — checkpointing.
+    pub fn region_box(&self, id: u64) -> Aabb {
+        self.index.region_box(id)
+    }
+
+    /// The member set of recorded region `id` — checkpointing.
+    /// Replaying `record(region_box(id), region_members(id))` for ids
+    /// in order reproduces the hook exactly.
+    pub fn region_members(&self, id: u64) -> &[TagId] {
+        self.index.region_members(id)
+    }
 }
 
 #[cfg(test)]

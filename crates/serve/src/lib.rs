@@ -39,15 +39,19 @@
 //! [`LocationChangeSink`]: rfid_stream::pipeline::sinks::LocationChangeSink
 
 pub mod hub;
+pub mod log;
 pub mod query;
+pub mod resilient;
 pub mod server;
 pub mod store;
 
 pub use hub::{HubConfig, SubscriptionHandle, SubscriptionHub};
+pub use log::{DurableStore, LogError, LogRecord, Recovery, SegmentLog, WriteFault};
 pub use query::{
     answer, ErrorCode, Frame, Query, QueryResponse, Request, RequestKind, SubscriptionFilter,
     WireError, PROTOCOL_VERSION,
 };
+pub use resilient::{ReconnectPolicy, ResilientClient};
 pub use server::{
     serve, serve_with, ClientBuilder, QueryClient, ServerConfig, ServerHandle, MIN_PROTOCOL_VERSION,
 };

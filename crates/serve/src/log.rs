@@ -1,0 +1,1088 @@
+//! The on-disk segment log: crash-consistent durability for the
+//! event store.
+//!
+//! ## Layout
+//!
+//! A log directory holds:
+//!
+//! ```text
+//! MANIFEST                    committed segment boundaries (atomic)
+//! segment-<start>.log         live segments (zero-padded start epoch)
+//! archive/segment-<start>.log segments compacted out of the store
+//! ```
+//!
+//! Each segment file is an append-only run of records framed as
+//!
+//! ```text
+//! [payload length u32 LE][FNV-1a(payload) u64 LE][payload]
+//! ```
+//!
+//! with a one-byte kind tag leading the payload: `0x01` EVENT (the
+//! full [`LocationEvent`], float bits exact), `0x02` EPOCH_COMPLETE,
+//! `0x03` FINISH. The log is a write-ahead journal of **sink calls**:
+//! replaying its records through a fresh [`EventStore`] re-derives
+//! every arrival stamp and sequence number exactly, because the
+//! store's stamping is a pure function of the call sequence.
+//!
+//! ## Commit protocol
+//!
+//! Records append to the tail segment file. When the arrival clock
+//! passes the tail's last epoch the file is fsynced (**then**) the
+//! `MANIFEST` is rewritten atomically — temp file, fsync, rename,
+//! directory fsync. A crash between the two leaves a sealed file the
+//! manifest does not know about; [`SegmentLog::open`] adopts such
+//! files (ordering by their start epoch) and re-commits the manifest.
+//! A crash mid-record leaves a torn tail; open truncates the tail file
+//! back to its last whole record. A missing manifest is rebuilt from
+//! the segment files themselves.
+//!
+//! ## Archival, not loss
+//!
+//! When the in-memory store's retention compaction drops a sealed
+//! segment, [`DurableStore`] moves the matching file into `archive/`
+//! instead of deleting it — the live store stays bounded while the
+//! full history remains on disk (and is replayed at open to rebuild
+//! the compacted snapshot base exactly).
+
+use crate::store::{EventStore, StoreConfig};
+use rfid_geom::Point3;
+use rfid_stream::{Epoch, EventSink, EventStats, LocationEvent, TagId};
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+const MANIFEST: &str = "MANIFEST";
+const ARCHIVE_DIR: &str = "archive";
+const MANIFEST_MAGIC: &str = "RFLOG 1";
+
+const KIND_EVENT: u8 = 0x01;
+const KIND_EPOCH_COMPLETE: u8 = 0x02;
+const KIND_FINISH: u8 = 0x03;
+
+/// Frame overhead per record: payload length + checksum.
+const RECORD_HEADER: usize = 4 + 8;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Why the log could not be opened or replayed.
+#[derive(Debug)]
+pub enum LogError {
+    /// Underlying file I/O failed.
+    Io(io::Error),
+    /// A committed (manifest-listed) file or the manifest itself does
+    /// not decode.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for LogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LogError::Io(e) => write!(f, "segment log i/o: {e}"),
+            LogError::Corrupt(what) => write!(f, "corrupt segment log: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for LogError {}
+
+impl From<io::Error> for LogError {
+    fn from(e: io::Error) -> Self {
+        LogError::Io(e)
+    }
+}
+
+/// One decoded log record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogRecord {
+    /// A stored event (`EventSink::on_event`).
+    Event(LocationEvent),
+    /// An epoch-completion mark (`EventSink::on_epoch_complete`).
+    EpochComplete(Epoch),
+    /// End of stream (`EventSink::on_finish`).
+    Finish,
+}
+
+/// What [`SegmentLog::open`] had to repair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Recovery {
+    /// Torn bytes truncated off the tail (or an uncommitted) file.
+    pub truncated_bytes: u64,
+    /// Sealed-but-uncommitted files adopted into the manifest.
+    pub adopted_segments: usize,
+    /// The manifest was missing and rebuilt from the segment files.
+    pub rebuilt_manifest: bool,
+}
+
+/// A crash to inject while writing (fault-injection harnesses only).
+/// Once the log has written `after_bytes` record bytes in this
+/// process, the next append either aborts before writing (`torn =
+/// false`) or writes a partial record and then aborts (`torn = true`)
+/// — simulating a kill mid-`write(2)`.
+#[derive(Debug, Clone, Copy)]
+pub struct WriteFault {
+    /// Cumulative record bytes after which the crash fires.
+    pub after_bytes: u64,
+    /// Whether to leave a torn half-record behind.
+    pub torn: bool,
+}
+
+#[derive(Debug, Clone)]
+struct SegFile {
+    /// First arrival epoch covered (inclusive, width-aligned).
+    start: u64,
+    /// Last arrival epoch covered (inclusive).
+    end: u64,
+    path: PathBuf,
+}
+
+#[derive(Debug)]
+struct Tail {
+    seg: SegFile,
+    file: File,
+    /// Valid bytes written so far.
+    bytes: u64,
+}
+
+fn segment_file_name(start: u64) -> String {
+    // zero-padded so lexical order equals numeric order
+    format!("segment-{start:020}.log")
+}
+
+fn parse_segment_start(name: &str) -> Option<u64> {
+    name.strip_prefix("segment-")?
+        .strip_suffix(".log")?
+        .parse()
+        .ok()
+}
+
+// ---------------------------------------------------------------------
+// record codec
+// ---------------------------------------------------------------------
+
+fn encode_record(record: &LogRecord, out: &mut Vec<u8>) {
+    let mut p = Vec::with_capacity(64);
+    match record {
+        LogRecord::Event(ev) => {
+            p.push(KIND_EVENT);
+            p.extend_from_slice(&ev.epoch.0.to_le_bytes());
+            p.extend_from_slice(&ev.tag.0.to_le_bytes());
+            for v in [ev.location.x, ev.location.y, ev.location.z] {
+                p.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+            match &ev.stats {
+                None => p.push(0),
+                Some(s) => {
+                    p.push(1);
+                    for v in [s.var[0], s.var[1], s.var[2], s.support] {
+                        p.extend_from_slice(&v.to_bits().to_le_bytes());
+                    }
+                }
+            }
+        }
+        LogRecord::EpochComplete(e) => {
+            p.push(KIND_EPOCH_COMPLETE);
+            p.extend_from_slice(&e.0.to_le_bytes());
+        }
+        LogRecord::Finish => p.push(KIND_FINISH),
+    }
+    out.extend_from_slice(&(p.len() as u32).to_le_bytes());
+    out.extend_from_slice(&fnv1a(&p).to_le_bytes());
+    out.extend_from_slice(&p);
+}
+
+fn decode_payload(p: &[u8]) -> Option<LogRecord> {
+    let mut pos = 0usize;
+    let u8_at = |pos: &mut usize| -> Option<u8> {
+        let v = *p.get(*pos)?;
+        *pos += 1;
+        Some(v)
+    };
+    let u64_at = |pos: &mut usize| -> Option<u64> {
+        let b = p.get(*pos..*pos + 8)?;
+        *pos += 8;
+        Some(u64::from_le_bytes(b.try_into().ok()?))
+    };
+    let record = match u8_at(&mut pos)? {
+        KIND_EVENT => {
+            let epoch = Epoch(u64_at(&mut pos)?);
+            let tag = TagId(u64_at(&mut pos)?);
+            let x = f64::from_bits(u64_at(&mut pos)?);
+            let y = f64::from_bits(u64_at(&mut pos)?);
+            let z = f64::from_bits(u64_at(&mut pos)?);
+            let mut ev = LocationEvent::new(epoch, tag, Point3::new(x, y, z));
+            match u8_at(&mut pos)? {
+                0 => {}
+                1 => {
+                    let var = [
+                        f64::from_bits(u64_at(&mut pos)?),
+                        f64::from_bits(u64_at(&mut pos)?),
+                        f64::from_bits(u64_at(&mut pos)?),
+                    ];
+                    let support = f64::from_bits(u64_at(&mut pos)?);
+                    ev = ev.with_stats(EventStats { var, support });
+                }
+                _ => return None,
+            }
+            LogRecord::Event(ev)
+        }
+        KIND_EPOCH_COMPLETE => LogRecord::EpochComplete(Epoch(u64_at(&mut pos)?)),
+        KIND_FINISH => LogRecord::Finish,
+        _ => return None,
+    };
+    (pos == p.len()).then_some(record)
+}
+
+enum Scan {
+    Record {
+        record: LogRecord,
+        next: usize,
+    },
+    /// End of valid data at this offset (clean end or torn tail).
+    End(usize),
+}
+
+/// Decodes the record at `pos`, or reports where valid data ends.
+fn scan_record(buf: &[u8], pos: usize) -> Scan {
+    let Some(head) = buf.get(pos..pos + RECORD_HEADER) else {
+        return Scan::End(pos);
+    };
+    let len = u32::from_le_bytes(head[..4].try_into().expect("4 bytes")) as usize;
+    let checksum = u64::from_le_bytes(head[4..].try_into().expect("8 bytes"));
+    let Some(payload) = buf.get(pos + RECORD_HEADER..pos + RECORD_HEADER + len) else {
+        return Scan::End(pos);
+    };
+    if fnv1a(payload) != checksum {
+        return Scan::End(pos);
+    }
+    match decode_payload(payload) {
+        Some(record) => Scan::Record {
+            record,
+            next: pos + RECORD_HEADER + len,
+        },
+        None => Scan::End(pos),
+    }
+}
+
+/// Writes `bytes` to a temp file and renames it over `path`, fsyncing
+/// the file and then the directory — the standard atomic-replace
+/// sequence.
+fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        File::open(dir)?.sync_all()?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// the log
+// ---------------------------------------------------------------------
+
+/// The append-only on-disk segment log (see the module docs).
+#[derive(Debug)]
+pub struct SegmentLog {
+    dir: PathBuf,
+    width: u64,
+    sealed: Vec<SegFile>,
+    archived: Vec<SegFile>,
+    tail: Option<Tail>,
+    /// Mirror of the store's arrival clock.
+    last_completed: Option<u64>,
+    finished: bool,
+    recovery: Recovery,
+    fault: Option<WriteFault>,
+    fault_written: u64,
+}
+
+impl SegmentLog {
+    /// Opens (or creates) the log in `dir` with `width`-epoch
+    /// segments, repairing whatever a crash left behind: torn tails
+    /// are truncated, sealed-but-uncommitted files adopted, a missing
+    /// manifest rebuilt. The width must match the existing log's.
+    pub fn open(dir: &Path, width: u64) -> Result<Self, LogError> {
+        assert!(width >= 1, "segment width must be >= 1 epoch");
+        fs::create_dir_all(dir)?;
+        fs::create_dir_all(dir.join(ARCHIVE_DIR))?;
+        let mut log = Self {
+            dir: dir.to_path_buf(),
+            width,
+            sealed: Vec::new(),
+            archived: Vec::new(),
+            tail: None,
+            last_completed: None,
+            finished: false,
+            recovery: Recovery::default(),
+            fault: None,
+            fault_written: 0,
+        };
+        let committed = log.read_manifest()?;
+        log.adopt_files(committed)?;
+        // replay the retained records to rebuild the clock
+        let mut last = None;
+        let mut finished = false;
+        log.replay(|record| {
+            match record {
+                LogRecord::EpochComplete(e) => last = Some(last.map_or(e.0, |p: u64| p.max(e.0))),
+                LogRecord::Finish => finished = true,
+                LogRecord::Event(_) => {}
+            }
+            Ok(())
+        })?;
+        log.last_completed = last;
+        log.finished = finished;
+        if log.recovery != Recovery::default() || !dir.join(MANIFEST).exists() {
+            log.commit_manifest()?;
+        }
+        Ok(log)
+    }
+
+    /// Sealed-segment starts committed by the manifest, or `None` when
+    /// the manifest is missing (first open, or crash damage).
+    fn read_manifest(&mut self) -> Result<Option<Vec<(u64, u64)>>, LogError> {
+        let path = self.dir.join(MANIFEST);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let mut lines = text.lines();
+        if lines.next() != Some(MANIFEST_MAGIC) {
+            return Err(LogError::Corrupt("manifest: bad magic line".into()));
+        }
+        let mut sealed = Vec::new();
+        for line in lines {
+            let mut parts = line.split_ascii_whitespace();
+            match parts.next() {
+                Some("width") => {
+                    let w: u64 = parts
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| LogError::Corrupt("manifest: bad width".into()))?;
+                    if w != self.width {
+                        return Err(LogError::Corrupt(format!(
+                            "manifest width {w} does not match requested {}",
+                            self.width
+                        )));
+                    }
+                }
+                Some("sealed") | Some("archived") => {
+                    let mut num = || -> Result<u64, LogError> {
+                        parts
+                            .next()
+                            .and_then(|t| t.parse().ok())
+                            .ok_or_else(|| LogError::Corrupt("manifest: bad segment line".into()))
+                    };
+                    sealed.push((num()?, num()?));
+                }
+                Some(other) => {
+                    return Err(LogError::Corrupt(format!(
+                        "manifest: unknown key {other:?}"
+                    )))
+                }
+                None => {}
+            }
+        }
+        Ok(Some(sealed))
+    }
+
+    /// Scans the directory, validating every segment file against the
+    /// committed list and classifying it sealed / tail / archived.
+    fn adopt_files(&mut self, committed: Option<Vec<(u64, u64)>>) -> Result<(), LogError> {
+        let rebuilt = committed.is_none();
+        let committed = committed.unwrap_or_default();
+        let mut live: Vec<u64> = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if let Some(start) = parse_segment_start(&entry.file_name().to_string_lossy()) {
+                live.push(start);
+            }
+        }
+        live.sort_unstable();
+        let mut archived: Vec<u64> = Vec::new();
+        for entry in fs::read_dir(self.dir.join(ARCHIVE_DIR))? {
+            let entry = entry?;
+            if let Some(start) = parse_segment_start(&entry.file_name().to_string_lossy()) {
+                archived.push(start);
+            }
+        }
+        archived.sort_unstable();
+        for start in archived {
+            self.archived.push(SegFile {
+                start,
+                end: start + (self.width - 1),
+                path: self.dir.join(ARCHIVE_DIR).join(segment_file_name(start)),
+            });
+        }
+        // a committed file must exist and decode in full
+        let committed_starts: Vec<u64> = committed.iter().map(|(s, _)| *s).collect();
+        for &(start, end) in &committed {
+            let path = self.dir.join(segment_file_name(start));
+            if !path.exists() {
+                // compaction may have archived it after the manifest
+                // was last written; accept the archive copy
+                if self.archived.iter().any(|a| a.start == start) {
+                    continue;
+                }
+                return Err(LogError::Corrupt(format!(
+                    "manifest lists segment {start} but no file exists"
+                )));
+            }
+            let buf = fs::read(&path)?;
+            let mut pos = 0usize;
+            loop {
+                match scan_record(&buf, pos) {
+                    Scan::Record { next, .. } => pos = next,
+                    Scan::End(at) if at == buf.len() => break,
+                    Scan::End(at) => {
+                        return Err(LogError::Corrupt(format!(
+                            "committed segment {start} torn at byte {at}"
+                        )))
+                    }
+                }
+            }
+            self.sealed.push(SegFile { start, end, path });
+        }
+        // uncommitted live files: all but the newest were sealed but
+        // not yet committed (crash between fsync and manifest write);
+        // the newest is the tail. Torn bytes truncate off either.
+        let uncommitted: Vec<u64> = live
+            .into_iter()
+            .filter(|s| !committed_starts.contains(s))
+            .collect();
+        if rebuilt {
+            self.recovery.rebuilt_manifest = true;
+        }
+        for (i, &start) in uncommitted.iter().enumerate() {
+            let path = self.dir.join(segment_file_name(start));
+            let mut buf = fs::read(&path)?;
+            let mut pos = 0usize;
+            loop {
+                match scan_record(&buf, pos) {
+                    Scan::Record { next, .. } => pos = next,
+                    Scan::End(at) => {
+                        if at < buf.len() {
+                            self.recovery.truncated_bytes += (buf.len() - at) as u64;
+                            let f = OpenOptions::new().write(true).open(&path)?;
+                            f.set_len(at as u64)?;
+                            f.sync_all()?;
+                            buf.truncate(at);
+                        }
+                        break;
+                    }
+                }
+            }
+            let seg = SegFile {
+                start,
+                end: start + (self.width - 1),
+                path,
+            };
+            if i + 1 < uncommitted.len() {
+                self.recovery.adopted_segments += 1;
+                self.sealed.push(seg);
+            } else {
+                // the newest file is the tail; reopen for append
+                let file = OpenOptions::new().append(true).open(&seg.path)?;
+                self.tail = Some(Tail {
+                    seg,
+                    file,
+                    bytes: buf.len() as u64,
+                });
+            }
+        }
+        self.sealed.sort_by_key(|s| s.start);
+        Ok(())
+    }
+
+    /// What open had to repair (all zeroes after a clean shutdown).
+    pub fn recovery(&self) -> Recovery {
+        self.recovery
+    }
+
+    /// The segment width in epochs.
+    pub fn width(&self) -> u64 {
+        self.width
+    }
+
+    /// Highest completed epoch in the log (`None` when empty).
+    pub fn last_completed(&self) -> Option<u64> {
+        self.last_completed
+    }
+
+    /// Whether a FINISH record is on disk.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Number of live (unarchived) sealed segments plus the tail.
+    pub fn live_segments(&self) -> usize {
+        self.sealed.len() + usize::from(self.tail.is_some())
+    }
+
+    /// Number of archived segment files.
+    pub fn archived_segments(&self) -> usize {
+        self.archived.len()
+    }
+
+    /// Arms a crash fault (see [`WriteFault`]). Fault-injection
+    /// harnesses only — the armed process WILL abort.
+    pub fn arm_fault(&mut self, fault: WriteFault) {
+        self.fault = Some(fault);
+    }
+
+    /// The arrival epoch the next event record would be stamped with
+    /// (mirrors `EventStore::next_arrival`).
+    fn next_arrival(&self) -> u64 {
+        match self.last_completed {
+            Some(e) => e + 1,
+            None => 0,
+        }
+    }
+
+    fn append(&mut self, slot: u64, record: &LogRecord) -> Result<(), LogError> {
+        // roll the tail when the slot passes its range
+        if self.tail.as_ref().is_some_and(|t| slot > t.seg.end) {
+            self.seal_tail()?;
+        }
+        if self.tail.is_none() {
+            let start = (slot / self.width) * self.width;
+            let path = self.dir.join(segment_file_name(start));
+            let file = OpenOptions::new().create(true).append(true).open(&path)?;
+            self.tail = Some(Tail {
+                seg: SegFile {
+                    start,
+                    end: start + (self.width - 1),
+                    path,
+                },
+                file,
+                bytes: 0,
+            });
+        }
+        let mut buf = Vec::with_capacity(80);
+        encode_record(record, &mut buf);
+        // fault injection: crash before (or torn inside) this write
+        if let Some(fault) = self.fault {
+            if self.fault_written + buf.len() as u64 > fault.after_bytes {
+                let tail = self.tail.as_mut().expect("tail exists");
+                if fault.torn {
+                    let keep = (fault.after_bytes - self.fault_written) as usize;
+                    let keep = keep.clamp(1, buf.len() - 1);
+                    let _ = tail.file.write_all(&buf[..keep]);
+                    let _ = tail.file.sync_all();
+                }
+                std::process::abort();
+            }
+            self.fault_written += buf.len() as u64;
+        }
+        let tail = self.tail.as_mut().expect("tail exists");
+        tail.file.write_all(&buf)?;
+        tail.bytes += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Fsyncs the tail, moves it to the sealed list, and commits the
+    /// manifest.
+    fn seal_tail(&mut self) -> Result<(), LogError> {
+        if let Some(tail) = self.tail.take() {
+            tail.file.sync_all()?;
+            self.sealed.push(tail.seg);
+            self.commit_manifest()?;
+        }
+        Ok(())
+    }
+
+    fn commit_manifest(&self) -> Result<(), LogError> {
+        let mut text = format!("{MANIFEST_MAGIC}\nwidth {}\n", self.width);
+        for s in &self.sealed {
+            text.push_str(&format!("sealed {} {}\n", s.start, s.end));
+        }
+        for s in &self.archived {
+            text.push_str(&format!("archived {} {}\n", s.start, s.end));
+        }
+        atomic_write(&self.dir.join(MANIFEST), text.as_bytes())?;
+        Ok(())
+    }
+
+    /// Journals one event (call before applying it to the store).
+    pub fn append_event(&mut self, event: &LocationEvent) -> Result<(), LogError> {
+        self.append(self.next_arrival(), &LogRecord::Event(*event))
+    }
+
+    /// Journals an epoch completion; seals the tail at segment
+    /// boundaries exactly when the in-memory store does.
+    pub fn complete_epoch(&mut self, epoch: Epoch) -> Result<(), LogError> {
+        let e = match self.last_completed {
+            Some(prev) => prev.max(epoch.0),
+            None => epoch.0,
+        };
+        self.append(e, &LogRecord::EpochComplete(epoch))?;
+        self.last_completed = Some(e);
+        if self.tail.as_ref().is_some_and(|t| e >= t.seg.end) {
+            self.seal_tail()?;
+        }
+        Ok(())
+    }
+
+    /// Journals end-of-stream and seals the tail.
+    pub fn finish(&mut self) -> Result<(), LogError> {
+        self.append(self.next_arrival(), &LogRecord::Finish)?;
+        self.finished = true;
+        self.seal_tail()
+    }
+
+    /// Fsyncs the tail file — the durability barrier a checkpoint must
+    /// take before committing.
+    pub fn sync(&mut self) -> io::Result<()> {
+        if let Some(tail) = &self.tail {
+            tail.file.sync_all()?;
+        }
+        Ok(())
+    }
+
+    /// Replays every retained record — archived segments first, then
+    /// live ones, in epoch order — through `visit`.
+    pub fn replay(
+        &self,
+        mut visit: impl FnMut(LogRecord) -> Result<(), LogError>,
+    ) -> Result<(), LogError> {
+        let mut files: Vec<&SegFile> = self.archived.iter().collect();
+        files.extend(self.sealed.iter());
+        files.sort_by_key(|s| s.start);
+        let mut buf = Vec::new();
+        let mut replay_file = |seg: &SegFile, buf: &mut Vec<u8>| -> Result<(), LogError> {
+            buf.clear();
+            File::open(&seg.path)?.read_to_end(buf)?;
+            let mut pos = 0usize;
+            loop {
+                match scan_record(buf, pos) {
+                    Scan::Record { record, next } => {
+                        visit(record)?;
+                        pos = next;
+                    }
+                    Scan::End(at) if at == buf.len() => return Ok(()),
+                    Scan::End(at) => {
+                        return Err(LogError::Corrupt(format!(
+                            "segment {} torn at byte {at} during replay",
+                            seg.start
+                        )))
+                    }
+                }
+            }
+        };
+        for seg in files {
+            replay_file(seg, &mut buf)?;
+        }
+        if let Some(tail) = &self.tail {
+            replay_file(&tail.seg, &mut buf)?;
+        }
+        Ok(())
+    }
+
+    /// Moves sealed segments whose range ends at or before `horizon`
+    /// into `archive/` — the durable mirror of the store's retention
+    /// compaction. Archived data stays replayable; nothing is deleted.
+    pub fn archive_up_to(&mut self, horizon: u64) -> Result<(), LogError> {
+        let mut moved = false;
+        let mut keep = Vec::with_capacity(self.sealed.len());
+        for seg in std::mem::take(&mut self.sealed) {
+            if seg.end <= horizon {
+                let dest = self
+                    .dir
+                    .join(ARCHIVE_DIR)
+                    .join(segment_file_name(seg.start));
+                fs::rename(&seg.path, &dest)?;
+                self.archived.push(SegFile {
+                    start: seg.start,
+                    end: seg.end,
+                    path: dest,
+                });
+                moved = true;
+            } else {
+                keep.push(seg);
+            }
+        }
+        self.sealed = keep;
+        if moved {
+            self.archived.sort_by_key(|s| s.start);
+            self.commit_manifest()?;
+        }
+        Ok(())
+    }
+
+    /// Truncates the live log so its last record is the
+    /// EPOCH_COMPLETE mark for `epoch`: later records (re-emitted by a
+    /// restarted engine) are dropped, sealed segments past the cut are
+    /// deleted, and the manifest is re-committed. No-op error if the
+    /// mark is not in the live log (the log ended before `epoch`).
+    pub fn truncate_after_epoch(&mut self, epoch: Epoch) -> Result<(), LogError> {
+        // locate the cut: scan live files in order for the mark
+        let mut live: Vec<SegFile> = self.sealed.clone();
+        if let Some(tail) = &self.tail {
+            live.push(tail.seg.clone());
+        }
+        live.sort_by_key(|s| s.start);
+        let mut cut: Option<(usize, u64)> = None; // (file index, byte offset)
+        for (i, seg) in live.iter().enumerate() {
+            let buf = fs::read(&seg.path)?;
+            let mut pos = 0usize;
+            while let Scan::Record { record, next } = scan_record(&buf, pos) {
+                if record == LogRecord::EpochComplete(epoch) {
+                    cut = Some((i, next as u64));
+                }
+                pos = next;
+            }
+        }
+        let Some((file_idx, offset)) = cut else {
+            return Err(LogError::Corrupt(format!(
+                "no completion mark for epoch {} in the live log",
+                epoch.0
+            )));
+        };
+        // drop the tail handle before mutating files
+        self.tail = None;
+        for seg in &live[file_idx + 1..] {
+            fs::remove_file(&seg.path)?;
+        }
+        let keep = &live[file_idx];
+        let f = OpenOptions::new().write(true).open(&keep.path)?;
+        f.set_len(offset)?;
+        f.sync_all()?;
+        // everything before the cut file stays sealed; the cut file
+        // becomes the new tail
+        self.sealed = live[..file_idx].to_vec();
+        let file = OpenOptions::new().append(true).open(&keep.path)?;
+        self.tail = Some(Tail {
+            seg: keep.clone(),
+            file,
+            bytes: offset,
+        });
+        self.last_completed = Some(epoch.0);
+        self.finished = false;
+        self.commit_manifest()
+    }
+}
+
+// ---------------------------------------------------------------------
+// durable store
+// ---------------------------------------------------------------------
+
+/// An [`EventStore`] whose sink calls are journaled to a
+/// [`SegmentLog`] before being applied — open it again after a crash
+/// and the store state (arrival stamps, sequence numbers, compacted
+/// base and all) is rebuilt exactly by replay.
+#[derive(Debug)]
+pub struct DurableStore {
+    store: EventStore,
+    log: SegmentLog,
+}
+
+impl DurableStore {
+    /// Opens (or creates) a durable store in `dir`. The log's segment
+    /// width is the store's `segment_epochs`; existing records are
+    /// replayed into the fresh store.
+    pub fn open(dir: &Path, cfg: StoreConfig) -> Result<Self, LogError> {
+        let log = SegmentLog::open(dir, cfg.segment_epochs)?;
+        let mut store = EventStore::new(cfg);
+        log.replay(|record| {
+            match record {
+                LogRecord::Event(ev) => {
+                    store.push(&ev);
+                }
+                LogRecord::EpochComplete(e) => store.complete_epoch(e),
+                LogRecord::Finish => store.finish(),
+            }
+            Ok(())
+        })?;
+        let mut durable = Self { store, log };
+        durable.archive_compacted()?;
+        Ok(durable)
+    }
+
+    /// The in-memory store (all queries go through it).
+    pub fn store(&self) -> &EventStore {
+        &self.store
+    }
+
+    /// The underlying log (recovery stats, fault arming).
+    pub fn log_mut(&mut self) -> &mut SegmentLog {
+        &mut self.log
+    }
+
+    /// What opening had to repair.
+    pub fn recovery(&self) -> Recovery {
+        self.log.recovery()
+    }
+
+    /// Journals and applies one event.
+    pub fn push(&mut self, event: &LocationEvent) -> Result<(), LogError> {
+        self.log.append_event(event)?;
+        self.store.push(event);
+        Ok(())
+    }
+
+    /// Journals and applies an epoch completion; archives any segment
+    /// files the store's compaction just dropped.
+    pub fn complete_epoch(&mut self, epoch: Epoch) -> Result<(), LogError> {
+        self.log.complete_epoch(epoch)?;
+        self.store.complete_epoch(epoch);
+        self.archive_compacted()
+    }
+
+    /// Journals and applies end-of-stream.
+    pub fn finish(&mut self) -> Result<(), LogError> {
+        self.log.finish()?;
+        self.store.finish();
+        self.archive_compacted()
+    }
+
+    /// Durability barrier: fsync the log tail.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.log.sync()
+    }
+
+    fn archive_compacted(&mut self) -> Result<(), LogError> {
+        let horizon = self.store.retention_horizon();
+        if horizon > 0 {
+            self.log.archive_up_to(horizon)?;
+        }
+        Ok(())
+    }
+}
+
+/// Sink adapter: journaling failures abort the process (a durability
+/// layer that silently drops events would defeat its purpose; use the
+/// explicit methods to handle errors).
+impl EventSink for DurableStore {
+    fn on_event(&mut self, event: &LocationEvent) {
+        self.push(event).expect("segment log append failed");
+    }
+
+    fn on_epoch_complete(&mut self, epoch: Epoch) {
+        self.complete_epoch(epoch)
+            .expect("segment log append failed");
+    }
+
+    fn on_finish(&mut self) {
+        self.finish().expect("segment log append failed");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "rfid-log-{name}-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn ev(epoch: u64, tag: u64, x: f64) -> LocationEvent {
+        LocationEvent::new(Epoch(epoch), TagId(tag), Point3::new(x, -0.5, 0.25)).with_stats(
+            EventStats {
+                var: [0.1, 0.2, 0.0],
+                support: 123.0,
+            },
+        )
+    }
+
+    /// Drives `n` epochs into a durable store (tag 1 every epoch, tag
+    /// 2 on evens).
+    fn feed(d: &mut DurableStore, n: u64) {
+        for e in 0..n {
+            d.push(&ev(e, 1, e as f64)).unwrap();
+            if e % 2 == 0 {
+                d.push(&ev(e, 2, -(e as f64))).unwrap();
+            }
+            d.complete_epoch(Epoch(e)).unwrap();
+        }
+    }
+
+    fn stored_rows(store: &EventStore) -> Vec<(u64, u64, u64, u64)> {
+        store
+            .events()
+            .map(|s| {
+                (
+                    s.seq,
+                    s.arrival,
+                    s.event.tag.0,
+                    s.event.location.x.to_bits(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn records_round_trip() {
+        let records = [
+            LogRecord::Event(ev(7, 3, 1.5)),
+            LogRecord::Event(LocationEvent::new(Epoch(0), TagId(1), Point3::origin())),
+            LogRecord::EpochComplete(Epoch(9)),
+            LogRecord::Finish,
+        ];
+        let mut buf = Vec::new();
+        for r in &records {
+            encode_record(r, &mut buf);
+        }
+        let mut pos = 0;
+        let mut got = Vec::new();
+        loop {
+            match scan_record(&buf, pos) {
+                Scan::Record { record, next } => {
+                    got.push(record);
+                    pos = next;
+                }
+                Scan::End(at) => {
+                    assert_eq!(at, buf.len());
+                    break;
+                }
+            }
+        }
+        assert_eq!(got.as_slice(), records.as_slice());
+    }
+
+    #[test]
+    fn reopen_rebuilds_identical_store_state() {
+        let dir = temp_dir("reopen");
+        let cfg = StoreConfig::default().with_segment_epochs(4);
+        let mut d = DurableStore::open(&dir, cfg).unwrap();
+        feed(&mut d, 19);
+        d.finish().unwrap();
+        let want = stored_rows(d.store());
+        let want_stats = d.store().stats();
+        drop(d);
+
+        let d2 = DurableStore::open(&dir, cfg).unwrap();
+        assert_eq!(d2.recovery(), Recovery::default());
+        assert_eq!(stored_rows(d2.store()), want);
+        assert_eq!(d2.store().stats(), want_stats);
+        assert!(d2.store().is_finished());
+        assert_eq!(d2.store().latest_epoch(), 18);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_truncates_and_reopens() {
+        let dir = temp_dir("torn");
+        let cfg = StoreConfig::default().with_segment_epochs(8);
+        let mut d = DurableStore::open(&dir, cfg).unwrap();
+        feed(&mut d, 13);
+        let full = stored_rows(d.store());
+        drop(d);
+        // tear the tail: chop into the middle of the final event
+        // record (the trailing EPOCH_COMPLETE record is 21 bytes, so
+        // cutting 30 bytes lands mid-event)
+        let tail = dir.join(segment_file_name(8));
+        let len = fs::metadata(&tail).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&tail).unwrap();
+        f.set_len(len - 30).unwrap();
+        drop(f);
+
+        let d2 = DurableStore::open(&dir, cfg).unwrap();
+        assert!(d2.recovery().truncated_bytes > 0);
+        let got = stored_rows(d2.store());
+        // a strict prefix survived; nothing corrupt leaked through
+        assert!(got.len() < full.len());
+        assert_eq!(full[..got.len()], got[..]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_manifest_is_rebuilt() {
+        let dir = temp_dir("manifest");
+        let cfg = StoreConfig::default().with_segment_epochs(4);
+        let mut d = DurableStore::open(&dir, cfg).unwrap();
+        feed(&mut d, 17);
+        let want = stored_rows(d.store());
+        drop(d);
+        fs::remove_file(dir.join(MANIFEST)).unwrap();
+
+        let d2 = DurableStore::open(&dir, cfg).unwrap();
+        assert!(d2.recovery().rebuilt_manifest);
+        assert!(d2.recovery().adopted_segments > 0);
+        assert_eq!(stored_rows(d2.store()), want);
+        assert!(dir.join(MANIFEST).exists(), "manifest re-committed");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn retention_archives_instead_of_deleting() {
+        let dir = temp_dir("archive");
+        let cfg = StoreConfig::default()
+            .with_segment_epochs(4)
+            .with_retention(8);
+        let mut d = DurableStore::open(&dir, cfg).unwrap();
+        feed(&mut d, 40);
+        d.finish().unwrap();
+        assert!(d.store().stats().events_compacted > 0);
+        assert!(d.log.archived_segments() > 0, "files moved, not deleted");
+        let want = stored_rows(d.store());
+        let horizon = d.store().retention_horizon();
+        let snap_at_horizon = d.store().snapshot_at(Epoch(horizon)).unwrap();
+        drop(d);
+
+        // reopen: archived segments replay too, so the compacted base
+        // (and with it snapshot-at-horizon) is rebuilt exactly
+        let d2 = DurableStore::open(&dir, cfg).unwrap();
+        assert_eq!(stored_rows(d2.store()), want);
+        assert_eq!(d2.store().retention_horizon(), horizon);
+        assert_eq!(
+            d2.store().snapshot_at(Epoch(horizon)).unwrap(),
+            snap_at_horizon
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncate_after_epoch_drops_later_records() {
+        let dir = temp_dir("truncate");
+        let cfg = StoreConfig::default().with_segment_epochs(4);
+        let mut d = DurableStore::open(&dir, cfg).unwrap();
+        feed(&mut d, 18);
+        d.finish().unwrap();
+        drop(d);
+
+        // reopen the raw log and cut back to epoch 9 (mid-segment)
+        let mut log = SegmentLog::open(&dir, 4).unwrap();
+        log.truncate_after_epoch(Epoch(9)).unwrap();
+        assert_eq!(log.last_completed(), Some(9));
+        assert!(!log.is_finished());
+        drop(log);
+
+        let d2 = DurableStore::open(&dir, cfg).unwrap();
+        assert_eq!(d2.store().latest_epoch(), 9);
+        assert!(!d2.store().is_finished());
+        assert!(d2.store().events().all(|s| s.arrival <= 9));
+        // appending after the cut continues cleanly
+        let mut d2 = d2;
+        d2.push(&ev(10, 1, 10.0)).unwrap();
+        d2.complete_epoch(Epoch(10)).unwrap();
+        assert_eq!(d2.store().latest_epoch(), 10);
+        // the mark must exist
+        let mut log = SegmentLog::open(&dir, 4).unwrap();
+        assert!(log.truncate_after_epoch(Epoch(999)).is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -110,6 +110,10 @@ pub enum ErrorCode {
     BeyondRetention,
     /// `UNSUBSCRIBE` named a subscription this connection does not own.
     UnknownSubscription,
+    /// The server is at its connection limit
+    /// ([`crate::server::ServerConfig::max_connections`]); retry later
+    /// or against another replica.
+    Overloaded,
     /// A legacy or unrecognized code (decode side only: v1 peers sent
     /// `ERR <message>` with no code at all).
     Unknown,
@@ -124,6 +128,7 @@ impl ErrorCode {
             ErrorCode::UnsupportedVersion => "UNSUPPORTED_VERSION",
             ErrorCode::BeyondRetention => "BEYOND_RETENTION",
             ErrorCode::UnknownSubscription => "UNKNOWN_SUBSCRIPTION",
+            ErrorCode::Overloaded => "OVERLOADED",
             ErrorCode::Unknown => "UNKNOWN",
         }
     }
@@ -136,6 +141,7 @@ impl ErrorCode {
             "UNSUPPORTED_VERSION" => ErrorCode::UnsupportedVersion,
             "BEYOND_RETENTION" => ErrorCode::BeyondRetention,
             "UNKNOWN_SUBSCRIPTION" => ErrorCode::UnknownSubscription,
+            "OVERLOADED" => ErrorCode::Overloaded,
             "UNKNOWN" => ErrorCode::Unknown,
             _ => return None,
         })
@@ -732,15 +738,16 @@ impl Frame {
 pub fn answer(store: &EventStore, query: &Query) -> QueryResponse {
     let result = match *query {
         Query::CurrentLocation(tag) => Ok(store.current_location(tag).into_iter().collect()),
-        Query::Trail { tag, from, to } => Ok(store
-            .trail(tag, from, to)
-            .into_iter()
-            .map(|s| LocationRow {
-                tag: s.event.tag,
-                epoch: s.event.epoch,
-                location: s.event.location,
-            })
-            .collect()),
+        Query::Trail { tag, from, to } => store.trail(tag, from, to).map(|events| {
+            events
+                .into_iter()
+                .map(|s| LocationRow {
+                    tag: s.event.tag,
+                    epoch: s.event.epoch,
+                    location: s.event.location,
+                })
+                .collect()
+        }),
         Query::SnapshotAt(epoch) => store.snapshot_at(epoch),
         Query::SnapshotDelta { at, since } => store.snapshot_delta(at, since),
         Query::Containment {

@@ -1,0 +1,396 @@
+//! Client-side resilience: a [`QueryClient`] wrapper that survives
+//! connection loss.
+//!
+//! [`ResilientClient`] remembers what the connection was *for* — the
+//! active subscription filters and the epoch of the last push frame it
+//! delivered — so when the TCP connection dies it can rebuild the
+//! whole session, not just the socket:
+//!
+//! 1. reconnect with bounded exponential backoff plus jitter (so a
+//!    fleet of clients does not stampede a restarting server),
+//! 2. repeat the `HELLO` handshake (inside
+//!    [`ClientBuilder::establish`]),
+//! 3. re-issue every remembered `SUBSCRIBE`,
+//! 4. close the gap with `SNAPSHOT <now> SINCE <last-push-epoch>` —
+//!    the rows that arrived while the client was dark come back as one
+//!    synthetic [`Frame::Push`] per subscription, filtered exactly as
+//!    the live stream would have been.
+//!
+//! Subscription ids stay **stable across reconnects**: the caller
+//! holds a client-side handle, and frames are translated from the
+//! per-connection server id before delivery.
+//!
+//! Delivery across a reconnect is **at-least-once**: a row committed
+//! between the re-subscribe and the gap-fill query can appear both in
+//! the synthetic catch-up frame and in an early live frame. Rows are
+//! never lost (within the store's retention) and never reordered
+//! within a frame.
+
+use crate::query::{Frame, Query, QueryResponse, SubscriptionFilter};
+use crate::server::{ClientBuilder, QueryClient};
+use crate::store::LocationRow;
+use rfid_stream::pipeline::sinks::LocationUpdate;
+use rfid_stream::Epoch;
+use std::collections::VecDeque;
+use std::io;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+/// How [`ResilientClient`] retries a lost connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReconnectPolicy {
+    /// Connection attempts per recovery (>= 1) before the triggering
+    /// operation gives up and surfaces the error.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles per attempt.
+    pub initial_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Seed for the jitter sequence (each sleep lands uniformly in
+    /// `[backoff/2, backoff]`). Give each client its own seed.
+    pub jitter_seed: u64,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 8,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+            jitter_seed: 0x5eed_cafe,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Subscription {
+    /// The caller-visible id, stable across reconnects.
+    handle: u64,
+    filter: SubscriptionFilter,
+    /// The id on the current connection (re-assigned per reconnect).
+    server_id: u64,
+}
+
+/// A self-healing query/subscription client (see the module docs).
+#[derive(Debug)]
+pub struct ResilientClient {
+    addr: SocketAddr,
+    timeout: Option<Duration>,
+    policy: ReconnectPolicy,
+    client: Option<QueryClient>,
+    subs: Vec<Subscription>,
+    /// Epoch of the newest push frame delivered to the caller.
+    last_push_epoch: Option<u64>,
+    /// Synthetic catch-up frames queued by a reconnect.
+    catch_up: VecDeque<Frame>,
+    next_handle: u64,
+    ever_connected: bool,
+    reconnects: u64,
+    jitter: u64,
+}
+
+impl ResilientClient {
+    /// A client for `addr`. No connection is made until the first
+    /// operation needs one.
+    pub fn new(addr: SocketAddr) -> Self {
+        let policy = ReconnectPolicy::default();
+        Self {
+            addr,
+            timeout: None,
+            policy,
+            client: None,
+            subs: Vec::new(),
+            last_push_epoch: None,
+            catch_up: VecDeque::new(),
+            next_handle: 1,
+            ever_connected: false,
+            reconnects: 0,
+            jitter: policy.jitter_seed | 1,
+        }
+    }
+
+    /// Read/write timeout applied to every connection (see
+    /// [`ClientBuilder::timeout`]). Timeouts are surfaced to the
+    /// caller, **not** treated as connection loss.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Replaces the reconnect policy.
+    pub fn with_policy(mut self, policy: ReconnectPolicy) -> Self {
+        self.policy = policy;
+        self.jitter = policy.jitter_seed | 1;
+        self
+    }
+
+    /// How many times the session has been rebuilt after a loss.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Epoch of the newest push frame delivered (the `SINCE` bound the
+    /// next gap-fill would use).
+    pub fn last_push_epoch(&self) -> Option<u64> {
+        self.last_push_epoch
+    }
+
+    /// Sends one query, transparently rebuilding the session if the
+    /// connection is lost mid-operation.
+    pub fn query(&mut self, query: &Query) -> io::Result<QueryResponse> {
+        let mut cycles = 0u32;
+        loop {
+            self.ensure_connected()?;
+            let client = self.client.as_mut().expect("just connected");
+            match client.query(query) {
+                Ok(resp) => return Ok(resp),
+                Err(e) if is_disconnect(&e) && cycles < self.policy.max_attempts => {
+                    self.client = None;
+                    cycles += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Registers a push subscription and returns a **stable** handle:
+    /// push and lag frames from [`ResilientClient::next_push`] carry
+    /// this id on every connection the session will ever use.
+    pub fn subscribe(&mut self, filter: SubscriptionFilter) -> io::Result<u64> {
+        let mut cycles = 0u32;
+        let server_id = loop {
+            self.ensure_connected()?;
+            let client = self.client.as_mut().expect("just connected");
+            match client.subscribe(&filter) {
+                Ok(id) => break id,
+                Err(e) if is_disconnect(&e) && cycles < self.policy.max_attempts => {
+                    self.client = None;
+                    cycles += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        let handle = self.next_handle;
+        self.next_handle += 1;
+        self.subs.push(Subscription {
+            handle,
+            filter,
+            server_id,
+        });
+        Ok(handle)
+    }
+
+    /// The next push or lag frame, ids translated to stable handles.
+    /// A connection loss triggers the reconnect protocol; the gap is
+    /// filled with synthetic push frames before live frames resume.
+    /// Read timeouts (`WouldBlock`/`TimedOut`) pass through so pollers
+    /// keep their cadence.
+    pub fn next_push(&mut self) -> io::Result<Frame> {
+        loop {
+            if let Some(frame) = self.catch_up.pop_front() {
+                return Ok(self.deliver(frame));
+            }
+            self.ensure_connected()?;
+            // a reconnect queues catch-up frames: deliver those before
+            // blocking on the socket for live ones
+            if let Some(frame) = self.catch_up.pop_front() {
+                return Ok(self.deliver(frame));
+            }
+            let client = self.client.as_mut().expect("just connected");
+            match client.next_push() {
+                Ok(frame) => {
+                    let frame = self.translate(frame)?;
+                    return Ok(self.deliver(frame));
+                }
+                Err(e) if is_disconnect(&e) => {
+                    self.client = None;
+                    // loop: reconnect, which queues catch-up frames
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Notes the delivered frame's epoch (the next gap-fill bound).
+    fn deliver(&mut self, frame: Frame) -> Frame {
+        if let Frame::Push { epoch, .. } = &frame {
+            self.last_push_epoch = Some(self.last_push_epoch.map_or(*epoch, |p| p.max(*epoch)));
+        }
+        frame
+    }
+
+    /// Maps a live frame's per-connection subscription id to the
+    /// caller's stable handle.
+    fn translate(&self, frame: Frame) -> io::Result<Frame> {
+        let map = |server_id: u64| -> io::Result<u64> {
+            self.subs
+                .iter()
+                .find(|s| s.server_id == server_id)
+                .map(|s| s.handle)
+                .ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("push for unknown subscription {server_id}"),
+                    )
+                })
+        };
+        Ok(match frame {
+            Frame::Push { id, epoch, rows } => Frame::Push {
+                id: map(id)?,
+                epoch,
+                rows,
+            },
+            Frame::Lagged { id, dropped } => Frame::Lagged {
+                id: map(id)?,
+                dropped,
+            },
+            other => other,
+        })
+    }
+
+    /// Connects if not connected: backoff loop, handshake,
+    /// re-subscribe, gap fill.
+    fn ensure_connected(&mut self) -> io::Result<()> {
+        if self.client.is_some() {
+            return Ok(());
+        }
+        let mut backoff = self.policy.initial_backoff;
+        let mut last_err: Option<io::Error> = None;
+        for attempt in 0..self.policy.max_attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(self.jittered(backoff));
+                backoff = (backoff * 2).min(self.policy.max_backoff);
+            }
+            let mut builder: ClientBuilder = QueryClient::connect(self.addr);
+            if let Some(t) = self.timeout {
+                builder = builder.timeout(t);
+            }
+            match builder.establish().and_then(|c| self.rebuild_session(c)) {
+                Ok(client) => {
+                    if self.ever_connected {
+                        self.reconnects += 1;
+                    }
+                    self.ever_connected = true;
+                    self.client = Some(client);
+                    return Ok(());
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::NotConnected, "no connection attempt made")
+        }))
+    }
+
+    /// Re-subscribes every remembered filter on a fresh connection and
+    /// queues the gap-fill frames.
+    fn rebuild_session(&mut self, mut client: QueryClient) -> io::Result<QueryClient> {
+        for i in 0..self.subs.len() {
+            let filter = self.subs[i].filter.clone();
+            let id = client.subscribe(&filter)?;
+            self.subs[i].server_id = id;
+        }
+        // gap fill: what arrived while the client was dark, as one
+        // synthetic push per subscription (filtered like live pushes)
+        if let Some(since) = self.last_push_epoch {
+            if !self.subs.is_empty() {
+                let delta = Query::SnapshotDelta {
+                    // far-future `at` answers with the current relation
+                    at: Epoch(u64::MAX),
+                    since: Epoch(since),
+                };
+                if let QueryResponse::Rows(rows) = client.query(&delta)? {
+                    for sub in &self.subs {
+                        let mine: Vec<LocationRow> = rows
+                            .iter()
+                            .filter(|r| row_matches(&sub.filter, r))
+                            .copied()
+                            .collect();
+                        if mine.is_empty() {
+                            continue;
+                        }
+                        let epoch = mine.iter().map(|r| r.epoch.0).max().unwrap_or(since);
+                        self.catch_up.push_back(Frame::Push {
+                            id: sub.handle,
+                            epoch,
+                            rows: mine,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(client)
+    }
+
+    /// Uniform jitter in `[d/2, d]` from a xorshift64* sequence — no
+    /// external RNG dependency, and deterministic per seed.
+    fn jittered(&mut self, d: Duration) -> Duration {
+        self.jitter ^= self.jitter << 13;
+        self.jitter ^= self.jitter >> 7;
+        self.jitter ^= self.jitter << 17;
+        let frac =
+            (self.jitter.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
+        d / 2 + Duration::from_secs_f64(d.as_secs_f64() / 2.0 * frac)
+    }
+}
+
+/// Whether an I/O error means the connection is gone (vs. a timeout or
+/// a protocol error the caller must see).
+fn is_disconnect(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::NotConnected
+            | io::ErrorKind::WriteZero
+    )
+}
+
+/// [`SubscriptionFilter::matches`] over a stored row (same semantics,
+/// different row type).
+fn row_matches(filter: &SubscriptionFilter, row: &LocationRow) -> bool {
+    filter.matches(&LocationUpdate {
+        epoch: row.epoch,
+        tag: row.tag,
+        location: row.location,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_stays_in_the_back_half() {
+        let mut c = ResilientClient::new("127.0.0.1:1".parse().unwrap());
+        let d = Duration::from_millis(100);
+        for _ in 0..1000 {
+            let j = c.jittered(d);
+            assert!(j >= d / 2 && j <= d, "jitter {j:?} outside [d/2, d]");
+        }
+    }
+
+    #[test]
+    fn disconnect_classification() {
+        assert!(is_disconnect(&io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            ""
+        )));
+        assert!(is_disconnect(&io::Error::new(
+            io::ErrorKind::ConnectionReset,
+            ""
+        )));
+        assert!(!is_disconnect(&io::Error::new(io::ErrorKind::TimedOut, "")));
+        assert!(!is_disconnect(&io::Error::new(
+            io::ErrorKind::WouldBlock,
+            ""
+        )));
+        assert!(!is_disconnect(&io::Error::new(
+            io::ErrorKind::InvalidData,
+            ""
+        )));
+    }
+}

@@ -43,7 +43,7 @@ use crate::store::{EventStore, LocationRow};
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
@@ -75,6 +75,11 @@ pub struct ServerConfig {
     /// not produced work. Bounds worst-case added latency on an
     /// otherwise idle server.
     pub idle_sleep: Duration,
+    /// Accepted connections the server holds at once. An accept past
+    /// the bound gets a best-effort `ERR` frame with
+    /// [`ErrorCode::Overloaded`] and a clean close — never a silent
+    /// hang. `None` is unlimited.
+    pub max_connections: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -86,6 +91,7 @@ impl Default for ServerConfig {
                 .clamp(1, 4),
             outbox_high_water: 256 << 10,
             idle_sleep: Duration::from_micros(100),
+            max_connections: None,
         }
     }
 }
@@ -101,6 +107,13 @@ impl ServerConfig {
     /// Default config with an outbox high-water mark in bytes.
     pub fn with_outbox_high_water(mut self, bytes: usize) -> Self {
         self.outbox_high_water = bytes;
+        self
+    }
+
+    /// Default config with a connection bound (>= 1).
+    pub fn with_max_connections(mut self, max: usize) -> Self {
+        assert!(max >= 1, "at least one connection");
+        self.max_connections = Some(max);
         self
     }
 }
@@ -256,7 +269,7 @@ pub fn serve_with(
     let mut threads = Vec::with_capacity(cfg.workers + 1);
     let mut senders = Vec::with_capacity(cfg.workers);
     for w in 0..cfg.workers {
-        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let (tx, rx) = mpsc::channel::<(TcpStream, ConnPermit)>();
         senders.push(tx);
         let store = Arc::clone(&store);
         let hub = hub.clone();
@@ -268,11 +281,12 @@ pub fn serve_with(
         );
     }
     let accept_stop = Arc::clone(&stop);
+    let max_connections = cfg.max_connections;
     threads.insert(
         0,
         std::thread::Builder::new()
             .name("rfid-serve-accept".into())
-            .spawn(move || accept_loop(listener, senders, accept_stop))?,
+            .spawn(move || accept_loop(listener, senders, accept_stop, max_connections))?,
     );
     Ok(ServerHandle {
         addr: local,
@@ -282,25 +296,71 @@ pub fn serve_with(
     })
 }
 
+/// A slot in the connection count, released when the worker drops the
+/// connection.
+#[derive(Debug)]
+struct ConnPermit(Arc<AtomicUsize>);
+
+impl ConnPermit {
+    /// Takes a slot unless `max` are already held.
+    fn acquire(count: &Arc<AtomicUsize>, max: Option<usize>) -> Option<Self> {
+        let prev = count.fetch_add(1, Ordering::SeqCst);
+        if max.is_some_and(|m| prev >= m) {
+            count.fetch_sub(1, Ordering::SeqCst);
+            return None;
+        }
+        Some(Self(Arc::clone(count)))
+    }
+}
+
+impl Drop for ConnPermit {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Tells an over-limit peer why it is being closed: one best-effort
+/// `ERR` frame with [`ErrorCode::Overloaded`], then the close. The
+/// accepted socket is still blocking, so a short write timeout bounds
+/// how long a pathological peer can hold the accept loop.
+fn refuse_connection(mut stream: TcpStream, max: usize) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+    let frame = Frame::Err {
+        id: 0,
+        error: WireError::new(
+            ErrorCode::Overloaded,
+            format!("connection limit of {max} reached, try again later"),
+        ),
+    };
+    let _ = write_frame(&mut stream, &frame.encode());
+}
+
 /// Non-blocking accept loop: deals connections round-robin to the
 /// workers, sleeping [`ACCEPT_POLL`] when none are pending so the stop
-/// flag is observed directly.
+/// flag is observed directly. Accepts past
+/// [`ServerConfig::max_connections`] are refused with a typed error.
 fn accept_loop(
     listener: TcpListener,
-    senders: Vec<mpsc::Sender<TcpStream>>,
+    senders: Vec<mpsc::Sender<(TcpStream, ConnPermit)>>,
     stop: Arc<AtomicBool>,
+    max_connections: Option<usize>,
 ) {
+    let count = Arc::new(AtomicUsize::new(0));
     let mut next = 0usize;
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
+                let Some(permit) = ConnPermit::acquire(&count, max_connections) else {
+                    refuse_connection(stream, max_connections.expect("bounded"));
+                    continue;
+                };
                 if stream.set_nonblocking(true).is_err() {
                     continue;
                 }
                 let _ = stream.set_nodelay(true);
                 // a worker that exited (only at shutdown) drops its
                 // receiver; the send error is then irrelevant
-                let _ = senders[next % senders.len()].send(stream);
+                let _ = senders[next % senders.len()].send((stream, permit));
                 next = next.wrapping_add(1);
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -320,10 +380,13 @@ struct Conn {
     version: u32,
     subs: Vec<SubscriptionHandle>,
     closed: bool,
+    /// Held for the connection's lifetime; dropping it releases the
+    /// slot counted against `ServerConfig::max_connections`.
+    _permit: ConnPermit,
 }
 
 impl Conn {
-    fn new(stream: TcpStream) -> Self {
+    fn new(stream: TcpStream, permit: ConnPermit) -> Self {
         Self {
             stream,
             inbuf: FrameBuf::default(),
@@ -331,6 +394,7 @@ impl Conn {
             version: 1,
             subs: Vec::new(),
             closed: false,
+            _permit: permit,
         }
     }
 
@@ -368,7 +432,7 @@ impl Conn {
 }
 
 fn worker_loop(
-    incoming: mpsc::Receiver<TcpStream>,
+    incoming: mpsc::Receiver<(TcpStream, ConnPermit)>,
     store: Arc<RwLock<EventStore>>,
     hub: SubscriptionHub,
     stop: Arc<AtomicBool>,
@@ -379,8 +443,8 @@ fn worker_loop(
     let mut spins = 0u32;
     while !stop.load(Ordering::SeqCst) {
         let mut progressed = false;
-        while let Ok(stream) = incoming.try_recv() {
-            conns.push(Conn::new(stream));
+        while let Ok((stream, permit)) = incoming.try_recv() {
+            conns.push(Conn::new(stream, permit));
             progressed = true;
         }
         for conn in conns.iter_mut() {

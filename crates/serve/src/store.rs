@@ -260,8 +260,10 @@ impl EventStore {
         }
     }
 
-    /// Ingests one event (the [`EventSink::on_event`] body).
-    pub fn push(&mut self, event: &LocationEvent) {
+    /// Ingests one event (the [`EventSink::on_event`] body). Returns
+    /// the event as stored — its assigned sequence number and arrival
+    /// stamp — so durability layers can mirror the stamping exactly.
+    pub fn push(&mut self, event: &LocationEvent) -> StoredEvent {
         let arrival = self.next_arrival();
         let stored = StoredEvent {
             seq: self.next_seq,
@@ -284,6 +286,7 @@ impl EventStore {
             .expect("tail segment exists")
             .push(stored);
         self.current.insert(event.tag, stored);
+        stored
     }
 
     /// Marks epoch `epoch` complete (the
@@ -446,9 +449,29 @@ impl EventStore {
 
     /// Every retained event of `tag` whose **event epoch** lies in
     /// `[from, to]`, in arrival order — the historical twin of
-    /// `TrailSink`. Events compacted away by retention are not
-    /// resurrected.
-    pub fn trail(&self, tag: TagId, from: Epoch, to: Epoch) -> Vec<StoredEvent> {
+    /// `TrailSink`.
+    ///
+    /// Ranges reaching behind the retention horizon are **refused**
+    /// rather than silently answered with a partial trail: compacted
+    /// segments held events whose epochs were at or below the horizon,
+    /// so any `from <= horizon` range may have lost rows. This also
+    /// makes the answer stable under a concurrent compaction racing
+    /// the query — the same request either returns the full trail or
+    /// `BeyondRetention`, never a quietly shortened one (pinned by
+    /// `tests/store_compaction_race.rs`).
+    pub fn trail(
+        &self,
+        tag: TagId,
+        from: Epoch,
+        to: Epoch,
+    ) -> Result<Vec<StoredEvent>, StoreError> {
+        let horizon = self.retention_horizon();
+        if horizon > 0 && from.0 <= horizon {
+            return Err(StoreError::BeyondRetention {
+                requested: from.0,
+                horizon,
+            });
+        }
         let mut out = Vec::new();
         for seg in &self.segments {
             if let Some(idxs) = seg.by_tag.get(&tag) {
@@ -460,7 +483,15 @@ impl EventStore {
                 }
             }
         }
-        out
+        Ok(out)
+    }
+
+    /// Every retained (uncompacted) event in arrival/sequence order —
+    /// the durability layer's view for digest checks and re-export.
+    /// Sequence numbers are ascending but not contiguous once
+    /// compaction has dropped old segments.
+    pub fn events(&self) -> impl Iterator<Item = &StoredEvent> + '_ {
+        self.segments.iter().flat_map(|s| s.events.iter())
     }
 
     /// The last known location of `tag` (regardless of staleness —
@@ -581,16 +612,19 @@ mod tests {
     fn trail_filters_by_event_epoch_range() {
         let mut store = EventStore::new(StoreConfig::default().with_segment_epochs(4));
         feed(&mut store, 20);
-        let t = store.trail(TagId(2), Epoch(4), Epoch(9));
+        let t = store.trail(TagId(2), Epoch(4), Epoch(9)).unwrap();
         let epochs: Vec<u64> = t.iter().map(|s| s.event.epoch.0).collect();
         assert_eq!(epochs, vec![4, 6, 8]);
-        assert!(store.trail(TagId(9), Epoch(0), Epoch(100)).is_empty());
+        assert!(store
+            .trail(TagId(9), Epoch(0), Epoch(100))
+            .unwrap()
+            .is_empty());
         // arrival order within an epoch is preserved (duplicates)
         let mut dup = EventStore::new(StoreConfig::default());
         dup.push(&ev(0, 7, 1.0));
         dup.push(&ev(0, 7, 2.0));
         dup.complete_epoch(Epoch(0));
-        let t = dup.trail(TagId(7), Epoch(0), Epoch(0));
+        let t = dup.trail(TagId(7), Epoch(0), Epoch(0)).unwrap();
         assert_eq!(t.len(), 2);
         assert_eq!((t[0].event.location.x, t[1].event.location.x), (1.0, 2.0));
         assert!(t[0].seq < t[1].seq);
@@ -625,9 +659,24 @@ mod tests {
         );
         // current location survives compaction
         assert_eq!(store.current_location(TagId(1)).unwrap().epoch, Epoch(39));
-        // trails answer within retention only
-        assert!(store.trail(TagId(1), Epoch(0), Epoch(5)).is_empty());
-        assert!(!store.trail(TagId(1), Epoch(38), Epoch(39)).is_empty());
+        // a trail range reaching behind the horizon is refused, not
+        // silently shortened…
+        assert_eq!(
+            store.trail(TagId(1), Epoch(0), Epoch(5)),
+            Err(StoreError::BeyondRetention {
+                requested: 0,
+                horizon,
+            })
+        );
+        // …while fully-retained ranges answer in full
+        assert!(!store
+            .trail(TagId(1), Epoch(38), Epoch(39))
+            .unwrap()
+            .is_empty());
+        // retained events stay enumerable in sequence order
+        let seqs: Vec<u64> = store.events().map(|s| s.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(seqs.len() as u64, store.stats().events_live);
     }
 
     #[test]
@@ -662,7 +711,7 @@ mod tests {
             .collect();
         assert_eq!(late, vec![TagId(1)]);
         // …but stays fully answerable via trail and current-location
-        assert_eq!(store.trail(TagId(2), Epoch(0), Epoch(20)).len(), 6);
+        assert_eq!(store.trail(TagId(2), Epoch(0), Epoch(20)).unwrap().len(), 6);
         assert_eq!(store.current_location(TagId(2)).unwrap().epoch, Epoch(5));
     }
 

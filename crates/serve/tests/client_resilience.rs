@@ -1,0 +1,232 @@
+//! The client-resilience contract: a [`ResilientClient`] survives its
+//! TCP connection being severed — queries transparently retry on a
+//! fresh connection, subscriptions are re-established with **stable**
+//! caller-side ids, and the push gap is closed with a synthetic
+//! catch-up frame built from `SNAPSHOT <now> SINCE <last-push-epoch>`.
+//!
+//! Connection loss is induced with a tiny in-test TCP proxy: killing
+//! the proxied connections severs the client exactly as a server
+//! restart would, while the listening socket stays up for the
+//! reconnect.
+
+use rfid_geom::Point3;
+use rfid_serve::store::{EventStore, StoreConfig};
+use rfid_serve::{
+    serve_with, Frame, Query, QueryResponse, ReconnectPolicy, ResilientClient, ServerConfig,
+    SubscriptionFilter, SubscriptionHub,
+};
+use rfid_stream::pipeline::sinks::StoreSink;
+use rfid_stream::{Epoch, EventSink, LocationEvent, TagId};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::RwLock;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A pass-through TCP proxy whose live connections can be severed on
+/// demand (the listener survives, so reconnects succeed).
+struct Proxy {
+    addr: SocketAddr,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Proxy {
+    fn start(upstream: SocketAddr) -> Proxy {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("proxy bind");
+        listener.set_nonblocking(true).expect("nonblocking");
+        let addr = listener.local_addr().unwrap();
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::default();
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let conns = Arc::clone(&conns);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((client, _)) => {
+                            let Ok(server) = TcpStream::connect(upstream) else {
+                                continue;
+                            };
+                            let mut registry = conns.lock().unwrap();
+                            registry.push(client.try_clone().unwrap());
+                            registry.push(server.try_clone().unwrap());
+                            drop(registry);
+                            pipe(client.try_clone().unwrap(), server.try_clone().unwrap());
+                            pipe(server, client);
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(1)),
+                    }
+                }
+            })
+        };
+        Proxy {
+            addr,
+            conns,
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    /// Severs every live proxied connection; the listener stays up.
+    fn kill_connections(&self) {
+        let mut registry = self.conns.lock().unwrap();
+        for stream in registry.drain(..) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+
+    fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// One-way byte forwarder; exits (and severs the pair) on any error.
+fn pipe(mut from: TcpStream, mut to: TcpStream) {
+    std::thread::spawn(move || {
+        let mut buf = [0u8; 16 << 10];
+        loop {
+            match from.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => {
+                    if to.write_all(&buf[..n]).is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+        let _ = from.shutdown(Shutdown::Both);
+        let _ = to.shutdown(Shutdown::Both);
+    });
+}
+
+fn fast_policy() -> ReconnectPolicy {
+    ReconnectPolicy {
+        max_attempts: 20,
+        initial_backoff: Duration::from_millis(5),
+        max_backoff: Duration::from_millis(50),
+        jitter_seed: 7,
+    }
+}
+
+fn ev(epoch: u64, tag: u64, x: f64) -> LocationEvent {
+    LocationEvent::new(Epoch(epoch), TagId(tag), Point3::new(x, 0.0, 0.0))
+}
+
+#[test]
+fn queries_survive_a_severed_connection() {
+    let store = Arc::new(RwLock::new(EventStore::new(StoreConfig::default())));
+    store.write().unwrap().on_event(&ev(0, 1, 1.0));
+    store.write().unwrap().on_epoch_complete(Epoch(0));
+    let server = serve_with(
+        "127.0.0.1:0",
+        Arc::clone(&store),
+        SubscriptionHub::default(),
+        ServerConfig::default(),
+    )
+    .expect("bind");
+    let proxy = Proxy::start(server.addr());
+
+    let mut client = ResilientClient::new(proxy.addr)
+        .with_timeout(Duration::from_secs(2))
+        .with_policy(fast_policy());
+    let rows = match client.query(&Query::SnapshotAt(Epoch(0))).expect("query") {
+        QueryResponse::Rows(rows) => rows,
+        other => panic!("unexpected {other:?}"),
+    };
+    assert_eq!(rows.len(), 1);
+    assert_eq!(client.reconnects(), 0);
+
+    proxy.kill_connections();
+
+    // the same client answers again — on a fresh connection
+    let rows = match client
+        .query(&Query::SnapshotAt(Epoch(0)))
+        .expect("query after sever")
+    {
+        QueryResponse::Rows(rows) => rows,
+        other => panic!("unexpected {other:?}"),
+    };
+    assert_eq!(rows.len(), 1);
+    assert_eq!(client.reconnects(), 1, "exactly one session rebuild");
+
+    proxy.stop();
+    server.shutdown();
+}
+
+#[test]
+fn subscriptions_resubscribe_and_gap_fill_across_reconnect() {
+    let store = Arc::new(RwLock::new(EventStore::new(StoreConfig::default())));
+    let hub = SubscriptionHub::default();
+    let server = serve_with(
+        "127.0.0.1:0",
+        Arc::clone(&store),
+        hub.clone(),
+        ServerConfig::default(),
+    )
+    .expect("bind");
+    let proxy = Proxy::start(server.addr());
+
+    // the ingestion side: events fan into the store and the hub
+    let mut store_sink = StoreSink::new(Arc::clone(&store));
+    let mut hub_sink = hub.sink();
+    let mut feed = |event: &LocationEvent, epoch: u64| {
+        store_sink.on_event(event);
+        hub_sink.on_event(event);
+        store_sink.on_epoch_complete(Epoch(epoch));
+        hub_sink.on_epoch_complete(Epoch(epoch));
+    };
+
+    let mut client = ResilientClient::new(proxy.addr)
+        .with_timeout(Duration::from_secs(2))
+        .with_policy(fast_policy());
+    let handle = client
+        .subscribe(SubscriptionFilter::All)
+        .expect("subscribe");
+
+    // a live push before the sever establishes the gap-fill bound
+    feed(&ev(0, 1, 0.5), 0);
+    let first = client.next_push().expect("live push");
+    let Frame::Push { id, epoch, rows } = first else {
+        panic!("expected a push, got {first:?}");
+    };
+    assert_eq!((id, epoch, rows.len()), (handle, 0, 1));
+    assert_eq!(client.last_push_epoch(), Some(0));
+
+    // sever, then commit two epochs while the client is dark
+    proxy.kill_connections();
+    feed(&ev(1, 1, 1.5), 1);
+    feed(&ev(2, 2, 7.0), 2);
+
+    // the next poll reconnects, re-subscribes, and delivers the gap
+    // as one synthetic push under the SAME caller-side id
+    let catch_up = client.next_push().expect("catch-up push");
+    let Frame::Push { id, epoch, rows } = catch_up else {
+        panic!("expected the catch-up push, got {catch_up:?}");
+    };
+    assert_eq!(id, handle, "subscription id must survive the reconnect");
+    assert_eq!(epoch, 2, "catch-up carries the newest missed epoch");
+    let mut tags: Vec<u64> = rows.iter().map(|r| r.tag.0).collect();
+    tags.sort_unstable();
+    assert_eq!(tags, vec![1, 2], "both dark-period rows are delivered");
+    assert_eq!(client.reconnects(), 1);
+    assert_eq!(client.last_push_epoch(), Some(2));
+
+    // live pushes resume on the new connection, still translated
+    feed(&ev(3, 1, 3.5), 3);
+    let live = client.next_push().expect("live push after reconnect");
+    let Frame::Push { id, epoch, rows } = live else {
+        panic!("expected a live push, got {live:?}");
+    };
+    assert_eq!((id, epoch), (handle, 3));
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].tag, TagId(1));
+
+    proxy.stop();
+    server.shutdown();
+}

@@ -56,14 +56,14 @@ fn departed_tags_age_out_of_snapshots_but_keep_their_trails() {
         let last_event: Vec<u64> = DEPARTED
             .iter()
             .map(|&tag| {
-                let trail = probe.trail(tag, Epoch(0), Epoch(u64::MAX));
+                let trail = probe.trail(tag, Epoch(0), Epoch(u64::MAX)).unwrap();
                 assert!(!trail.is_empty(), "{tag} must have pre-departure events");
                 trail.last().unwrap().event.epoch.0
             })
             .collect();
         let full_trails: Vec<usize> = DEPARTED
             .iter()
-            .map(|&tag| probe.trail(tag, Epoch(0), Epoch(u64::MAX)).len())
+            .map(|&tag| probe.trail(tag, Epoch(0), Epoch(u64::MAX)).unwrap().len())
             .collect();
         (final_epoch, last_event, full_trails)
     };
@@ -108,7 +108,7 @@ fn departed_tags_age_out_of_snapshots_but_keep_their_trails() {
             last_event[i]
         );
         // …while its full trail stays answerable within retention
-        let trail = store.trail(tag, Epoch(0), Epoch(u64::MAX));
+        let trail = store.trail(tag, Epoch(0), Epoch(u64::MAX)).unwrap();
         assert_eq!(trail.len(), full_trails[i], "{tag} trail truncated");
         assert_eq!(trail.last().unwrap().event.epoch.0, last_event[i]);
         // and CurrentLocation still reports the last known fix

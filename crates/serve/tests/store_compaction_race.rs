@@ -1,0 +1,117 @@
+//! Regression test: historical queries racing concurrent retention
+//! compaction must answer **consistently** — a trail or snapshot whose
+//! range reaches behind the (moving) horizon returns
+//! `BeyondRetention`, never a silently shortened or later-state
+//! answer, no matter when compaction lands relative to the query.
+//!
+//! The feed gives tag 1 exactly one event per epoch with event epoch
+//! == arrival epoch, so a full-range trail answer is verifiable from
+//! the outside: it must be the contiguous prefix `0..=k`. Any gap at
+//! the front would be a compaction-truncated answer leaking through.
+
+use rfid_serve::store::{EventStore, StoreConfig, StoreError};
+use rfid_stream::{Epoch, EventSink, LocationEvent, TagId};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+
+const EPOCHS: u64 = 2_000;
+
+#[test]
+fn queries_racing_compaction_refuse_instead_of_shortening() {
+    let cfg = StoreConfig::default()
+        .with_segment_epochs(8)
+        .with_retention(32);
+    let store = Arc::new(RwLock::new(EventStore::new(cfg)));
+    let done = Arc::new(AtomicBool::new(false));
+
+    let writer = {
+        let store = Arc::clone(&store);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            for e in 0..EPOCHS {
+                let mut guard = store.write().unwrap();
+                guard.on_event(&LocationEvent::new(
+                    Epoch(e),
+                    TagId(1),
+                    rfid_geom::Point3::new(e as f64, 0.0, 0.0),
+                ));
+                guard.on_epoch_complete(Epoch(e));
+                drop(guard);
+                // slow-start through the pre-compaction epochs (the
+                // first compaction lands near epoch 40) so the reader
+                // provably observes Ok answers before refusals begin,
+                // regardless of scheduling
+                if e < 64 && e % 4 == 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(500));
+                } else if e % 16 == 0 {
+                    std::thread::yield_now();
+                }
+            }
+            done.store(true, Ordering::SeqCst);
+        })
+    };
+
+    let mut trail_ok = 0u64;
+    let mut trail_refused = 0u64;
+    let mut snap_ok = 0u64;
+    let mut snap_refused = 0u64;
+    while !done.load(Ordering::SeqCst) {
+        let guard = store.read().unwrap();
+
+        // full-range trail: either the verifiably complete prefix or
+        // a refusal — never a quietly shortened trail
+        match guard.trail(TagId(1), Epoch(0), Epoch(u64::MAX)) {
+            Ok(events) => {
+                trail_ok += 1;
+                for (i, s) in events.iter().enumerate() {
+                    assert_eq!(
+                        s.event.epoch.0, i as u64,
+                        "trail answered Ok but is missing its prefix"
+                    );
+                }
+            }
+            Err(StoreError::BeyondRetention { requested, horizon }) => {
+                trail_refused += 1;
+                assert_eq!(requested, 0);
+                assert!(horizon > 0, "refusal implies something was compacted");
+            }
+        }
+
+        // epoch-0 snapshot: exactly the epoch-0 state or a refusal —
+        // never later state standing in for the compacted instant
+        match guard.snapshot_at(Epoch(0)) {
+            Ok(rows) => {
+                snap_ok += 1;
+                for r in &rows {
+                    assert_eq!(r.epoch, Epoch(0), "epoch-0 snapshot shows later state");
+                }
+            }
+            Err(StoreError::BeyondRetention { requested, .. }) => {
+                snap_refused += 1;
+                assert_eq!(requested, 0);
+            }
+        }
+        drop(guard);
+        std::thread::yield_now();
+    }
+    writer.join().unwrap();
+
+    // the loop must have actually raced both phases: answers before
+    // the first compaction, refusals after
+    assert!(trail_ok > 0, "no pre-compaction trail answers observed");
+    assert!(trail_refused > 0, "no post-compaction trail refusals");
+    assert!(snap_ok > 0, "no pre-compaction snapshot answers");
+    assert!(snap_refused > 0, "no post-compaction snapshot refusals");
+
+    // and the final state refuses deterministically
+    let guard = store.read().unwrap();
+    assert!(matches!(
+        guard.trail(TagId(1), Epoch(0), Epoch(u64::MAX)),
+        Err(StoreError::BeyondRetention { .. })
+    ));
+    let horizon = guard.retention_horizon();
+    let full = guard
+        .trail(TagId(1), Epoch(horizon + 1), Epoch(u64::MAX))
+        .expect("fully-retained range answers");
+    assert_eq!(full.last().unwrap().event.epoch.0, EPOCHS - 1);
+}

@@ -64,6 +64,7 @@ fn assert_store_matches_sinks(replay: &Replay) {
         let from_sink: Vec<(Epoch, Point3)> = trail.trail(tag).copied().collect();
         let from_store: Vec<(Epoch, Point3)> = store
             .trail(tag, Epoch(0), Epoch(u64::MAX))
+            .unwrap()
             .into_iter()
             .map(|s| (s.event.epoch, s.event.location))
             .collect();

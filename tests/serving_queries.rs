@@ -107,6 +107,7 @@ fn store_answers_match_sinks_under_concurrent_ingestion() {
         let from_sink: Vec<(Epoch, Point3)> = trail_sink.trail(tag).copied().collect();
         let from_store: Vec<(Epoch, Point3)> = store
             .trail(tag, Epoch(0), Epoch(u64::MAX))
+            .unwrap()
             .into_iter()
             .map(|s| (s.event.epoch, s.event.location))
             .collect();
