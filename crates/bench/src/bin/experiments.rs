@@ -32,6 +32,11 @@ struct Opts {
     /// Shrinks every experiment (fewer points, fewer particles) for a
     /// fast smoke pass.
     quick: bool,
+    /// `--repeat N`: run each throughput configuration N times and
+    /// report the median-wall-time run instead of the default
+    /// best-of-reps. Medians are robust to one-off scheduler stalls,
+    /// which dominate on small containers.
+    repeat: Option<usize>,
 }
 
 fn main() {
@@ -41,6 +46,7 @@ fn main() {
     // `accuracy --scenario churn` does not mistake "churn" for a
     // subcommand
     let mut scenario_filter: Option<String> = None;
+    let mut repeat: Option<usize> = None;
     let mut positional: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -54,12 +60,19 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+            "--repeat" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => repeat = Some(n),
+                _ => {
+                    eprintln!("--repeat requires a positive integer, e.g. --repeat 5");
+                    std::process::exit(2);
+                }
+            },
             s if s.starts_with("--") => {}
             s => positional.push(s),
         }
     }
     let cmd = positional.first().copied().unwrap_or("help");
-    let opts = Opts { quick };
+    let opts = Opts { quick, repeat };
 
     match cmd {
         "fig5a-sensor-models" => fig5a_sensor_models(opts),
@@ -131,7 +144,9 @@ fn main() {
                  \x20 ablation-resample      resampling-threshold policy sweep\n\
                  \x20 all                    run everything\n\
                  \n\
-                 flags: --quick  (smaller sweeps for a smoke pass)"
+                 flags: --quick     (smaller sweeps for a smoke pass)\n\
+                 \x20      --repeat N  (throughput: report the median of N runs\n\
+                 \x20                  per configuration instead of the best)"
             );
         }
     }
@@ -671,6 +686,11 @@ struct ThroughputRow {
     /// Drained-batch buffer high-water — must stay flat as `rounds`
     /// grows.
     batch_high_water: usize,
+    /// Per-stage engine time (µs) over the whole run — where a perf PR
+    /// should look next. Zero for non-engine variants.
+    ingest_us: u64,
+    infer_us: u64,
+    emit_us: u64,
 }
 
 /// Measures whole-trace throughput of each engine variant through the
@@ -687,7 +707,10 @@ fn throughput(opts: Opts, json: bool) {
         "throughput",
         "Whole-trace pipeline throughput (bench_scalability scenario + worker/shard sweeps)",
     );
-    let reps = if opts.quick { 1 } else { 3 };
+    let reps = opts.repeat.unwrap_or(if opts.quick { 1 } else { 3 });
+    // --repeat N reports the median run; the default reports the best
+    // (min wall time), the standard way to suppress scheduler noise.
+    let use_median = opts.repeat.is_some();
     let particles = 200;
 
     let mut rows: Vec<ThroughputRow> = Vec::new();
@@ -699,27 +722,34 @@ fn throughput(opts: Opts, json: bool) {
                        workers: usize,
                        shards: usize,
                        rows: &mut Vec<ThroughputRow>| {
-        let mut best: Option<rfid_bench::runner::RunOutput> = None;
-        for _ in 0..reps {
-            let out = rfid_bench::runner::run_pipeline_variant_opts(
-                &sc.trace,
-                &sc.layout,
-                variant,
-                InferenceSensor::TrueCone(ConeSensor::paper_default()),
-                ModelParams::default_warehouse(),
-                rfid_bench::runner::RunOpts::new(particles, default_report_delay())
-                    .with_workers(workers)
-                    .with_shards(shards),
-            );
-            if best.as_ref().is_none_or(|b| out.elapsed < b.elapsed) {
-                best = Some(out);
-            }
-        }
-        let out = best.expect("reps >= 1");
+        let mut runs: Vec<rfid_bench::runner::RunOutput> = (0..reps)
+            .map(|_| {
+                rfid_bench::runner::run_pipeline_variant_opts(
+                    &sc.trace,
+                    &sc.layout,
+                    variant,
+                    InferenceSensor::TrueCone(ConeSensor::paper_default()),
+                    ModelParams::default_warehouse(),
+                    rfid_bench::runner::RunOpts::new(particles, default_report_delay())
+                        .with_workers(workers)
+                        .with_shards(shards),
+                )
+            })
+            .collect();
+        runs.sort_by_key(|o| o.elapsed);
+        // min at index 0; median at len/2 (upper median for even N)
+        let pick = if use_median { runs.len() / 2 } else { 0 };
+        let out = runs.swap_remove(pick);
         let pstats = out.pipeline.expect("pipeline run records stats");
+        let (ingest_us, infer_us, emit_us) = out
+            .stats
+            .as_ref()
+            .map(|s| (s.ingest_us, s.infer_us, s.emit_us))
+            .unwrap_or_default();
         eprintln!(
             "  [{} n={objects} w={workers} s={shards} r={rounds}] {:.0} readings/s, \
-             {:.3} ms/reading, sync hw {}, batch hw {}",
+             {:.3} ms/reading, sync hw {}, batch hw {}, \
+             stages i/f/e {ingest_us}/{infer_us}/{emit_us} µs",
             variant.label(),
             out.readings_per_sec(),
             out.ms_per_reading(),
@@ -741,6 +771,9 @@ fn throughput(opts: Opts, json: bool) {
             events: out.events.len(),
             sync_high_water: pstats.sync_pending_high_water,
             batch_high_water: pstats.batch_buffer_high_water,
+            ingest_us,
+            infer_us,
+            emit_us,
         });
     };
 
@@ -839,6 +872,9 @@ fn throughput(opts: Opts, json: bool) {
         "readings/s",
         "ms/reading",
         "memory (MB)",
+        "ingest µs",
+        "infer µs",
+        "emit µs",
         "sync hw",
         "batch hw",
         "events",
@@ -855,6 +891,9 @@ fn throughput(opts: Opts, json: bool) {
             format!("{:.0}", row.readings_per_sec),
             f3(row.ms_per_reading),
             f2(row.memory_mb),
+            row.ingest_us.to_string(),
+            row.infer_us.to_string(),
+            row.emit_us.to_string(),
             row.sync_high_water.to_string(),
             row.batch_high_water.to_string(),
             row.events.to_string(),
@@ -869,7 +908,9 @@ fn throughput(opts: Opts, json: bool) {
         // recorded single-threaded trajectory numbers on the 100-object
         // workload, kept in the file so any run can be compared against
         // the history (see EXPERIMENTS.md): pr2 = seed hot path,
-        // pr3 = fused hot path through the batch API
+        // pr3 = fused hot path through the batch API, pr7 = the
+        // pre-data-oriented-storage rerun measured back-to-back against
+        // the PR 8 rows on the same machine
         s.push_str(
             "  \"baseline_pr2_readings_per_sec\": {\"Factorized\": 753.3, \
              \"Factorized+Index\": 2198.7, \"Factorized+Index+Compression\": 6538.4},\n",
@@ -878,13 +919,18 @@ fn throughput(opts: Opts, json: bool) {
             "  \"baseline_pr3_batch_readings_per_sec\": {\"Factorized\": 4149.0, \
              \"Factorized+Index\": 10509.0, \"Factorized+Index+Compression\": 24223.0},\n",
         );
+        s.push_str(
+            "  \"baseline_pr7_readings_per_sec\": {\"Factorized\": 3869.0, \
+             \"Factorized+Index\": 10293.0, \"Factorized+Index+Compression\": 22552.0},\n",
+        );
         s.push_str("  \"rows\": [\n");
         for (i, row) in rows.iter().enumerate() {
             s.push_str(&format!(
                 "    {{\"variant\": \"{}\", \"objects\": {}, \"worker_threads\": {}, \
                  \"num_shards\": {}, \"rounds\": {}, \"epochs\": {}, \
                  \"readings\": {}, \"readings_per_sec\": {:.1}, \"ms_per_reading\": {:.4}, \
-                 \"memory_mb\": {:.3}, \"sync_pending_high_water\": {}, \
+                 \"memory_mb\": {:.3}, \"ingest_us\": {}, \"infer_us\": {}, \
+                 \"emit_us\": {}, \"sync_pending_high_water\": {}, \
                  \"batch_buffer_high_water\": {}, \"events\": {}}}{}\n",
                 row.variant,
                 row.objects,
@@ -896,6 +942,9 @@ fn throughput(opts: Opts, json: bool) {
                 row.readings_per_sec,
                 row.ms_per_reading,
                 row.memory_mb,
+                row.ingest_us,
+                row.infer_us,
+                row.emit_us,
                 row.sync_high_water,
                 row.batch_high_water,
                 row.events,
@@ -1360,6 +1409,9 @@ fn report() {
             ("readings/s", "readings_per_sec", 1),
             ("ms/reading", "ms_per_reading", 4),
             ("memory (MB)", "memory_mb", 2),
+            ("ingest µs", "ingest_us", 0),
+            ("infer µs", "infer_us", 0),
+            ("emit µs", "emit_us", 0),
             ("sync hw", "sync_pending_high_water", 0),
             ("batch hw", "batch_buffer_high_water", 0),
         ],

@@ -1,0 +1,172 @@
+//! Microbenchmark for the per-object hot path: the fused SoA step
+//! (`ObjectFilter::step_fused`) against the retained AoS-style
+//! reference sequence (`weight` → `maybe_resample` → `estimate`), per
+//! particle count, plus the surrounding per-epoch components
+//! (`refresh_pointers_with`, `predict`) so a profile of the engine's
+//! infer stage can be cross-checked against isolated numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rfid_core::exec::StepScratch;
+use rfid_core::factored::{ObjectFilter, ReaderFilter};
+use rfid_geom::{Point3, Pose};
+use rfid_model::object::BoxPrior;
+use rfid_model::table::LikelihoodTable;
+use rfid_model::{JointModel, ModelParams};
+
+const READER_PARTICLES: usize = 100;
+const COUNTS: [usize; 3] = [100, 200, 500];
+
+struct Fixture {
+    model: JointModel,
+    prior: BoxPrior,
+    reader: ReaderFilter,
+    cdf: Vec<f64>,
+    filter: ObjectFilter,
+    scratch: StepScratch,
+    support: Vec<f64>,
+    rng: StdRng,
+}
+
+fn fixture(n: usize) -> Fixture {
+    let model = JointModel::new(ModelParams::default_warehouse());
+    let prior = BoxPrior::new(rfid_geom::Aabb::new(
+        Point3::new(-20.0, -20.0, 0.0),
+        Point3::new(20.0, 20.0, 0.0),
+    ));
+    let reader = ReaderFilter::new(READER_PARTICLES, Pose::new(Point3::new(0.0, 0.5, 0.0), 0.1));
+    let mut rng = StdRng::seed_from_u64(42);
+    let filter = ObjectFilter::init_from_cone(&reader, 5.0, 0.6, n, 0, Some(&prior), &mut rng);
+    let mut cdf = Vec::new();
+    reader.sampling_cdf_into(&mut cdf);
+    Fixture {
+        model,
+        prior,
+        reader,
+        cdf,
+        filter,
+        scratch: StepScratch::default(),
+        support: vec![0.0f64; READER_PARTICLES],
+        rng,
+    }
+}
+
+/// Fused SoA single-pass step (weight + resample decision + estimate),
+/// alternating read/miss epochs; resampling is exercised via ess_frac.
+fn bench_fused(c: &mut Criterion) {
+    let mut g = c.benchmark_group("step_fused_soa");
+    for &n in &COUNTS {
+        let mut f = fixture(n);
+        let mut epoch = 0u64;
+        g.bench_function(format!("{n}"), |b| {
+            b.iter(|| {
+                epoch += 1;
+                f.support.fill(0.0);
+                let out = f.filter.step_fused(
+                    &f.model,
+                    &f.reader,
+                    epoch % 3 != 2,
+                    0.5,
+                    None,
+                    None,
+                    &mut f.scratch,
+                    &mut f.support,
+                    &mut f.rng,
+                );
+                out.estimate.0.x
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The retained AoS-style reference: three passes, each recomputing
+/// normalized joint weights and allocating fresh buffers (the seed
+/// code path the fused step is bit-pinned against).
+fn bench_reference(c: &mut Criterion) {
+    let mut g = c.benchmark_group("step_reference_aos");
+    for &n in &COUNTS {
+        let mut f = fixture(n);
+        let mut reader = f.reader.clone();
+        let mut epoch = 0u64;
+        g.bench_function(format!("{n}"), |b| {
+            b.iter(|| {
+                epoch += 1;
+                f.filter.weight(&f.model, &mut reader, epoch % 3 != 2);
+                f.filter.maybe_resample(&reader, 0.5, &mut f.rng);
+                f.filter.estimate(&reader).0.x
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Fused step through the quantized likelihood table (read epochs hit
+/// the table; the miss path is identical).
+fn bench_fused_table(c: &mut Criterion) {
+    let table = {
+        let model = JointModel::new(ModelParams::default_warehouse());
+        LikelihoodTable::build(&model.sensor, 10.0, 0.05, 0.02)
+    };
+    let mut g = c.benchmark_group("step_fused_soa_table");
+    for &n in &COUNTS {
+        let mut f = fixture(n);
+        let mut epoch = 0u64;
+        g.bench_function(format!("{n}"), |b| {
+            b.iter(|| {
+                epoch += 1;
+                f.support.fill(0.0);
+                let out = f.filter.step_fused(
+                    &f.model,
+                    &f.reader,
+                    epoch % 3 != 2,
+                    0.5,
+                    Some(&table),
+                    None,
+                    &mut f.scratch,
+                    &mut f.support,
+                    &mut f.rng,
+                );
+                out.estimate.0.x
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The per-epoch steps surrounding the fused step in the engine:
+/// pointer refresh (n CDF samples) and motion predict (n noise draws).
+fn bench_epoch_components(c: &mut Criterion) {
+    let mut g = c.benchmark_group("step_components");
+    let n = 200usize;
+    {
+        let mut f = fixture(n);
+        let mut stamp = 0u64;
+        g.bench_function("refresh_pointers/200", |b| {
+            b.iter(|| {
+                stamp += 1;
+                f.filter
+                    .refresh_pointers_with(&f.reader, &f.cdf, stamp, &mut f.rng);
+            })
+        });
+    }
+    {
+        let mut f = fixture(n);
+        g.bench_function("predict/200", |b| {
+            b.iter(|| {
+                f.filter.predict(&f.model, &f.prior, true, &mut f.rng);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fused,
+    bench_reference,
+    bench_fused_table,
+    bench_epoch_components
+);
+criterion_main!(benches);

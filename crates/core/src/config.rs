@@ -53,6 +53,46 @@ impl CompressionPolicy {
     }
 }
 
+/// Quantized likelihood-table policy (`rfid_model::table`).
+///
+/// When enabled, the engine builds one immutable log-likelihood grid
+/// over `(distance, bearing)` at the first inference step and the
+/// batched weight pass reads cells instead of evaluating the sensor's
+/// `exp()` per particle. Off by default: the table trades a bounded
+/// quantization error (half a cell times the model's Lipschitz
+/// constants) for speed, which is a good deal for smooth logistic
+/// sensors and a bad one for hard-edged ground-truth cones — and the
+/// golden traces are pinned to the exact path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LikelihoodTableConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// Distance bin width, feet.
+    pub d_step: f64,
+    /// Bearing bin width, radians.
+    pub theta_step: f64,
+}
+
+impl LikelihoodTableConfig {
+    /// Table off (the default; exact likelihoods everywhere).
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            d_step: 0.05,
+            theta_step: 0.02,
+        }
+    }
+
+    /// Table on with the given bin widths.
+    pub fn with_steps(d_step: f64, theta_step: f64) -> Self {
+        Self {
+            enabled: true,
+            d_step,
+            theta_step,
+        }
+    }
+}
+
 /// Full configuration of the inference engine.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FilterConfig {
@@ -92,6 +132,10 @@ pub struct FilterConfig {
     pub use_spatial_index: bool,
     /// Belief compression policy (§IV-D).
     pub compression: CompressionPolicy,
+    /// Quantized likelihood-table policy. Changes the weights the
+    /// filter computes (within the documented quantization bound), so
+    /// it is part of the checkpoint config fingerprint.
+    pub likelihood_table: LikelihoodTableConfig,
     /// Epochs after first entering reader scope at which the object's
     /// location event is emitted (the paper reports 60 s after an
     /// object comes into scope).
@@ -128,6 +172,7 @@ impl FilterConfig {
             reader_mode: ReaderMode::Filter,
             use_spatial_index: false,
             compression: CompressionPolicy::disabled(),
+            likelihood_table: LikelihoodTableConfig::disabled(),
             report_delay_epochs: 60,
             seed: 0x5eed,
             worker_threads: 1,
@@ -180,6 +225,19 @@ impl FilterConfig {
             return Err(ConfigError::new(
                 "decompressed_particles must be >= 1 when compression is on",
             ));
+        }
+        if self.likelihood_table.enabled {
+            let t = &self.likelihood_table;
+            if !(t.d_step > 0.0 && t.d_step.is_finite()) {
+                return Err(ConfigError::new(
+                    "likelihood_table.d_step must be positive and finite",
+                ));
+            }
+            if !(t.theta_step > 0.0 && t.theta_step.is_finite()) {
+                return Err(ConfigError::new(
+                    "likelihood_table.theta_step must be positive and finite",
+                ));
+            }
         }
         if self.worker_threads == 0 {
             return Err(ConfigError::new("worker_threads must be >= 1"));
@@ -235,6 +293,19 @@ mod tests {
         let mut c = FilterConfig::factored_default();
         c.worker_threads = 0;
         assert!(c.validate().is_err());
+
+        let mut c = FilterConfig::factored_default();
+        c.likelihood_table = LikelihoodTableConfig::with_steps(0.0, 0.02);
+        assert!(c.validate().is_err());
+
+        let mut c = FilterConfig::factored_default();
+        c.likelihood_table = LikelihoodTableConfig::with_steps(0.05, f64::NAN);
+        assert!(c.validate().is_err());
+
+        // the same invalid steps are fine while the table is off
+        let mut c = FilterConfig::factored_default();
+        c.likelihood_table.d_step = 0.0;
+        assert!(c.validate().is_ok());
 
         let mut c = FilterConfig::factored_default();
         c.num_shards = 0;

@@ -48,6 +48,7 @@ use rand::SeedableRng;
 use rfid_geom::{Point3, Pose};
 use rfid_model::object::LocationPrior;
 use rfid_model::sensor::ReadRateModel;
+use rfid_model::table::LikelihoodTable;
 use rfid_model::JointModel;
 use rfid_stream::{Epoch, EpochBatch, EventStats, LocationEvent, TagId};
 
@@ -66,6 +67,14 @@ pub struct EngineStats {
     pub decompressions: u64,
     pub half_respawns: u64,
     pub full_reinits: u64,
+    /// Microseconds spent in the ingest stage (reader update) across
+    /// all epochs. Timing counters are process-local measurements, not
+    /// filter state: checkpoints neither save nor restore them.
+    pub ingest_us: u64,
+    /// Microseconds spent in the infer stage (object steps).
+    pub infer_us: u64,
+    /// Microseconds spent in the emit stage (output policy).
+    pub emit_us: u64,
     /// Current per-shard state counters (objects, compressed, cooldown
     /// entries), refreshed after every processed batch.
     pub per_shard: Vec<ShardCounts>,
@@ -105,6 +114,12 @@ struct StepCtx<'a, P, S> {
     /// while objects step) and shared by every pointer refresh, cone
     /// initialization, and respawn.
     reader_cdf: &'a [f64],
+    /// Per-reader-particle heading `[cos φ, sin φ]`, built once per
+    /// epoch beside the CDF and shared by every object weight pass.
+    reader_trig: &'a [[f64; 2]],
+    /// Quantized likelihood table shared by every object step (`None`
+    /// keeps the exact sensor path).
+    table: Option<&'a LikelihoodTable>,
     epoch: Epoch,
     stamp: u64,
 }
@@ -155,6 +170,13 @@ pub struct InferenceEngine<P: LocationPrior, S: ReadRateModel = rfid_model::Logi
     scratches: Vec<WorkerScratch>,
     /// Reader-weight CDF of the current epoch (reused buffer).
     reader_cdf: Vec<f64>,
+    /// Per-reader-particle heading trig of the current epoch (reused
+    /// buffer; see [`ReaderFilter::trig_into`]).
+    reader_trig: Vec<[f64; 2]>,
+    /// Quantized likelihood table (`config.likelihood_table`), built
+    /// lazily at the first inference step and immutable afterwards —
+    /// one grid serves every reader, object, epoch, and worker thread.
+    table: Option<LikelihoodTable>,
 }
 
 impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
@@ -207,6 +229,8 @@ impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
                 .map(|_| WorkerScratch::default())
                 .collect(),
             reader_cdf: Vec::new(),
+            reader_trig: Vec::new(),
+            table: None,
             config,
         })
     }
@@ -260,10 +284,10 @@ impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
         self.reader.as_ref().map(|r| r.particles())
     }
 
-    /// Object particles of a tag, when its belief is active.
-    pub fn object_particles(&self, tag: TagId) -> Option<&[crate::particle::ObjectParticle]> {
+    /// Object particle columns of a tag, when its belief is active.
+    pub fn object_particles(&self, tag: TagId) -> Option<&crate::particle::ParticleSoa> {
         match self.object(tag).map(|s| &s.belief) {
-            Some(Belief::Active(f)) => Some(f.particles()),
+            Some(Belief::Active(f)) => Some(f.soa()),
             _ => None,
         }
     }
@@ -274,9 +298,7 @@ impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
         let mut total = 0usize;
         for s in self.shards.iter().flat_map(|s| s.objects.values()) {
             total += match &s.belief {
-                Belief::Active(f) => {
-                    f.len() * std::mem::size_of::<crate::particle::ObjectParticle>()
-                }
+                Belief::Active(f) => f.soa().approx_bytes(),
                 Belief::Compressed(_) => std::mem::size_of::<CompressedBelief>(),
             };
         }
@@ -301,9 +323,15 @@ impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
         let epoch = batch.epoch;
         self.stats.epochs += 1;
         self.stats.readings += batch.readings.len() as u64;
+        let t0 = std::time::Instant::now();
         let reader_est = self.ingest(batch);
+        let t1 = std::time::Instant::now();
         self.infer(epoch, &reader_est);
+        let t2 = std::time::Instant::now();
         self.emit(epoch, events);
+        self.stats.ingest_us += (t1 - t0).as_micros() as u64;
+        self.stats.infer_us += (t2 - t1).as_micros() as u64;
+        self.stats.emit_us += t2.elapsed().as_micros() as u64;
     }
 
     /// Flushes pending reports at end of trace.
@@ -370,6 +398,20 @@ impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
     fn infer(&mut self, epoch: Epoch, reader_est: &Pose) {
         let stamp = epoch.0;
         let sensing_box = sensing_box(self.range_over, reader_est);
+
+        // --- one-time likelihood-table build -------------------------
+        // Tabulate out to twice the overestimated sensing range: every
+        // particle a read cone can produce lands inside, and farther
+        // (miss-epoch) particles fall back to the exact sensor.
+        if self.config.likelihood_table.enabled && self.table.is_none() {
+            let t = self.config.likelihood_table;
+            self.table = Some(LikelihoodTable::build(
+                &self.model.sensor,
+                2.0 * self.range_over,
+                t.d_step,
+                t.theta_step,
+            ));
+        }
 
         // --- per-shard active sets (Cases 1 and 2) -------------------
         for shard in &mut self.shards {
@@ -475,7 +517,7 @@ impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
                     ..
                 }) = self.shard(*tag).objects.get(tag)
                 {
-                    if f.particles().iter().any(|p| sensing_box.contains(&p.loc)) {
+                    if f.iter_particles().any(|p| sensing_box.contains(&p.loc)) {
                         self.members.push(*tag);
                     }
                 }
@@ -634,11 +676,14 @@ impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
         let mut steps = std::mem::take(&mut self.steps);
         let mut scratches = std::mem::take(&mut self.scratches);
         let mut reader_cdf = std::mem::take(&mut self.reader_cdf);
+        let mut reader_trig = std::mem::take(&mut self.reader_trig);
         let num_shards = self.num_shards;
         let nr = reader.len();
         // one CDF build serves every pointer refresh / init / respawn
-        // this epoch — the reader weights are frozen while objects step
+        // this epoch — the reader weights are frozen while objects step;
+        // likewise one heading-trig table serves every weight pass
         reader.sampling_cdf_into(&mut reader_cdf);
+        reader.trig_into(&mut reader_trig);
         let ctx = StepCtx {
             model: &self.model,
             prior: &self.prior,
@@ -646,6 +691,8 @@ impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
             range_over: self.range_over,
             reader_pos,
             reader_cdf: &reader_cdf,
+            reader_trig: &reader_trig,
+            table: self.table.as_ref(),
             epoch,
             stamp,
         };
@@ -762,6 +809,7 @@ impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
         self.steps = steps;
         self.scratches = scratches;
         self.reader_cdf = reader_cdf;
+        self.reader_trig = reader_trig;
     }
 
     fn run_compression_sweep(&mut self, epoch: Epoch) {
@@ -925,6 +973,8 @@ fn step_one<P: LocationPrior, S: ReadRateModel>(
         reader,
         read,
         ctx.config.resample_ess_frac,
+        ctx.table,
+        Some(ctx.reader_trig),
         scratch,
         support,
         &mut rng,

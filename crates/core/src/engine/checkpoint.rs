@@ -214,6 +214,12 @@ fn config_bytes(cfg: &FilterConfig) -> Vec<u8> {
     e.u64(cfg.compression.idle_epochs);
     e.f64(cfg.compression.max_cross_entropy);
     e.u64(cfg.compression.decompressed_particles as u64);
+    e.u8(cfg.likelihood_table.enabled as u8);
+    if cfg.likelihood_table.enabled {
+        // bin widths shape the weights only while the table is on
+        e.f64(cfg.likelihood_table.d_step);
+        e.f64(cfg.likelihood_table.theta_step);
+    }
     e.u64(cfg.report_delay_epochs);
     e.u64(cfg.seed);
     e.buf
@@ -312,7 +318,7 @@ impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
                 Belief::Active(f) => {
                     p.u8(0);
                     p.u64(f.len() as u64);
-                    for op in f.particles() {
+                    for op in f.iter_particles() {
                         p.point(&op.loc);
                         p.u32(op.reader_idx);
                         p.f64(op.log_w);

@@ -39,15 +39,31 @@ use rand::SeedableRng;
 use std::ops::Range;
 
 /// Per-worker scratch for one object step: the normalized joint-weight
-/// buffer and the systematic-resampling count buffer. Buffers grow to
-/// the particle count on first use and are reused afterwards.
+/// buffer, its exponentiated mirror, the systematic-resampling count
+/// buffer, and the per-reader grouping buffers of the batched weight
+/// pass. Buffers grow to the particle/reader count on first use and
+/// are reused afterwards.
 #[derive(Debug, Default, Clone)]
 pub struct StepScratch {
-    /// Joint (object × reader) weights, log space then probability
-    /// space — the single per-step weight pass lives here.
+    /// Joint (object × reader) weights, log space — the single
+    /// per-step weight pass lives here.
     pub joint: Vec<f64>,
+    /// `joint` in probability space (`joint[i].exp()`), computed once
+    /// per pass and shared by the support staging, the ESS decision,
+    /// and the moment estimate.
+    pub probs: Vec<f64>,
     /// Systematic-resampling replication counts.
     pub counts: Vec<u32>,
+    /// Particle indices grouped by reader pointer (counting-sort
+    /// output): the batched likelihood pass walks one reader cone's
+    /// particles at a time.
+    pub order: Vec<u32>,
+    /// Start offset of each reader's group in `order`
+    /// (`reader.len() + 1` entries; group `j` is
+    /// `order[group_start[j]..group_start[j + 1]]`).
+    pub group_start: Vec<u32>,
+    /// Counting-sort write cursors (`reader.len()` entries).
+    pub cursors: Vec<u32>,
 }
 
 /// Everything one worker owns across its chunk of object steps.

@@ -16,19 +16,28 @@
 use crate::exec::StepScratch;
 use crate::factored::reader::ReaderFilter;
 use crate::particle::{
-    effective_sample_size, effective_sample_size_iter, log_normalize, log_normalize_by,
-    reorder_by_counts, systematic_resample, systematic_resample_counts, ObjectParticle,
+    effective_sample_size, effective_sample_size_iter, effective_sample_size_probs, log_normalize,
+    systematic_resample, systematic_resample_counts, ObjectParticle, ParticleSoa,
 };
 use rand::Rng;
 use rfid_geom::{Point3, Pose};
 use rfid_model::object::LocationPrior;
 use rfid_model::sensor::ReadRateModel;
+use rfid_model::table::LikelihoodTable;
 use rfid_model::JointModel;
 
 /// A per-object particle filter.
+///
+/// Particles live in struct-of-arrays layout ([`ParticleSoa`]): the
+/// weight, support, ESS, resample, and moment loops of the fused step
+/// each stream over one or two contiguous `f64` columns, which is what
+/// lets them autovectorize. Reference (seed) methods and external
+/// consumers that want whole particles go through
+/// [`iter_particles`](Self::iter_particles) /
+/// [`soa`](Self::soa).
 #[derive(Debug, Clone)]
 pub struct ObjectFilter {
-    particles: Vec<ObjectParticle>,
+    soa: ParticleSoa,
     /// Epoch stamp of the last pointer refresh (engine-managed).
     pointer_stamp: u64,
     resample_count: u64,
@@ -127,18 +136,17 @@ impl ObjectFilter {
     ) -> Self {
         debug_assert!(n >= 1, "object filters are never empty");
         let uniform = -(n as f64).ln();
-        let particles = (0..n)
-            .map(|_| {
-                let j = reader.sample_index_with(cdf, rng);
-                ObjectParticle {
-                    loc: sample_cone_in_prior(reader.pose_of(j), range, half_angle, prior, rng),
-                    reader_idx: j,
-                    log_w: uniform,
-                }
-            })
-            .collect();
+        let mut soa = ParticleSoa::with_capacity(n);
+        for _ in 0..n {
+            let j = reader.sample_index_with(cdf, rng);
+            soa.push(ObjectParticle {
+                loc: sample_cone_in_prior(reader.pose_of(j), range, half_angle, prior, rng),
+                reader_idx: j,
+                log_w: uniform,
+            });
+        }
         Self {
-            particles,
+            soa,
             pointer_stamp: stamp,
             resample_count: 0,
         }
@@ -149,7 +157,7 @@ impl ObjectFilter {
     pub fn from_particles(particles: Vec<ObjectParticle>, stamp: u64) -> Self {
         debug_assert!(!particles.is_empty(), "object filters are never empty");
         Self {
-            particles,
+            soa: ParticleSoa::from_aos(&particles),
             pointer_stamp: stamp,
             resample_count: 0,
         }
@@ -162,15 +170,22 @@ impl ObjectFilter {
     pub fn from_parts(particles: Vec<ObjectParticle>, pointer_stamp: u64, resamples: u64) -> Self {
         debug_assert!(!particles.is_empty(), "object filters are never empty");
         Self {
-            particles,
+            soa: ParticleSoa::from_aos(&particles),
             pointer_stamp,
             resample_count: resamples,
         }
     }
 
-    /// The particles.
-    pub fn particles(&self) -> &[ObjectParticle] {
-        &self.particles
+    /// The particle columns (struct-of-arrays layout).
+    pub fn soa(&self) -> &ParticleSoa {
+        &self.soa
+    }
+
+    /// The particles, materialized one at a time from the columns —
+    /// for consumers (checkpointing, diagnostics, tests) that want
+    /// whole `ObjectParticle` values.
+    pub fn iter_particles(&self) -> impl Iterator<Item = ObjectParticle> + '_ {
+        self.soa.iter()
     }
 
     /// Epoch stamp of the last pointer refresh (checkpointing).
@@ -180,14 +195,14 @@ impl ObjectFilter {
 
     /// Number of particles.
     pub fn len(&self) -> usize {
-        self.particles.len()
+        self.soa.len()
     }
 
     /// Whether the filter has no particles. Never true in practice —
     /// every construction site `debug_assert!`s non-emptiness — but the
     /// answer comes from the particle set, not a hardcoded constant.
     pub fn is_empty(&self) -> bool {
-        self.particles.is_empty()
+        self.soa.is_empty()
     }
 
     /// Number of resampling events (diagnostics).
@@ -227,8 +242,8 @@ impl ObjectFilter {
         if self.pointer_stamp == stamp {
             return;
         }
-        for p in &mut self.particles {
-            p.reader_idx = reader.sample_index_with(cdf, rng);
+        for r in &mut self.soa.reader_idx {
+            *r = reader.sample_index_with(cdf, rng);
         }
         self.pointer_stamp = stamp;
     }
@@ -240,8 +255,8 @@ impl ObjectFilter {
         remap: &crate::factored::reader::ReaderRemap,
         rng: &mut R,
     ) {
-        for p in &mut self.particles {
-            p.reader_idx = match remap.map(p.reader_idx) {
+        for r in &mut self.soa.reader_idx {
+            *r = match remap.map(*r) {
                 Some(new) => new,
                 // ancestor died out: re-point uniformly (post-resample
                 // reader weights are uniform anyway)
@@ -275,8 +290,10 @@ impl ObjectFilter {
         if alpha <= 0.0 || !read {
             return;
         }
-        for p in &mut self.particles {
-            p.loc = model.object.sample_next(&p.loc, prior, rng);
+        for i in 0..self.soa.len() {
+            let loc = self.soa.loc(i);
+            let next = model.object.sample_next(&loc, prior, rng);
+            self.soa.set_loc(i, next);
         }
     }
 
@@ -286,9 +303,21 @@ impl ObjectFilter {
     /// estimates as the unfused [`weight`](Self::weight) /
     /// [`maybe_resample`](Self::maybe_resample) /
     /// [`estimate`](Self::estimate) sequence (pinned bit-for-bit by
-    /// `tests/fused_equivalence.rs`) while computing the joint weights
-    /// once instead of three times and performing **zero heap
-    /// allocations** once `scratch` has warmed up.
+    /// `tests/fused_equivalence.rs`, exact-likelihood path) while
+    /// computing the joint weights once instead of three times and
+    /// performing **zero heap allocations** once `scratch` has warmed
+    /// up.
+    ///
+    /// The weight pass is batched per reader cone: particle indices are
+    /// counting-sorted by reader pointer so each reader's pose lookup
+    /// and cone geometry is hoisted out of the per-particle loop, and —
+    /// when `table` is supplied — the sensor's `exp()` is replaced by a
+    /// quantized [`LikelihoodTable`] cell load (the one deliberate
+    /// numeric deviation; `None` keeps the exact bit-pinned path).
+    /// The joint weights are exponentiated once into `scratch.probs`
+    /// and shared by the support staging, the ESS decision, and the
+    /// moment estimate — 3 `exp()` calls per particle per step instead
+    /// of the previous 5.
     ///
     /// Reader support is *staged* into `support` (a zeroed,
     /// `reader.len()`-sized slice) rather than deposited into the
@@ -301,68 +330,213 @@ impl ObjectFilter {
         reader: &ReaderFilter,
         read: bool,
         ess_frac: f64,
+        table: Option<&LikelihoodTable>,
+        trig: Option<&[[f64; 2]]>,
         scratch: &mut StepScratch,
         support: &mut [f64],
         rng: &mut R,
     ) -> StepOutcome {
         debug_assert_eq!(support.len(), reader.len());
-        let n = self.particles.len();
+        let n = self.soa.len();
 
         // -- weight (w_ti of Eq. 5), normalize in place ----------------
-        for p in &mut self.particles {
-            let pose = reader.pose_of(p.reader_idx);
-            p.log_w += model.object_log_weight(pose, &p.loc, read);
-        }
-        self.normalize_in_place();
+        self.accumulate_weights(model, reader, read, table, trig, scratch);
+        log_normalize(&mut self.soa.log_w);
 
         // -- the single joint-weight pass ------------------------------
-        self.fill_joint(reader, &mut scratch.joint);
+        Self::fill_joint(&self.soa, reader, &mut scratch.joint);
+        Self::fill_probs(&scratch.joint, &mut scratch.probs);
 
         // stage per-reader support (probability space)
-        for (p, w) in self.particles.iter().zip(scratch.joint.iter()) {
-            support[p.reader_idx as usize] += w.exp();
+        for (&r, &p) in self.soa.reader_idx.iter().zip(scratch.probs.iter()) {
+            support[r as usize] += p;
         }
 
         // -- resample on low joint ESS, in place -----------------------
-        let resampled = effective_sample_size(&scratch.joint) < ess_frac * n as f64;
+        let resampled = effective_sample_size_probs(&scratch.probs) < ess_frac * n as f64;
         if resampled {
             systematic_resample_counts(&scratch.joint, n, &mut scratch.counts, rng);
-            reorder_by_counts(&mut self.particles, &mut scratch.counts);
+            self.soa.reorder_by_counts(&mut scratch.counts);
             let uniform = -(n as f64).ln();
-            for p in &mut self.particles {
-                p.log_w = uniform;
+            for w in &mut self.soa.log_w {
+                *w = uniform;
             }
             self.resample_count += 1;
             // the joint weights changed with the particle set: recompute
             // for the estimate (the only second pass, resample epochs only)
-            self.fill_joint(reader, &mut scratch.joint);
+            Self::fill_joint(&self.soa, reader, &mut scratch.joint);
+            Self::fill_probs(&scratch.joint, &mut scratch.probs);
         }
 
         // -- estimate under the current joint weights ------------------
-        for w in scratch.joint.iter_mut() {
-            *w = w.exp();
-        }
-        let estimate = Self::moments(&self.particles, &scratch.joint);
+        let estimate = Self::moments(&self.soa, &scratch.probs);
         StepOutcome {
             resampled,
             estimate,
         }
     }
 
+    /// The batched weight pass. Each particle's increment is identical
+    /// to the naive
+    /// `log_w += object_log_weight(pose_of(reader_idx), loc, read)`
+    /// regardless of evaluation order, so both strategies below are
+    /// bit-exact and interchangeable:
+    ///
+    /// * **Grouped** (particle count ≥ [`GROUP_MIN_RATIO`] × reader
+    ///   count): counting-sorts particle indices by reader pointer into
+    ///   `scratch.order` (groups delimited by `scratch.group_start`),
+    ///   then walks one reader cone's particles at a time with the pose
+    ///   lookup hoisted out of the inner loop.
+    /// * **Linear** (small groups): one sequential sweep over the
+    ///   coordinate/pointer/weight columns. When the average group is
+    ///   only a couple of particles, the counting sort plus the
+    ///   scattered gather costs more than the hoisted lookup saves.
+    fn accumulate_weights<S: ReadRateModel>(
+        &mut self,
+        model: &JointModel<S>,
+        reader: &ReaderFilter,
+        read: bool,
+        table: Option<&LikelihoodTable>,
+        trig: Option<&[[f64; 2]]>,
+        scratch: &mut StepScratch,
+    ) {
+        let n = self.soa.len();
+        let nr = reader.len();
+
+        /// Minimum average particles-per-reader-group for the grouped
+        /// pass to pay for its counting sort (measured on the
+        /// `experiments -- throughput` workload). The paper's operating
+        /// point (1000 particles, 100 reader particles) groups; sparse
+        /// clouds sweep linearly.
+        const GROUP_MIN_RATIO: usize = 8;
+
+        // Heading cosine/sine per reader particle: from the per-epoch
+        // table when the engine provides one, recomputed otherwise —
+        // identical values, identical bits either way.
+        let trig_of = |r: u32| -> [f64; 2] {
+            match trig {
+                Some(t) => t[r as usize],
+                None => {
+                    let phi = reader.pose_of(r).phi;
+                    [phi.cos(), phi.sin()]
+                }
+            }
+        };
+
+        if n < nr * GROUP_MIN_RATIO {
+            match table {
+                None => {
+                    for i in 0..n {
+                        let r = self.soa.reader_idx[i];
+                        let pose = reader.pose_of(r);
+                        let [cph, sph] = trig_of(r);
+                        let loc = self.soa.loc(i);
+                        self.soa.log_w[i] +=
+                            model.object_log_weight_pose(&pose.pos, cph, sph, &loc, read);
+                    }
+                }
+                Some(t) => {
+                    for i in 0..n {
+                        let r = self.soa.reader_idx[i];
+                        let pose = reader.pose_of(r);
+                        let [cph, sph] = trig_of(r);
+                        let loc = self.soa.loc(i);
+                        let (d, th) = pose.range_bearing_with(cph, sph, &loc);
+                        let ll = t
+                            .lookup(d, th, read)
+                            .unwrap_or_else(|| model.sensor.log_likelihood_dt(d, th, read));
+                        self.soa.log_w[i] += ll;
+                    }
+                }
+            }
+            return;
+        }
+
+        // counting sort: histogram, prefix-sum, scatter
+        scratch.group_start.clear();
+        scratch.group_start.resize(nr + 1, 0);
+        for &r in &self.soa.reader_idx {
+            scratch.group_start[r as usize + 1] += 1;
+        }
+        for j in 1..=nr {
+            scratch.group_start[j] += scratch.group_start[j - 1];
+        }
+        scratch.cursors.clear();
+        scratch
+            .cursors
+            .extend_from_slice(&scratch.group_start[..nr]);
+        scratch.order.clear();
+        scratch.order.resize(n, 0);
+        for (i, &r) in self.soa.reader_idx.iter().enumerate() {
+            let c = &mut scratch.cursors[r as usize];
+            scratch.order[*c as usize] = i as u32;
+            *c += 1;
+        }
+
+        for j in 0..nr {
+            let start = scratch.group_start[j] as usize;
+            let end = scratch.group_start[j + 1] as usize;
+            if start == end {
+                continue;
+            }
+            let pose = reader.pose_of(j as u32);
+            let [cph, sph] = trig_of(j as u32);
+            match table {
+                None => {
+                    for &i in &scratch.order[start..end] {
+                        let i = i as usize;
+                        let loc = self.soa.loc(i);
+                        self.soa.log_w[i] +=
+                            model.object_log_weight_pose(&pose.pos, cph, sph, &loc, read);
+                    }
+                }
+                Some(t) => {
+                    for &i in &scratch.order[start..end] {
+                        let i = i as usize;
+                        let loc = self.soa.loc(i);
+                        let (d, th) = pose.range_bearing_with(cph, sph, &loc);
+                        let ll = t
+                            .lookup(d, th, read)
+                            .unwrap_or_else(|| model.sensor.log_likelihood_dt(d, th, read));
+                        self.soa.log_w[i] += ll;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Exponentiates the normalized joint log weights into `probs` —
+    /// the shared probability-space mirror.
+    fn fill_probs(joint: &[f64], probs: &mut Vec<f64>) {
+        probs.clear();
+        probs.extend(joint.iter().map(|w| w.exp()));
+    }
+
     /// Posterior mean and per-axis variance given probability-space
-    /// joint weights aligned with `particles`.
-    fn moments(particles: &[ObjectParticle], w: &[f64]) -> (Point3, [f64; 3]) {
+    /// joint weights aligned with the particle columns. One streaming
+    /// pass per axis per moment over two contiguous `f64` slices —
+    /// the accumulation order per axis matches the old interleaved
+    /// AoS loop exactly (each axis only ever summed its own products).
+    fn moments(soa: &ParticleSoa, w: &[f64]) -> (Point3, [f64; 3]) {
         let mut mean = Point3::origin();
-        for (p, wi) in particles.iter().zip(w) {
-            mean.x += wi * p.loc.x;
-            mean.y += wi * p.loc.y;
-            mean.z += wi * p.loc.z;
+        for (wi, x) in w.iter().zip(&soa.xs) {
+            mean.x += wi * x;
+        }
+        for (wi, y) in w.iter().zip(&soa.ys) {
+            mean.y += wi * y;
+        }
+        for (wi, z) in w.iter().zip(&soa.zs) {
+            mean.z += wi * z;
         }
         let mut var = [0.0f64; 3];
-        for (p, wi) in particles.iter().zip(w) {
-            var[0] += wi * (p.loc.x - mean.x) * (p.loc.x - mean.x);
-            var[1] += wi * (p.loc.y - mean.y) * (p.loc.y - mean.y);
-            var[2] += wi * (p.loc.z - mean.z) * (p.loc.z - mean.z);
+        for (wi, x) in w.iter().zip(&soa.xs) {
+            var[0] += wi * (x - mean.x) * (x - mean.x);
+        }
+        for (wi, y) in w.iter().zip(&soa.ys) {
+            var[1] += wi * (y - mean.y) * (y - mean.y);
+        }
+        for (wi, z) in w.iter().zip(&soa.zs) {
+            var[2] += wi * (z - mean.z) * (z - mean.z);
         }
         (mean, var)
     }
@@ -374,36 +548,29 @@ impl ObjectFilter {
         reader: &ReaderFilter,
         scratch: &mut StepScratch,
     ) -> (Point3, [f64; 3]) {
-        self.fill_joint(reader, &mut scratch.joint);
-        for w in scratch.joint.iter_mut() {
-            *w = w.exp();
-        }
-        Self::moments(&self.particles, &scratch.joint)
+        Self::fill_joint(&self.soa, reader, &mut scratch.joint);
+        Self::fill_probs(&scratch.joint, &mut scratch.probs);
+        Self::moments(&self.soa, &scratch.probs)
     }
 
     /// Effective sample size of the (normalized) object-factor weights,
     /// computed in one streaming pass — no buffer.
     pub fn object_ess(&self) -> f64 {
-        effective_sample_size_iter(self.particles.iter().map(|p| p.log_w))
+        effective_sample_size_iter(self.soa.log_w.iter().copied())
     }
 
     /// Writes the normalized joint (object factor × reader factor) log
     /// weights into `joint` — the buffer-reusing core shared by the
     /// fused step and [`estimate_with`](Self::estimate_with).
-    fn fill_joint(&self, reader: &ReaderFilter, joint: &mut Vec<f64>) {
+    fn fill_joint(soa: &ParticleSoa, reader: &ReaderFilter, joint: &mut Vec<f64>) {
         joint.clear();
         joint.extend(
-            self.particles
+            soa.log_w
                 .iter()
-                .map(|p| p.log_w + reader.log_weight_of(p.reader_idx)),
+                .zip(soa.reader_idx.iter())
+                .map(|(&w, &r)| w + reader.log_weight_of(r)),
         );
         log_normalize(joint);
-    }
-
-    /// In-place log-normalization of the particle weights (the shared
-    /// [`log_normalize_by`], projected onto `log_w`).
-    fn normalize_in_place(&mut self) {
-        log_normalize_by(&mut self.particles, |p| p.log_w, |p, w| p.log_w = w);
     }
 
     /// Weighting step (the `w_ti` factor of Eq. 5): multiplies each
@@ -423,15 +590,16 @@ impl ObjectFilter {
         reader: &mut ReaderFilter,
         read: bool,
     ) {
-        for p in &mut self.particles {
-            let pose = reader.pose_of(p.reader_idx);
-            p.log_w += model.object_log_weight(pose, &p.loc, read);
+        for i in 0..self.soa.len() {
+            let pose = reader.pose_of(self.soa.reader_idx[i]);
+            let loc = self.soa.loc(i);
+            self.soa.log_w[i] += model.object_log_weight(pose, &loc, read);
         }
         self.normalize();
         // deposit support for instrumented reader resampling
         let joint = self.normalized_joint_weights(reader);
-        for (p, w) in self.particles.iter().zip(joint) {
-            reader.add_support(p.reader_idx, w);
+        for (&r, w) in self.soa.reader_idx.iter().zip(joint) {
+            reader.add_support(r, w);
         }
     }
 
@@ -439,9 +607,11 @@ impl ObjectFilter {
     /// probability space.
     pub fn normalized_joint_weights(&self, reader: &ReaderFilter) -> Vec<f64> {
         let mut w: Vec<f64> = self
-            .particles
+            .soa
+            .log_w
             .iter()
-            .map(|p| p.log_w + reader.log_weight_of(p.reader_idx))
+            .zip(self.soa.reader_idx.iter())
+            .map(|(&lw, &r)| lw + reader.log_weight_of(r))
             .collect();
         log_normalize(&mut w);
         w.into_iter().map(f64::exp).collect()
@@ -450,7 +620,7 @@ impl ObjectFilter {
     /// Posterior mean and per-axis variance under the joint weights.
     pub fn estimate(&self, reader: &ReaderFilter) -> (Point3, [f64; 3]) {
         let w = self.normalized_joint_weights(reader);
-        Self::moments(&self.particles, &w)
+        Self::moments(&self.soa, &w)
     }
 
     /// The particle cloud as `(weight, location)` pairs under joint
@@ -458,7 +628,7 @@ impl ObjectFilter {
     pub fn weighted_cloud(&self, reader: &ReaderFilter) -> Vec<(f64, Point3)> {
         self.normalized_joint_weights(reader)
             .into_iter()
-            .zip(self.particles.iter())
+            .zip(self.soa.iter())
             .map(|(w, p)| (w, p.loc))
             .collect()
     }
@@ -473,11 +643,13 @@ impl ObjectFilter {
         ess_frac: f64,
         rng: &mut R,
     ) -> bool {
-        let n = self.particles.len();
+        let n = self.soa.len();
         let mut joint: Vec<f64> = self
-            .particles
+            .soa
+            .log_w
             .iter()
-            .map(|p| p.log_w + reader.log_weight_of(p.reader_idx))
+            .zip(self.soa.reader_idx.iter())
+            .map(|(&lw, &r)| lw + reader.log_weight_of(r))
             .collect();
         log_normalize(&mut joint);
         if effective_sample_size(&joint) >= ess_frac * n as f64 {
@@ -485,13 +657,14 @@ impl ObjectFilter {
         }
         let ancestry = systematic_resample(&joint, n, rng);
         let uniform = -(n as f64).ln();
-        self.particles = ancestry
-            .into_iter()
-            .map(|i| ObjectParticle {
+        let mut next = ParticleSoa::with_capacity(n);
+        for i in ancestry {
+            next.push(ObjectParticle {
                 log_w: uniform,
-                ..self.particles[i as usize]
-            })
-            .collect();
+                ..self.soa.get(i as usize)
+            });
+        }
+        self.soa = next;
         self.resample_count += 1;
         true
     }
@@ -525,7 +698,7 @@ impl ObjectFilter {
         prior: Option<&P>,
         rng: &mut R,
     ) {
-        let n = self.particles.len();
+        let n = self.soa.len();
         let joint = self.normalized_joint_weights(reader);
         // order particle indices by joint weight, worst first
         let mut order: Vec<usize> = (0..n).collect();
@@ -537,23 +710,22 @@ impl ObjectFilter {
         let uniform = -(n as f64).ln();
         for &i in order.iter().take(n / 2) {
             let j = reader.sample_index_with(cdf, rng);
-            self.particles[i] = ObjectParticle {
-                loc: sample_cone_in_prior(reader.pose_of(j), range, half_angle, prior, rng),
-                reader_idx: j,
-                log_w: uniform,
-            };
+            self.soa.set(
+                i,
+                ObjectParticle {
+                    loc: sample_cone_in_prior(reader.pose_of(j), range, half_angle, prior, rng),
+                    reader_idx: j,
+                    log_w: uniform,
+                },
+            );
         }
         for &i in order.iter().skip(n / 2) {
-            self.particles[i].log_w = uniform;
+            self.soa.log_w[i] = uniform;
         }
     }
 
     fn normalize(&mut self) {
-        let mut w: Vec<f64> = self.particles.iter().map(|p| p.log_w).collect();
-        log_normalize(&mut w);
-        for (p, nw) in self.particles.iter_mut().zip(w) {
-            p.log_w = nw;
-        }
+        log_normalize(&mut self.soa.log_w);
     }
 }
 
@@ -603,7 +775,7 @@ mod tests {
         let f = ObjectFilter::init_from_cone(&reader, 4.0, 0.6, 1000, 0, NO_PRIOR, &mut rng);
         assert_eq!(f.len(), 1000);
         // all particles forward of the reader
-        for p in f.particles() {
+        for p in f.iter_particles() {
             assert!(p.loc.x >= -1e-9, "behind the reader: {:?}", p.loc);
         }
     }
@@ -671,8 +843,7 @@ mod tests {
         assert!(f.maybe_resample(&reader, 0.5, &mut rng));
         assert_eq!(f.resample_count(), 1);
         let at_42 = f
-            .particles()
-            .iter()
+            .iter_particles()
             .filter(|p| (p.loc.x - 42.0).abs() < 1e-9)
             .count();
         assert!(
@@ -696,15 +867,13 @@ mod tests {
         f.respawn_half(&reader, 4.0, 0.6, NO_PRIOR, &mut rng);
         // half the particles moved near the (distant) reader
         let near_reader = f
-            .particles()
-            .iter()
+            .iter_particles()
             .filter(|p| p.loc.dist(&Point3::new(100.0, 100.0, 0.0)) < 6.0)
             .count();
         assert_eq!(near_reader, 50);
         // the surviving half is the previously-heavy half
         let near_origin = f
-            .particles()
-            .iter()
+            .iter_particles()
             .filter(|p| p.loc.x.abs() < 1.0 && p.loc.y < 0.6)
             .count();
         assert_eq!(near_origin, 50);
@@ -716,9 +885,9 @@ mod tests {
         let reader = reader_at(Pose::identity(), 10);
         let mut f = ObjectFilter::init_from_cone(&reader, 4.0, 0.5, 100, 0, NO_PRIOR, &mut rng);
         f.refresh_pointers(&reader, 5, &mut rng);
-        let ptrs: Vec<u32> = f.particles().iter().map(|p| p.reader_idx).collect();
+        let ptrs: Vec<u32> = f.iter_particles().map(|p| p.reader_idx).collect();
         f.refresh_pointers(&reader, 5, &mut rng); // same stamp: no-op
-        let ptrs2: Vec<u32> = f.particles().iter().map(|p| p.reader_idx).collect();
+        let ptrs2: Vec<u32> = f.iter_particles().map(|p| p.reader_idx).collect();
         assert_eq!(ptrs, ptrs2);
     }
 
@@ -730,9 +899,9 @@ mod tests {
         let m = JointModel::new(params);
         let reader = reader_at(Pose::identity(), 5);
         let mut f = ObjectFilter::init_from_cone(&reader, 4.0, 0.5, 50, 0, NO_PRIOR, &mut rng);
-        let before: Vec<Point3> = f.particles().iter().map(|p| p.loc).collect();
+        let before: Vec<Point3> = f.iter_particles().map(|p| p.loc).collect();
         f.predict(&m, &prior(), true, &mut rng);
-        let after: Vec<Point3> = f.particles().iter().map(|p| p.loc).collect();
+        let after: Vec<Point3> = f.iter_particles().map(|p| p.loc).collect();
         assert_eq!(before.len(), after.len());
         for (b, a) in before.iter().zip(&after) {
             assert_eq!(b, a);
@@ -764,7 +933,7 @@ mod tests {
         reader.particles[3].log_w = 0.0;
         let remap = reader.maybe_resample(0.5, &mut rng).expect("resample");
         f.apply_reader_remap(&remap, &mut rng);
-        for p in f.particles() {
+        for p in f.iter_particles() {
             assert!(p.reader_idx < remap.num_new());
         }
     }

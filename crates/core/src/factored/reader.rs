@@ -281,6 +281,22 @@ impl ReaderFilter {
         }
     }
 
+    /// Writes each particle heading's `[cos φ, sin φ]` into `out`
+    /// (cleared and reused). Like the sampling CDF, the table is built
+    /// once per epoch — the poses are frozen while objects step — and
+    /// shared by every object weight pass, hoisting the per-particle
+    /// `sin`/`cos` out of the likelihood loops. Valid until the poses
+    /// change.
+    pub fn trig_into(&self, out: &mut Vec<[f64; 2]>) {
+        out.clear();
+        out.reserve(self.particles.len());
+        out.extend(
+            self.particles
+                .iter()
+                .map(|p| [p.pose.phi.cos(), p.pose.phi.sin()]),
+        );
+    }
+
     /// Draws a particle index by binary search over a CDF built by
     /// [`sampling_cdf_into`](Self::sampling_cdf_into).
     pub fn sample_index_with<R: Rng + ?Sized>(&self, cdf: &[f64], rng: &mut R) -> u32 {

@@ -38,7 +38,7 @@ pub mod shard;
 pub mod spatial_hook;
 
 pub use basic::BasicParticleFilter;
-pub use config::{CompressionPolicy, FilterConfig, ReaderMode};
+pub use config::{CompressionPolicy, FilterConfig, LikelihoodTableConfig, ReaderMode};
 pub use engine::checkpoint::{self, CheckpointError};
 pub use engine::{EngineStats, InferenceEngine};
 pub use error::ConfigError;

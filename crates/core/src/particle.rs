@@ -59,6 +59,13 @@ pub fn log_normalize(log_w: &mut [f64]) -> Option<f64> {
 /// — it silently scales with the square of the stray normalizer. The
 /// contract is checked with a `debug_assert!` so debug/test builds
 /// catch violations while release builds pay nothing.
+///
+/// Each squared weight is computed as `exp(w) * exp(w)` — not
+/// `exp(2w)` — so the result is bit-identical to
+/// [`effective_sample_size_probs`] over the exponentiated weights.
+/// This lets the fused step reuse its probability buffer for the
+/// resample decision (no second `exp` pass) while the unfused
+/// reference path, which calls this function, decides identically.
 pub fn effective_sample_size(log_w: &[f64]) -> f64 {
     debug_assert!(
         log_w.is_empty() || {
@@ -67,7 +74,31 @@ pub fn effective_sample_size(log_w: &[f64]) -> f64 {
         },
         "effective_sample_size requires normalized log weights"
     );
-    let sum_sq: f64 = log_w.iter().map(|w| (2.0 * w).exp()).sum();
+    let sum_sq: f64 = log_w
+        .iter()
+        .map(|w| {
+            let p = w.exp();
+            p * p
+        })
+        .sum();
+    if sum_sq > 0.0 {
+        1.0 / sum_sq
+    } else {
+        0.0
+    }
+}
+
+/// [`effective_sample_size`] over probability-space weights that were
+/// already exponentiated (`probs[i] == log_w[i].exp()`): a pure
+/// multiply-add reduction the hot path runs against its reusable
+/// probability buffer. Same normalization contract, same result bits
+/// as the log-space version over the corresponding log weights.
+pub fn effective_sample_size_probs(probs: &[f64]) -> f64 {
+    debug_assert!(
+        probs.is_empty() || (probs.iter().sum::<f64>() - 1.0).abs() < 1e-6,
+        "effective_sample_size_probs requires normalized weights"
+    );
+    let sum_sq: f64 = probs.iter().map(|p| p * p).sum();
     if sum_sq > 0.0 {
         1.0 / sum_sq
     } else {
@@ -98,9 +129,12 @@ pub fn systematic_resample<R: Rng + ?Sized>(log_w: &[f64], n: usize, rng: &mut R
 }
 
 /// Streaming variant of [`effective_sample_size`] over an iterator of
-/// normalized log weights — same arithmetic, same
-/// `debug_assert!`-checked normalization contract, without
-/// materializing a buffer.
+/// normalized log weights — same `debug_assert!`-checked normalization
+/// contract, without materializing a buffer. Keeps the original
+/// `exp(2w)` form: its results land in emitted event statistics
+/// (`ObjectFilter::object_ess`) pinned by the golden traces, so its
+/// bit pattern must not change with the hot path's `exp(w)²`
+/// restructuring (the two differ by at most an ulp per term).
 pub fn effective_sample_size_iter<I: Iterator<Item = f64> + Clone>(log_w: I) -> f64 {
     debug_assert!(
         {
@@ -206,6 +240,152 @@ pub fn reorder_by_counts<T: Copy>(items: &mut [T], counts: &mut [u32]) {
         }
     }
     debug_assert_eq!(write, 0);
+}
+
+/// Struct-of-arrays storage for an object's particle set: parallel
+/// coordinate, pointer, and weight columns instead of a
+/// `Vec<ObjectParticle>`.
+///
+/// The fused step's hot loops (weight accumulation, normalization,
+/// support staging, moments) each touch only a subset of the particle
+/// fields; with AoS storage every loop drags the full 40-byte particle
+/// through the cache and the stride defeats autovectorization. The
+/// columnar layout keeps each loop on contiguous `f64` slices. The
+/// logical particle sequence is unchanged — `get`/`iter` reconstruct
+/// [`ObjectParticle`] values bit-identical to the AoS representation,
+/// and [`reorder_by_counts`](ParticleSoa::reorder_by_counts) applies
+/// the exact permutation of the free-function [`reorder_by_counts`]
+/// to every column.
+#[derive(Debug, Clone, Default)]
+pub struct ParticleSoa {
+    /// Particle x coordinates.
+    pub xs: Vec<f64>,
+    /// Particle y coordinates.
+    pub ys: Vec<f64>,
+    /// Particle z coordinates.
+    pub zs: Vec<f64>,
+    /// Indices into the reader particle list (Fig. 3(b)).
+    pub reader_idx: Vec<u32>,
+    /// Factored log weights (`w_ti` in Eq. 5).
+    pub log_w: Vec<f64>,
+}
+
+impl ParticleSoa {
+    /// An empty set with per-column capacity for `n` particles.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            xs: Vec::with_capacity(n),
+            ys: Vec::with_capacity(n),
+            zs: Vec::with_capacity(n),
+            reader_idx: Vec::with_capacity(n),
+            log_w: Vec::with_capacity(n),
+        }
+    }
+
+    /// Columnar copy of an AoS particle vector, preserving order.
+    pub fn from_aos(particles: &[ObjectParticle]) -> Self {
+        let mut soa = Self::with_capacity(particles.len());
+        for p in particles {
+            soa.push(*p);
+        }
+        soa
+    }
+
+    /// Number of particles.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Appends one particle to every column.
+    pub fn push(&mut self, p: ObjectParticle) {
+        self.xs.push(p.loc.x);
+        self.ys.push(p.loc.y);
+        self.zs.push(p.loc.z);
+        self.reader_idx.push(p.reader_idx);
+        self.log_w.push(p.log_w);
+    }
+
+    /// Particle `i` reassembled as an [`ObjectParticle`] value.
+    pub fn get(&self, i: usize) -> ObjectParticle {
+        ObjectParticle {
+            loc: Point3::new(self.xs[i], self.ys[i], self.zs[i]),
+            reader_idx: self.reader_idx[i],
+            log_w: self.log_w[i],
+        }
+    }
+
+    /// Overwrites particle `i` across every column.
+    pub fn set(&mut self, i: usize, p: ObjectParticle) {
+        self.xs[i] = p.loc.x;
+        self.ys[i] = p.loc.y;
+        self.zs[i] = p.loc.z;
+        self.reader_idx[i] = p.reader_idx;
+        self.log_w[i] = p.log_w;
+    }
+
+    /// The location of particle `i`.
+    pub fn loc(&self, i: usize) -> Point3 {
+        Point3::new(self.xs[i], self.ys[i], self.zs[i])
+    }
+
+    /// Overwrites the location of particle `i`.
+    pub fn set_loc(&mut self, i: usize, loc: Point3) {
+        self.xs[i] = loc.x;
+        self.ys[i] = loc.y;
+        self.zs[i] = loc.z;
+    }
+
+    /// Iterates the particles as [`ObjectParticle`] values, in order.
+    pub fn iter(&self) -> impl Iterator<Item = ObjectParticle> + '_ {
+        (0..self.len()).map(|i| self.get(i))
+    }
+
+    /// Approximate heap footprint of the live particle data, in bytes
+    /// (three coordinate columns + weight column + pointer column).
+    pub fn approx_bytes(&self) -> usize {
+        self.len() * (4 * std::mem::size_of::<f64>() + std::mem::size_of::<u32>())
+    }
+
+    /// Columnar [`reorder_by_counts`]: applies the identical resampled
+    /// permutation (survivor `i` repeated `counts[i]` times, in index
+    /// order) to all five columns in one two-pass sweep. `counts` is
+    /// clobbered, exactly like the free function.
+    pub fn reorder_by_counts(&mut self, counts: &mut [u32]) {
+        let n = self.len();
+        debug_assert_eq!(counts.len(), n);
+        debug_assert_eq!(counts.iter().map(|&c| c as usize).sum::<usize>(), n);
+        let mut survivors = 0usize;
+        for i in 0..n {
+            if counts[i] > 0 {
+                self.xs[survivors] = self.xs[i];
+                self.ys[survivors] = self.ys[i];
+                self.zs[survivors] = self.zs[i];
+                self.reader_idx[survivors] = self.reader_idx[i];
+                self.log_w[survivors] = self.log_w[i];
+                counts[survivors] = counts[i];
+                survivors += 1;
+            }
+        }
+        let mut write = n;
+        for r in (0..survivors).rev() {
+            let (x, y, z) = (self.xs[r], self.ys[r], self.zs[r]);
+            let (ri, w) = (self.reader_idx[r], self.log_w[r]);
+            for _ in 0..counts[r] {
+                write -= 1;
+                self.xs[write] = x;
+                self.ys[write] = y;
+                self.zs[write] = z;
+                self.reader_idx[write] = ri;
+                self.log_w[write] = w;
+            }
+        }
+        debug_assert_eq!(write, 0);
+    }
 }
 
 /// Weighted mean location of object particles (normalized log weights).
@@ -369,6 +549,60 @@ mod tests {
         let mut counts = vec![0u32, 3, 1, 0];
         reorder_by_counts(&mut items, &mut counts);
         assert_eq!(items, vec![1, 1, 1, 2]);
+    }
+
+    #[test]
+    fn ess_probs_matches_log_space_bitwise() {
+        for seed in 0..10u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut w: Vec<f64> = (0..37).map(|_| rng.gen::<f64>().ln() * 3.0).collect();
+            log_normalize(&mut w).unwrap();
+            let probs: Vec<f64> = w.iter().map(|x| x.exp()).collect();
+            assert_eq!(
+                effective_sample_size(&w).to_bits(),
+                effective_sample_size_probs(&probs).to_bits(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn soa_roundtrips_and_reorders_like_aos() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for n in [1usize, 5, 64] {
+            let aos: Vec<ObjectParticle> = (0..n)
+                .map(|i| ObjectParticle {
+                    loc: Point3::new(rng.gen(), rng.gen(), rng.gen()),
+                    reader_idx: i as u32 % 7,
+                    log_w: -(rng.gen::<f64>() + 0.1),
+                })
+                .collect();
+            let soa = ParticleSoa::from_aos(&aos);
+            assert_eq!(soa.len(), n);
+            for (i, p) in soa.iter().enumerate() {
+                assert_eq!(p.loc.x.to_bits(), aos[i].loc.x.to_bits());
+                assert_eq!(p.reader_idx, aos[i].reader_idx);
+                assert_eq!(p.log_w.to_bits(), aos[i].log_w.to_bits());
+            }
+
+            // the columnar reorder must equal the generic AoS reorder
+            let mut w: Vec<f64> = aos.iter().map(|p| p.log_w).collect();
+            log_normalize(&mut w).unwrap();
+            let mut counts = Vec::new();
+            systematic_resample_counts(&w, n, &mut counts, &mut StdRng::seed_from_u64(n as u64));
+            let mut counts_soa = counts.clone();
+            let mut aos_reordered = aos.clone();
+            reorder_by_counts(&mut aos_reordered, &mut counts);
+            let mut soa_reordered = soa.clone();
+            soa_reordered.reorder_by_counts(&mut counts_soa);
+            for (i, p) in soa_reordered.iter().enumerate() {
+                assert_eq!(p.loc.x.to_bits(), aos_reordered[i].loc.x.to_bits());
+                assert_eq!(p.loc.y.to_bits(), aos_reordered[i].loc.y.to_bits());
+                assert_eq!(p.loc.z.to_bits(), aos_reordered[i].loc.z.to_bits());
+                assert_eq!(p.reader_idx, aos_reordered[i].reader_idx);
+                assert_eq!(p.log_w.to_bits(), aos_reordered[i].log_w.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -62,14 +62,22 @@ fn steady_state_object_step_allocates_nothing() {
     let mut cdf = Vec::new();
     reader.sampling_cdf_into(&mut cdf);
 
-    // warm-up: grows the joint/counts buffers to the particle count
-    // (a resampling step warms the counts buffer too)
+    // built before measurement, shared by the table-path steps below
+    let table = rfid_model::table::LikelihoodTable::build(&model.sensor, 10.0, 0.05, 0.02);
+    // per-epoch heading-trig table (reused buffer, like the engine's)
+    let mut trig = Vec::new();
+    reader.trig_into(&mut trig);
+
+    // warm-up: grows the joint/probs/counts and grouping buffers to the
+    // particle count (a resampling step warms the counts buffer too)
     filter.refresh_pointers_with(&reader, &cdf, 1, &mut rng);
     filter.step_fused(
         &model,
         &reader,
         true,
         1.0, // force one resample so scratch.counts is sized
+        None,
+        None,
         &mut scratch,
         &mut support,
         &mut rng,
@@ -92,6 +100,17 @@ fn steady_state_object_step_allocates_nothing() {
         for stamp in 2..12u64 {
             let stamp = stamp + attempt * 100;
             let read = stamp % 2 == 0;
+            // alternate the exact and table likelihood paths: both must
+            // be allocation-free (the table is immutable plain data —
+            // lookups cannot allocate, and the shared scratch is warm)
+            let table = if stamp % 3 == 0 { Some(&table) } else { None };
+            // alternate the hoisted-trig and inline-sincos paths: both
+            // must be allocation-free
+            let trig = if stamp % 2 == 0 {
+                Some(&trig[..])
+            } else {
+                None
+            };
             filter.refresh_pointers_with(&reader, &cdf, stamp, &mut rng);
             filter.predict(&model, &prior, read, &mut rng);
             support.fill(0.0);
@@ -100,6 +119,8 @@ fn steady_state_object_step_allocates_nothing() {
                 &reader,
                 read,
                 0.0,
+                table,
+                trig,
                 &mut scratch,
                 &mut support,
                 &mut rng,

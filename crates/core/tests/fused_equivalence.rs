@@ -21,7 +21,7 @@ const NO_PRIOR: Option<&BoxPrior> = None;
 
 fn assert_particles_identical(a: &ObjectFilter, b: &ObjectFilter, epoch: usize) {
     assert_eq!(a.len(), b.len(), "epoch {epoch}: particle counts");
-    for (i, (pa, pb)) in a.particles().iter().zip(b.particles()).enumerate() {
+    for (i, (pa, pb)) in a.iter_particles().zip(b.iter_particles()).enumerate() {
         assert_eq!(
             pa.loc.x.to_bits(),
             pb.loc.x.to_bits(),
@@ -73,6 +73,11 @@ fn drive(ess_frac: f64, read_at: fn(usize) -> bool, epochs: usize, seed: u64) ->
     let mut rng_fused = StdRng::seed_from_u64(seed ^ 0xABCD);
     let mut scratch = StepScratch::default();
     let mut support = vec![0.0f64; reader_ref.len()];
+    // the fused side uses the per-epoch hoisted heading-trig table the
+    // engine builds; the reference recomputes sin/cos per particle —
+    // the bit-identity assertions below pin the two as equivalent
+    let mut trig = Vec::new();
+    reader_fused.trig_into(&mut trig);
 
     let mut resamples = 0;
     for epoch in 0..epochs {
@@ -90,6 +95,8 @@ fn drive(ess_frac: f64, read_at: fn(usize) -> bool, epochs: usize, seed: u64) ->
             &reader_fused,
             read,
             ess_frac,
+            None,
+            Some(&trig),
             &mut scratch,
             &mut support,
             &mut rng_fused,
@@ -178,7 +185,82 @@ fn fused_support_mass_matches_seed_deposits() {
     let mut f = ObjectFilter::init_from_cone(&reader, 4.0, 0.5, 200, 0, NO_PRIOR, &mut rng);
     let mut scratch = StepScratch::default();
     let mut support = vec![0.0f64; reader.len()];
-    f.step_fused(&m, &reader, true, 0.5, &mut scratch, &mut support, &mut rng);
+    f.step_fused(
+        &m,
+        &reader,
+        true,
+        0.5,
+        None,
+        None,
+        &mut scratch,
+        &mut support,
+        &mut rng,
+    );
     let total: f64 = support.iter().sum();
     assert!((total - 1.0).abs() < 1e-9, "staged support mass {total}");
+}
+
+/// The quantized likelihood table is the one *deliberate* numeric
+/// deviation from the exact path: drive the same trace with and without
+/// it and check the estimates agree to the quantization scale, while
+/// two table runs from the same seed agree bit-for-bit (the table is
+/// deterministic, so the contract "same config → same bits" holds).
+#[test]
+fn table_path_is_deterministic_and_close_to_exact() {
+    use rfid_model::table::LikelihoodTable;
+
+    let m = JointModel::new(ModelParams::default_warehouse());
+    let table = LikelihoodTable::build(&m.sensor, 10.0, 0.05, 0.02);
+
+    let run = |table: Option<&LikelihoodTable>| -> Vec<(Point3, bool)> {
+        let reader = ReaderFilter::new(25, Pose::new(Point3::new(0.0, 0.5, 0.0), 0.1));
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut f = ObjectFilter::init_from_cone(&reader, 5.0, 0.6, 300, 0, NO_PRIOR, &mut rng);
+        let mut scratch = StepScratch::default();
+        let mut support = vec![0.0f64; reader.len()];
+        let mut out = Vec::new();
+        for epoch in 0..20 {
+            let read = epoch % 3 != 2;
+            support.fill(0.0);
+            let o = f.step_fused(
+                &m,
+                &reader,
+                read,
+                0.5,
+                table,
+                None,
+                &mut scratch,
+                &mut support,
+                &mut rng,
+            );
+            out.push((o.estimate.0, o.resampled));
+        }
+        out
+    };
+
+    let exact = run(None);
+    let quant = run(Some(&table));
+    let quant2 = run(Some(&table));
+    for (i, (a, b)) in quant.iter().zip(&quant2).enumerate() {
+        assert_eq!(
+            a.0.x.to_bits(),
+            b.0.x.to_bits(),
+            "epoch {i}: table determinism"
+        );
+        assert_eq!(
+            a.0.y.to_bits(),
+            b.0.y.to_bits(),
+            "epoch {i}: table determinism"
+        );
+        assert_eq!(a.1, b.1, "epoch {i}: table resample determinism");
+    }
+    for (i, (e, q)) in exact.iter().zip(&quant).enumerate() {
+        let gap = e.0.dist(&q.0);
+        assert!(
+            gap < 0.5,
+            "epoch {i}: table estimate drifted {gap} ft from exact ({:?} vs {:?})",
+            e.0,
+            q.0
+        );
+    }
 }

@@ -40,12 +40,22 @@ pub fn bearing_xy(from: &Point3, to: &Point3) -> f64 {
 /// matching the paper's 2-component heading vector).
 #[inline]
 pub fn reader_tag_angle(reader: &Point3, phi: f64, tag: &Point3) -> f64 {
+    reader_tag_angle_trig(reader, phi.cos(), phi.sin(), tag)
+}
+
+/// [`reader_tag_angle`] with the heading's cosine and sine already
+/// computed — the pair is loop-invariant per reader particle, so hot
+/// loops hoist it once per pose instead of paying `sin`/`cos` per
+/// object particle. Identical arithmetic (and therefore identical
+/// bits) to the plain form.
+#[inline]
+pub fn reader_tag_angle_trig(reader: &Point3, cos_phi: f64, sin_phi: f64, tag: &Point3) -> f64 {
     let delta = *tag - *reader;
     let d = delta.norm();
     if d < 1e-12 {
         return 0.0; // tag coincides with reader; treat as head-on
     }
-    let cos_theta = (delta.x * phi.cos() + delta.y * phi.sin()) / d;
+    let cos_theta = (delta.x * cos_phi + delta.y * sin_phi) / d;
     cos_theta.clamp(-1.0, 1.0).acos()
 }
 

@@ -46,18 +46,50 @@ pub trait ReadRateModel: Send + Sync {
         self.p_read_dt(d, th)
     }
 
-    /// Log likelihood of a binary reading outcome. Default goes through
-    /// `p_read` (exact zeros/ones produce `-inf`, which is correct for
-    /// hard-edged ground-truth models: a particle inconsistent with the
-    /// observation is impossible); implementations with an analytic
-    /// form override for numerical stability.
-    fn log_likelihood(&self, reader: &Pose, tag: &Point3, read: bool) -> f64 {
-        let p = self.p_read(reader, tag);
+    /// Log likelihood of a binary reading outcome at distance `d` and
+    /// bearing `theta` — the `(d, θ)`-space core every pose-based
+    /// likelihood reduces to, and the function the quantized
+    /// [`table::LikelihoodTable`](crate::table::LikelihoodTable)
+    /// memoizes. Default goes through `p_read_dt` (exact zeros/ones
+    /// produce `-inf`, which is correct for hard-edged ground-truth
+    /// models: a particle inconsistent with the observation is
+    /// impossible); implementations with an analytic form override for
+    /// numerical stability.
+    fn log_likelihood_dt(&self, d: f64, theta: f64, read: bool) -> f64 {
+        let p = self.p_read_dt(d, theta);
         if read {
             p.ln()
         } else {
             (1.0 - p).ln()
         }
+    }
+
+    /// Log likelihood of a binary reading outcome for a (reader pose,
+    /// tag) pair: `range_bearing` then
+    /// [`log_likelihood_dt`](Self::log_likelihood_dt).
+    fn log_likelihood(&self, reader: &Pose, tag: &Point3, read: bool) -> f64 {
+        self.log_likelihood_pose(&reader.pos, reader.phi.cos(), reader.phi.sin(), tag, read)
+    }
+
+    /// [`log_likelihood`](Self::log_likelihood) with the reader
+    /// heading's cosine/sine precomputed. The pair is loop-invariant
+    /// per reader particle, so the particle-filter weight pass hoists
+    /// it out of the per-object-particle loop instead of paying
+    /// `sin`/`cos` on every evaluation. The default reproduces the
+    /// exact `range_bearing` arithmetic bit for bit; hard-edged models
+    /// whose likelihood is piecewise constant in the bearing override
+    /// it to skip the `acos` altogether.
+    fn log_likelihood_pose(
+        &self,
+        pos: &Point3,
+        cos_phi: f64,
+        sin_phi: f64,
+        tag: &Point3,
+        read: bool,
+    ) -> f64 {
+        let d = pos.dist(tag);
+        let th = rfid_geom::angles::reader_tag_angle_trig(pos, cos_phi, sin_phi, tag);
+        self.log_likelihood_dt(d, th, read)
     }
 
     /// An overestimate of the detection range: the largest distance (at
@@ -130,14 +162,15 @@ impl ReadRateModel for LogisticSensorModel {
     }
 
     /// Stable override: works directly in log space, so extreme
-    /// predictor values never round to exact 0/1 first.
+    /// predictor values never round to exact 0/1 first. The pose-based
+    /// `log_likelihood` default routes through this, keeping both
+    /// entry points on the same arithmetic.
     #[inline]
-    fn log_likelihood(&self, reader: &Pose, tag: &Point3, read: bool) -> f64 {
-        let (d, th) = reader.range_bearing(tag);
+    fn log_likelihood_dt(&self, d: f64, theta: f64, read: bool) -> f64 {
         if read {
-            self.log_p_read_dt(d, th)
+            self.log_p_read_dt(d, theta)
         } else {
-            self.log_p_miss_dt(d, th)
+            self.log_p_miss_dt(d, theta)
         }
     }
 }
@@ -151,34 +184,70 @@ impl ReadRateModel for LogisticSensorModel {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConeSensor {
     /// Read rate inside the major detection range (paper default 100%).
-    pub rr_major: f64,
+    rr_major: f64,
     /// Half-angle of the major cone, radians (paper: 15° half = 30° full).
-    pub major_half_angle: f64,
+    major_half_angle: f64,
     /// Additional angle of the minor range, radians (paper: 15°).
-    pub minor_extra_angle: f64,
+    minor_extra_angle: f64,
     /// Maximum detection distance, feet.
-    pub max_range: f64,
+    max_range: f64,
+    // Fast-path constants derived once in `new`: the cone test runs in
+    // cosine space (no `acos`) and the piecewise-constant regions
+    // return precomputed log likelihoods (no `ln`).
+    cos_major: f64,
+    /// `cos(major + minor)`, or `-2.0` when the outer angle reaches π
+    /// (no "outside" region exists — every bearing is within the cone).
+    cos_outer: f64,
+    ln_read_major: f64,
+    ln_miss_major: f64,
 }
 
 impl ConeSensor {
+    /// Builds a cone sensor, precomputing the cosine-space thresholds
+    /// and constant-region log likelihoods the hot path uses.
+    pub fn new(
+        rr_major: f64,
+        major_half_angle: f64,
+        minor_extra_angle: f64,
+        max_range: f64,
+    ) -> Self {
+        let outer = major_half_angle + minor_extra_angle;
+        Self {
+            rr_major,
+            major_half_angle,
+            minor_extra_angle,
+            max_range,
+            cos_major: major_half_angle.cos(),
+            cos_outer: if outer < std::f64::consts::PI {
+                outer.cos()
+            } else {
+                -2.0
+            },
+            ln_read_major: rr_major.ln(),
+            ln_miss_major: (1.0 - rr_major).ln(),
+        }
+    }
+
     /// The paper's simulator defaults: 30° major cone (15° half-angle),
     /// 15° additional minor range, RR_major = 100%, 4 ft range.
     pub fn paper_default() -> Self {
-        Self {
-            rr_major: 1.0,
-            major_half_angle: 15f64.to_radians(),
-            minor_extra_angle: 15f64.to_radians(),
-            max_range: 4.0,
-        }
+        Self::new(1.0, 15f64.to_radians(), 15f64.to_radians(), 4.0)
     }
 
     /// Same shape with a different major-range read rate (the Fig. 5(f)
     /// sweep varies RR_major from 100% down to 50%).
     pub fn with_rr_major(rr: f64) -> Self {
-        Self {
-            rr_major: rr,
-            ..Self::paper_default()
-        }
+        Self::new(rr, 15f64.to_radians(), 15f64.to_radians(), 4.0)
+    }
+
+    /// Read rate inside the major detection range.
+    pub fn rr_major(&self) -> f64 {
+        self.rr_major
+    }
+
+    /// Maximum detection distance, feet.
+    pub fn max_range(&self) -> f64 {
+        self.max_range
     }
 }
 
@@ -196,6 +265,57 @@ impl ReadRateModel for ConeSensor {
         } else {
             0.0
         }
+    }
+
+    /// Hot-path override: classifies the bearing in cosine space so the
+    /// common regions (inside the major cone, fully outside) cost no
+    /// `acos` and no `ln` — their log likelihoods are constants. Only
+    /// the minor band, and a vanishing margin strip around the two
+    /// boundaries, fall back to the exact `acos` path.
+    ///
+    /// Bit-exactness: for `θ` strictly inside a region, `cos θ`
+    /// compared against the cached `cos(boundary)` decides identically
+    /// to `acos(cos θ)` compared against the boundary angle — the two
+    /// can only disagree within a few ulps of the boundary, and
+    /// `MARGIN` (1e-9 in cosine space, ~10⁶× the true rounding window)
+    /// routes that strip to the fallback, which computes the identical
+    /// `acos`-based answer. The constants are the same `ln` the generic
+    /// path would take of the same piecewise-constant probability.
+    fn log_likelihood_pose(
+        &self,
+        pos: &Point3,
+        cos_phi: f64,
+        sin_phi: f64,
+        tag: &Point3,
+        read: bool,
+    ) -> f64 {
+        const MARGIN: f64 = 1e-9;
+        let delta = *tag - *pos;
+        let d = delta.norm();
+        if d > self.max_range {
+            // p = 0: ln(0) = -inf on a read, ln(1 - 0) = 0 on a miss
+            return if read { f64::NEG_INFINITY } else { 0.0 };
+        }
+        // `d` is NaN-free here only if the inputs are; a NaN falls
+        // through every comparison below into the exact fallback,
+        // matching the generic path bit for bit.
+        let c = if d < 1e-12 {
+            1.0 // head-on by convention (θ = 0)
+        } else {
+            ((delta.x * cos_phi + delta.y * sin_phi) / d).clamp(-1.0, 1.0)
+        };
+        if c >= self.cos_major + MARGIN {
+            return if read {
+                self.ln_read_major
+            } else {
+                self.ln_miss_major
+            };
+        }
+        if c <= self.cos_outer - MARGIN {
+            return if read { f64::NEG_INFINITY } else { 0.0 };
+        }
+        // minor band or boundary strip: exact path
+        self.log_likelihood_dt(d, c.acos(), read)
     }
 }
 
@@ -391,6 +511,25 @@ mod tests {
             let ll = lm.log_likelihood(&pose, &tag, read);
             prop_assert!(ll <= 0.0);
             prop_assert!(ll.is_finite() || !read, "read log-lik may underflow only far out");
+        }
+
+        /// The cone's cosine-space fast path must equal the generic
+        /// `range_bearing` → `log_likelihood_dt` route *bit for bit* —
+        /// including near the region boundaries (the sweep crosses
+        /// both) and behind the reader.
+        #[test]
+        fn prop_cone_fast_path_is_bit_exact(
+            x in -8.0..8.0f64, y in -8.0..8.0f64, z in -2.0..2.0f64,
+            phi in -3.2..3.2f64, rr in 0.5..1.0f64, read in any::<bool>()) {
+            let c = ConeSensor::with_rr_major(if rr > 0.95 { 1.0 } else { rr });
+            let pose = Pose::new(Point3::new(0.3, -0.2, 0.1), phi);
+            let tag = Point3::new(x, y, z);
+            // the generic route the default trait method takes
+            let (d, th) = pose.range_bearing(&tag);
+            let generic = c.log_likelihood_dt(d, th, read);
+            let fast = c.log_likelihood(&pose, &tag, read);
+            prop_assert_eq!(generic.to_bits(), fast.to_bits(),
+                "d={} th={} generic={} fast={}", d, th, generic, fast);
         }
     }
 }

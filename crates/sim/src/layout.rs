@@ -32,6 +32,13 @@ impl Shelf {
 }
 
 /// The full warehouse: consecutive shelves along the y axis.
+///
+/// Both constructors produce shelves in ascending, non-overlapping `y`
+/// order (consecutive runs in [`linear`](Self::linear), asserted in
+/// [`rooms`](Self::rooms)); [`LocationPrior::pdf`] exploits that order
+/// to answer point queries by binary search instead of a linear shelf
+/// scan — the query sits inside the particle-respawn rejection loop,
+/// which probes it up to 30 times per particle.
 #[derive(Debug, Clone)]
 pub struct WarehouseLayout {
     shelves: Vec<Shelf>,
@@ -39,6 +46,20 @@ pub struct WarehouseLayout {
     standoff: f64,
     /// Common tag height.
     tag_z: f64,
+    /// Cached `Σ (max.y - min.y)`, summed in shelf order (so the float
+    /// result is bit-identical to an on-the-fly summation).
+    total_length: f64,
+}
+
+/// Shared constructor tail: caches the total run length.
+fn finish_layout(shelves: Vec<Shelf>, standoff: f64, tag_z: f64) -> WarehouseLayout {
+    let total_length = shelves.iter().map(|s| s.bbox.max.y - s.bbox.min.y).sum();
+    WarehouseLayout {
+        shelves,
+        standoff,
+        tag_z,
+        total_length,
+    }
 }
 
 impl WarehouseLayout {
@@ -64,11 +85,7 @@ impl WarehouseLayout {
                 }
             })
             .collect();
-        Self {
-            shelves,
-            standoff,
-            tag_z,
-        }
+        finish_layout(shelves, standoff, tag_z)
     }
 
     /// The paper's small-scale default: shelving long enough for the
@@ -108,11 +125,7 @@ impl WarehouseLayout {
                 "rooms must be ascending and non-overlapping"
             );
         }
-        Self {
-            shelves,
-            standoff,
-            tag_z,
-        }
+        finish_layout(shelves, standoff, tag_z)
     }
 
     /// The shelves.
@@ -120,12 +133,9 @@ impl WarehouseLayout {
         &self.shelves
     }
 
-    /// Total run length along y.
+    /// Total run length along y (cached at construction).
     pub fn total_length(&self) -> f64 {
-        self.shelves
-            .iter()
-            .map(|s| s.bbox.max.y - s.bbox.min.y)
-            .sum()
+        self.total_length
     }
 
     /// Aisle-to-face distance.
@@ -215,16 +225,32 @@ impl LocationPrior for WarehouseLayout {
     }
 
     fn pdf(&self, p: &Point3) -> f64 {
-        // density along the 1-D face manifold, with a tolerance band of
+        // Density along the 1-D face manifold, with a tolerance band of
         // 0.5 ft around the face in x and z so respawned particles near
-        // the shelf count as legal.
-        let total = self.total_length();
-        for s in &self.shelves {
+        // the shelf count as legal. Equivalent to scanning every shelf
+        // with `on_face_x && on_face_z && in_y`, but answered by binary
+        // search: the z band is shelf-independent (gated once), and the
+        // ascending non-overlapping y order means only the shelves
+        // around the insertion point can pass the y band. The backward
+        // walk enumerates a superset of matches (conservative 1e-6
+        // cutoff vs the exact 1e-9 band) and re-checks the original
+        // predicate verbatim, so accept/reject decisions — and thus
+        // every downstream RNG draw — are bit-identical to the scan.
+        let on_face_z = (p.z - self.tag_z).abs() <= 0.5;
+        if !on_face_z {
+            return 0.0;
+        }
+        let hi = self.shelves.partition_point(|s| s.bbox.min.y <= p.y + 1e-6);
+        for s in self.shelves[..hi].iter().rev() {
+            if s.bbox.max.y < p.y - 1e-6 {
+                // every earlier shelf ends at or before this one starts,
+                // so none can reach p.y either
+                break;
+            }
             let on_face_x = (p.x - s.face_x()).abs() <= 0.5;
-            let on_face_z = (p.z - self.tag_z).abs() <= 0.5;
             let in_y = p.y >= s.bbox.min.y - 1e-9 && p.y <= s.bbox.max.y + 1e-9;
-            if on_face_x && on_face_z && in_y {
-                return 1.0 / total;
+            if on_face_x && in_y {
+                return 1.0 / self.total_length;
             }
         }
         0.0
