@@ -693,6 +693,22 @@ struct ThroughputRow {
     emit_us: u64,
 }
 
+/// One measured multi-process cluster row: a real router + N worker
+/// processes + coordinator over sockets (see `crates/cluster`).
+struct ClusterRow {
+    scenario: &'static str,
+    worker_processes: usize,
+    readings: usize,
+    events: usize,
+    elapsed_ms: f64,
+    readings_per_sec: f64,
+    digest: u64,
+    /// Whether the merged event stream was bit-identical to the
+    /// single-process engine — the gate that makes the wall-clock
+    /// number meaningful at all.
+    digest_match: bool,
+}
+
 /// Measures whole-trace throughput of each engine variant through the
 /// **streaming pipeline** (incremental source → synchronizer → engine
 /// → sink) on the `bench_scalability` scenario (`scalability_trace(100,
@@ -900,6 +916,100 @@ fn throughput(opts: Opts, json: bool) {
         ]);
     }
     r.table(&t);
+
+    // cluster row family: the same engine split over real processes —
+    // router + N worker processes + coordinator (crates/cluster). The
+    // wall clock covers process launch, socket setup, the full epoch
+    // protocol, and the coordinator's k-way merge; a row only counts
+    // when the merged stream is bit-identical to the single-process
+    // engine, so the numbers can never quietly measure a divergent run.
+    let cluster_scenario = "small_warehouse";
+    let mut cluster_rows: Vec<ClusterRow> = Vec::new();
+    {
+        let (sc, cfg) =
+            rfid_cluster::canonical_scenario(cluster_scenario).expect("canonical scenario");
+        let cluster_readings: usize = sc
+            .trace
+            .epoch_batches()
+            .iter()
+            .map(|b| b.readings.len())
+            .sum();
+        let expected = rfid_bench::recovery::reference_digest(&sc, &cfg);
+        'sweep: for n in [1usize, 2, 4] {
+            let mut best: Option<(std::time::Duration, rfid_cluster::ClusterOutcome)> = None;
+            for _ in 0..reps {
+                let start = std::time::Instant::now();
+                match rfid_cluster::LocalCluster::new(cluster_scenario, n).run() {
+                    Ok(outcome) => {
+                        let elapsed = start.elapsed();
+                        if best.as_ref().is_none_or(|(t, _)| elapsed < *t) {
+                            best = Some((elapsed, outcome));
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!(
+                            "  [cluster w={n}] skipped: {e} (build the cluster binaries \
+                             first: cargo build --release -p rfid-cluster)"
+                        );
+                        break 'sweep;
+                    }
+                }
+            }
+            let Some((elapsed, outcome)) = best else {
+                break;
+            };
+            let secs = elapsed.as_secs_f64();
+            eprintln!(
+                "  [cluster {cluster_scenario} w={n}] {:.0} readings/s wall, {} events, \
+                 digest {}",
+                cluster_readings as f64 / secs,
+                outcome.events,
+                if outcome.digest == expected {
+                    "matches the single-process engine"
+                } else {
+                    "MISMATCH"
+                },
+            );
+            cluster_rows.push(ClusterRow {
+                scenario: cluster_scenario,
+                worker_processes: n,
+                readings: cluster_readings,
+                events: outcome.events,
+                elapsed_ms: secs * 1e3,
+                readings_per_sec: cluster_readings as f64 / secs,
+                digest: outcome.digest,
+                digest_match: outcome.digest == expected,
+            });
+        }
+    }
+    if !cluster_rows.is_empty() {
+        r.line("multi-process cluster (router + N worker processes + coordinator):");
+        let mut ct = Table::new(vec![
+            "scenario",
+            "worker procs",
+            "readings",
+            "readings/s (wall)",
+            "elapsed ms",
+            "events",
+            "digest vs engine",
+        ]);
+        for row in &cluster_rows {
+            ct.row(vec![
+                row.scenario.to_string(),
+                row.worker_processes.to_string(),
+                row.readings.to_string(),
+                format!("{:.0}", row.readings_per_sec),
+                f2(row.elapsed_ms),
+                row.events.to_string(),
+                if row.digest_match {
+                    format!("{:#018x} (bit-identical)", row.digest)
+                } else {
+                    format!("{:#018x} MISMATCH", row.digest)
+                },
+            ]);
+        }
+        r.table(&ct);
+    }
     r.finish();
 
     if json {
@@ -949,6 +1059,27 @@ fn throughput(opts: Opts, json: bool) {
                 row.batch_high_water,
                 row.events,
                 if i + 1 == rows.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!(
+            "  \"cluster_scenario\": \"{cluster_scenario}\",\n"
+        ));
+        s.push_str("  \"cluster_rows\": [\n");
+        for (i, row) in cluster_rows.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"scenario\": \"{}\", \"worker_processes\": {}, \"readings\": {}, \
+                 \"readings_per_sec\": {:.1}, \"elapsed_ms\": {:.2}, \"events\": {}, \
+                 \"digest\": \"{:#018x}\", \"digest_match\": {}}}{}\n",
+                row.scenario,
+                row.worker_processes,
+                row.readings,
+                row.readings_per_sec,
+                row.elapsed_ms,
+                row.events,
+                row.digest,
+                row.digest_match,
+                if i + 1 == cluster_rows.len() { "" } else { "," }
             ));
         }
         s.push_str("  ]\n}\n");

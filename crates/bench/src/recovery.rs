@@ -36,10 +36,9 @@ use rfid_core::checkpoint::{self, CheckpointError};
 use rfid_core::engine::run_engine;
 use rfid_core::{FilterConfig, InferenceEngine};
 use rfid_model::sensor::ConeSensor;
-use rfid_model::{JointModel, ModelParams};
 use rfid_serve::store::{EventStore, StoreConfig};
 use rfid_serve::{DurableStore, LogError, Recovery, SegmentLog};
-use rfid_sim::scenario::{self, Scenario};
+use rfid_sim::scenario::Scenario;
 use rfid_sim::WarehouseLayout;
 use rfid_stream::{Epoch, EpochBatch, LocationEvent};
 use std::path::{Path, PathBuf};
@@ -157,32 +156,12 @@ type Engine = InferenceEngine<WarehouseLayout, ConeSensor>;
 
 /// The three golden-trace scenarios (plus `"tiny"`, a fast variant for
 /// harness self-tests), with the same pinned configurations the
-/// golden-trace digests are committed under.
-pub fn canonical_scenario(name: &str) -> Option<(Scenario, FilterConfig)> {
-    let pinned = |particles: usize| {
-        let mut cfg = FilterConfig::full_default();
-        cfg.particles_per_object = particles;
-        cfg.reader_particles = 60;
-        cfg.report_delay_epochs = 30;
-        cfg
-    };
-    match name {
-        "small_warehouse" => Some((scenario::small_trace(10, 4, 2024), pinned(250))),
-        "low_read_rate" => Some((scenario::read_rate_trace(0.7, 333), pinned(200))),
-        "moving_object" => Some((scenario::moving_object_trace(6.0, 200, 666), pinned(150))),
-        "tiny" => Some((scenario::small_trace(3, 2, 77), pinned(30))),
-        _ => None,
-    }
-}
+/// golden-trace digests are committed under. The single definition
+/// lives in [`rfid_cluster::scenario`] so the recovery harness and the
+/// cluster binaries can never drift apart.
+pub use rfid_cluster::scenario::canonical_scenario;
 
-fn build_engine(sc: &Scenario, cfg: &FilterConfig) -> Engine {
-    let model = JointModel::with_sensor(
-        ConeSensor::paper_default(),
-        ModelParams::default_warehouse(),
-    );
-    InferenceEngine::new(model, sc.layout.clone(), sc.trace.shelf_tags.clone(), *cfg)
-        .expect("valid config")
-}
+use rfid_cluster::scenario::build_engine;
 
 /// Digest of the event stream an *uninterrupted* run produces — the
 /// value every recovered run must reproduce exactly.

@@ -1,0 +1,55 @@
+//! Coordinator binary: binds, prints `LISTENING <addr>`, accepts
+//! `--workers` event streams, merges them per epoch in global tag
+//! order, and reports `events <n>` / `digest 0x<hex>` on stdout.
+//! `--out FILE` additionally writes the merged stream bit-exactly.
+//!
+//! ```text
+//! rfid-coordinator --listen 127.0.0.1:0 --workers 2 [--out merged.bin]
+//! ```
+
+use std::io::Write;
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args = rfid_cluster::cli::parse(&["--listen", "--workers", "--out"]);
+    let (listen, workers) = match (
+        args.get("--listen"),
+        args.get("--workers").and_then(|w| w.parse::<usize>().ok()),
+    ) {
+        (Some(l), Some(w)) if w >= 1 => (l.clone(), w),
+        _ => {
+            eprintln!("usage: rfid-coordinator --listen ADDR --workers N [--out FILE]");
+            return ExitCode::from(2);
+        }
+    };
+    let listener = match TcpListener::bind(&listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("bind {listen}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("LISTENING {}", listener.local_addr().expect("bound"));
+    let _ = std::io::stdout().flush();
+    match rfid_cluster::coordinator::run_coordinator(&listener, workers) {
+        Ok(merged) => {
+            if let Some(path) = args.get("--out") {
+                if let Err(e) = rfid_cluster::coordinator::write_events_file(
+                    std::path::Path::new(path),
+                    &merged.events,
+                ) {
+                    eprintln!("coordinator: write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            println!("events {}", merged.events.len());
+            println!("digest {:#018x}", merged.digest);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("coordinator: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

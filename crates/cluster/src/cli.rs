@@ -1,0 +1,39 @@
+//! Minimal `--flag value` parsing shared by the three cluster
+//! binaries (kept dependency-free; unknown flags are an error).
+
+use std::collections::HashMap;
+
+/// Parses `std::env::args` into a flag → value map. Exits with status
+/// 2 on an unknown flag or a flag without a value.
+pub fn parse(known: &[&str]) -> HashMap<String, String> {
+    parse_from(known, std::env::args().skip(1))
+}
+
+fn parse_from(known: &[&str], args: impl IntoIterator<Item = String>) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut args = args.into_iter();
+    while let Some(flag) = args.next() {
+        if !known.contains(&flag.as_str()) {
+            eprintln!("unknown flag {flag:?}");
+            std::process::exit(2);
+        }
+        let Some(value) = args.next() else {
+            eprintln!("flag {flag} needs a value");
+            std::process::exit(2);
+        };
+        out.insert(flag, value);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_parse_in_any_order() {
+        let got = parse_from(&["--a", "--b"], ["--b", "2", "--a", "1"].map(String::from));
+        assert_eq!(got.get("--a").map(String::as_str), Some("1"));
+        assert_eq!(got.get("--b").map(String::as_str), Some("2"));
+    }
+}

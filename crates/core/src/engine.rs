@@ -34,6 +34,7 @@
 //!   calling thread (see [`crate::shard`] for the rule).
 
 pub mod checkpoint;
+pub mod cluster;
 
 use crate::compression::CompressedBelief;
 use crate::config::{FilterConfig, ReaderMode};
@@ -177,6 +178,12 @@ pub struct InferenceEngine<P: LocationPrior, S: ReadRateModel = rfid_model::Logi
     /// lazily at the first inference step and immutable afterwards —
     /// one grid serves every reader, object, epoch, and worker thread.
     table: Option<LikelihoodTable>,
+    /// When set, [`InferenceEngine::run_steps`] records each task's
+    /// staged reader-support row (in global task order) instead of only
+    /// merging it locally. Cluster workers enable this to ship the rows
+    /// to the head, which merges them in global tag order across all
+    /// workers (see [`cluster`]).
+    support_tee: Option<Vec<(TagId, Vec<f64>)>>,
 }
 
 impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
@@ -231,6 +238,7 @@ impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
             reader_cdf: Vec::new(),
             reader_trig: Vec::new(),
             table: None,
+            support_tee: None,
             config,
         })
     }
@@ -732,6 +740,9 @@ impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
                         v.insert(created.expect("step created a state"));
                     }
                 }
+                if let Some(tee) = self.support_tee.as_mut() {
+                    tee.push((task.tag, scratch.staged_support.clone()));
+                }
                 reader.merge_support(&scratch.staged_support);
             }
         } else {
@@ -783,8 +794,12 @@ impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
                 .iter()
                 .zip(exec::chunk_ranges(steps.len(), workers))
             {
-                for local in 0..range.len() {
-                    reader.merge_support(&scratch.staged_support[local * nr..(local + 1) * nr]);
+                for (local, global) in range.enumerate() {
+                    let row = &scratch.staged_support[local * nr..(local + 1) * nr];
+                    if let Some(tee) = self.support_tee.as_mut() {
+                        tee.push((steps[global].tag, row.to_vec()));
+                    }
+                    reader.merge_support(row);
                 }
             }
             for task in &mut steps {

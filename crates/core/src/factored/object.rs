@@ -255,12 +255,25 @@ impl ObjectFilter {
         remap: &crate::factored::reader::ReaderRemap,
         rng: &mut R,
     ) {
+        self.apply_reader_remap_with(remap, || rng.gen_range(0..remap.num_new()));
+    }
+
+    /// [`ObjectFilter::apply_reader_remap`] with the dead-ancestor
+    /// replacement draws supplied by the caller, in particle order. A
+    /// cluster head replicates the engine-RNG draw sequence centrally
+    /// and ships each worker its objects' values, so remote remaps stay
+    /// bit-identical to the single-process engine.
+    pub fn apply_reader_remap_with(
+        &mut self,
+        remap: &crate::factored::reader::ReaderRemap,
+        mut replacement: impl FnMut() -> u32,
+    ) {
         for r in &mut self.soa.reader_idx {
             *r = match remap.map(*r) {
                 Some(new) => new,
                 // ancestor died out: re-point uniformly (post-resample
                 // reader weights are uniform anyway)
-                None => rng.gen_range(0..remap.num_new()),
+                None => replacement(),
             };
         }
     }

@@ -41,6 +41,21 @@ impl ReaderRemap {
     pub fn num_new(&self) -> u32 {
         self.num_new
     }
+
+    /// The raw first-descendant table (one entry per *old* particle).
+    /// Exposed so a cluster head can ship the remap over the wire.
+    pub fn first_descendant(&self) -> &[Option<u32>] {
+        &self.first_descendant
+    }
+
+    /// Rebuilds a remap from its wire representation (the inverse of
+    /// [`ReaderRemap::first_descendant`] + [`ReaderRemap::num_new`]).
+    pub fn from_parts(first_descendant: Vec<Option<u32>>, num_new: u32) -> Self {
+        Self {
+            first_descendant,
+            num_new,
+        }
+    }
 }
 
 /// The reader particle filter.

@@ -1,0 +1,177 @@
+//! Bit-identity of the head/worker cluster split (transport-free).
+//!
+//! [`rfid_core::engine::cluster`] partitions the objects by
+//! `tag % num_workers` across worker engines while a head engine owns
+//! the reader and the engine RNG. This suite drives the exact same
+//! per-epoch exchange the wire protocol carries — plan broadcast, task
+//! reports, resample directive — fully in-process, and requires the
+//! merged event stream to be **bit-identical** to `run_engine` for
+//! every worker count. The `rfid-cluster` crate's child-process test
+//! covers the same gate over real sockets.
+
+use rfid_core::engine::cluster::{ClusterHead, ClusterWorker, EpochPlan, ResampleDirective};
+use rfid_core::engine::run_engine;
+use rfid_core::{FilterConfig, InferenceEngine, ReaderMode};
+use rfid_model::sensor::ConeSensor;
+use rfid_model::{JointModel, ModelParams};
+use rfid_sim::scenario;
+use rfid_stream::wire::merge_events_by_tag;
+use rfid_stream::{Epoch, LocationEvent};
+
+fn engine_for(
+    sc: &scenario::Scenario,
+    cfg: FilterConfig,
+) -> InferenceEngine<rfid_sim::WarehouseLayout, ConeSensor> {
+    let model = JointModel::with_sensor(
+        ConeSensor::paper_default(),
+        ModelParams::default_warehouse(),
+    );
+    InferenceEngine::new(model, sc.layout.clone(), sc.trace.shelf_tags.clone(), cfg)
+        .expect("valid config")
+}
+
+/// Drives the full head/worker exchange over the trace and returns the
+/// coordinator-merged event stream.
+fn run_cluster(
+    sc: &scenario::Scenario,
+    cfg: FilterConfig,
+    num_workers: usize,
+) -> Vec<LocationEvent> {
+    let batches = sc.trace.epoch_batches();
+    let mut head = ClusterHead::new(engine_for(sc, cfg), num_workers);
+    let mut workers: Vec<ClusterWorker<rfid_sim::WarehouseLayout, ConeSensor>> = (0..num_workers)
+        .map(|_| ClusterWorker::new(engine_for(sc, cfg)))
+        .collect();
+    let mut merged = Vec::new();
+    let mut last_epoch = Epoch(0);
+    for batch in &batches {
+        last_epoch = batch.epoch;
+        let plan: EpochPlan = head.begin_epoch(batch);
+        let mut per_worker_events: Vec<Vec<LocationEvent>> = Vec::with_capacity(num_workers);
+        let mut reports = Vec::with_capacity(num_workers);
+        for (i, w) in workers.iter_mut().enumerate() {
+            let mut events = Vec::new();
+            reports.push(w.process_epoch(&plan, i, &mut events));
+            per_worker_events.push(events);
+        }
+        let directive: Option<ResampleDirective> = head.finish_epoch(&reports);
+        assert_eq!(
+            directive.is_some(),
+            plan.will_resample,
+            "the broadcast resample prediction must be exact (epoch {})",
+            batch.epoch.0
+        );
+        for w in workers.iter_mut() {
+            w.apply_resample(plan.epoch, directive.as_ref());
+        }
+        merge_events_by_tag(&per_worker_events, &mut merged);
+    }
+    let finals: Vec<Vec<LocationEvent>> = workers
+        .iter_mut()
+        .map(|w| {
+            let mut events = Vec::new();
+            w.finalize_into(last_epoch, &mut events);
+            events
+        })
+        .collect();
+    merge_events_by_tag(&finals, &mut merged);
+    merged
+}
+
+fn assert_identical(a: &[LocationEvent], b: &[LocationEvent], label: &str) {
+    assert_eq!(a.len(), b.len(), "{label}: event counts differ");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.epoch, y.epoch, "{label}: event {i} epoch");
+        assert_eq!(x.tag, y.tag, "{label}: event {i} tag");
+        assert_eq!(
+            x.location.x.to_bits(),
+            y.location.x.to_bits(),
+            "{label}: event {i} ({:?}) x",
+            x.tag
+        );
+        assert_eq!(
+            x.location.y.to_bits(),
+            y.location.y.to_bits(),
+            "{label}: event {i} y"
+        );
+        assert_eq!(
+            x.location.z.to_bits(),
+            y.location.z.to_bits(),
+            "{label}: event {i} z"
+        );
+        match (x.stats, y.stats) {
+            (None, None) => {}
+            (Some(sx), Some(sy)) => {
+                assert_eq!(
+                    sx.support.to_bits(),
+                    sy.support.to_bits(),
+                    "{label}: event {i} support"
+                );
+                for k in 0..3 {
+                    assert_eq!(
+                        sx.var[k].to_bits(),
+                        sy.var[k].to_bits(),
+                        "{label}: event {i} var[{k}]"
+                    );
+                }
+            }
+            _ => panic!("{label}: event {i} stats presence differs"),
+        }
+    }
+}
+
+fn full_cfg() -> FilterConfig {
+    let mut cfg = FilterConfig::full_default();
+    cfg.particles_per_object = 120;
+    cfg.reader_particles = 40;
+    cfg.report_delay_epochs = 20;
+    cfg
+}
+
+#[test]
+fn cluster_matches_single_process_for_every_worker_count() {
+    let sc = scenario::small_trace(10, 4, 2024);
+    let cfg = full_cfg();
+    let batches = sc.trace.epoch_batches();
+    let mut reference = engine_for(&sc, cfg);
+    let expected = run_engine(&mut reference, &batches);
+    assert!(
+        reference.stats().reader_resamples >= 1,
+        "the scenario must exercise the resample/remap exchange"
+    );
+    assert!(!expected.is_empty(), "the scenario must emit events");
+    for n in [1usize, 2, 4] {
+        let got = run_cluster(&sc, cfg, n);
+        assert_identical(&expected, &got, &format!("{n} workers"));
+    }
+}
+
+#[test]
+fn cluster_is_invariant_to_worker_internals() {
+    // inside each worker, thread and shard counts stay cost-only knobs
+    let sc = scenario::small_trace(8, 4, 777);
+    let cfg = full_cfg();
+    let batches = sc.trace.epoch_batches();
+    let mut reference = engine_for(&sc, cfg);
+    let expected = run_engine(&mut reference, &batches);
+    let mut threaded = cfg;
+    threaded.worker_threads = 2;
+    threaded.num_shards = 3;
+    let got = run_cluster(&sc, threaded, 2);
+    assert_identical(&expected, &got, "2 workers x 2 threads x 3 shards");
+}
+
+#[test]
+fn cluster_matches_in_trust_reports_mode() {
+    let sc = scenario::small_trace(6, 4, 99);
+    let mut cfg = full_cfg();
+    cfg.reader_mode = ReaderMode::TrustReports;
+    cfg.reader_particles = 1;
+    let batches = sc.trace.epoch_batches();
+    let mut reference = engine_for(&sc, cfg);
+    let expected = run_engine(&mut reference, &batches);
+    for n in [1usize, 3] {
+        let got = run_cluster(&sc, cfg, n);
+        assert_identical(&expected, &got, &format!("trust-reports {n} workers"));
+    }
+}

@@ -164,7 +164,7 @@ impl SubscriptionHub {
             dropped_total: 0,
             closed: false,
         }));
-        self.shared.subs.lock().expect("hub lock").push(SubEntry {
+        crate::lock::mutex_recover(self.shared.subs.lock()).push(SubEntry {
             filter,
             queue: Arc::clone(&queue),
         });
@@ -174,14 +174,14 @@ impl SubscriptionHub {
     /// Live subscriptions (cancelled ones disappear after the next
     /// commit prunes them).
     pub fn subscriber_count(&self) -> usize {
-        self.shared.subs.lock().expect("hub lock").len()
+        crate::lock::mutex_recover(self.shared.subs.lock()).len()
     }
 
     /// The commit log: one `(arrival epoch, commit Instant)` per
     /// non-empty committed delta, when enabled via
     /// [`HubConfig::record_commits`].
     pub fn commit_log(&self) -> Vec<(u64, Instant)> {
-        self.shared.commits.lock().expect("hub lock").clone()
+        crate::lock::mutex_recover(self.shared.commits.lock()).clone()
     }
 
     /// Fans one committed delta out to every matching subscription and
@@ -191,9 +191,9 @@ impl SubscriptionHub {
             return;
         }
         let mut delivered = false;
-        let mut subs = self.shared.subs.lock().expect("hub lock");
+        let mut subs = crate::lock::mutex_recover(self.shared.subs.lock());
         subs.retain(|sub| {
-            let mut q = sub.queue.lock().expect("subscription queue lock");
+            let mut q = crate::lock::mutex_recover(sub.queue.lock());
             if q.closed {
                 return false;
             }
@@ -220,11 +220,7 @@ impl SubscriptionHub {
         });
         drop(subs);
         if delivered && self.cfg.record_commits {
-            self.shared
-                .commits
-                .lock()
-                .expect("hub lock")
-                .push((epoch, Instant::now()));
+            crate::lock::mutex_recover(self.shared.commits.lock()).push((epoch, Instant::now()));
         }
     }
 }
@@ -248,7 +244,7 @@ impl SubscriptionHandle {
     /// that survived the drops), otherwise the oldest pending
     /// [`Frame::Push`].
     pub fn poll(&self) -> Option<Frame> {
-        let mut q = self.queue.lock().expect("subscription queue lock");
+        let mut q = crate::lock::mutex_recover(self.queue.lock());
         if q.pending_lagged > 0 {
             let dropped = std::mem::take(&mut q.pending_lagged);
             return Some(Frame::Lagged {
@@ -265,25 +261,18 @@ impl SubscriptionHandle {
 
     /// Frames currently queued (not counting a pending lag notice).
     pub fn pending_frames(&self) -> usize {
-        self.queue
-            .lock()
-            .expect("subscription queue lock")
-            .frames
-            .len()
+        crate::lock::mutex_recover(self.queue.lock()).frames.len()
     }
 
     /// Total rows dropped over the subscription's lifetime.
     pub fn dropped_rows(&self) -> u64 {
-        self.queue
-            .lock()
-            .expect("subscription queue lock")
-            .dropped_total
+        crate::lock::mutex_recover(self.queue.lock()).dropped_total
     }
 
     /// Cancels the subscription: no further frames are queued and the
     /// hub forgets it on its next commit.
     pub fn cancel(&self) {
-        let mut q = self.queue.lock().expect("subscription queue lock");
+        let mut q = crate::lock::mutex_recover(self.queue.lock());
         q.closed = true;
         q.frames.clear();
         q.pending_lagged = 0;

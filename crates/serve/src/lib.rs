@@ -39,6 +39,7 @@
 //! [`LocationChangeSink`]: rfid_stream::pipeline::sinks::LocationChangeSink
 
 pub mod hub;
+pub(crate) mod lock;
 pub mod log;
 pub mod query;
 pub mod resilient;

@@ -40,6 +40,7 @@ use crate::query::{
     WireError, PROTOCOL_VERSION,
 };
 use crate::store::{EventStore, LocationRow};
+use rfid_stream::wire;
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -80,6 +81,12 @@ pub struct ServerConfig {
     /// [`ErrorCode::Overloaded`] and a clean close — never a silent
     /// hang. `None` is unlimited.
     pub max_connections: Option<usize>,
+    /// Largest frame payload accepted from a peer, in bytes. The
+    /// 4-byte length prefix is untrusted input: a frame announcing
+    /// more than this is answered with a typed `ERR BAD_REQUEST` and a
+    /// clean close *before* any allocation, so a corrupt or malicious
+    /// prefix can neither balloon memory nor kill the worker silently.
+    pub max_frame_len: u32,
 }
 
 impl Default for ServerConfig {
@@ -92,6 +99,7 @@ impl Default for ServerConfig {
             outbox_high_water: 256 << 10,
             idle_sleep: Duration::from_micros(100),
             max_connections: None,
+            max_frame_len: MAX_FRAME_BYTES,
         }
     }
 }
@@ -116,59 +124,90 @@ impl ServerConfig {
         self.max_connections = Some(max);
         self
     }
+
+    /// Default config with a frame-payload cap in bytes (>= 16, so a
+    /// HELLO still fits).
+    pub fn with_max_frame_len(mut self, bytes: u32) -> Self {
+        assert!(bytes >= 16, "frames must at least fit a HELLO");
+        self.max_frame_len = bytes;
+        self
+    }
 }
 
-/// Writes one length-prefixed frame.
+/// Writes one length-prefixed frame (the byte framing is shared with
+/// the cluster wire layer in `rfid_stream::wire`).
 pub fn write_frame<W: Write>(w: &mut W, payload: &str) -> io::Result<()> {
-    let bytes = payload.as_bytes();
-    let len = u32::try_from(bytes.len())
-        .ok()
-        .filter(|&l| l <= MAX_FRAME_BYTES)
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
-    w.write_all(&len.to_be_bytes())?;
-    w.write_all(bytes)?;
+    wire::write_frame(w, payload.as_bytes(), MAX_FRAME_BYTES)?;
     w.flush()
 }
 
 /// Reads one length-prefixed frame; `Ok(None)` on a clean EOF at a
-/// frame boundary.
+/// frame boundary. The announced length is checked against
+/// `MAX_FRAME_BYTES` *before* any allocation; an oversized prefix
+/// surfaces as an error carrying [`wire::OversizedFrame`].
 pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<String>> {
-    let mut len_buf = [0u8; 4];
-    match r.read_exact(&mut len_buf) {
-        Ok(()) => {}
-        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e),
+    match wire::read_frame(r, MAX_FRAME_BYTES)? {
+        None => Ok(None),
+        Some(payload) => String::from_utf8(payload)
+            .map(Some)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e)),
     }
-    let len = u32::from_be_bytes(len_buf);
-    if len > MAX_FRAME_BYTES {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"),
-        ));
+}
+
+/// A frame that cannot be accepted: either its announced length is
+/// over the connection's cap (detected before allocating) or its
+/// payload is not UTF-8. Both are peer-input faults, answered with a
+/// typed `ERR BAD_REQUEST` and a clean close instead of a silent drop.
+#[derive(Debug)]
+enum FrameDecodeError {
+    Oversized { len: u32, max: u32 },
+    Encoding(std::str::Utf8Error),
+}
+
+impl std::fmt::Display for FrameDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameDecodeError::Oversized { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte cap")
+            }
+            FrameDecodeError::Encoding(e) => write!(f, "frame payload is not UTF-8: {e}"),
+        }
     }
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
-    String::from_utf8(payload)
-        .map(Some)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+impl From<FrameDecodeError> for io::Error {
+    fn from(e: FrameDecodeError) -> Self {
+        io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+    }
 }
 
 /// An incremental frame decoder: bytes go in as they arrive (partial
 /// frames survive between reads — a slow peer must never desync the
 /// framing), complete frames come out.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct FrameBuf {
     buf: Vec<u8>,
     pos: usize,
+    /// Per-connection cap on the announced payload length
+    /// ([`ServerConfig::max_frame_len`]).
+    max: u32,
 }
 
 impl FrameBuf {
+    fn new(max: u32) -> Self {
+        Self {
+            buf: Vec::new(),
+            pos: 0,
+            max,
+        }
+    }
+
     fn extend(&mut self, data: &[u8]) {
         self.buf.extend_from_slice(data);
     }
 
     /// The next complete frame, if the buffer holds one.
-    fn next_frame(&mut self) -> io::Result<Option<String>> {
+    fn next_frame(&mut self) -> Result<Option<String>, FrameDecodeError> {
         let avail = self.buf.len() - self.pos;
         if avail < 4 {
             self.compact();
@@ -178,11 +217,9 @@ impl FrameBuf {
             .try_into()
             .expect("4 bytes checked");
         let len = u32::from_be_bytes(len_bytes);
-        if len > MAX_FRAME_BYTES {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"),
-            ));
+        if len > self.max {
+            // checked before the payload is buffered or allocated
+            return Err(FrameDecodeError::Oversized { len, max: self.max });
         }
         let total = 4 + len as usize;
         if avail < total {
@@ -190,7 +227,7 @@ impl FrameBuf {
             return Ok(None);
         }
         let payload = std::str::from_utf8(&self.buf[self.pos + 4..self.pos + total])
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
+            .map_err(FrameDecodeError::Encoding)?
             .to_string();
         self.pos += total;
         self.compact();
@@ -386,10 +423,10 @@ struct Conn {
 }
 
 impl Conn {
-    fn new(stream: TcpStream, permit: ConnPermit) -> Self {
+    fn new(stream: TcpStream, permit: ConnPermit, max_frame_len: u32) -> Self {
         Self {
             stream,
-            inbuf: FrameBuf::default(),
+            inbuf: FrameBuf::new(max_frame_len),
             outbuf: VecDeque::new(),
             version: 1,
             subs: Vec::new(),
@@ -444,7 +481,7 @@ fn worker_loop(
     while !stop.load(Ordering::SeqCst) {
         let mut progressed = false;
         while let Ok((stream, permit)) = incoming.try_recv() {
-            conns.push(Conn::new(stream, permit));
+            conns.push(Conn::new(stream, permit, cfg.max_frame_len));
             progressed = true;
         }
         for conn in conns.iter_mut() {
@@ -496,12 +533,25 @@ fn pump(
     // outbox past the high-water mark plus one response
     loop {
         while conn.outbuf.len() < cfg.outbox_high_water {
-            match conn.inbuf.next_frame()? {
-                Some(payload) => {
+            match conn.inbuf.next_frame() {
+                Ok(Some(payload)) => {
                     process_frame(conn, store, hub, &payload);
                     progressed = true;
                 }
-                None => break,
+                Ok(None) => break,
+                Err(e) => {
+                    // a peer-input fault (oversized or non-UTF-8
+                    // frame): tell the peer why, then close cleanly —
+                    // the framing cannot be resynced after this
+                    let frame = Frame::Err {
+                        id: 0,
+                        error: WireError::bad_request(e.to_string()),
+                    };
+                    conn.enqueue(&frame.encode());
+                    let _ = conn.flush();
+                    conn.closed = true;
+                    return Ok(true);
+                }
             }
         }
         if conn.outbuf.len() >= cfg.outbox_high_water {
@@ -584,7 +634,7 @@ fn process_frame(
     // v1: a bare query line, one codeless envelope per response
     let response = match RequestKind::parse(payload) {
         Ok(RequestKind::Query(q)) => {
-            let guard = store.read().expect("event store lock poisoned");
+            let guard = crate::lock::read_recover(store.read());
             answer(&guard, &q)
         }
         Ok(RequestKind::Subscribe(_)) | Ok(RequestKind::Unsubscribe(_)) => {
@@ -608,7 +658,7 @@ fn process_request(
     let id = req.id;
     match req.kind {
         RequestKind::Query(q) => {
-            let guard = store.read().expect("event store lock poisoned");
+            let guard = crate::lock::read_recover(store.read());
             match answer(&guard, &q) {
                 QueryResponse::Rows(rows) => Frame::Ok { id, rows },
                 QueryResponse::Error(error) => Frame::Err { id, error },
@@ -684,7 +734,7 @@ impl ClientBuilder {
             stream,
             version: 1,
             next_id: 1,
-            inbuf: FrameBuf::default(),
+            inbuf: FrameBuf::new(MAX_FRAME_BYTES),
             pending_pushes: VecDeque::new(),
         };
         if self.protocol_version >= 2 {
@@ -914,7 +964,7 @@ mod tests {
     fn oversized_frames_are_refused() {
         let mut r = io::Cursor::new((MAX_FRAME_BYTES + 1).to_be_bytes().to_vec());
         assert!(read_frame(&mut r).is_err());
-        let mut fb = FrameBuf::default();
+        let mut fb = FrameBuf::new(MAX_FRAME_BYTES);
         fb.extend(&(MAX_FRAME_BYTES + 1).to_be_bytes());
         assert!(fb.next_frame().is_err());
     }
@@ -933,7 +983,7 @@ mod tests {
         let mut wire = Vec::new();
         write_frame(&mut wire, "CURRENT 1").unwrap();
         write_frame(&mut wire, "SNAPSHOT 9 SINCE 4").unwrap();
-        let mut fb = FrameBuf::default();
+        let mut fb = FrameBuf::new(MAX_FRAME_BYTES);
         let mut got = Vec::new();
         for b in wire {
             fb.extend(&[b]);

@@ -1,0 +1,198 @@
+//! Adversarial peers against a live query server: oversized length
+//! prefixes, frames truncated at every byte boundary, garbage after a
+//! valid frame, non-UTF-8 payloads, and a poisoned store lock. The
+//! server must answer with a typed `ERR BAD_REQUEST` where a reply is
+//! possible, close the connection cleanly, and keep serving everyone
+//! else. The stream-level twins of these tests live in
+//! `rfid_stream::wire`; this file checks the server glue.
+
+use rfid_geom::Point3;
+use rfid_serve::server::{read_frame, write_frame};
+use rfid_serve::store::{EventStore, StoreConfig};
+use rfid_serve::{serve, serve_with, HubConfig, Query, QueryClient, ServerConfig, SubscriptionHub};
+use rfid_stream::{Epoch, LocationEvent, TagId};
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+fn seeded_store(tags: u64, epochs: u64) -> EventStore {
+    let mut store = EventStore::new(StoreConfig::default().with_segment_epochs(8));
+    for e in 0..epochs {
+        for t in 0..tags {
+            store.push(&LocationEvent::new(
+                Epoch(e),
+                TagId(t),
+                Point3::new(t as f64, e as f64, 0.0),
+            ));
+        }
+        store.complete_epoch(Epoch(e));
+    }
+    store
+}
+
+fn connect(addr: std::net::SocketAddr) -> TcpStream {
+    let s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.set_write_timeout(Some(Duration::from_secs(10))).unwrap();
+    s
+}
+
+/// Reads until EOF, asserting the connection was closed by the server.
+fn assert_closed(stream: &mut TcpStream) {
+    let mut rest = Vec::new();
+    stream
+        .read_to_end(&mut rest)
+        .expect("read to EOF after the error reply");
+    assert!(
+        rest.is_empty(),
+        "no frames may follow the error reply: {rest:?}"
+    );
+}
+
+#[test]
+fn oversized_prefix_gets_typed_error_then_clean_close() {
+    let store = Arc::new(RwLock::new(seeded_store(2, 4)));
+    let handle = serve_with(
+        "127.0.0.1:0",
+        Arc::clone(&store),
+        SubscriptionHub::new(HubConfig::default()),
+        ServerConfig::default().with_max_frame_len(64),
+    )
+    .expect("bind");
+
+    let mut raw = connect(handle.addr());
+    // announce 16 MiB against a 64-byte cap; never send the payload
+    raw.write_all(&(16u32 << 20).to_be_bytes()).unwrap();
+    let reply = read_frame(&mut raw).unwrap().expect("an error reply");
+    assert!(
+        reply.starts_with("ERR 0 BAD_REQUEST"),
+        "oversized prefix answered {reply:?}"
+    );
+    assert!(
+        reply.contains("exceeds") && reply.contains("64"),
+        "the reply names the cap: {reply:?}"
+    );
+    assert_closed(&mut raw);
+
+    // an in-cap frame on a fresh connection still works
+    let mut ok = connect(handle.addr());
+    write_frame(&mut ok, "CURRENT 1").unwrap();
+    let resp = read_frame(&mut ok).unwrap().expect("a reply");
+    assert!(resp.starts_with("OK "), "{resp:?}");
+    handle.shutdown();
+}
+
+#[test]
+fn truncation_at_every_byte_boundary_never_wedges_the_server() {
+    let store = Arc::new(RwLock::new(seeded_store(2, 4)));
+    let handle = serve("127.0.0.1:0", Arc::clone(&store)).expect("bind");
+
+    let mut wire = Vec::new();
+    write_frame(&mut wire, "CURRENT 1").unwrap();
+    for cut in 0..wire.len() {
+        let mut raw = connect(handle.addr());
+        raw.write_all(&wire[..cut]).unwrap();
+        raw.shutdown(Shutdown::Write).unwrap();
+        // the server drops the half-frame without replying or dying
+        let mut rest = Vec::new();
+        raw.read_to_end(&mut rest).expect("server closes its side");
+        assert!(
+            rest.is_empty(),
+            "cut at byte {cut}: no reply to a half-frame, got {rest:?}"
+        );
+    }
+
+    // after every truncation the server still answers a whole frame
+    let mut client = QueryClient::connect(handle.addr())
+        .timeout(Duration::from_secs(10))
+        .establish()
+        .expect("connect");
+    let rows = client
+        .query(&Query::CurrentLocation(TagId(1)))
+        .expect("query after truncation storm")
+        .into_rows()
+        .expect("rows");
+    assert_eq!(rows.len(), 1);
+    handle.shutdown();
+}
+
+#[test]
+fn garbage_after_valid_frame_answers_then_closes() {
+    let store = Arc::new(RwLock::new(seeded_store(2, 4)));
+    let handle = serve("127.0.0.1:0", Arc::clone(&store)).expect("bind");
+
+    let mut raw = connect(handle.addr());
+    let mut wire = Vec::new();
+    write_frame(&mut wire, "CURRENT 1").unwrap();
+    // 0xFFFFFFFF reads as a 4 GiB announcement — over any sane cap
+    wire.extend_from_slice(&[0xFF; 32]);
+    raw.write_all(&wire).unwrap();
+
+    // the valid frame is answered first…
+    let first = read_frame(&mut raw).unwrap().expect("query reply");
+    assert!(first.starts_with("OK "), "{first:?}");
+    // …then the garbage draws the typed error and the close
+    let err = read_frame(&mut raw).unwrap().expect("error reply");
+    assert!(err.starts_with("ERR 0 BAD_REQUEST"), "{err:?}");
+    assert_closed(&mut raw);
+    handle.shutdown();
+}
+
+#[test]
+fn non_utf8_payload_is_bad_request_not_a_dead_worker() {
+    let store = Arc::new(RwLock::new(seeded_store(2, 4)));
+    let handle = serve("127.0.0.1:0", Arc::clone(&store)).expect("bind");
+
+    let mut raw = connect(handle.addr());
+    let payload = [0xC3u8, 0x28, 0xA0, 0xA1]; // invalid UTF-8 sequences
+    raw.write_all(&(payload.len() as u32).to_be_bytes())
+        .unwrap();
+    raw.write_all(&payload).unwrap();
+    let err = read_frame(&mut raw).unwrap().expect("error reply");
+    assert!(err.starts_with("ERR 0 BAD_REQUEST"), "{err:?}");
+    assert!(err.contains("UTF-8"), "{err:?}");
+    assert_closed(&mut raw);
+    handle.shutdown();
+}
+
+#[test]
+fn poisoned_store_lock_recovers_instead_of_cascading() {
+    let store = Arc::new(RwLock::new(seeded_store(3, 4)));
+    let handle = serve_with(
+        "127.0.0.1:0",
+        Arc::clone(&store),
+        SubscriptionHub::new(HubConfig::default()),
+        ServerConfig::default().with_workers(1),
+    )
+    .expect("bind");
+
+    // a writer dies while holding the guard: the lock is now poisoned
+    {
+        let poisoner = Arc::clone(&store);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.write().unwrap();
+            panic!("writer dies mid-update");
+        })
+        .join();
+    }
+    assert!(store.is_poisoned(), "the store lock must be poisoned");
+
+    // v2 and v1 queries both still answer from the recovered guard
+    let mut v2 = QueryClient::connect(handle.addr())
+        .timeout(Duration::from_secs(10))
+        .establish()
+        .expect("connect v2");
+    let rows = v2
+        .query(&Query::CurrentLocation(TagId(2)))
+        .expect("query a poisoned store")
+        .into_rows()
+        .expect("rows");
+    assert_eq!(rows.len(), 1, "data survives the poisoning");
+
+    let mut v1 = connect(handle.addr());
+    write_frame(&mut v1, "CURRENT 0").unwrap();
+    let resp = read_frame(&mut v1).unwrap().expect("v1 reply");
+    assert!(resp.starts_with("OK "), "{resp:?}");
+    handle.shutdown();
+}

@@ -22,12 +22,14 @@
 //! composable `EventSink`s — with measured, bounded buffering
 //! (`PipelineStats`).
 
+pub mod digest;
 pub mod epoch;
 pub mod event;
 pub mod operators;
 pub mod pipeline;
 pub mod queries;
 pub mod sync;
+pub mod wire;
 
 pub use epoch::Epoch;
 pub use event::{EventStats, LocationEvent, ReaderLocationReport, RfidReading, TagId};

@@ -1,0 +1,763 @@
+//! Binary wire format for stream items and location events.
+//!
+//! The cluster (router → worker → coordinator) moves readings and
+//! events between processes over the same transport the query server
+//! uses: 4-byte **big-endian** length-prefixed frames. Payloads here
+//! are binary — integers little-endian, floats as raw IEEE-754 bits —
+//! so a decoded event is *bit-identical* to the one encoded, which the
+//! cluster's digest gate depends on.
+//!
+//! The module provides three layers:
+//!
+//! 1. byte framing ([`write_frame`] / [`read_frame`]) with an explicit
+//!    `max_frame_len` — the length prefix is untrusted input, so the
+//!    limit is checked *before* any allocation and an oversized prefix
+//!    surfaces as a typed [`OversizedFrame`] error the caller can
+//!    answer before closing;
+//! 2. payload codecs for [`StreamItem`]s and [`LocationEvent`]s
+//!    ([`PayloadReader`] plus the `encode_*`/`decode_*` pairs);
+//! 3. pipeline adapters: [`WireItemSource`] (a
+//!    [`ReadingSource`](crate::ReadingSource) reading item frames) and
+//!    [`WireEventSink`] (an [`EventSink`] writing one frame per
+//!    completed epoch), plus [`merge_events_by_tag`] — the
+//!    coordinator's k-way merge with the same global-tag-order rule as
+//!    `rfid_core`'s shard merge.
+
+use crate::pipeline::{EventSink, StreamItem};
+use crate::{Epoch, EventStats, LocationEvent, ReaderLocationReport, RfidReading, TagId};
+use rfid_geom::{Point3, Pose};
+use std::io::{self, Read, Write};
+
+/// Default frame-size cap, matching the query server's.
+pub const DEFAULT_MAX_FRAME_LEN: u32 = 4 << 20;
+
+/// A frame announced a length above the configured cap. Carried as the
+/// source of an [`io::ErrorKind::InvalidData`] error so servers can
+/// downcast and answer with a typed error before closing, instead of
+/// allocating for (or silently dying on) a corrupt prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OversizedFrame {
+    pub len: u32,
+    pub max: u32,
+}
+
+impl std::fmt::Display for OversizedFrame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "frame of {} bytes exceeds the {}-byte limit",
+            self.len, self.max
+        )
+    }
+}
+
+impl std::error::Error for OversizedFrame {}
+
+impl OversizedFrame {
+    /// Recovers the typed error from an [`io::Error`], if that is what
+    /// it carries.
+    pub fn from_io(err: &io::Error) -> Option<Self> {
+        err.get_ref()?.downcast_ref::<Self>().copied()
+    }
+
+    /// Wraps into the [`io::Error`] that [`read_frame`] returns.
+    pub fn into_io(self) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, self)
+    }
+}
+
+/// Writes one length-prefixed binary frame. Refuses payloads above
+/// `max` (the peer would drop them).
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8], max: u32) -> io::Result<()> {
+    if payload.len() > max as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "frame of {} bytes exceeds the {max}-byte limit",
+                payload.len()
+            ),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one length-prefixed binary frame. Returns `Ok(None)` on a
+/// clean EOF at a frame boundary; EOF inside a frame is
+/// [`io::ErrorKind::UnexpectedEof`]; a length prefix above `max` is an
+/// [`OversizedFrame`] error raised *before* any allocation.
+pub fn read_frame<R: Read>(r: &mut R, max: u32) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    let mut got = 0;
+    while got < len_buf.len() {
+        match r.read(&mut len_buf[got..]) {
+            // EOF *before* the prefix is a clean end of stream; EOF
+            // *inside* it is a truncated frame and must be loud
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside a frame length prefix",
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > max {
+        return Err(OversizedFrame { len, max }.into_io());
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+// ---------------------------------------------------------------------
+// payload codec
+// ---------------------------------------------------------------------
+
+/// A truncated or malformed payload (distinct from transport errors:
+/// the frame arrived whole but its contents don't parse).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFormatError {
+    /// The payload ended before the field being decoded.
+    Truncated,
+    /// An unknown discriminant byte.
+    BadTag(u8),
+    /// Decoding finished with bytes left over.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for WireFormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireFormatError::Truncated => write!(f, "payload truncated"),
+            WireFormatError::BadTag(t) => write!(f, "unknown discriminant byte {t:#04x}"),
+            WireFormatError::TrailingBytes(n) => write!(f, "{n} trailing bytes after payload"),
+        }
+    }
+}
+
+impl std::error::Error for WireFormatError {}
+
+impl From<WireFormatError> for io::Error {
+    fn from(e: WireFormatError) -> Self {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// Cursor over a received payload; every getter checks bounds.
+#[derive(Debug)]
+pub struct PayloadReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PayloadReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take<const N: usize>(&mut self) -> Result<[u8; N], WireFormatError> {
+        let end = self.pos.checked_add(N).ok_or(WireFormatError::Truncated)?;
+        let bytes = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(WireFormatError::Truncated)?;
+        self.pos = end;
+        Ok(bytes.try_into().expect("slice of length N"))
+    }
+
+    pub fn u8(&mut self) -> Result<u8, WireFormatError> {
+        Ok(self.take::<1>()?[0])
+    }
+
+    pub fn u32(&mut self) -> Result<u32, WireFormatError> {
+        Ok(u32::from_le_bytes(self.take()?))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, WireFormatError> {
+        Ok(u64::from_le_bytes(self.take()?))
+    }
+
+    /// Raw IEEE-754 bits — the decoded value is bit-identical.
+    pub fn f64(&mut self) -> Result<f64, WireFormatError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub fn pose(&mut self) -> Result<Pose, WireFormatError> {
+        let pos = Point3::new(self.f64()?, self.f64()?, self.f64()?);
+        let phi = self.f64()?;
+        // field construction, not Pose::new: re-normalizing phi could
+        // flip the sign bit of an encoded -pi
+        Ok(Pose { pos, phi })
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Asserts the payload was consumed exactly.
+    pub fn finish(self) -> Result<(), WireFormatError> {
+        match self.remaining() {
+            0 => Ok(()),
+            n => Err(WireFormatError::TrailingBytes(n)),
+        }
+    }
+}
+
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Raw IEEE-754 bits — round-trips bit-identically.
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+pub fn put_pose(out: &mut Vec<u8>, p: &Pose) {
+    put_f64(out, p.pos.x);
+    put_f64(out, p.pos.y);
+    put_f64(out, p.pos.z);
+    put_f64(out, p.phi);
+}
+
+const ITEM_READING: u8 = 0;
+const ITEM_REPORT: u8 = 1;
+
+/// Encodes one raw stream item (reading or report).
+pub fn encode_item(item: &StreamItem, out: &mut Vec<u8>) {
+    match item {
+        StreamItem::Reading(r) => {
+            put_u8(out, ITEM_READING);
+            put_f64(out, r.time);
+            put_u64(out, r.tag.0);
+        }
+        StreamItem::Report(r) => {
+            put_u8(out, ITEM_REPORT);
+            put_f64(out, r.time);
+            put_pose(out, &r.pose);
+        }
+    }
+}
+
+/// Decodes one raw stream item.
+pub fn decode_item(r: &mut PayloadReader<'_>) -> Result<StreamItem, WireFormatError> {
+    match r.u8()? {
+        ITEM_READING => Ok(StreamItem::Reading(RfidReading {
+            time: r.f64()?,
+            tag: TagId(r.u64()?),
+        })),
+        ITEM_REPORT => Ok(StreamItem::Report(ReaderLocationReport {
+            time: r.f64()?,
+            pose: r.pose()?,
+        })),
+        t => Err(WireFormatError::BadTag(t)),
+    }
+}
+
+/// Encodes one location event (bit-exact floats).
+pub fn encode_event(e: &LocationEvent, out: &mut Vec<u8>) {
+    put_u64(out, e.epoch.0);
+    put_u64(out, e.tag.0);
+    put_f64(out, e.location.x);
+    put_f64(out, e.location.y);
+    put_f64(out, e.location.z);
+    match &e.stats {
+        None => put_u8(out, 0),
+        Some(s) => {
+            put_u8(out, 1);
+            put_f64(out, s.support);
+            put_f64(out, s.var[0]);
+            put_f64(out, s.var[1]);
+            put_f64(out, s.var[2]);
+        }
+    }
+}
+
+/// Decodes one location event.
+pub fn decode_event(r: &mut PayloadReader<'_>) -> Result<LocationEvent, WireFormatError> {
+    let epoch = Epoch(r.u64()?);
+    let tag = TagId(r.u64()?);
+    let location = Point3::new(r.f64()?, r.f64()?, r.f64()?);
+    let stats = match r.u8()? {
+        0 => None,
+        1 => Some(EventStats {
+            support: r.f64()?,
+            var: [r.f64()?, r.f64()?, r.f64()?],
+        }),
+        t => return Err(WireFormatError::BadTag(t)),
+    };
+    Ok(LocationEvent {
+        epoch,
+        tag,
+        location,
+        stats,
+    })
+}
+
+// ---------------------------------------------------------------------
+// pipeline adapters
+// ---------------------------------------------------------------------
+
+/// Writes raw stream items as item frames (`count` + items each); the
+/// producing half of [`WireItemSource`].
+#[derive(Debug)]
+pub struct WireItemWriter<W: Write> {
+    w: W,
+    buf: Vec<u8>,
+    pending: u32,
+    max_frame_len: u32,
+}
+
+impl<W: Write> WireItemWriter<W> {
+    pub fn new(w: W) -> Self {
+        Self {
+            w,
+            buf: Vec::new(),
+            pending: 0,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+        }
+    }
+
+    /// Buffers one item; call [`WireItemWriter::flush`] to frame what
+    /// has accumulated.
+    pub fn push(&mut self, item: &StreamItem) -> io::Result<()> {
+        if self.pending == 0 {
+            self.buf.clear();
+            put_u32(&mut self.buf, 0); // count patched on flush
+        }
+        encode_item(item, &mut self.buf);
+        self.pending += 1;
+        // keep frames comfortably under the cap
+        if self.buf.len() >= (self.max_frame_len / 2) as usize {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Writes the buffered items as one frame (no-op when empty).
+    pub fn flush(&mut self) -> io::Result<()> {
+        if self.pending > 0 {
+            self.buf[..4].copy_from_slice(&self.pending.to_le_bytes());
+            write_frame(&mut self.w, &self.buf, self.max_frame_len)?;
+            self.pending = 0;
+            self.buf.clear();
+        }
+        self.w.flush()
+    }
+}
+
+/// A [`ReadingSource`](crate::ReadingSource) decoding item frames from
+/// a byte stream — the router's input when the trace arrives over a
+/// socket or file instead of from the in-process simulator. Ends the
+/// stream at EOF; a transport or format error also ends the stream and
+/// is kept for [`WireItemSource::take_error`].
+#[derive(Debug)]
+pub struct WireItemSource<R: Read> {
+    r: R,
+    queue: std::collections::VecDeque<StreamItem>,
+    error: Option<io::Error>,
+    max_frame_len: u32,
+    done: bool,
+}
+
+impl<R: Read> WireItemSource<R> {
+    pub fn new(r: R) -> Self {
+        Self {
+            r,
+            queue: std::collections::VecDeque::new(),
+            error: None,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            done: false,
+        }
+    }
+
+    /// The error that ended the stream early, if any.
+    pub fn take_error(&mut self) -> Option<io::Error> {
+        self.error.take()
+    }
+
+    fn fail(&mut self, e: io::Error) -> Option<StreamItem> {
+        self.error = Some(e);
+        self.done = true;
+        None
+    }
+}
+
+impl<R: Read> Iterator for WireItemSource<R> {
+    type Item = StreamItem;
+
+    fn next(&mut self) -> Option<StreamItem> {
+        loop {
+            if let Some(item) = self.queue.pop_front() {
+                return Some(item);
+            }
+            if self.done {
+                return None;
+            }
+            let payload = match read_frame(&mut self.r, self.max_frame_len) {
+                Ok(Some(p)) => p,
+                Ok(None) => {
+                    self.done = true;
+                    return None;
+                }
+                Err(e) => return self.fail(e),
+            };
+            let mut rd = PayloadReader::new(&payload);
+            let count = match rd.u32() {
+                Ok(c) => c,
+                Err(e) => return self.fail(e.into()),
+            };
+            for _ in 0..count {
+                match decode_item(&mut rd) {
+                    Ok(item) => self.queue.push_back(item),
+                    Err(e) => return self.fail(e.into()),
+                }
+            }
+            if let Err(e) = rd.finish() {
+                return self.fail(e.into());
+            }
+        }
+    }
+}
+
+/// Event-frame kinds written by [`WireEventSink`].
+pub const EVENTS_EPOCH: u8 = 0;
+pub const EVENTS_FINAL: u8 = 1;
+
+/// An [`EventSink`] that writes one event frame per completed epoch —
+/// `kind, epoch, count, events` — and a final frame on finish, even
+/// when empty: the receiving coordinator uses the per-epoch frames as
+/// barriers for its global tag-order merge. I/O errors are latched
+/// (the [`EventSink`] methods are infallible) and surfaced via
+/// [`WireEventSink::io_error`].
+#[derive(Debug)]
+pub struct WireEventSink<W: Write> {
+    w: W,
+    buf: Vec<u8>,
+    pending: u32,
+    last_epoch: u64,
+    error: Option<io::Error>,
+    max_frame_len: u32,
+}
+
+impl<W: Write> WireEventSink<W> {
+    pub fn new(w: W) -> Self {
+        Self {
+            w,
+            buf: Vec::new(),
+            pending: 0,
+            last_epoch: 0,
+            error: None,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+        }
+    }
+
+    /// The first I/O error, if any (the sink stops writing after it).
+    pub fn io_error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
+    }
+
+    fn write_events_frame(&mut self, kind: u8, epoch: Epoch) {
+        if self.error.is_some() {
+            return;
+        }
+        let mut frame = Vec::with_capacity(self.buf.len() + 16);
+        put_u8(&mut frame, kind);
+        put_u64(&mut frame, epoch.0);
+        put_u32(&mut frame, self.pending);
+        frame.extend_from_slice(&self.buf);
+        let res =
+            write_frame(&mut self.w, &frame, self.max_frame_len).and_then(|()| self.w.flush());
+        if let Err(e) = res {
+            self.error = Some(e);
+        }
+        self.buf.clear();
+        self.pending = 0;
+    }
+}
+
+impl<W: Write> EventSink for WireEventSink<W> {
+    fn on_event(&mut self, event: &LocationEvent) {
+        encode_event(event, &mut self.buf);
+        self.pending += 1;
+        self.last_epoch = self.last_epoch.max(event.epoch.0);
+    }
+
+    fn on_epoch_complete(&mut self, epoch: Epoch) {
+        self.last_epoch = self.last_epoch.max(epoch.0);
+        self.write_events_frame(EVENTS_EPOCH, epoch);
+    }
+
+    fn on_finish(&mut self) {
+        self.write_events_frame(EVENTS_FINAL, Epoch(self.last_epoch));
+    }
+}
+
+/// One decoded event frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventFrame {
+    pub kind: u8,
+    pub epoch: Epoch,
+    pub events: Vec<LocationEvent>,
+}
+
+/// Decodes one frame produced by [`WireEventSink`].
+pub fn decode_event_frame(payload: &[u8]) -> Result<EventFrame, WireFormatError> {
+    let mut r = PayloadReader::new(payload);
+    let kind = r.u8()?;
+    if kind != EVENTS_EPOCH && kind != EVENTS_FINAL {
+        return Err(WireFormatError::BadTag(kind));
+    }
+    let epoch = Epoch(r.u64()?);
+    let count = r.u32()?;
+    let mut events = Vec::with_capacity(count.min(1 << 16) as usize);
+    for _ in 0..count {
+        events.push(decode_event(&mut r)?);
+    }
+    r.finish()?;
+    Ok(EventFrame {
+        kind,
+        epoch,
+        events,
+    })
+}
+
+/// K-way merges per-worker event lists by tag — the wire-level
+/// equivalent of `rfid_core`'s shard merge rule. Each input list must
+/// be sorted by tag (every per-epoch and final list the engine emits
+/// is); the workers own disjoint tag sets, so the merged order is the
+/// single-process emission order.
+pub fn merge_events_by_tag(lists: &[Vec<LocationEvent>], out: &mut Vec<LocationEvent>) {
+    let mut pos = vec![0usize; lists.len()];
+    loop {
+        let mut best: Option<usize> = None;
+        for (i, list) in lists.iter().enumerate() {
+            if pos[i] < list.len() && best.is_none_or(|b| list[pos[i]].tag < lists[b][pos[b]].tag) {
+                best = Some(i);
+            }
+        }
+        let Some(b) = best else { break };
+        out.push(lists[b][pos[b]]);
+        pos[b] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(epoch: u64, tag: u64, x: f64) -> LocationEvent {
+        LocationEvent::new(
+            Epoch(epoch),
+            TagId(tag),
+            Point3::new(x, -0.0, f64::MIN_POSITIVE),
+        )
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"abc", 64).unwrap();
+        write_frame(&mut buf, b"", 64).unwrap();
+        let mut r = io::Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut r, 64).unwrap().as_deref(),
+            Some(&b"abc"[..])
+        );
+        assert_eq!(read_frame(&mut r, 64).unwrap().as_deref(), Some(&b""[..]));
+        assert!(read_frame(&mut r, 64).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_prefix_is_typed_and_preallocation() {
+        // a 3 GiB announcement must fail before any allocation
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(3u32 << 30).to_be_bytes());
+        let err = read_frame(&mut io::Cursor::new(buf), 1024).unwrap_err();
+        assert_eq!(
+            OversizedFrame::from_io(&err),
+            Some(OversizedFrame {
+                len: 3 << 30,
+                max: 1024
+            })
+        );
+    }
+
+    #[test]
+    fn truncation_at_every_byte_boundary_errors() {
+        let mut full = Vec::new();
+        write_frame(&mut full, b"payload", 64).unwrap();
+        for cut in 0..full.len() {
+            let mut r = io::Cursor::new(full[..cut].to_vec());
+            match read_frame(&mut r, 64) {
+                Ok(None) => assert_eq!(cut, 0, "only an empty stream is a clean EOF"),
+                Ok(Some(_)) => panic!("cut at {cut} produced a frame"),
+                Err(e) => assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof),
+            }
+        }
+    }
+
+    #[test]
+    fn events_round_trip_bit_exact() {
+        let events = vec![
+            ev(3, 7, 1.5),
+            LocationEvent::new(Epoch(4), TagId(8), Point3::new(0.1, 0.2, 0.3)).with_stats(
+                EventStats {
+                    var: [f64::EPSILON, 2.0, -0.0],
+                    support: 123.456,
+                },
+            ),
+        ];
+        let mut buf = Vec::new();
+        for e in &events {
+            encode_event(e, &mut buf);
+        }
+        let mut r = PayloadReader::new(&buf);
+        for e in &events {
+            let d = decode_event(&mut r).unwrap();
+            assert_eq!(d.epoch, e.epoch);
+            assert_eq!(d.tag, e.tag);
+            assert_eq!(d.location.x.to_bits(), e.location.x.to_bits());
+            assert_eq!(d.location.y.to_bits(), e.location.y.to_bits());
+            assert_eq!(d.location.z.to_bits(), e.location.z.to_bits());
+            match (d.stats, e.stats) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.support.to_bits(), b.support.to_bits());
+                    for k in 0..3 {
+                        assert_eq!(a.var[k].to_bits(), b.var[k].to_bits());
+                    }
+                }
+                _ => panic!("stats presence changed"),
+            }
+        }
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn item_source_round_trips_and_ends_cleanly() {
+        let items = vec![
+            StreamItem::Reading(RfidReading {
+                time: 0.25,
+                tag: TagId(42),
+            }),
+            StreamItem::Report(ReaderLocationReport {
+                time: 0.5,
+                pose: Pose {
+                    pos: Point3::new(1.0, 2.0, 3.0),
+                    phi: -std::f64::consts::PI,
+                },
+            }),
+            StreamItem::Reading(RfidReading {
+                time: 0.75,
+                tag: TagId(43),
+            }),
+        ];
+        let mut buf = Vec::new();
+        {
+            let mut w = WireItemWriter::new(&mut buf);
+            for (i, item) in items.iter().enumerate() {
+                w.push(item).unwrap();
+                if i == 0 {
+                    w.flush().unwrap(); // multiple frames on the stream
+                }
+            }
+            w.flush().unwrap();
+        }
+        let mut src = WireItemSource::new(io::Cursor::new(buf));
+        let decoded: Vec<StreamItem> = (&mut src).collect();
+        assert!(src.take_error().is_none());
+        assert_eq!(decoded.len(), items.len());
+        for (d, i) in decoded.iter().zip(&items) {
+            match (d, i) {
+                (StreamItem::Reading(a), StreamItem::Reading(b)) => {
+                    assert_eq!(a.tag, b.tag);
+                    assert_eq!(a.time.to_bits(), b.time.to_bits());
+                }
+                (StreamItem::Report(a), StreamItem::Report(b)) => {
+                    assert_eq!(a.time.to_bits(), b.time.to_bits());
+                    assert_eq!(a.pose.pos.x.to_bits(), b.pose.pos.x.to_bits());
+                    assert_eq!(a.pose.phi.to_bits(), b.pose.phi.to_bits());
+                }
+                _ => panic!("item kind changed"),
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_after_valid_frame_is_an_error() {
+        let mut buf = Vec::new();
+        {
+            let mut w = WireItemWriter::new(&mut buf);
+            w.push(&StreamItem::Reading(RfidReading {
+                time: 0.0,
+                tag: TagId(1),
+            }))
+            .unwrap();
+            w.flush().unwrap();
+        }
+        // valid frame, then a frame whose payload is garbage
+        write_frame(&mut buf, &[0xde, 0xad, 0xbe, 0xef, 0xff], 64).unwrap();
+        let mut src = WireItemSource::new(io::Cursor::new(buf));
+        let decoded: Vec<StreamItem> = (&mut src).collect();
+        assert_eq!(decoded.len(), 1, "the valid frame still decodes");
+        assert!(
+            src.take_error().is_some(),
+            "the garbage ends the stream loudly"
+        );
+    }
+
+    #[test]
+    fn event_sink_frames_per_epoch_with_final_marker() {
+        let mut buf = Vec::new();
+        {
+            let mut sink = WireEventSink::new(&mut buf);
+            sink.on_event(&ev(1, 5, 0.5));
+            sink.on_event(&ev(1, 9, 1.5));
+            sink.on_epoch_complete(Epoch(1));
+            sink.on_epoch_complete(Epoch(2)); // empty barrier frame
+            sink.on_event(&ev(3, 5, 2.5));
+            sink.on_epoch_complete(Epoch(3));
+            sink.on_finish();
+            assert!(sink.io_error().is_none());
+        }
+        let mut r = io::Cursor::new(buf);
+        let mut frames = Vec::new();
+        while let Some(p) = read_frame(&mut r, DEFAULT_MAX_FRAME_LEN).unwrap() {
+            frames.push(decode_event_frame(&p).unwrap());
+        }
+        assert_eq!(frames.len(), 4);
+        assert_eq!(frames[0].events.len(), 2);
+        assert_eq!(frames[1].events.len(), 0, "empty epochs still frame");
+        assert_eq!(frames[2].events.len(), 1);
+        assert_eq!(frames[3].kind, EVENTS_FINAL);
+        assert_eq!(frames[3].epoch, Epoch(3));
+    }
+
+    #[test]
+    fn merge_by_tag_reconstructs_global_order() {
+        let lists = vec![
+            vec![ev(1, 0, 0.0), ev(1, 3, 0.0), ev(1, 9, 0.0)],
+            vec![ev(1, 1, 0.0), ev(1, 4, 0.0)],
+            vec![],
+            vec![ev(1, 2, 0.0)],
+        ];
+        let mut out = Vec::new();
+        merge_events_by_tag(&lists, &mut out);
+        let tags: Vec<u64> = out.iter().map(|e| e.tag.0).collect();
+        assert_eq!(tags, vec![0, 1, 2, 3, 4, 9]);
+    }
+}

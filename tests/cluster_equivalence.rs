@@ -1,0 +1,43 @@
+//! The cluster's hard gate over real processes: for every golden-trace
+//! scenario and every worker count N ∈ {1, 2, 4}, a launched cluster
+//! (router, N workers, coordinator — real child processes, real
+//! sockets) must merge to exactly the event-stream digest committed
+//! under `tests/golden/` — the same digest the single-process engine
+//! is pinned to. One digest, three code paths: engine, durability
+//! harness, cluster.
+
+use rfid_cluster::LocalCluster;
+use std::path::PathBuf;
+
+/// The committed golden digest (the `hash:` line of the digest file).
+fn committed_digest(name: &str) -> u64 {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.txt"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden digest {}: {e}", path.display()));
+    let line = text
+        .lines()
+        .find_map(|l| l.strip_prefix("hash: 0x"))
+        .unwrap_or_else(|| panic!("{}: no hash line", path.display()));
+    u64::from_str_radix(line.trim(), 16).expect("well-formed hash")
+}
+
+#[test]
+fn cluster_reproduces_every_committed_golden_digest() {
+    for scenario in ["small_warehouse", "low_read_rate", "moving_object"] {
+        let expected = committed_digest(scenario);
+        for n in [1usize, 2, 4] {
+            let outcome = LocalCluster::new(scenario, n)
+                .run()
+                .unwrap_or_else(|e| panic!("{scenario} with {n} workers: {e}"));
+            assert!(outcome.events > 0, "{scenario}: no events merged");
+            assert_eq!(
+                outcome.digest, expected,
+                "{scenario} with {n} workers: merged digest 0x{:016x} diverged \
+                 from the committed golden 0x{expected:016x}",
+                outcome.digest
+            );
+        }
+    }
+}
