@@ -731,6 +731,15 @@ fn throughput(opts: Opts, json: bool) {
 
     let mut rows: Vec<ThroughputRow> = Vec::new();
     let mut last_per_shard: Option<Vec<rfid_core::ShardCounts>> = None;
+    // registry-vs-legacy agreement: every measured run is bracketed by
+    // a registry snapshot diff, and the diff must reproduce the run's
+    // `EngineStats` exactly (stage histogram `_sum` == struct stage
+    // micros, mirrored counters == struct fields). This is the proof
+    // that the observability layer reports the same numbers the legacy
+    // tables always printed.
+    let bench_baseline = rfid_obs::global().snapshot();
+    let mut agreed_runs = 0usize;
+    let mut disagreements: Vec<String> = Vec::new();
     let mut run_one = |sc: &rfid_sim::scenario::Scenario,
                        objects: usize,
                        rounds: usize,
@@ -740,7 +749,8 @@ fn throughput(opts: Opts, json: bool) {
                        rows: &mut Vec<ThroughputRow>| {
         let mut runs: Vec<rfid_bench::runner::RunOutput> = (0..reps)
             .map(|_| {
-                rfid_bench::runner::run_pipeline_variant_opts(
+                let before = rfid_obs::global().snapshot();
+                let out = rfid_bench::runner::run_pipeline_variant_opts(
                     &sc.trace,
                     &sc.layout,
                     variant,
@@ -749,7 +759,18 @@ fn throughput(opts: Opts, json: bool) {
                     rfid_bench::runner::RunOpts::new(particles, default_report_delay())
                         .with_workers(workers)
                         .with_shards(shards),
-                )
+                );
+                let delta = rfid_obs::global().snapshot().diff(&before);
+                if let Some(stats) = out.stats.as_ref() {
+                    match rfid_bench::obs::engine_delta_agrees(&delta, stats) {
+                        Ok(()) => agreed_runs += 1,
+                        Err(e) => disagreements.push(format!(
+                            "[{} n={objects} w={workers} s={shards}] {e}",
+                            variant.label()
+                        )),
+                    }
+                }
+                out
             })
             .collect();
         runs.sort_by_key(|o| o.elapsed);
@@ -916,6 +937,24 @@ fn throughput(opts: Opts, json: bool) {
         ]);
     }
     r.table(&t);
+    // the registry dump of exactly the measured runs above (taken
+    // before the cluster family, whose in-process reference digest
+    // would otherwise leak into the engine counters)
+    let run_metrics = rfid_obs::global().snapshot().diff(&bench_baseline);
+    r.line(&if disagreements.is_empty() {
+        format!(
+            "registry vs legacy: exact agreement on all {agreed_runs} measured engine runs \
+             (stage histogram sums == EngineStats stage micros, mirrored counters == struct \
+             fields)"
+        )
+    } else {
+        format!(
+            "# WARNING: registry/legacy disagreement on {}/{} runs: {}",
+            disagreements.len(),
+            agreed_runs + disagreements.len(),
+            disagreements.join(" | ")
+        )
+    });
 
     // cluster row family: the same engine split over real processes —
     // router + N worker processes + coordinator (crates/cluster). The
@@ -1062,6 +1101,14 @@ fn throughput(opts: Opts, json: bool) {
             ));
         }
         s.push_str("  ],\n");
+        // the registry dump of the measured runs, so `experiments --
+        // report` can render the snapshot table and future runs can be
+        // compared metric by metric
+        s.push_str(&format!(
+            "  \"registry_agreement\": {},\n  \"metrics\": {},\n",
+            disagreements.is_empty(),
+            rfid_bench::obs::metrics_json(&run_metrics, "  "),
+        ));
         s.push_str(&format!(
             "  \"cluster_scenario\": \"{cluster_scenario}\",\n"
         ));
@@ -1238,6 +1285,7 @@ fn serving(opts: Opts, json: bool) {
         "serving",
         "Query serving under load: live ingestion + N TCP clients, mixed query workload",
     );
+    let sweep_baseline = rfid_obs::global().snapshot();
     let cfg = ServingConfig::standard(opts.quick);
     r.line(&format!(
         "scenario endurance_trace({}, {}, 99), {} particles/object; pull clients issue >= {} \
@@ -1290,6 +1338,53 @@ fn serving(opts: Opts, json: bool) {
         ]);
     }
     r.table(&t);
+    // registry vs legacy: the server-side registry must count exactly
+    // the queries the client threads measured, the stored events the
+    // store reports, and the subscriptions taken out — per row
+    let mut disagreements: Vec<String> = Vec::new();
+    for row in &rows {
+        let mut check = |what: &str, reg: u64, legacy: u64| {
+            if reg != legacy {
+                disagreements.push(format!(
+                    "[{} c={}] {what}: registry {reg} != legacy {legacy}",
+                    row.mode, row.clients
+                ));
+            }
+        };
+        check("queries", row.registry_queries, row.queries);
+        check(
+            "subscribes",
+            row.registry_subscribes,
+            row.subscribers as u64,
+        );
+        check("store events", row.registry_store_events, row.store_events);
+        // delivery counters bound (never equal) the client view: frames
+        // still queued at shutdown are counted but never received
+        if row.registry_delivered < row.push_frames {
+            disagreements.push(format!(
+                "[{} c={}] hub delivered {} < frames received {}",
+                row.mode, row.clients, row.registry_delivered, row.push_frames
+            ));
+        }
+        if row.registry_lagged < row.lagged_frames {
+            disagreements.push(format!(
+                "[{} c={}] hub lagged runs {} < LAGGED frames received {}",
+                row.mode, row.clients, row.registry_lagged, row.lagged_frames
+            ));
+        }
+    }
+    r.line(&if disagreements.is_empty() {
+        format!(
+            "registry vs legacy: exact agreement on all {} sweep rows (server verb-histogram \
+             samples == client query counts; store/hub counters consistent)",
+            rows.len()
+        )
+    } else {
+        format!(
+            "# WARNING: registry/legacy disagreement: {}",
+            disagreements.join(" | ")
+        )
+    });
     r.line("# queries run against the store *while* the pipeline writes it; pull latency");
     r.line("# is measured end-to-end over the wire (connect once, then frame per query).");
     r.line("# push latency joins subscriber receive instants against the hub commit log");
@@ -1297,7 +1392,8 @@ fn serving(opts: Opts, json: bool) {
     r.finish();
 
     if json {
-        std::fs::write("BENCH_serving.json", to_json(&rows, &cfg))
+        let sweep_metrics = rfid_obs::global().snapshot().diff(&sweep_baseline);
+        std::fs::write("BENCH_serving.json", to_json(&rows, &cfg, &sweep_metrics))
             .expect("write BENCH_serving.json");
         eprintln!("  wrote BENCH_serving.json");
     }
@@ -1524,6 +1620,21 @@ fn report() {
                 r.line(&t.render_markdown());
             }
             None => r.line(&format!("### {title}\n\n`{path}` has no rows array.\n")),
+        }
+        // documents written since the observability layer embed the
+        // registry dump of the run that produced them; older committed
+        // files simply lack the member and are skipped
+        if let Some(metrics) = doc.get("metrics").and_then(|v| v.as_obj()) {
+            if !metrics.is_empty() {
+                let mut mt = Table::new(vec!["metric", "value"]);
+                for (name, value) in metrics {
+                    mt.row(vec![name.clone(), value.cell(0)]);
+                }
+                r.line(&format!(
+                    "#### {title}: registry snapshot of the recorded run\n"
+                ));
+                r.line(&mt.render_markdown());
+            }
         }
     };
 

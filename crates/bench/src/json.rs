@@ -67,6 +67,14 @@ impl Json {
         }
     }
 
+    /// The value as an object map (key-sorted).
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
     /// Renders a member for a table cell: strings verbatim, numbers
     /// with exactly `decimals` places (0 renders whole numbers without
     /// a fraction), null as "-".

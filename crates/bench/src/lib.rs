@@ -17,6 +17,9 @@
 //!   `results/<experiment>.txt`.
 //! * [`json`] — a minimal JSON reader so `experiments -- report` can
 //!   render the committed `BENCH_*.json` files as markdown tables.
+//! * [`obs`] — registry-vs-legacy agreement (the metrics mirror must
+//!   reproduce `EngineStats` exactly) and the JSON embedding of
+//!   registry snapshots into the `BENCH_*.json` documents.
 //!
 //! The `experiments` binary exposes one subcommand per figure/table;
 //! see `cargo run -p rfid-bench --release --bin experiments -- help`.
@@ -26,6 +29,7 @@ pub mod fault;
 pub mod golden;
 pub mod json;
 pub mod metrics;
+pub mod obs;
 pub mod recovery;
 pub mod report;
 pub mod runner;

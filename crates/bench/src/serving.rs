@@ -120,6 +120,20 @@ pub struct ServingRow {
     /// Store size at the end of the run.
     pub store_events: u64,
     pub store_segments: usize,
+    /// Registry-side counts of the same run (a global-registry
+    /// snapshot diff bracketing the row): the server's verb-histogram
+    /// samples over the four pull verbs, its SUBSCRIBE samples, the
+    /// store's push counter, and the hub's delivery/overflow counters.
+    /// `registry_queries`, `registry_subscribes`, and
+    /// `registry_store_events` must equal their client-side
+    /// counterparts exactly; `registry_delivered`/`registry_lagged`
+    /// bound what subscribers observed (frames still queued at
+    /// shutdown are counted but never received).
+    pub registry_queries: u64,
+    pub registry_subscribes: u64,
+    pub registry_store_events: u64,
+    pub registry_delivered: u64,
+    pub registry_lagged: u64,
 }
 
 fn percentile(sorted_us: &[f64], q: f64) -> f64 {
@@ -185,6 +199,10 @@ fn run_row(cfg: &ServingConfig, mode: &'static str, clients: usize) -> ServingRo
     } else {
         cfg.min_queries_per_client as u64
     };
+
+    // brackets the whole row: the registry is process-global, and the
+    // rows run sequentially, so this diff isolates the row's activity
+    let registry_before = rfid_obs::global().snapshot();
 
     let sc = scenario::endurance_trace(cfg.objects, cfg.rounds, 99);
     let items: Vec<StreamItem> = sc.trace.stream().collect();
@@ -364,6 +382,20 @@ fn run_row(cfg: &ServingConfig, mode: &'static str, clients: usize) -> ServingRo
     let elapsed_s = elapsed.as_secs_f64().max(1e-9);
     let store = store.read().expect("store lock");
     let sstats = store.stats();
+
+    // every client joined and the server shut down, so the registry
+    // has the row's complete server-side story
+    let delta = rfid_obs::global().snapshot().diff(&registry_before);
+    let verb_samples = |name: &str| delta.histogram(name).map(|h| h.count).unwrap_or(0);
+    let registry_queries = [
+        "server_query_us_current",
+        "server_query_us_snapshot",
+        "server_query_us_trail",
+        "server_query_us_contain",
+    ]
+    .iter()
+    .map(|n| verb_samples(n))
+    .sum();
     ServingRow {
         mode,
         clients,
@@ -390,6 +422,11 @@ fn run_row(cfg: &ServingConfig, mode: &'static str, clients: usize) -> ServingRo
         ingest_readings_per_sec: readings as f64 / ingest_elapsed.as_secs_f64().max(1e-9),
         store_events: sstats.events_live + sstats.events_compacted,
         store_segments: sstats.segments,
+        registry_queries,
+        registry_subscribes: verb_samples("server_query_us_subscribe"),
+        registry_store_events: delta.counter("store_events_total"),
+        registry_delivered: delta.counter("hub_delivered_total"),
+        registry_lagged: delta.counter("hub_lagged_total"),
     }
 }
 
@@ -425,7 +462,9 @@ pub fn run_serving(cfg: &ServingConfig) -> Vec<ServingRow> {
 }
 
 /// Serializes sweep rows as the `BENCH_serving.json` document.
-pub fn to_json(rows: &[ServingRow], cfg: &ServingConfig) -> String {
+/// `metrics` is the registry diff over the whole sweep, embedded so
+/// `experiments -- report` can render the snapshot table.
+pub fn to_json(rows: &[ServingRow], cfg: &ServingConfig, metrics: &rfid_obs::Snapshot) -> String {
     let mut s = String::from("{\n");
     s.push_str(&format!(
         "  \"scenario\": \"endurance_trace({}, {}, 99)\",\n  \"particles_per_object\": {},\n  \
@@ -435,6 +474,10 @@ pub fn to_json(rows: &[ServingRow], cfg: &ServingConfig) -> String {
          \"subscriber_share\": {},\n  \
          \"min_queries_per_client\": {},\n",
         cfg.objects, cfg.rounds, cfg.particles, cfg.subscriber_share, cfg.min_queries_per_client,
+    ));
+    s.push_str(&format!(
+        "  \"metrics\": {},\n",
+        crate::obs::metrics_json(metrics, "  ")
     ));
     s.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -448,7 +491,9 @@ pub fn to_json(rows: &[ServingRow], cfg: &ServingConfig) -> String {
              \"ingest_epochs\": {}, \
              \"ingest_events\": {}, \"ingest_elapsed_s\": {:.3}, \
              \"ingest_readings_per_sec\": {:.1}, \"store_events\": {}, \
-             \"store_segments\": {}}}{}\n",
+             \"store_segments\": {}, \"registry_queries\": {}, \
+             \"registry_subscribes\": {}, \"registry_store_events\": {}, \
+             \"registry_delivered\": {}, \"registry_lagged\": {}}}{}\n",
             r.mode,
             r.clients,
             r.subscribers,
@@ -474,6 +519,11 @@ pub fn to_json(rows: &[ServingRow], cfg: &ServingConfig) -> String {
             r.ingest_readings_per_sec,
             r.store_events,
             r.store_segments,
+            r.registry_queries,
+            r.registry_subscribes,
+            r.registry_store_events,
+            r.registry_delivered,
+            r.registry_lagged,
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }
@@ -549,8 +599,15 @@ mod tests {
             ingest_readings_per_sec: 1000.0,
             store_events: 20,
             store_segments: 1,
+            registry_queries: 100,
+            registry_subscribes: 2,
+            registry_store_events: 20,
+            registry_delivered: 40,
+            registry_lagged: 0,
         }];
-        let doc = to_json(&rows, &ServingConfig::standard(true));
+        let reg = rfid_obs::Registry::new();
+        reg.counter("store_events_total").add(20);
+        let doc = to_json(&rows, &ServingConfig::standard(true), &reg.snapshot());
         for field in [
             "\"queries_per_sec\"",
             "\"p50_us\"",
@@ -561,6 +618,7 @@ mod tests {
             "\"push_p95_us\"",
             "\"push_p99_us\"",
             "\"lagged_frames\"",
+            "\"registry_queries\"",
         ] {
             assert!(doc.contains(field), "missing {field}");
         }
@@ -569,5 +627,11 @@ mod tests {
         let row = &parsed.get("rows").unwrap().as_arr().unwrap()[0];
         assert_eq!(row.get("p99_us").unwrap().as_f64(), Some(99.0));
         assert_eq!(row.get("push_p99_us").unwrap().as_f64(), Some(90.0));
+        assert_eq!(row.get("registry_queries").unwrap().as_f64(), Some(100.0));
+        let metrics = parsed.get("metrics").unwrap();
+        assert_eq!(
+            metrics.get("store_events_total").unwrap().as_f64(),
+            Some(20.0)
+        );
     }
 }

@@ -11,7 +11,7 @@ use std::net::TcpListener;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args = rfid_cluster::cli::parse(&["--listen", "--workers", "--scenario"]);
+    let args = rfid_cluster::cli::parse(&["--listen", "--workers", "--scenario", "--metrics-out"]);
     let (listen, workers, scenario) = match (
         args.get("--listen"),
         args.get("--workers").and_then(|w| w.parse::<usize>().ok()),
@@ -19,10 +19,14 @@ fn main() -> ExitCode {
     ) {
         (Some(l), Some(w), Some(s)) if w >= 1 => (l.clone(), w, s.clone()),
         _ => {
-            eprintln!("usage: rfid-router --listen ADDR --workers N --scenario NAME");
+            eprintln!(
+                "usage: rfid-router --listen ADDR --workers N --scenario NAME \
+                 [--metrics-out PATH]"
+            );
             return ExitCode::from(2);
         }
     };
+    let metrics_out = args.get("--metrics-out").cloned();
     let Some((sc, cfg)) = rfid_cluster::canonical_scenario(&scenario) else {
         eprintln!(
             "unknown scenario {scenario:?} (tiny, small_warehouse, low_read_rate, moving_object)"
@@ -45,6 +49,14 @@ fn main() -> ExitCode {
                 "epochs {} readings {} object_updates {} reader_resamples {}",
                 summary.epochs, summary.readings, summary.object_updates, summary.reader_resamples
             );
+            if let Some(path) = metrics_out {
+                // the merged cluster-wide registry view, in the same
+                // text exposition TELEMETRY serves
+                if let Err(e) = std::fs::write(&path, summary.metrics.render()) {
+                    eprintln!("router: writing {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {

@@ -57,6 +57,9 @@ pub struct LocalCluster {
     /// Where the coordinator writes the merged event stream
     /// (bit-exact; decode with `coordinator::read_events_file`).
     pub events_out: Option<PathBuf>,
+    /// Where the router writes the merged cluster-wide registry
+    /// snapshot (text exposition, same format TELEMETRY serves).
+    pub metrics_out: Option<PathBuf>,
 }
 
 struct ChildGuard(Option<Child>, &'static str);
@@ -117,11 +120,17 @@ impl LocalCluster {
             scenario: scenario.to_string(),
             num_workers,
             events_out: None,
+            metrics_out: None,
         }
     }
 
     pub fn events_out(mut self, path: &Path) -> Self {
         self.events_out = Some(path.to_path_buf());
+        self
+    }
+
+    pub fn metrics_out(mut self, path: &Path) -> Self {
+        self.metrics_out = Some(path.to_path_buf());
         self
     }
 
@@ -145,7 +154,7 @@ impl LocalCluster {
         );
         let coord_addr = wait_listening(coordinator.child(), "coordinator")?;
 
-        let router_args = vec![
+        let mut router_args = vec![
             "--listen".into(),
             "127.0.0.1:0".into(),
             "--workers".into(),
@@ -153,6 +162,10 @@ impl LocalCluster {
             "--scenario".into(),
             self.scenario.clone(),
         ];
+        if let Some(out) = &self.metrics_out {
+            router_args.push("--metrics-out".into());
+            router_args.push(out.display().to_string());
+        }
         let mut router = ChildGuard(
             Some(spawn(&bin_path("rfid-router")?, &router_args)?),
             "router",

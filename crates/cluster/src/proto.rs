@@ -16,8 +16,9 @@
 use rfid_core::engine::cluster::{EpochPlan, ResampleDirective, TaskReport};
 use rfid_core::factored::reader::ReaderRemap;
 use rfid_core::particle::ReaderParticle;
+use rfid_obs::{HistogramSnapshot, Snapshot, Value, HISTOGRAM_BUCKETS};
 use rfid_stream::wire::{
-    self, put_f64, put_pose, put_u32, put_u64, put_u8, PayloadReader, WireFormatError,
+    self, put_f64, put_pose, put_str, put_u32, put_u64, put_u8, PayloadReader, WireFormatError,
     DEFAULT_MAX_FRAME_LEN,
 };
 use rfid_stream::{Epoch, TagId};
@@ -33,6 +34,11 @@ pub const MSG_REPORTS: u8 = 0x12;
 pub const MSG_RESAMPLE: u8 = 0x13;
 /// Router → worker: end of trace; finalize and shut down.
 pub const MSG_FINISH: u8 = 0x14;
+/// Worker → router: a registry snapshot, piggybacked after each
+/// REPORTS frame (and once more after FINISH, covering the final
+/// resample and flush). The router keeps the latest snapshot per
+/// worker and merges them into the cluster-wide view.
+pub const MSG_METRICS: u8 = 0x15;
 
 /// Writes one message frame (kind byte + body).
 pub fn write_msg<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
@@ -269,6 +275,85 @@ pub fn decode_resample(payload: &[u8]) -> Result<ResampleDirective, WireFormatEr
     })
 }
 
+const VALUE_COUNTER: u8 = 0;
+const VALUE_GAUGE: u8 = 1;
+const VALUE_HISTOGRAM: u8 = 2;
+
+/// Encodes one registry snapshot. Histograms ship only their nonzero
+/// buckets (index + count pairs), so a quiet worker's frame stays
+/// tiny.
+pub fn encode_metrics(epoch: Epoch, snap: &Snapshot) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u8(&mut out, MSG_METRICS);
+    put_u64(&mut out, epoch.0);
+    put_u32(&mut out, snap.entries().len() as u32);
+    for (name, value) in snap.entries() {
+        put_str(&mut out, name);
+        match value {
+            Value::Counter(v) => {
+                put_u8(&mut out, VALUE_COUNTER);
+                put_u64(&mut out, *v);
+            }
+            Value::Gauge(v) => {
+                put_u8(&mut out, VALUE_GAUGE);
+                put_u64(&mut out, *v);
+            }
+            Value::Histogram(h) => {
+                put_u8(&mut out, VALUE_HISTOGRAM);
+                put_u64(&mut out, h.count);
+                put_u64(&mut out, h.sum);
+                let nonzero = h.buckets.iter().filter(|b| **b != 0).count();
+                put_u32(&mut out, nonzero as u32);
+                for (i, b) in h.buckets.iter().enumerate() {
+                    if *b != 0 {
+                        put_u8(&mut out, i as u8);
+                        put_u64(&mut out, *b);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+pub fn decode_metrics(payload: &[u8]) -> Result<(Epoch, Snapshot), WireFormatError> {
+    let mut r = PayloadReader::new(payload);
+    match r.u8()? {
+        MSG_METRICS => {}
+        other => return Err(WireFormatError::BadTag(other)),
+    }
+    let epoch = Epoch(r.u64()?);
+    let n = r.u32()? as usize;
+    let mut entries = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let name = r.str_field()?.to_string();
+        let value = match r.u8()? {
+            VALUE_COUNTER => Value::Counter(r.u64()?),
+            VALUE_GAUGE => Value::Gauge(r.u64()?),
+            VALUE_HISTOGRAM => {
+                let mut h = HistogramSnapshot {
+                    count: r.u64()?,
+                    sum: r.u64()?,
+                    ..HistogramSnapshot::default()
+                };
+                let nb = r.u32()? as usize;
+                for _ in 0..nb {
+                    let i = r.u8()? as usize;
+                    if i >= HISTOGRAM_BUCKETS {
+                        return Err(WireFormatError::BadTag(i as u8));
+                    }
+                    h.buckets[i] = r.u64()?;
+                }
+                Value::Histogram(h)
+            }
+            other => return Err(WireFormatError::BadTag(other)),
+        };
+        entries.push((name, value));
+    }
+    r.finish()?;
+    Ok((epoch, Snapshot::from_entries(entries)))
+}
+
 pub fn encode_finish(last_epoch: Epoch) -> Vec<u8> {
     let mut out = Vec::with_capacity(9);
     put_u8(&mut out, MSG_FINISH);
@@ -385,6 +470,53 @@ mod tests {
         );
     }
 
+    /// A snapshot with all three metric kinds, built from a scratch
+    /// registry.
+    fn sample_metrics() -> Snapshot {
+        let reg = rfid_obs::Registry::new();
+        reg.counter("engine_epochs_total").add(12);
+        reg.gauge("pipeline_sync_pending_high_water").set(3);
+        let h = reg.histogram("engine_infer_us");
+        h.record(0);
+        h.record(900);
+        h.record(1_000_000);
+        reg.snapshot()
+    }
+
+    #[test]
+    fn metrics_roundtrip_bit_exactly() {
+        let snap = sample_metrics();
+        let enc = encode_metrics(Epoch(6), &snap);
+        let (epoch, dec) = decode_metrics(&enc).expect("decode");
+        assert_eq!(epoch, Epoch(6));
+        assert_eq!(dec, snap);
+        // an empty snapshot also roundtrips
+        let empty = Snapshot::default();
+        let (_, dec) = decode_metrics(&encode_metrics(Epoch(0), &empty)).unwrap();
+        assert_eq!(dec, empty);
+    }
+
+    #[test]
+    fn metrics_with_bad_bucket_index_is_rejected() {
+        let snap = sample_metrics();
+        let mut enc = encode_metrics(Epoch(1), &snap);
+        // the first histogram bucket index byte follows:
+        // kind(1) + epoch(8) + n(4) + entries... locate by scanning
+        // for the histogram marker after its name
+        let name = b"engine_infer_us";
+        let at = enc
+            .windows(name.len())
+            .position(|w| w == name)
+            .expect("name present");
+        // name + kind byte + count(8) + sum(8) + nonzero(4) → index
+        let idx_pos = at + name.len() + 1 + 8 + 8 + 4;
+        enc[idx_pos] = 200; // out of range
+        assert!(matches!(
+            decode_metrics(&enc),
+            Err(WireFormatError::BadTag(200))
+        ));
+    }
+
     #[test]
     fn hello_and_finish_roundtrip() {
         assert_eq!(decode_hello(&encode_hello(3)).unwrap(), 3);
@@ -417,6 +549,7 @@ mod tests {
             ),
             encode_hello(1),
             encode_finish(Epoch(5)),
+            encode_metrics(Epoch(2), &sample_metrics()),
         ];
         for full in frames {
             for cut in 0..full.len() {
@@ -428,6 +561,7 @@ mod tests {
                     MSG_RESAMPLE => decode_resample(part).map(|_| ()),
                     MSG_HELLO => decode_hello(part).map(|_| ()),
                     MSG_FINISH => decode_finish(part).map(|_| ()),
+                    MSG_METRICS => decode_metrics(part).map(|_| ()),
                     other => panic!("unexpected kind {other}"),
                 };
                 assert!(

@@ -11,13 +11,20 @@ use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{TcpListener, TcpStream};
 
 /// What the router observed over a completed run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RouterSummary {
     pub epochs: u64,
     pub readings: u64,
     /// Cluster-wide object steps (merged from the workers' reports).
     pub object_updates: u64,
     pub reader_resamples: u64,
+    /// The cluster-wide registry view: every worker's final snapshot
+    /// merged in metric-name order (counters and histogram buckets
+    /// add, gauges max — the worker partitions are disjoint, so the
+    /// sums are exact cluster totals). The head's own registry is not
+    /// folded in: its epoch/reading counters re-count the same trace
+    /// and would double the totals.
+    pub metrics: rfid_obs::Snapshot,
 }
 
 struct WorkerConn {
@@ -62,6 +69,8 @@ pub fn run_router(
     let mut conns = accept_workers(listener, num_workers)?;
     let mut head = ClusterHead::new(engine, num_workers);
     let mut last_epoch = Epoch(0);
+    let mut worker_metrics: Vec<rfid_obs::Snapshot> =
+        vec![rfid_obs::Snapshot::default(); num_workers];
     for batch in batches {
         last_epoch = batch.epoch;
         let plan = head.begin_epoch(batch);
@@ -69,7 +78,7 @@ pub fn run_router(
             proto::write_msg(&mut conn.w, &proto::encode_plan(&plan, i))?;
         }
         let mut reports: Vec<Vec<TaskReport>> = Vec::with_capacity(num_workers);
-        for conn in conns.iter_mut() {
+        for (i, conn) in conns.iter_mut().enumerate() {
             let payload = proto::expect_msg(&mut conn.r, proto::MSG_REPORTS)?;
             let (epoch, list) = proto::decode_reports(&payload).map_err(io::Error::from)?;
             if epoch != batch.epoch {
@@ -82,6 +91,18 @@ pub fn run_router(
                 ));
             }
             reports.push(list);
+            let payload = proto::expect_msg(&mut conn.r, proto::MSG_METRICS)?;
+            let (epoch, snap) = proto::decode_metrics(&payload).map_err(io::Error::from)?;
+            if epoch != batch.epoch {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "metrics for epoch {} while in epoch {}",
+                        epoch.0, batch.epoch.0
+                    ),
+                ));
+            }
+            worker_metrics[i] = snap;
         }
         let directive = head.finish_epoch(&reports);
         if directive.is_some() != plan.will_resample {
@@ -100,8 +121,12 @@ pub fn run_router(
         proto::write_msg(&mut conn.w, &proto::encode_finish(last_epoch))?;
         conn.w.flush()?;
     }
-    // a worker acknowledges FINISH by closing its connection
-    for conn in conns.iter_mut() {
+    // a worker acknowledges FINISH with one final metrics snapshot
+    // (covering its finalize flush), then closes its connection
+    for (i, conn) in conns.iter_mut().enumerate() {
+        let payload = proto::expect_msg(&mut conn.r, proto::MSG_METRICS)?;
+        let (_, snap) = proto::decode_metrics(&payload).map_err(io::Error::from)?;
+        worker_metrics[i] = snap;
         let mut sink = [0u8; 64];
         loop {
             match conn.r.read(&mut sink) {
@@ -117,11 +142,17 @@ pub fn run_router(
             }
         }
     }
+    head.observe_metrics();
+    let mut metrics = rfid_obs::Snapshot::default();
+    for snap in &worker_metrics {
+        metrics.merge(snap);
+    }
     let stats = head.stats();
     Ok(RouterSummary {
         epochs: stats.epochs,
         readings: stats.readings,
         object_updates: stats.object_updates,
         reader_resamples: stats.reader_resamples,
+        metrics,
     })
 }

@@ -53,6 +53,11 @@ pub fn run_worker(
                     return Err(io::Error::new(e.kind(), e.to_string()));
                 }
                 proto::write_msg(&mut rw, &proto::encode_reports(plan.epoch, &reports))?;
+                // piggyback this process's registry snapshot on the
+                // epoch barrier (engine stage timers, step counters)
+                worker.observe_metrics();
+                let snap = rfid_obs::global().snapshot();
+                proto::write_msg(&mut rw, &proto::encode_metrics(plan.epoch, &snap))?;
                 let directive = if plan.will_resample {
                     let payload = proto::expect_msg(&mut rr, proto::MSG_RESAMPLE)?;
                     Some(proto::decode_resample(&payload).map_err(io::Error::from)?)
@@ -72,6 +77,11 @@ pub fn run_worker(
                 if let Some(e) = events_out.io_error() {
                     return Err(io::Error::new(e.kind(), e.to_string()));
                 }
+                // one final snapshot so the cluster view includes the
+                // last epoch's resample and the finalize flush
+                worker.observe_metrics();
+                let snap = rfid_obs::global().snapshot();
+                proto::write_msg(&mut rw, &proto::encode_metrics(last_epoch, &snap))?;
                 rw.flush()?;
                 return Ok(());
             }

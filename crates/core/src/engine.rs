@@ -81,6 +81,120 @@ pub struct EngineStats {
     pub per_shard: Vec<ShardCounts>,
 }
 
+/// The [`EngineStats`] counter fields, copied as plain values — the
+/// delta baseline for registry mirroring (no `per_shard` vector, so
+/// taking a copy never allocates).
+#[derive(Debug, Clone, Copy, Default)]
+struct StatCounters {
+    epochs: u64,
+    readings: u64,
+    object_updates: u64,
+    events_emitted: u64,
+    object_resamples: u64,
+    reader_resamples: u64,
+    compressions: u64,
+    decompressions: u64,
+    ingest_us: u64,
+    infer_us: u64,
+    emit_us: u64,
+}
+
+impl StatCounters {
+    fn of(s: &EngineStats) -> Self {
+        Self {
+            epochs: s.epochs,
+            readings: s.readings,
+            object_updates: s.object_updates,
+            events_emitted: s.events_emitted,
+            object_resamples: s.object_resamples,
+            reader_resamples: s.reader_resamples,
+            compressions: s.compressions,
+            decompressions: s.decompressions,
+            ingest_us: s.ingest_us,
+            infer_us: s.infer_us,
+            emit_us: s.emit_us,
+        }
+    }
+}
+
+/// Mirrors [`EngineStats`] onto the global metrics registry (see
+/// `rfid_obs`): every struct counter doubles as a scrapeable metric,
+/// and the stage timers feed per-epoch latency histograms. Handles
+/// are registered once at engine construction; [`EngineMetrics::observe`]
+/// then only performs relaxed atomic adds — lock-free, allocation-free,
+/// RNG-free, so instrumentation cannot perturb inference.
+#[derive(Debug)]
+struct EngineMetrics {
+    last: StatCounters,
+    epochs: rfid_obs::Counter,
+    readings: rfid_obs::Counter,
+    object_updates: rfid_obs::Counter,
+    events_emitted: rfid_obs::Counter,
+    object_resamples: rfid_obs::Counter,
+    reader_resamples: rfid_obs::Counter,
+    compressions: rfid_obs::Counter,
+    decompressions: rfid_obs::Counter,
+    ingest_us: rfid_obs::Histogram,
+    infer_us: rfid_obs::Histogram,
+    emit_us: rfid_obs::Histogram,
+}
+
+impl EngineMetrics {
+    fn registered() -> Self {
+        let r = rfid_obs::global();
+        Self {
+            last: StatCounters::default(),
+            epochs: r.counter("engine_epochs_total"),
+            readings: r.counter("engine_readings_total"),
+            object_updates: r.counter("engine_object_updates_total"),
+            events_emitted: r.counter("engine_events_total"),
+            object_resamples: r.counter("engine_object_resamples_total"),
+            reader_resamples: r.counter("engine_reader_resamples_total"),
+            compressions: r.counter("engine_compressions_total"),
+            decompressions: r.counter("engine_decompressions_total"),
+            ingest_us: r.histogram("engine_ingest_us"),
+            infer_us: r.histogram("engine_infer_us"),
+            emit_us: r.histogram("engine_emit_us"),
+        }
+    }
+
+    /// Records the progress since the last observation. The exact
+    /// `u64` stage micros added to [`EngineStats`] are recorded into
+    /// the histograms, so `engine_ingest_us_sum` equals
+    /// `EngineStats::ingest_us` at every observation point — the
+    /// registry-vs-legacy agreement `experiments -- throughput`
+    /// checks.
+    fn observe(&mut self, stats: &EngineStats) {
+        let now = StatCounters::of(stats);
+        let last = self.last;
+        self.last = now;
+        if now.epochs == last.epochs
+            && now.events_emitted == last.events_emitted
+            && now.reader_resamples == last.reader_resamples
+        {
+            return;
+        }
+        self.epochs.add(now.epochs - last.epochs);
+        self.readings.add(now.readings - last.readings);
+        self.object_updates
+            .add(now.object_updates - last.object_updates);
+        self.events_emitted
+            .add(now.events_emitted - last.events_emitted);
+        self.object_resamples
+            .add(now.object_resamples - last.object_resamples);
+        self.reader_resamples
+            .add(now.reader_resamples - last.reader_resamples);
+        self.compressions.add(now.compressions - last.compressions);
+        self.decompressions
+            .add(now.decompressions - last.decompressions);
+        if now.epochs > last.epochs {
+            self.ingest_us.record(now.ingest_us - last.ingest_us);
+            self.infer_us.record(now.infer_us - last.infer_us);
+            self.emit_us.record(now.emit_us - last.emit_us);
+        }
+    }
+}
+
 /// Statistic deltas produced by one object step, merged into
 /// [`EngineStats`] on the calling thread in global task order.
 #[derive(Debug, Clone, Copy, Default)]
@@ -145,6 +259,11 @@ pub struct InferenceEngine<P: LocationPrior, S: ReadRateModel = rfid_model::Logi
     hook: Option<SpatialHook>,
     rng: StdRng,
     stats: EngineStats,
+    /// Registry handles mirroring [`EngineStats`] (see
+    /// [`EngineMetrics`]); one delta baseline per engine instance, so
+    /// every stats mutation path (batch, cluster head, cluster
+    /// worker) records each increment exactly once.
+    metrics: EngineMetrics,
     /// Overestimated sensor range used for initialization cones,
     /// sensing boxes, and re-detection thresholds.
     range_over: f64,
@@ -222,6 +341,7 @@ impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
             hook,
             rng: StdRng::seed_from_u64(config.seed),
             stats: EngineStats::default(),
+            metrics: EngineMetrics::registered(),
             range_over,
             last_report: None,
             active: Vec::new(),
@@ -337,9 +457,24 @@ impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
         self.infer(epoch, &reader_est);
         let t2 = std::time::Instant::now();
         self.emit(epoch, events);
-        self.stats.ingest_us += (t1 - t0).as_micros() as u64;
-        self.stats.infer_us += (t2 - t1).as_micros() as u64;
-        self.stats.emit_us += t2.elapsed().as_micros() as u64;
+        let ingest_us = (t1 - t0).as_micros() as u64;
+        let infer_us = (t2 - t1).as_micros() as u64;
+        let emit_us = t2.elapsed().as_micros() as u64;
+        self.stats.ingest_us += ingest_us;
+        self.stats.infer_us += infer_us;
+        self.stats.emit_us += emit_us;
+        self.metrics.observe(&self.stats);
+        let slow = rfid_obs::trace().slow_epoch_us();
+        if slow > 0 {
+            let total = ingest_us + infer_us + emit_us;
+            if total >= slow {
+                let mut entry = rfid_obs::TraceEntry::new("slow_epoch", total);
+                entry.what = "ingest/infer/emit";
+                entry.epoch = epoch.0;
+                entry.detail = [ingest_us, infer_us, emit_us];
+                rfid_obs::trace().record(entry);
+            }
+        }
     }
 
     /// Flushes pending reports at end of trace.
@@ -359,6 +494,16 @@ impl<P: LocationPrior, S: ReadRateModel> InferenceEngine<P, S> {
         self.emit_due_events(epoch, events);
         self.stats.events_emitted += (events.len() - before) as u64;
         self.refresh_per_shard_stats();
+        self.metrics.observe(&self.stats);
+    }
+
+    /// Mirrors any [`EngineStats`] progress since the last
+    /// observation onto the global metrics registry. The batch and
+    /// finalize paths call this themselves; callers that mutate stats
+    /// through other paths (the cluster roles) invoke it once per
+    /// epoch.
+    pub fn observe_metrics(&mut self) {
+        self.metrics.observe(&self.stats);
     }
 
     // ------------------------------------------------------------------

@@ -230,6 +230,12 @@ impl<P: LocationPrior, S: ReadRateModel> ClusterHead<P, S> {
     pub fn stats(&self) -> &EngineStats {
         self.engine.stats()
     }
+
+    /// Mirrors the head engine's stats progress onto the global
+    /// metrics registry (see [`InferenceEngine::observe_metrics`]).
+    pub fn observe_metrics(&mut self) {
+        self.engine.observe_metrics();
+    }
 }
 
 /// One worker's slice of the cluster: a full engine that owns the
@@ -369,5 +375,11 @@ impl<P: LocationPrior, S: ReadRateModel> ClusterWorker<P, S> {
     /// The worker engine's statistics (its partition only).
     pub fn stats(&self) -> &EngineStats {
         self.engine.stats()
+    }
+
+    /// Mirrors the worker engine's stats progress onto the global
+    /// metrics registry (see [`InferenceEngine::observe_metrics`]).
+    pub fn observe_metrics(&mut self) {
+        self.engine.observe_metrics();
     }
 }

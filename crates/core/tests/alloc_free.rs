@@ -4,6 +4,12 @@
 //! (pointer refresh → predict → fused weight/estimate) after a warm-up
 //! step has grown the scratch buffers.
 //!
+//! The bracket also covers the observability layer: every metric kind
+//! (counter add, gauge high-water, histogram record) and the
+//! slow-epoch threshold gate are exercised inside the measured loop
+//! against pre-registered handles — instrumentation must stay atomic
+//! operations only, never an allocation.
+//!
 //! This file contains exactly one `#[test]` so no concurrent test can
 //! disturb the allocation counter.
 
@@ -61,6 +67,13 @@ fn steady_state_object_step_allocates_nothing() {
     // the engine builds this once per epoch and shares it
     let mut cdf = Vec::new();
     reader.sampling_cdf_into(&mut cdf);
+
+    // metric handles registered before measurement (registration
+    // allocates once; recording must not allocate at all)
+    let reg = rfid_obs::global();
+    let steps_total = reg.counter("alloc_free_steps_total");
+    let step_stamp_hw = reg.gauge("alloc_free_stamp_high_water");
+    let step_us = reg.histogram("alloc_free_step_us");
 
     // built before measurement, shared by the table-path steps below
     let table = rfid_model::table::LikelihoodTable::build(&model.sensor, 10.0, 0.05, 0.02);
@@ -127,6 +140,12 @@ fn steady_state_object_step_allocates_nothing() {
             );
             assert!(!out.resampled);
             assert!(out.estimate.0.x.is_finite());
+            // the full instrumentation surface, inside the bracket:
+            // every record path and the engine's slow-epoch gate
+            steps_total.inc();
+            step_stamp_hw.record_max(stamp);
+            step_us.record(stamp);
+            assert_eq!(rfid_obs::trace().slow_epoch_us(), 0);
         }
         let after = ALLOCATIONS.load(Ordering::SeqCst);
         best = best.min(after - before);

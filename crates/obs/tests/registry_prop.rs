@@ -1,0 +1,139 @@
+//! Metamorphic properties of the metrics registry:
+//!
+//! 1. histogram merge is associative and commutative (the cluster
+//!    aggregation rule is order-insensitive);
+//! 2. quantile estimates are bounded by bucket width: for a true
+//!    quantile `v >= 1` the estimate `e` satisfies `v <= e < 2v`;
+//! 3. snapshot-then-merge equals single-registry recording: splitting
+//!    a value stream across registries and merging their snapshots
+//!    reproduces the snapshot of one registry fed everything.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rfid_obs::{Registry, Snapshot, Value};
+
+/// Random values spanning the full bucket range (log-uniform-ish).
+fn random_values(rng: &mut StdRng, n: usize) -> Vec<u64> {
+    (0..n)
+        .map(|_| {
+            let shift = rng.gen_range(0u32..40);
+            rng.gen_range(0u64..1 << 20) >> shift.min(20) << (shift / 2)
+        })
+        .collect()
+}
+
+/// Builds a registry holding one counter, one gauge, and one
+/// histogram fed from `values`.
+fn build(values: &[u64]) -> Registry {
+    let reg = Registry::new();
+    let c = reg.counter("events_total");
+    let g = reg.gauge("high_water");
+    let h = reg.histogram("latency_us");
+    for v in values {
+        c.add(v % 7);
+        g.record_max(*v);
+        h.record(*v);
+    }
+    reg
+}
+
+fn merged(a: &Snapshot, b: &Snapshot) -> Snapshot {
+    let mut m = a.clone();
+    m.merge(b);
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn histogram_merge_is_associative_and_commutative(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let snaps: Vec<Snapshot> = (0..3)
+            .map(|_| {
+                let n = rng.gen_range(0usize..50);
+                build(&random_values(&mut rng, n)).snapshot()
+            })
+            .collect();
+        let (a, b, c) = (&snaps[0], &snaps[1], &snaps[2]);
+        // commutative
+        prop_assert_eq!(merged(a, b), merged(b, a));
+        // associative
+        prop_assert_eq!(merged(&merged(a, b), c), merged(a, &merged(b, c)));
+    }
+
+    #[test]
+    fn quantile_estimates_are_bounded_by_bucket_width(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(1usize..80);
+        let mut values = random_values(&mut rng, n);
+        let reg = Registry::new();
+        let h = reg.histogram("q");
+        for v in &values {
+            h.record(*v);
+        }
+        values.sort_unstable();
+        let snap = reg.snapshot();
+        let hist = snap.histogram("q").expect("histogram registered");
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let est = hist.quantile(q);
+            let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+            let truth = values[rank - 1];
+            if truth == 0 {
+                prop_assert_eq!(est, 0);
+            } else {
+                prop_assert!(
+                    truth <= est && est < truth.saturating_mul(2),
+                    "q={q}: true {truth}, estimate {est}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_then_merge_equals_single_registry(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(0usize..60);
+        let values = random_values(&mut rng, n);
+        let split = if values.is_empty() { 0 } else { rng.gen_range(0..values.len()) };
+        let (left, right) = values.split_at(split);
+        let combined = merged(&build(left).snapshot(), &build(right).snapshot());
+        let single = build(&values).snapshot();
+        // counters and histograms agree exactly; the gauge merge rule
+        // is max, which also matches single-registry record_max
+        prop_assert_eq!(combined, single);
+    }
+
+    #[test]
+    fn diff_then_merge_roundtrips(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_before = rng.gen_range(0usize..30);
+        let before_vals = random_values(&mut rng, n_before);
+        let reg = Registry::new();
+        let c = reg.counter("events_total");
+        let h = reg.histogram("latency_us");
+        for v in &before_vals {
+            c.add(*v % 7);
+            h.record(*v);
+        }
+        let before = reg.snapshot();
+        let n_extra = rng.gen_range(0usize..30);
+        let extra = random_values(&mut rng, n_extra);
+        for v in &extra {
+            c.add(*v % 7);
+            h.record(*v);
+        }
+        let after = reg.snapshot();
+        let delta = after.diff(&before);
+        // merging the delta back onto the baseline reproduces `after`
+        // for every additive metric (no gauges here)
+        prop_assert_eq!(merged(&before, &delta), after);
+        for (name, v) in delta.entries() {
+            match v {
+                Value::Counter(_) | Value::Histogram(_) => {}
+                other => prop_assert!(false, "unexpected kind for {name}: {other:?}"),
+            }
+        }
+    }
+}

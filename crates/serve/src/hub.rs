@@ -112,10 +112,31 @@ struct SubEntry {
     queue: Arc<Mutex<SubQueue>>,
 }
 
+/// The hub's registry handles: enqueued frames, dropped rows, and
+/// overflow runs (one per `LAGGED` notice owed).
+#[derive(Debug)]
+struct HubMetrics {
+    delivered: rfid_obs::Counter,
+    dropped: rfid_obs::Counter,
+    lagged: rfid_obs::Counter,
+}
+
+impl Default for HubMetrics {
+    fn default() -> Self {
+        let reg = rfid_obs::global();
+        Self {
+            delivered: reg.counter("hub_delivered_total"),
+            dropped: reg.counter("hub_dropped_total"),
+            lagged: reg.counter("hub_lagged_total"),
+        }
+    }
+}
+
 #[derive(Debug, Default)]
 struct HubShared {
     subs: Mutex<Vec<SubEntry>>,
     commits: Mutex<Vec<(u64, Instant)>>,
+    metrics: HubMetrics,
 }
 
 /// The shared hub: subscriptions register here, [`HubSink`] commits
@@ -211,10 +232,17 @@ impl SubscriptionHub {
             }
             while q.frames.len() >= self.cfg.queue_frames {
                 let dropped = q.frames.pop_front().expect("non-empty queue");
+                if q.pending_lagged == 0 {
+                    // a fresh overflow run: exactly one LAGGED notice
+                    // will be owed, so count runs, not drops
+                    self.shared.metrics.lagged.inc();
+                }
                 q.pending_lagged += dropped.rows.len() as u64;
                 q.dropped_total += dropped.rows.len() as u64;
+                self.shared.metrics.dropped.add(dropped.rows.len() as u64);
             }
             q.frames.push_back(PendingPush { epoch, rows });
+            self.shared.metrics.delivered.inc();
             delivered = true;
             true
         });

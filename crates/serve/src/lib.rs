@@ -50,7 +50,7 @@ pub use hub::{HubConfig, SubscriptionHandle, SubscriptionHub};
 pub use log::{DurableStore, LogError, LogRecord, Recovery, SegmentLog, WriteFault};
 pub use query::{
     answer, ErrorCode, Frame, Query, QueryResponse, Request, RequestKind, SubscriptionFilter,
-    WireError, PROTOCOL_VERSION,
+    TelemetryCmd, WireError, PROTOCOL_VERSION,
 };
 pub use resilient::{ReconnectPolicy, ResilientClient};
 pub use server::{

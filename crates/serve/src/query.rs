@@ -49,17 +49,24 @@
 //!
 //! ```text
 //! hello       = "HELLO" SP version
-//! request-v2  = id SP (query | subscribe | unsubscribe)
+//! request-v2  = id SP (query | subscribe | unsubscribe | telemetry)
 //! subscribe   = "SUBSCRIBE" SP filter
 //! filter      = "ALL" | "REGION" SP x0 SP y0 SP x1 SP y1
 //!             | "TAGS" 1*(SP tag)
 //! unsubscribe = "UNSUBSCRIBE" SP subscription-id
+//! telemetry   = "TELEMETRY" ["METRICS" / "TRACE"]
 //! frame-v2    = "HELLO" SP version
 //!             | "OK"     SP id SP row-count *(LF row)
 //!             | "ERR"    SP id SP code SP message
 //!             | "PUSH"   SP sub-id SP arrival-epoch SP row-count *(LF row)
 //!             | "LAGGED" SP sub-id SP dropped-row-count
+//!             | "TELEMETRY" SP id SP byte-count LF body
 //! ```
+//!
+//! `TELEMETRY` (v2 only) scrapes the process-wide observability
+//! surface: `METRICS` (the default) returns the metrics registry in
+//! text exposition, `TRACE` the slow-epoch/slow-query ring. Both are
+//! answered without touching the store lock.
 //!
 //! A subscription's id is the id of the `SUBSCRIBE` request that
 //! created it (`OK id 0` acknowledges it). `PUSH` frames carry the
@@ -302,6 +309,34 @@ pub enum RequestKind {
     Subscribe(SubscriptionFilter),
     /// Cancels the subscription created by request `.0`.
     Unsubscribe(u64),
+    /// An observability scrape, answered with one `TELEMETRY` frame.
+    /// Served entirely from the process-wide registry/trace ring —
+    /// never touches the store lock.
+    Telemetry(TelemetryCmd),
+}
+
+/// What a `TELEMETRY` request scrapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TelemetryCmd {
+    /// The metrics registry in text exposition (the default).
+    Metrics,
+    /// The slow-epoch/slow-query trace ring, newest last.
+    Trace,
+}
+
+impl RequestKind {
+    /// The wire verb, for per-verb latency accounting.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            RequestKind::Query(Query::CurrentLocation(_)) => "CURRENT",
+            RequestKind::Query(Query::Trail { .. }) => "TRAIL",
+            RequestKind::Query(Query::SnapshotAt(_) | Query::SnapshotDelta { .. }) => "SNAPSHOT",
+            RequestKind::Query(Query::Containment { .. }) => "CONTAIN",
+            RequestKind::Subscribe(_) => "SUBSCRIBE",
+            RequestKind::Unsubscribe(_) => "UNSUBSCRIBE",
+            RequestKind::Telemetry(_) => "TELEMETRY",
+        }
+    }
 }
 
 /// A whitespace-token cursor with typed argument accessors — the one
@@ -416,6 +451,8 @@ impl RequestKind {
             RequestKind::Query(q) => q.encode(),
             RequestKind::Subscribe(f) => format!("SUBSCRIBE {}", f.encode()),
             RequestKind::Unsubscribe(sub) => format!("UNSUBSCRIBE {sub}"),
+            RequestKind::Telemetry(TelemetryCmd::Metrics) => "TELEMETRY METRICS".to_string(),
+            RequestKind::Telemetry(TelemetryCmd::Trace) => "TELEMETRY TRACE".to_string(),
         }
     }
 
@@ -462,6 +499,20 @@ impl RequestKind {
                 let sub = args.u64("subscription-id")?;
                 args.end()?;
                 Ok(RequestKind::Unsubscribe(sub))
+            }
+            "TELEMETRY" => {
+                let mut args = Args { op, parts };
+                let cmd = match args.parts.next() {
+                    None | Some("METRICS") => TelemetryCmd::Metrics,
+                    Some("TRACE") => TelemetryCmd::Trace,
+                    Some(other) => {
+                        return Err(WireError::bad_request(format!(
+                            "TELEMETRY: expected METRICS or TRACE, got {other:?}"
+                        )))
+                    }
+                };
+                args.end()?;
+                Ok(RequestKind::Telemetry(cmd))
             }
             _ => Query::parse(line).map(RequestKind::Query),
         }
@@ -641,6 +692,9 @@ pub enum Frame {
     /// Subscription `id` overflowed its queue; `dropped` rows were
     /// discarded since its last delivered frame.
     Lagged { id: u64, dropped: u64 },
+    /// Response to a `TELEMETRY` request: a free-form text body (the
+    /// registry exposition or the trace ring).
+    Telemetry { id: u64, body: String },
 }
 
 impl Frame {
@@ -664,6 +718,9 @@ impl Frame {
                 s
             }
             Frame::Lagged { id, dropped } => format!("LAGGED {id} {dropped}"),
+            // the byte count makes the body length explicit, so a
+            // decoder can reject a frame truncated mid-body
+            Frame::Telemetry { id, body } => format!("TELEMETRY {id} {}\n{body}", body.len()),
         }
     }
 
@@ -721,6 +778,21 @@ impl Frame {
                 id: u64_arg("id")?,
                 dropped: u64_arg("dropped")?,
             }),
+            "TELEMETRY" => {
+                let id = u64_arg("id")?;
+                let len = u64_arg("byte-count")? as usize;
+                let body = payload.split_once('\n').map(|(_, b)| b).unwrap_or_default();
+                if body.len() != len {
+                    return Err(WireError::bad_request(format!(
+                        "TELEMETRY: body is {} bytes, header says {len}",
+                        body.len()
+                    )));
+                }
+                Ok(Frame::Telemetry {
+                    id,
+                    body: body.to_string(),
+                })
+            }
             other => Err(WireError::bad_request(format!(
                 "unknown frame verb {other:?}"
             ))),
@@ -828,6 +900,14 @@ mod tests {
                 id: 5,
                 kind: RequestKind::Unsubscribe(3),
             },
+            Request {
+                id: 6,
+                kind: RequestKind::Telemetry(TelemetryCmd::Metrics),
+            },
+            Request {
+                id: 7,
+                kind: RequestKind::Telemetry(TelemetryCmd::Trace),
+            },
         ];
         for r in requests {
             assert_eq!(Request::parse(&r.encode()), Ok(r));
@@ -863,6 +943,8 @@ mod tests {
             "SUBSCRIBE TAGS x",
             "UNSUBSCRIBE",
             "UNSUBSCRIBE x",
+            "TELEMETRY NOPE",
+            "TELEMETRY METRICS EXTRA",
         ] {
             let err = RequestKind::parse(bad).expect_err(&format!("accepted {bad:?}"));
             assert_eq!(err.code, ErrorCode::BadRequest, "{bad:?}");
@@ -969,11 +1051,21 @@ mod tests {
                 id: 1,
                 dropped: 321,
             },
+            Frame::Telemetry {
+                id: 8,
+                body: String::new(),
+            },
+            Frame::Telemetry {
+                id: 9,
+                body: "engine_epochs_total 40\nengine_infer_us_sum 123\n".to_string(),
+            },
         ];
         for f in frames {
             assert_eq!(Frame::parse(&f.encode()), Ok(f));
         }
         assert!(Frame::parse("WHAT 1 2").is_err());
+        // a telemetry body truncated below its announced byte count
+        assert!(Frame::parse("TELEMETRY 1 10\nshort").is_err());
     }
 
     #[test]

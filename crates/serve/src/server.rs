@@ -37,18 +37,18 @@
 use crate::hub::{SubscriptionHandle, SubscriptionHub};
 use crate::query::{
     answer, ErrorCode, Frame, Query, QueryResponse, Request, RequestKind, SubscriptionFilter,
-    WireError, PROTOCOL_VERSION,
+    TelemetryCmd, WireError, PROTOCOL_VERSION,
 };
 use crate::store::{EventStore, LocationRow};
 use rfid_stream::wire;
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Upper bound on a single frame's payload (a request line or a
 /// response document). Guards the server against garbage prefixes.
@@ -87,6 +87,11 @@ pub struct ServerConfig {
     /// clean close *before* any allocation, so a corrupt or malicious
     /// prefix can neither balloon memory nor kill the worker silently.
     pub max_frame_len: u32,
+    /// Requests slower than this many microseconds are recorded into
+    /// the process trace ring (readable via `TELEMETRY TRACE`), with
+    /// their verb, duration, and connection id. 0 (the default)
+    /// disables the slow-query log entirely.
+    pub slow_query_us: u64,
 }
 
 impl Default for ServerConfig {
@@ -100,6 +105,7 @@ impl Default for ServerConfig {
             idle_sleep: Duration::from_micros(100),
             max_connections: None,
             max_frame_len: MAX_FRAME_BYTES,
+            slow_query_us: 0,
         }
     }
 }
@@ -130,6 +136,13 @@ impl ServerConfig {
     pub fn with_max_frame_len(mut self, bytes: u32) -> Self {
         assert!(bytes >= 16, "frames must at least fit a HELLO");
         self.max_frame_len = bytes;
+        self
+    }
+
+    /// Default config with a slow-query threshold in microseconds
+    /// (0 disables).
+    pub fn with_slow_query_us(mut self, us: u64) -> Self {
+        self.slow_query_us = us;
         self
     }
 }
@@ -408,6 +421,10 @@ fn accept_loop(
     }
 }
 
+/// Process-wide connection id counter; ids appear in slow-query trace
+/// entries so one connection's requests can be correlated.
+static NEXT_CONN_ID: AtomicU64 = AtomicU64::new(1);
+
 /// One multiplexed connection owned by a worker.
 struct Conn {
     stream: TcpStream,
@@ -417,6 +434,11 @@ struct Conn {
     version: u32,
     subs: Vec<SubscriptionHandle>,
     closed: bool,
+    /// Process-unique id (trace correlation).
+    id: u64,
+    /// When the outbox crossed the high-water mark and stalled the
+    /// connection; `None` while draining normally.
+    stalled_since: Option<Instant>,
     /// Held for the connection's lifetime; dropping it releases the
     /// slot counted against `ServerConfig::max_connections`.
     _permit: ConnPermit,
@@ -431,6 +453,8 @@ impl Conn {
             version: 1,
             subs: Vec::new(),
             closed: false,
+            id: NEXT_CONN_ID.fetch_add(1, Ordering::Relaxed),
+            stalled_since: None,
             _permit: permit,
         }
     }
@@ -468,6 +492,74 @@ impl Conn {
     }
 }
 
+/// The server's registry handles, fetched once per worker thread:
+/// per-verb request latency histograms plus outbox stall accounting.
+struct ServeMetrics {
+    current: rfid_obs::Histogram,
+    trail: rfid_obs::Histogram,
+    snapshot: rfid_obs::Histogram,
+    contain: rfid_obs::Histogram,
+    subscribe: rfid_obs::Histogram,
+    unsubscribe: rfid_obs::Histogram,
+    telemetry: rfid_obs::Histogram,
+    /// Below-to-above high-water transitions of any outbox.
+    stalls: rfid_obs::Counter,
+    /// Total microseconds connections spent stalled (added when a
+    /// stall ends).
+    stalled_us: rfid_obs::Counter,
+}
+
+impl ServeMetrics {
+    fn registered() -> Self {
+        let reg = rfid_obs::global();
+        Self {
+            current: reg.histogram("server_query_us_current"),
+            trail: reg.histogram("server_query_us_trail"),
+            snapshot: reg.histogram("server_query_us_snapshot"),
+            contain: reg.histogram("server_query_us_contain"),
+            subscribe: reg.histogram("server_query_us_subscribe"),
+            unsubscribe: reg.histogram("server_query_us_unsubscribe"),
+            telemetry: reg.histogram("server_query_us_telemetry"),
+            stalls: reg.counter("server_outbox_stalls_total"),
+            stalled_us: reg.counter("server_outbox_stalled_us_total"),
+        }
+    }
+
+    fn for_verb(&self, verb: &str) -> Option<&rfid_obs::Histogram> {
+        Some(match verb {
+            "CURRENT" => &self.current,
+            "TRAIL" => &self.trail,
+            "SNAPSHOT" => &self.snapshot,
+            "CONTAIN" => &self.contain,
+            "SUBSCRIBE" => &self.subscribe,
+            "UNSUBSCRIBE" => &self.unsubscribe,
+            "TELEMETRY" => &self.telemetry,
+            _ => return None,
+        })
+    }
+
+    /// Records one served request: its verb histogram, and a
+    /// slow-query trace entry when past the configured threshold.
+    fn observe_request(
+        &self,
+        cfg: &ServerConfig,
+        conn_id: u64,
+        verb: &'static str,
+        start: Instant,
+    ) {
+        let dur_us = start.elapsed().as_micros() as u64;
+        if let Some(h) = self.for_verb(verb) {
+            h.record(dur_us);
+        }
+        if cfg.slow_query_us > 0 && dur_us >= cfg.slow_query_us {
+            let mut entry = rfid_obs::TraceEntry::new("slow_query", dur_us);
+            entry.what = verb;
+            entry.conn = conn_id;
+            rfid_obs::trace().record(entry);
+        }
+    }
+}
+
 fn worker_loop(
     incoming: mpsc::Receiver<(TcpStream, ConnPermit)>,
     store: Arc<RwLock<EventStore>>,
@@ -475,6 +567,7 @@ fn worker_loop(
     stop: Arc<AtomicBool>,
     cfg: ServerConfig,
 ) {
+    let metrics = ServeMetrics::registered();
     let mut conns: Vec<Conn> = Vec::new();
     let mut scratch = vec![0u8; 64 << 10];
     let mut spins = 0u32;
@@ -485,7 +578,7 @@ fn worker_loop(
             progressed = true;
         }
         for conn in conns.iter_mut() {
-            match pump(conn, &store, &hub, &cfg, &mut scratch) {
+            match pump(conn, &store, &hub, &cfg, &metrics, &mut scratch) {
                 Ok(p) => progressed |= p,
                 Err(_) => conn.closed = true,
             }
@@ -524,6 +617,7 @@ fn pump(
     store: &RwLock<EventStore>,
     hub: &SubscriptionHub,
     cfg: &ServerConfig,
+    metrics: &ServeMetrics,
     scratch: &mut [u8],
 ) -> io::Result<bool> {
     let mut progressed = conn.flush()? > 0;
@@ -535,7 +629,7 @@ fn pump(
         while conn.outbuf.len() < cfg.outbox_high_water {
             match conn.inbuf.next_frame() {
                 Ok(Some(payload)) => {
-                    process_frame(conn, store, hub, &payload);
+                    process_frame(conn, store, hub, cfg, metrics, &payload);
                     progressed = true;
                 }
                 Ok(None) => break,
@@ -584,6 +678,22 @@ fn pump(
     }
 
     progressed |= conn.flush()? > 0;
+
+    // stall transition accounting: entering a stall (outbox at or past
+    // the high-water mark) counts once; leaving it adds the stalled
+    // duration. Both edges were previously invisible to operators.
+    let stalled = conn.outbuf.len() >= cfg.outbox_high_water;
+    match (stalled, conn.stalled_since) {
+        (true, None) => {
+            conn.stalled_since = Some(Instant::now());
+            metrics.stalls.inc();
+        }
+        (false, Some(since)) => {
+            metrics.stalled_us.add(since.elapsed().as_micros() as u64);
+            conn.stalled_since = None;
+        }
+        _ => {}
+    }
     Ok(progressed)
 }
 
@@ -593,6 +703,8 @@ fn process_frame(
     conn: &mut Conn,
     store: &RwLock<EventStore>,
     hub: &SubscriptionHub,
+    cfg: &ServerConfig,
+    metrics: &ServeMetrics,
     payload: &str,
 ) {
     // HELLO is version-independent: it is what *sets* the version
@@ -625,7 +737,13 @@ fn process_frame(
     }
     if conn.version >= 2 {
         let frame = match Request::parse(payload) {
-            Ok(req) => process_request(conn, store, hub, req),
+            Ok(req) => {
+                let verb = req.kind.verb();
+                let start = Instant::now();
+                let frame = process_request(conn, store, hub, req);
+                metrics.observe_request(cfg, conn.id, verb, start);
+                frame
+            }
             Err((id, error)) => Frame::Err { id, error },
         };
         conn.enqueue(&frame.encode());
@@ -633,14 +751,23 @@ fn process_frame(
     }
     // v1: a bare query line, one codeless envelope per response
     let response = match RequestKind::parse(payload) {
-        Ok(RequestKind::Query(q)) => {
-            let guard = crate::lock::read_recover(store.read());
-            answer(&guard, &q)
+        Ok(kind @ RequestKind::Query(_)) => {
+            let verb = kind.verb();
+            let RequestKind::Query(q) = kind else {
+                unreachable!("matched a query")
+            };
+            let start = Instant::now();
+            let response = {
+                let guard = crate::lock::read_recover(store.read());
+                answer(&guard, &q)
+            };
+            metrics.observe_request(cfg, conn.id, verb, start);
+            response
         }
-        Ok(RequestKind::Subscribe(_)) | Ok(RequestKind::Unsubscribe(_)) => {
+        Ok(RequestKind::Subscribe(_) | RequestKind::Unsubscribe(_) | RequestKind::Telemetry(_)) => {
             QueryResponse::Error(WireError::new(
                 ErrorCode::UnsupportedVersion,
-                "subscriptions need protocol version >= 2 (send HELLO 2 first)",
+                "subscriptions and telemetry need protocol version >= 2 (send HELLO 2 first)",
             ))
         }
         Err(error) => QueryResponse::Error(error),
@@ -685,6 +812,16 @@ fn process_request(
                     ErrorCode::UnknownSubscription,
                     format!("no subscription {sub_id} on this connection"),
                 ),
+            },
+        },
+        // answered from the process-wide registry/trace ring without
+        // ever taking the store lock — a scrape can never contend
+        // with ingestion or queries
+        RequestKind::Telemetry(cmd) => Frame::Telemetry {
+            id,
+            body: match cmd {
+                TelemetryCmd::Metrics => rfid_obs::global().snapshot().render(),
+                TelemetryCmd::Trace => rfid_obs::trace().render(),
             },
         },
     }
@@ -878,6 +1015,47 @@ impl QueryClient {
         self.await_response(id)?
             .map(|_| ())
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Scrapes the server's observability surface (protocol version 2
+    /// and above only): the metrics registry in text exposition, or
+    /// the slow-epoch/slow-query trace ring.
+    pub fn telemetry(&mut self, cmd: TelemetryCmd) -> io::Result<String> {
+        if self.version < 2 {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "telemetry needs protocol version >= 2",
+            ));
+        }
+        let id = self.fresh_id();
+        let request = Request {
+            id,
+            kind: RequestKind::Telemetry(cmd),
+        };
+        write_frame(&mut self.stream, &request.encode())?;
+        loop {
+            let payload = self.read_frame_buffered()?;
+            match Frame::parse(&payload)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
+            {
+                Frame::Telemetry { id: got, body } if got == id => return Ok(body),
+                Frame::Err { id: got, error } if got == id => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        error.to_string(),
+                    ))
+                }
+                frame @ (Frame::Push { .. } | Frame::Lagged { .. }) => {
+                    self.pending_pushes.push_back(frame);
+                }
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("response for unexpected request: {other:?}"),
+                    ))
+                }
+            }
+        }
     }
 
     /// The next push or lag frame: [`Frame::Push`] or

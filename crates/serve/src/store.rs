@@ -42,6 +42,7 @@
 //! [`SnapshotSink`]: rfid_stream::pipeline::sinks::SnapshotSink
 
 use rfid_geom::Point3;
+use rfid_obs::{Counter, Gauge};
 use rfid_stream::{Epoch, EventSink, LocationEvent, TagId};
 use std::collections::BTreeMap;
 
@@ -157,6 +158,30 @@ pub struct StoreStats {
     pub tags: usize,
 }
 
+/// The store's handles into the process-wide metrics registry.
+/// Counters record increments at the mutation sites; the gauges track
+/// current levels. A cloned store shares the same handles — the
+/// registry aggregates process-wide, not per-instance.
+#[derive(Debug, Clone)]
+struct StoreMetrics {
+    events: Counter,
+    compacted: Counter,
+    segments: Gauge,
+    tags: Gauge,
+}
+
+impl Default for StoreMetrics {
+    fn default() -> Self {
+        let reg = rfid_obs::global();
+        Self {
+            events: reg.counter("store_events_total"),
+            compacted: reg.counter("store_events_compacted_total"),
+            segments: reg.gauge("store_segments"),
+            tags: reg.gauge("store_tags"),
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Segment {
     /// First arrival epoch covered (inclusive), aligned to the width.
@@ -213,6 +238,7 @@ pub struct EventStore {
     last_completed: Option<u64>,
     events_compacted: u64,
     finished: bool,
+    metrics: StoreMetrics,
 }
 
 impl EventStore {
@@ -286,6 +312,7 @@ impl EventStore {
             .expect("tail segment exists")
             .push(stored);
         self.current.insert(event.tag, stored);
+        self.metrics.events.inc();
         stored
     }
 
@@ -303,6 +330,8 @@ impl EventStore {
             self.seal_tail();
         }
         self.compact();
+        self.metrics.segments.set(self.segments.len() as u64);
+        self.metrics.tags.set(self.current.len() as u64);
     }
 
     /// Marks end of stream.
@@ -338,6 +367,7 @@ impl EventStore {
         }
         for seg in self.segments.drain(..drop_upto) {
             self.events_compacted += seg.events.len() as u64;
+            self.metrics.compacted.add(seg.events.len() as u64);
             let snap = seg.snapshot.expect("only sealed segments compact");
             self.compacted = Some((seg.end, snap));
         }

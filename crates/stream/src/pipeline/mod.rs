@@ -133,6 +133,63 @@ pub struct PipelineStats {
     pub event_buffer_high_water: usize,
 }
 
+/// Registry handles mirroring [`PipelineStats`] (see `rfid_obs`):
+/// counters for the flow totals, ratcheting gauges for the buffer
+/// high-water marks. Handles are registered once at pipeline
+/// construction; per-batch mirroring is a handful of relaxed atomic
+/// adds.
+#[derive(Debug)]
+struct PipelineMetrics {
+    last: PipelineStats,
+    readings: rfid_obs::Counter,
+    reports: rfid_obs::Counter,
+    epochs: rfid_obs::Counter,
+    batch_readings: rfid_obs::Counter,
+    events: rfid_obs::Counter,
+    late_dropped: rfid_obs::Counter,
+    sync_pending_hw: rfid_obs::Gauge,
+    batch_buffer_hw: rfid_obs::Gauge,
+    event_buffer_hw: rfid_obs::Gauge,
+}
+
+impl PipelineMetrics {
+    fn registered() -> Self {
+        let r = rfid_obs::global();
+        Self {
+            last: PipelineStats::default(),
+            readings: r.counter("pipeline_readings_total"),
+            reports: r.counter("pipeline_reports_total"),
+            epochs: r.counter("pipeline_epochs_total"),
+            batch_readings: r.counter("pipeline_batch_readings_total"),
+            events: r.counter("pipeline_events_total"),
+            late_dropped: r.counter("pipeline_late_dropped_total"),
+            sync_pending_hw: r.gauge("pipeline_sync_pending_high_water"),
+            batch_buffer_hw: r.gauge("pipeline_batch_buffer_high_water"),
+            event_buffer_hw: r.gauge("pipeline_event_buffer_high_water"),
+        }
+    }
+
+    /// Records the progress since the last observation.
+    fn observe(&mut self, stats: &PipelineStats) {
+        let last = self.last;
+        self.last = *stats;
+        self.readings.add(stats.readings_in - last.readings_in);
+        self.reports.add(stats.reports_in - last.reports_in);
+        self.epochs.add(stats.epochs - last.epochs);
+        self.batch_readings
+            .add(stats.batch_readings - last.batch_readings);
+        self.events.add(stats.events - last.events);
+        self.late_dropped
+            .add(stats.late_dropped - last.late_dropped);
+        self.sync_pending_hw
+            .record_max(stats.sync_pending_high_water as u64);
+        self.batch_buffer_hw
+            .record_max(stats.batch_buffer_high_water as u64);
+        self.event_buffer_hw
+            .record_max(stats.event_buffer_high_water as u64);
+    }
+}
+
 /// The pipeline driver: pulls raw items from a source, synchronizes
 /// them into epochs, runs the inference stage, and routes events into
 /// the sink — all incrementally, with reused internal buffers.
@@ -142,6 +199,7 @@ pub struct Pipeline<Stage, Sink> {
     stage: Stage,
     sink: Sink,
     stats: PipelineStats,
+    metrics: PipelineMetrics,
     batch_buf: Vec<EpochBatch>,
     event_buf: Vec<LocationEvent>,
     last_epoch: Option<Epoch>,
@@ -174,6 +232,7 @@ impl<Stage: InferenceStage, Sink: EventSink> Pipeline<Stage, Sink> {
             stage,
             sink,
             stats: PipelineStats::default(),
+            metrics: PipelineMetrics::registered(),
             batch_buf: Vec::new(),
             event_buf: Vec::new(),
             last_epoch: None,
@@ -224,6 +283,7 @@ impl<Stage: InferenceStage, Sink: EventSink> Pipeline<Stage, Sink> {
         self.stage.finalize_into(last, &mut self.event_buf);
         self.route_events();
         self.sink.on_finish();
+        self.metrics.observe(&self.stats);
     }
 
     /// Runs a source to exhaustion and finishes the pipeline, returning
@@ -273,6 +333,7 @@ impl<Stage: InferenceStage, Sink: EventSink> Pipeline<Stage, Sink> {
             self.sink.on_epoch_complete(epoch);
         }
         self.batch_buf.clear();
+        self.metrics.observe(&self.stats);
     }
 
     fn route_events(&mut self) {

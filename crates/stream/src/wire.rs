@@ -128,6 +128,8 @@ pub enum WireFormatError {
     BadTag(u8),
     /// Decoding finished with bytes left over.
     TrailingBytes(usize),
+    /// A length-prefixed string field held invalid UTF-8.
+    BadString,
 }
 
 impl std::fmt::Display for WireFormatError {
@@ -136,6 +138,7 @@ impl std::fmt::Display for WireFormatError {
             WireFormatError::Truncated => write!(f, "payload truncated"),
             WireFormatError::BadTag(t) => write!(f, "unknown discriminant byte {t:#04x}"),
             WireFormatError::TrailingBytes(n) => write!(f, "{n} trailing bytes after payload"),
+            WireFormatError::BadString => write!(f, "string field is not valid UTF-8"),
         }
     }
 }
@@ -195,6 +198,23 @@ impl<'a> PayloadReader<'a> {
         Ok(Pose { pos, phi })
     }
 
+    /// The next `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireFormatError> {
+        let end = self.pos.checked_add(n).ok_or(WireFormatError::Truncated)?;
+        let bytes = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(WireFormatError::Truncated)?;
+        self.pos = end;
+        Ok(bytes)
+    }
+
+    /// A length-prefixed UTF-8 string (the [`put_str`] counterpart).
+    pub fn str_field(&mut self) -> Result<&'a str, WireFormatError> {
+        let n = self.u32()? as usize;
+        std::str::from_utf8(self.bytes(n)?).map_err(|_| WireFormatError::BadString)
+    }
+
     /// Bytes not yet consumed.
     pub fn remaining(&self) -> usize {
         self.buf.len() - self.pos
@@ -224,6 +244,13 @@ pub fn put_u64(out: &mut Vec<u8>, v: u64) {
 /// Raw IEEE-754 bits — round-trips bit-identically.
 pub fn put_f64(out: &mut Vec<u8>, v: f64) {
     put_u64(out, v.to_bits());
+}
+
+/// A length-prefixed UTF-8 string ([`PayloadReader::str_field`]
+/// decodes it).
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
 }
 
 pub fn put_pose(out: &mut Vec<u8>, p: &Pose) {

@@ -24,7 +24,7 @@ use rfid_repro::stream::pipeline::sinks::StoreSink;
 use rfid_serve::store::{EventStore, StoreConfig};
 use rfid_serve::{
     serve_with, Frame, HubConfig, Query, QueryClient, QueryResponse, ServerConfig,
-    SubscriptionFilter, SubscriptionHub,
+    SubscriptionFilter, SubscriptionHub, TelemetryCmd,
 };
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
@@ -206,6 +206,25 @@ fn main() {
             })
             .unwrap(),
     );
+
+    // scrape the process-wide observability registry over the same
+    // connection — protocol v2's TELEMETRY verb, answered without the
+    // store lock, so a monitoring poll can never stall a query. Every
+    // layer that ran above shows up: engine_*, pipeline_*, store_*,
+    // hub_*, and the server's own per-verb latency histograms.
+    let metrics = client
+        .telemetry(TelemetryCmd::Metrics)
+        .expect("telemetry scrape");
+    println!(
+        "\nTELEMETRY METRICS ({} bytes; counters, gauges, histogram sums):",
+        metrics.len()
+    );
+    for line in metrics
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.contains("_bucket{"))
+    {
+        println!("  {line}");
+    }
 
     server.shutdown();
     println!("\nserver stopped.");
